@@ -1,0 +1,200 @@
+//! Criterion microbenchmarks for the simulation infrastructure: decoder,
+//! assembler, emulator, predictors, and caches. These measure *our* code,
+//! while the `figNN`/`tableN` binaries regenerate the *paper's* results.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use helios_core::{FpConfig, FusionPredictor, Uch, UchConfig};
+use helios_emu::{Cpu, RetireStream};
+use helios_isa::{decode, encode, parse_asm, Asm, Reg};
+use helios_uarch::{Cache, CacheParams, StoreSets, Tage};
+
+fn bench_isa(c: &mut Criterion) {
+    let mut a = Asm::new();
+    let buf = a.zeros(4096, 64);
+    a.la(Reg::S0, buf);
+    for i in 0..64 {
+        a.ld(Reg::A0, (i % 32) * 8, Reg::S0);
+        a.add(Reg::S1, Reg::S1, Reg::A0);
+        a.sd(Reg::S1, (i % 32) * 8, Reg::S0);
+    }
+    a.halt();
+    let prog = a.assemble().unwrap();
+    let words = prog.words();
+
+    let mut g = c.benchmark_group("isa");
+    g.throughput(Throughput::Elements(words.len() as u64));
+    g.bench_function("decode", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for &w in &words {
+                n += decode(w).is_ok() as usize;
+            }
+            n
+        })
+    });
+    g.bench_function("encode", |b| {
+        b.iter(|| prog.insts.iter().map(encode).fold(0u64, |a, w| a ^ w as u64))
+    });
+    g.bench_function("assemble_text", |b| {
+        let src = r#"
+            li a0, 1000
+        top:
+            ld t0, 0(s0)
+            add a1, a1, t0
+            sd a1, 8(s0)
+            addi a0, a0, -1
+            bnez a0, top
+            ebreak
+        "#;
+        b.iter(|| parse_asm(src).unwrap().len())
+    });
+    g.finish();
+}
+
+fn bench_emulator(c: &mut Criterion) {
+    let prog = parse_asm(
+        r#"
+        li a0, 10000
+        li s0, 0x100000
+    top:
+        ld t0, 0(s0)
+        addi t0, t0, 3
+        sd t0, 0(s0)
+        addi a0, a0, -1
+        bnez a0, top
+        ebreak
+    "#,
+    )
+    .unwrap();
+    let mut g = c.benchmark_group("emulator");
+    g.throughput(Throughput::Elements(50_002));
+    g.bench_function("retire_rate", |b| {
+        b.iter_batched(
+            || Cpu::new(prog.clone()),
+            |mut cpu| cpu.run(1_000_000).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_predictors(c: &mut Criterion) {
+    let mut g = c.benchmark_group("predictors");
+    g.bench_function("tage_predict_update", |b| {
+        let mut t = Tage::new();
+        let mut hist = 0u64;
+        let mut pc = 0x1000u64;
+        b.iter(|| {
+            let taken = (pc >> 3) & 1 == 0;
+            let ok = t.update(pc, hist, taken);
+            hist = (hist << 1) | taken as u64;
+            pc = pc.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407) & 0xffff;
+            ok
+        })
+    });
+    g.bench_function("fusion_predictor_lookup", |b| {
+        let mut fp = FusionPredictor::new(FpConfig::default());
+        for pc in (0..4096u64).step_by(4) {
+            for _ in 0..3 {
+                fp.train(pc, 0, (pc % 63 + 1) as u32);
+            }
+        }
+        let mut pc = 0u64;
+        b.iter(|| {
+            pc = (pc + 4) & 0xfff;
+            fp.predict(pc, 0)
+        })
+    });
+    g.bench_function("uch_observe", |b| {
+        let mut uch = Uch::new(UchConfig::default());
+        let mut line = 0u64;
+        b.iter(|| {
+            uch.tick();
+            line = (line + 0x40) & 0xffff;
+            uch.observe(false, line)
+        })
+    });
+    g.bench_function("store_sets", |b| {
+        let mut ss = StoreSets::new();
+        ss.train_violation(0x200, 0x100);
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            ss.store_dispatched(0x100, seq);
+            let d = ss.load_dependency(0x200);
+            ss.store_executed(0x100, seq);
+            d
+        })
+    });
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.bench_function("l1_access", |b| {
+        let mut cache = Cache::new(&CacheParams {
+            size: 48 * 1024,
+            ways: 12,
+            line: 64,
+            latency: 5,
+        });
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = (addr + 64) & 0xf_ffff;
+            cache.access(addr, false)
+        })
+    });
+    g.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    use helios::FusionMode;
+    use helios_uarch::{PipeConfig, Pipeline};
+    let prog = parse_asm(
+        r#"
+        li a0, 2000
+        li s0, 0x100000
+    top:
+        ld t0, 0(s0)
+        add t1, t1, t0
+        ld t2, 8(s0)
+        add t1, t1, t2
+        sd t1, 16(s0)
+        addi a0, a0, -1
+        bnez a0, top
+        ebreak
+    "#,
+    )
+    .unwrap();
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(20);
+    for mode in [FusionMode::NoFusion, FusionMode::Helios, FusionMode::OracleFusion] {
+        g.bench_function(format!("simulate_{}", mode.name()), |b| {
+            b.iter_batched(
+                || {
+                    (
+                        PipeConfig::with_fusion(mode),
+                        RetireStream::new(prog.clone(), 1_000_000),
+                    )
+                },
+                |(cfg, stream)| {
+                    let mut p = Pipeline::new(cfg, stream);
+                    p.run(10_000_000);
+                    p.stats().instructions
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_isa,
+    bench_emulator,
+    bench_predictors,
+    bench_cache,
+    bench_pipeline
+);
+criterion_main!(benches);

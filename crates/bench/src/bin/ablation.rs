@@ -1,0 +1,97 @@
+//! Ablation study over the Helios design choices the paper fixes:
+//! UCH load-history size (6), NCSF nesting depth (2), fusion-predictor
+//! geometry (512×4 ×2 + selector), maximum pair distance (64), and the
+//! fusion-region (cache access granularity) size (64 B).
+//!
+//! ```text
+//! cargo run --release -p helios-bench --bin ablation [--quick|--only a,b]
+//! ```
+
+use helios::{geomean, run_workload_with, FusionMode, PipeConfig, Workload};
+
+fn helios_cfg() -> PipeConfig {
+    PipeConfig::with_fusion(FusionMode::Helios)
+}
+
+fn geomean_ipc(workloads: &[Workload], cfg: PipeConfig, label: &str) -> f64 {
+    let vals: Vec<f64> = workloads
+        .iter()
+        .map(|w| {
+            let s = run_workload_with(w, cfg);
+            eprint!("\r{label:<28} {:<18}", w.name);
+            s.ipc()
+        })
+        .collect();
+    geomean(&vals)
+}
+
+fn main() {
+    let workloads = helios_bench::select_workloads();
+    eprintln!("ablating over {} workloads…", workloads.len());
+
+    let baseline = geomean_ipc(&workloads, helios_cfg(), "Helios (paper params)");
+    println!("\nHelios geomean IPC (paper parameters): {baseline:.4}");
+    println!("\n{:<44} {:>10} {:>8}", "variant", "geomean", "vs base");
+    let report = |name: &str, cfg: PipeConfig| {
+        let g = geomean_ipc(&workloads, cfg, name);
+        println!("{name:<44} {g:>10.4} {:>+7.2}%", (g / baseline - 1.0) * 100.0);
+    };
+
+    // UCH load-history size (paper: 6 entries).
+    for entries in [1usize, 2, 12] {
+        let mut cfg = helios_cfg();
+        cfg.helios.uch.load_entries = entries;
+        report(&format!("UCH load entries = {entries}"), cfg);
+    }
+
+    // NCSF nesting depth (paper: 2; "sufficient for most of the benefits").
+    for nest in [1usize, 4, 8] {
+        let mut cfg = helios_cfg();
+        cfg.helios.max_nest = nest;
+        report(&format!("Max Active NCS (nesting) = {nest}"), cfg);
+    }
+
+    // Maximum head→tail distance (paper: 64 µ-ops / 7-bit CN).
+    for dist in [8u32, 16, 32] {
+        let mut cfg = helios_cfg();
+        cfg.helios.uch.max_distance = dist;
+        report(&format!("max fusion distance = {dist} µ-ops"), cfg);
+    }
+
+    // Fusion-predictor capacity (paper: 512 sets × 4 ways per component).
+    for sets in [64usize, 128] {
+        let mut cfg = helios_cfg();
+        cfg.helios.fp.sets = sets;
+        cfg.helios.fp.selector_entries = sets * 4;
+        report(&format!("FP sets per component = {sets}"), cfg);
+    }
+
+    // Fusion region = cache access granularity (paper: 64 B; §III-C notes
+    // the granularity could be narrower or as wide as a line).
+    for line in [16u64, 32] {
+        let mut cfg = helios_cfg();
+        cfg.helios.line_bytes = line;
+        report(&format!("fusion region = {line} B"), cfg);
+    }
+
+    // Post-commit UCH decoupling queue (paper: 8 entries / 1 port is lossless).
+    {
+        let mut cfg = helios_cfg();
+        cfg.helios.uch_queue.entries = Some(1);
+        report("UCH queue = 1 entry", cfg);
+        let mut cfg = helios_cfg();
+        cfg.helios.uch_queue.entries = None;
+        cfg.helios.uch_queue.drain_per_cycle = 8;
+        report("UCH queue = ideal (unbounded, 8 ports)", cfg);
+    }
+
+    // Probabilistic confidence counters (Riley & Zilles [20], §V-B2's
+    // accuracy-for-coverage trade).
+    {
+        let mut cfg = helios_cfg();
+        cfg.helios.fp.probabilistic_confidence = true;
+        report("probabilistic confidence", cfg);
+    }
+
+    println!("\n(paper choices should be at or near the top of each group)");
+}

@@ -1,0 +1,44 @@
+//! Figure 9 — Rename and Dispatch structural stalls as a percentage of
+//! execution cycles, for the no-fusion baseline, Helios, and OracleFusion.
+
+use helios::{format_row, run_sweep, FusionMode, Table};
+
+fn main() {
+    let workloads = helios_bench::select_workloads();
+    let modes = [
+        FusionMode::NoFusion,
+        FusionMode::Helios,
+        FusionMode::OracleFusion,
+    ];
+    let sweep = run_sweep(&workloads, &modes);
+    let mut t = Table::new(vec![
+        "benchmark".into(),
+        "base %".into(),
+        "helios %".into(),
+        "oracle %".into(),
+        "base SQ%".into(),
+        "base ROB%".into(),
+        "base IQ%".into(),
+    ]);
+    for w in sweep.workloads() {
+        let b = sweep.get(w, FusionMode::NoFusion).unwrap();
+        let h = sweep.get(w, FusionMode::Helios).unwrap();
+        let o = sweep.get(w, FusionMode::OracleFusion).unwrap();
+        let pc = |n: u64, d: u64| if d == 0 { 0.0 } else { 100.0 * n as f64 / d as f64 };
+        t.row(format_row(
+            w,
+            &[
+                b.stall_pct(),
+                h.stall_pct(),
+                o.stall_pct(),
+                pc(b.dispatch_stall_sq, b.cycles),
+                pc(b.dispatch_stall_rob, b.cycles),
+                pc(b.dispatch_stall_iq, b.cycles),
+            ],
+            1,
+        ));
+    }
+    println!("Figure 9: Rename+Dispatch structural stalls (% of cycles)");
+    println!("{t}");
+    println!("paper: e.g. 657.xz_1 baseline spends 88% of cycles waiting on an SQ entry");
+}

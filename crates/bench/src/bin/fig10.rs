@@ -1,0 +1,79 @@
+//! Figure 10 — IPC of all five fusion configurations, normalized to the
+//! NoFusion baseline, per application plus the geometric mean.
+//!
+//! Also prints the paper's §V-B headline numbers: Helios vs NoFusion and vs
+//! CSF-SBR, and OracleFusion vs NoFusion.
+//!
+//! ```text
+//! cargo run --release -p helios-bench --bin fig10 [--quick|--only a,b]
+//! ```
+
+use helios::{format_row, run_sweep, FusionMode, Table};
+
+fn main() {
+    let workloads = helios_bench::select_workloads();
+    let modes = FusionMode::ALL;
+    let sweep = run_sweep(&workloads, &modes);
+
+    let mut headers = vec!["benchmark".to_string(), "IPC(base)".to_string()];
+    headers.extend(
+        modes
+            .iter()
+            .skip(1)
+            .map(|m| format!("{}", m.name())),
+    );
+    let mut table = Table::new(headers);
+
+    for w in sweep.workloads() {
+        let base = sweep.get(w, FusionMode::NoFusion).unwrap().ipc();
+        let mut vals = vec![base];
+        for &m in modes.iter().skip(1) {
+            vals.push(sweep.get(w, m).unwrap().ipc() / base);
+        }
+        table.row(format_row(w, &vals, 3));
+    }
+    // Geomean row.
+    let mut geo = vec![f64::NAN];
+    for &m in modes.iter().skip(1) {
+        let (_, g) = sweep.normalized_ipc(m, FusionMode::NoFusion);
+        geo.push(g);
+    }
+    table.row(format_row("geomean", &geo, 3));
+
+    println!("Figure 10: IPC normalized to NoFusion");
+    println!("{table}");
+
+    let pct = |m: FusionMode, b: FusionMode| {
+        let vals: Vec<f64> = sweep
+            .workloads()
+            .iter()
+            .map(|w| sweep.get(w, m).unwrap().ipc() / sweep.get(w, b).unwrap().ipc())
+            .collect();
+        (helios::geomean(&vals) - 1.0) * 100.0
+    };
+    println!("§V-B headline (geomean speedups):");
+    println!(
+        "  RISCVFusion   vs NoFusion : {:+.1}%   (paper:  +0.8%)",
+        pct(FusionMode::RiscvFusion, FusionMode::NoFusion)
+    );
+    println!(
+        "  CSF-SBR       vs NoFusion : {:+.1}%   (paper:  +6.0%)",
+        pct(FusionMode::CsfSbr, FusionMode::NoFusion)
+    );
+    println!(
+        "  RISCVFusion++ vs NoFusion : {:+.1}%   (paper:  +7.0%)",
+        pct(FusionMode::RiscvFusionPlusPlus, FusionMode::NoFusion)
+    );
+    println!(
+        "  Helios        vs NoFusion : {:+.1}%   (paper: +14.2%)",
+        pct(FusionMode::Helios, FusionMode::NoFusion)
+    );
+    println!(
+        "  Helios        vs CSF-SBR  : {:+.1}%   (paper:  +8.2%)",
+        pct(FusionMode::Helios, FusionMode::CsfSbr)
+    );
+    println!(
+        "  OracleFusion  vs NoFusion : {:+.1}%   (paper: +16.3%)",
+        pct(FusionMode::OracleFusion, FusionMode::NoFusion)
+    );
+}

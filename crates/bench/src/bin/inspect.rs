@@ -1,0 +1,72 @@
+//! Full statistics dump for one workload across all configurations —
+//! the debugging companion to the figure binaries.
+//!
+//! ```text
+//! cargo run --release -p helios-bench --bin inspect -- --only 605.mcf
+//! ```
+
+use helios::{run_workload, FusionMode};
+
+fn main() {
+    let workloads = helios_bench::select_workloads();
+    for w in &workloads {
+        println!("=== {} ===", w.name);
+        for mode in FusionMode::ALL {
+            let s = run_workload(w, mode);
+            println!(
+                "{:<14} ipc {:>6.3}  cyc {:>9}  inst {:>8}  uops {:>8}",
+                mode.name(),
+                s.ipc(),
+                s.cycles,
+                s.instructions,
+                s.uops
+            );
+            println!(
+                "   pairs: csf {} ncsf {}  (ld {} / st {} / other {})  dbr {} asym {}",
+                s.fusion.csf_pairs,
+                s.fusion.ncsf_pairs,
+                s.fusion.idiom_count(helios_core::Idiom::LoadPair),
+                s.fusion.idiom_count(helios_core::Idiom::StorePair),
+                s.fusion.other_pairs(),
+                s.fusion.dbr_pairs,
+                s.fusion.asymmetric_pairs,
+            );
+            println!(
+                "   contig: cont {} ovl {} same {} next {} | pred {} ok {} mis {} nest_abort {} repairs {:?}",
+                s.fusion.contiguous,
+                s.fusion.overlapping,
+                s.fusion.same_line,
+                s.fusion.next_line,
+                s.fusion.predictions,
+                s.fusion.predictions_correct,
+                s.fusion.mispredictions,
+                s.ncsf_nest_aborts,
+                s.fusion.repairs,
+            );
+            println!(
+                "   stalls: rename {} rob {} iq {} lq {} sq {} redirect {} | flush: mem {} fus {}",
+                s.rename_stall_cycles,
+                s.dispatch_stall_rob,
+                s.dispatch_stall_iq,
+                s.dispatch_stall_lq,
+                s.dispatch_stall_sq,
+                s.fetch_stall_redirect,
+                s.memdep_flushes,
+                s.fusion_flushes,
+            );
+            println!(
+                "   mem: l1acc {} l1m {} l2m {} l3m {} stlf {} | br {}/{} ind {}/{}",
+                s.l1d_accesses,
+                s.l1d_misses,
+                s.l2_misses,
+                s.l3_misses,
+                s.stlf_forwards,
+                s.branch_mispredicts,
+                s.branches,
+                s.indirect_mispredicts,
+                s.indirects,
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,50 @@
+//! Table I — the RISC-V fusion idioms (memory pairs in bold in the paper)
+//! with their dynamic consecutive-pair frequency over the workload suite.
+
+use helios::{Table};
+use helios_core::{match_idiom, Idiom, ALL_IDIOMS};
+use helios_emu::Retired;
+
+fn main() {
+    let workloads = helios_bench::select_workloads();
+    let mut counts = [0u64; 8];
+    let mut total = 0u64;
+    for w in &workloads {
+        let trace: Vec<Retired> = w.stream().collect();
+        total += trace.len() as u64;
+        let mut i = 0;
+        while i + 1 < trace.len() {
+            if let Some(idm) = match_idiom(&trace[i].inst, &trace[i + 1].inst, true, true) {
+                let idx = ALL_IDIOMS.iter().position(|&x| x == idm).unwrap();
+                counts[idx] += 1;
+                i += 2;
+            } else {
+                i += 1;
+            }
+        }
+        eprint!("\rscan: {:<18}", w.name);
+    }
+    eprintln!();
+    let mut t = Table::new(vec![
+        "idiom".into(),
+        "category".into(),
+        "pairs".into(),
+        "% of µ-ops".into(),
+    ]);
+    for (i, idm) in ALL_IDIOMS.iter().enumerate() {
+        let cat = if idm.is_memory_pair() {
+            "MEMORY (bold)"
+        } else {
+            "other"
+        };
+        t.row(vec![
+            idm.name().to_string(),
+            cat.to_string(),
+            counts[i].to_string(),
+            format!("{:.3}", 100.0 * 2.0 * counts[i] as f64 / total as f64),
+        ]);
+    }
+    println!("Table I: RISC-V fusion idioms (after Celio et al. [7]) and dynamic frequency");
+    println!("{t}");
+    let _ = Idiom::LoadPair;
+}

@@ -1,0 +1,44 @@
+//! Table II — the simulated processor configuration, plus the Helios
+//! storage budget of §IV-B7/§IV-C (4.9 Kbit pipeline support, 72 Kbit
+//! predictor, ≈83 Kbit total with flush pointers).
+
+use helios::PipeConfig;
+use helios_core::{helios_storage, FpConfig};
+
+fn main() {
+    let c = PipeConfig::default();
+    println!("Table II: processor configuration (Icelake-like, §V-A)");
+    println!("  Fetch/Decode width       : {} µ-ops/cycle (8-wide per §V-A)", c.fetch_width);
+    println!("  Rename/Dispatch width    : {} µ-ops/cycle", c.rename_width);
+    println!("  Commit width             : {} µ-ops/cycle", c.commit_width);
+    println!("  Allocation Queue         : {} entries (§IV-B1)", c.aq_size);
+    println!("  ROB / IQ                 : {} / {} entries", c.rob_size, c.iq_size);
+    println!("  LQ / SQ                  : {} / {} entries", c.lq_size, c.sq_size);
+    println!("  Physical int registers   : {}", c.prf_size);
+    println!("  Ports (ALU/load/store)   : {}/{}/{}", c.alu_ports, c.load_ports, c.store_ports);
+    println!("  Senior store drain       : {} /cycle", c.store_drain_per_cycle);
+    println!(
+        "  L1D                      : {} KiB, {}-way, {} B lines, {} cycles",
+        c.l1d.size / 1024, c.l1d.ways, c.l1d.line, c.l1d.latency
+    );
+    println!(
+        "  L2 / L3                  : {} KiB {} cyc / {} KiB {} cyc",
+        c.l2.size / 1024, c.l2.latency, c.l3.size / 1024, c.l3.latency
+    );
+    println!("  Memory latency           : {} cycles", c.mem_latency);
+    println!("  Branch predictor         : TAGE (L-TAGE stand-in) + RAS + BTB");
+    println!("  Memory dependence        : store sets");
+    println!("  Consistency              : TSO (senior stores drain in order)");
+    println!();
+    println!("Helios storage budget (§IV-B7, §IV-C):");
+    let b = helios_storage(&c.sizes(), &FpConfig::default(), true);
+    for item in b.items() {
+        println!("  {:<28} {:<14} {:>6} bits", item.name, item.structure, item.bits);
+    }
+    println!(
+        "  total: {} bits = {:.2} Kbit = {:.2} KB (paper: ≈83 Kbit / 10.4 KB)",
+        b.total_bits(),
+        b.total_bits() as f64 / 1024.0,
+        b.total_kib()
+    );
+}

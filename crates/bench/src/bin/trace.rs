@@ -1,0 +1,46 @@
+//! Trace dump: disassembled retired-µ-op stream of a workload, with
+//! effective addresses and branch outcomes — the debugging view of what the
+//! pipeline consumes.
+//!
+//! ```text
+//! cargo run --release -p helios-bench --bin trace -- <workload> [skip] [count]
+//! ```
+
+use helios_isa::disassemble;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map(String::as_str).unwrap_or("crc32");
+    let skip: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0);
+    let count: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(40);
+
+    let Some(w) = helios::workload(name) else {
+        eprintln!("unknown workload `{name}`; see `helios::all_workloads()`");
+        std::process::exit(1);
+    };
+    println!("{}: retired µ-ops {skip}..{}", w.name, skip + count);
+    for r in w.stream().skip(skip as usize).take(count as usize) {
+        let mem = match r.mem {
+            Some(m) => format!(
+                " [{}{:#x}+{}]",
+                if m.is_store { "st " } else { "ld " },
+                m.addr,
+                m.size
+            ),
+            None => String::new(),
+        };
+        let ctrl = if r.control_taken() {
+            format!(" -> {:#x}", r.next_pc)
+        } else {
+            String::new()
+        };
+        println!(
+            "{:>8}  {:#010x}  {:<28}{}{}",
+            r.seq,
+            r.pc,
+            disassemble(&r.inst),
+            mem,
+            ctrl
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! Shared helpers for the figure/table regeneration binaries.
+//!
+//! Every binary accepts:
+//! * `--quick` — run a representative 8-workload subset instead of all 32;
+//! * `--only <name>[,<name>...]` — run specific workloads.
+
+pub mod census;
+
+use helios::Workload;
+
+/// The representative subset used by `--quick` (chosen to cover the paper's
+/// behavioural extremes: SQ-bound xz_1, ALU-idiom-heavy bitcount/susan/xz_2,
+/// pointer-chasing mcf, pair-dense fft/dijkstra, hashy perlbench).
+pub const QUICK_SET: [&str; 8] = [
+    "600.perlbench_1",
+    "605.mcf",
+    "657.xz_1",
+    "657.xz_2",
+    "bitcount",
+    "dijkstra",
+    "fft",
+    "susan",
+];
+
+/// Parses the common CLI arguments and returns the selected workloads.
+pub fn select_workloads() -> Vec<Workload> {
+    let args: Vec<String> = std::env::args().collect();
+    let mut only: Option<Vec<String>> = None;
+    let mut quick = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--only" => {
+                i += 1;
+                let list = args.get(i).expect("--only requires a list");
+                only = Some(list.split(',').map(str::to_string).collect());
+            }
+            other => {
+                eprintln!("warning: ignoring unknown argument `{other}`");
+            }
+        }
+        i += 1;
+    }
+    let all = helios::all_workloads();
+    match (only, quick) {
+        (Some(names), _) => all
+            .into_iter()
+            .filter(|w| names.iter().any(|n| n == w.name))
+            .collect(),
+        (None, true) => all
+            .into_iter()
+            .filter(|w| QUICK_SET.contains(&w.name))
+            .collect(),
+        (None, false) => all,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_set_names_exist() {
+        let all = helios::all_workloads();
+        for n in QUICK_SET {
+            assert!(all.iter().any(|w| w.name == n), "{n} not registered");
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! The five evaluated fusion configurations (paper §V-A) and Helios
+//! parameters.
+
+use crate::{FpConfig, UchConfig, UchQueueConfig};
+
+/// A fusion configuration from the paper's evaluation (§V-A).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FusionMode {
+    /// No fusion at all (the IPC baseline of Figs. 3 and 10).
+    NoFusion,
+    /// Only the non-memory-pair idioms of Table I (Celio et al.'s proposal
+    /// without memory pairs).
+    RiscvFusion,
+    /// Only consecutive, statically contiguous, same-base-register memory
+    /// pairs (possibly asymmetric).
+    CsfSbr,
+    /// All Table I idioms (non-memory + consecutive contiguous memory pairs).
+    RiscvFusionPlusPlus,
+    /// The paper's contribution: CSF-SBR memory fusion at Decode plus the
+    /// UCH-trained fusion predictor for NCSF / NCTF / DBR memory pairs.
+    Helios,
+    /// Upper bound: fuses every eligible memory pair using oracle (future)
+    /// knowledge, plus the non-memory idioms of Table I.
+    OracleFusion,
+}
+
+impl FusionMode {
+    /// All configurations, in the paper's presentation order.
+    pub const ALL: [FusionMode; 6] = [
+        FusionMode::NoFusion,
+        FusionMode::RiscvFusion,
+        FusionMode::CsfSbr,
+        FusionMode::RiscvFusionPlusPlus,
+        FusionMode::Helios,
+        FusionMode::OracleFusion,
+    ];
+
+    /// Name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            FusionMode::NoFusion => "NoFusion",
+            FusionMode::RiscvFusion => "RISCVFusion",
+            FusionMode::CsfSbr => "CSF-SBR",
+            FusionMode::RiscvFusionPlusPlus => "RISCVFusion++",
+            FusionMode::Helios => "Helios",
+            FusionMode::OracleFusion => "OracleFusion",
+        }
+    }
+
+    /// Whether Decode fuses consecutive same-base contiguous memory pairs.
+    pub fn csf_mem_pairs(self) -> bool {
+        matches!(
+            self,
+            FusionMode::CsfSbr
+                | FusionMode::RiscvFusionPlusPlus
+                | FusionMode::Helios
+                | FusionMode::OracleFusion
+        )
+    }
+
+    /// Whether Decode fuses the non-memory-pair idioms of Table I.
+    pub fn other_idioms(self) -> bool {
+        matches!(
+            self,
+            FusionMode::RiscvFusion | FusionMode::RiscvFusionPlusPlus | FusionMode::OracleFusion
+        )
+    }
+
+    /// Whether the Helios UCH + fusion-predictor machinery is active.
+    pub fn predictive(self) -> bool {
+        matches!(self, FusionMode::Helios)
+    }
+
+    /// Whether oracle (future-knowledge) memory pairing is active.
+    pub fn oracle_mem(self) -> bool {
+        matches!(self, FusionMode::OracleFusion)
+    }
+
+    /// Whether any fusion is performed.
+    pub fn any_fusion(self) -> bool {
+        !matches!(self, FusionMode::NoFusion)
+    }
+}
+
+impl std::fmt::Display for FusionMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Parameters of the Helios machinery (defaults match the paper).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct HeliosParams {
+    /// Unfused Committed History configuration.
+    pub uch: UchConfig,
+    /// Post-commit UCH decoupling queue (paper: 8 entries, 1 port, §IV-A1).
+    pub uch_queue: UchQueueConfig,
+    /// Fusion predictor configuration.
+    pub fp: FpConfig,
+    /// Supported NCSF nesting/interleaving depth (paper: 2, §IV-B2).
+    pub max_nest: usize,
+    /// Cache access granularity — the fusion region size (paper: 64 B).
+    pub line_bytes: u64,
+    /// Whether store-pair NCSF with different base registers is supported
+    /// (paper: no — 0.54% of fused stores, §IV-B).
+    pub dbr_store_pairs: bool,
+}
+
+impl Default for HeliosParams {
+    fn default() -> Self {
+        HeliosParams {
+            uch: UchConfig::default(),
+            uch_queue: UchQueueConfig::default(),
+            fp: FpConfig::default(),
+            max_nest: 2,
+            line_bytes: 64,
+            dbr_store_pairs: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capability_matrix() {
+        use FusionMode::*;
+        assert!(!NoFusion.any_fusion());
+        assert!(!NoFusion.csf_mem_pairs() && !NoFusion.other_idioms());
+        assert!(RiscvFusion.other_idioms() && !RiscvFusion.csf_mem_pairs());
+        assert!(CsfSbr.csf_mem_pairs() && !CsfSbr.other_idioms());
+        assert!(RiscvFusionPlusPlus.csf_mem_pairs() && RiscvFusionPlusPlus.other_idioms());
+        assert!(Helios.predictive() && Helios.csf_mem_pairs() && !Helios.other_idioms());
+        assert!(OracleFusion.oracle_mem() && OracleFusion.other_idioms());
+        assert_eq!(FusionMode::ALL.len(), 6);
+    }
+
+    #[test]
+    fn default_params_match_paper() {
+        let p = HeliosParams::default();
+        assert_eq!(p.max_nest, 2);
+        assert_eq!(p.line_bytes, 64);
+        assert_eq!(p.uch.load_entries, 6);
+        assert_eq!(p.uch_queue.entries, Some(8));
+        assert_eq!(p.uch_queue.drain_per_cycle, 1);
+        assert_eq!(p.uch.max_distance, 64);
+        assert!(!p.dbr_store_pairs);
+    }
+}

@@ -1,0 +1,58 @@
+//! # helios-core — the Helios instruction-fusion contribution
+//!
+//! Reproduction of the fusion machinery from *"Exploring Instruction Fusion
+//! Opportunities in General Purpose Processors"* (MICRO 2022):
+//!
+//! * the fusion **taxonomy** (§II-A): consecutive vs non-consecutive,
+//!   contiguity classes, head/tail nucleii and catalysts
+//!   ([`classify_contiguity`], [`FusionClass`], [`Contiguity`]);
+//! * the Table I **idiom matcher** ([`match_idiom`] and friends);
+//! * the **Unfused Committed History** ([`Uch`], §IV-A1) that discovers
+//!   fusible pairs at Commit;
+//! * the tournament **Fusion Predictor** ([`FusionPredictor`], §IV-A2) that
+//!   predicts head-nucleus distances at Decode;
+//! * the five evaluated **configurations** ([`FusionMode`], §V-A);
+//! * **storage accounting** reproducing the paper's bit budgets
+//!   ([`helios_storage`], §IV-B7/§IV-C);
+//! * **statistics** shared with the pipeline model ([`FusionStats`]).
+//!
+//! The cycle-level pipeline that exercises this machinery lives in
+//! `helios-uarch`.
+//!
+//! # Examples
+//!
+//! ```
+//! use helios_core::{FusionPredictor, FpConfig, Uch, UchConfig, UchOutcome};
+//!
+//! let mut uch = Uch::new(UchConfig::default());
+//! let mut fp = FusionPredictor::new(FpConfig::default());
+//!
+//! // At Commit: a load touches line 0x1c0, ten µ-ops later another load
+//! // touches the same line — a fusible pair trains the predictor.
+//! uch.observe(false, 0x1c0);
+//! for _ in 0..10 { uch.tick(); }
+//! if let UchOutcome::Pair { distance } = uch.observe(false, 0x1c0) {
+//!     fp.train(0x4_2000, 0, distance);
+//! }
+//! ```
+
+mod config;
+mod idiom;
+mod predictor;
+mod stats;
+mod storage;
+mod taxonomy;
+mod uch;
+mod uch_queue;
+
+pub use config::{FusionMode, HeliosParams};
+pub use idiom::{match_idiom, match_mem_pair, match_other_idiom, Idiom, ALL_IDIOMS};
+pub use predictor::{Chosen, FpConfig, FusionPredictor, PredMeta};
+pub use stats::{FusionStats, RepairCase};
+pub use storage::{
+    flush_pointer_storage, helios_storage, ncsf_pipeline_storage, PipelineSizes, StorageBudget,
+    StorageItem,
+};
+pub use taxonomy::{classify_contiguity, is_asymmetric, Contiguity, FusionClass, NucleusRole};
+pub use uch::{Uch, UchConfig, UchOutcome};
+pub use uch_queue::{UchQueue, UchQueueConfig, UchTrainRecord};

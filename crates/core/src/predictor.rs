@@ -1,0 +1,482 @@
+//! The Fusion Predictor (paper §IV-A2).
+//!
+//! A tournament predictor in the style of the Alpha 21264 [15]: a "local"
+//! PC-indexed component, a "global" gshare-like component indexed by
+//! PC ⊕ global branch history, and a direct-mapped selector of 2-bit
+//! counters choosing between them. Each component is a 512-set × 4-way
+//! set-associative table whose entries hold an 8-bit tag, a 6-bit µ-op
+//! distance to the head nucleus, a 2-bit confidence counter, and a
+//! pseudo-LRU bit (17 bits per entry; 34 Kbit per component; 72 Kbit total
+//! with the 4 Kbit selector).
+//!
+//! Training happens at Commit from UCH pair discoveries; predictions are made
+//! at Decode and only honoured at maximum confidence; a fusion misprediction
+//! discovered at Execute resets the confidence of the predicting entry.
+
+/// Geometry and policy parameters of the fusion predictor.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FpConfig {
+    /// Sets per component (paper: 512).
+    pub sets: usize,
+    /// Ways per set (paper: 4).
+    pub ways: usize,
+    /// Selector entries (paper: 2048 direct-mapped 2-bit counters).
+    pub selector_entries: usize,
+    /// Tag width in bits (paper: 8).
+    pub tag_bits: u32,
+    /// Distance field width in bits (paper: 6, distances 1..=64).
+    pub distance_bits: u32,
+    /// Use probabilistic confidence updates (Riley & Zilles [20], §V-B2's
+    /// accuracy-for-coverage trade): confidence increments succeed with
+    /// probability 1/2, so saturation demands a longer consistent history.
+    pub probabilistic_confidence: bool,
+}
+
+impl Default for FpConfig {
+    fn default() -> Self {
+        FpConfig {
+            sets: 512,
+            ways: 4,
+            selector_entries: 2048,
+            tag_bits: 8,
+            distance_bits: 6,
+            probabilistic_confidence: false,
+        }
+    }
+}
+
+impl FpConfig {
+    /// Maximum representable distance.
+    pub fn max_distance(&self) -> u32 {
+        1 << self.distance_bits
+    }
+
+    /// Bits per entry: tag + distance + 2-bit confidence + pLRU bit.
+    pub fn entry_bits(&self) -> u64 {
+        self.tag_bits as u64 + self.distance_bits as u64 + 2 + 1
+    }
+
+    /// Total predictor storage in bits (two components + selector).
+    ///
+    /// With the default (paper) geometry: 2 × 512 × 4 × 17 + 2048 × 2
+    /// = 69 632 + 4 096 = 73 728 bits = 72 Kbit (9 KB).
+    pub fn storage_bits(&self) -> u64 {
+        2 * (self.sets * self.ways) as u64 * self.entry_bits()
+            + 2 * self.selector_entries as u64
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Entry {
+    valid: bool,
+    tag: u16,
+    /// Distance stored as `distance - 1` in hardware; kept plain here.
+    distance: u32,
+    conf: u8,
+    plru: bool,
+}
+
+#[derive(Clone, Debug)]
+struct Component {
+    ways: usize,
+    entries: Vec<Entry>,
+}
+
+impl Component {
+    fn new(sets: usize, ways: usize) -> Component {
+        let _ = sets;
+        Component {
+            ways,
+            entries: vec![Entry::default(); sets * ways],
+        }
+    }
+
+    fn set(&mut self, idx: usize) -> &mut [Entry] {
+        &mut self.entries[idx * self.ways..(idx + 1) * self.ways]
+    }
+
+    fn lookup(&mut self, idx: usize, tag: u16) -> Option<(u32, u8)> {
+        let set = self.set(idx);
+        for e in set.iter_mut() {
+            if e.valid && e.tag == tag {
+                e.plru = true;
+                let out = (e.distance, e.conf);
+                return Some(out);
+            }
+        }
+        None
+    }
+
+    /// UCH-driven training: reinforce or (re)allocate.
+    fn train(&mut self, idx: usize, tag: u16, distance: u32, bump: bool) {
+        let ways = self.ways;
+        let set = self.set(idx);
+        for e in set.iter_mut() {
+            if e.valid && e.tag == tag {
+                if e.distance == distance {
+                    if bump {
+                        e.conf = (e.conf + 1).min(3);
+                    }
+                } else {
+                    e.distance = distance;
+                    e.conf = 1;
+                }
+                e.plru = true;
+                return;
+            }
+        }
+        // Allocate: first invalid way, else bit-pLRU victim.
+        let victim = set.iter().position(|e| !e.valid).unwrap_or_else(|| {
+            match set.iter().position(|e| !e.plru) {
+                Some(v) => v,
+                None => {
+                    // All referenced: clear pLRU bits (classic bit-PLRU reset)
+                    // and pick way 0.
+                    for e in set.iter_mut() {
+                        e.plru = false;
+                    }
+                    0
+                }
+            }
+        });
+        debug_assert!(victim < ways);
+        set[victim] = Entry {
+            valid: true,
+            tag,
+            distance,
+            conf: 1,
+            plru: true,
+        };
+    }
+
+    /// Misprediction feedback: reset confidence of the matching entry.
+    fn punish(&mut self, idx: usize, tag: u16) {
+        for e in self.set(idx) {
+            if e.valid && e.tag == tag {
+                e.conf = 0;
+                return;
+            }
+        }
+    }
+}
+
+/// Which component produced a prediction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Chosen {
+    Local,
+    Global,
+}
+
+/// Metadata carried alongside a predicted µ-op down the pipeline so the
+/// predictor can be updated at Execute (the paper's dedicated update queue,
+/// 29 bits/entry; modeled as unbounded per §IV-A2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PredMeta {
+    /// µ-op PC that made the prediction.
+    pub pc: u64,
+    /// Global history at prediction time.
+    pub ghr: u64,
+    /// Component the selector chose.
+    pub chosen: Chosen,
+    /// Distances each component predicted (None = miss or low confidence).
+    pub local: Option<u32>,
+    pub global: Option<u32>,
+    /// The distance actually used.
+    pub distance: u32,
+}
+
+/// The tournament fusion predictor.
+#[derive(Clone, Debug)]
+pub struct FusionPredictor {
+    cfg: FpConfig,
+    local: Component,
+    global: Component,
+    selector: Vec<u8>,
+    /// xorshift64 state for probabilistic confidence (deterministic seed).
+    coin: u64,
+}
+
+impl FusionPredictor {
+    /// Creates an empty predictor.
+    pub fn new(cfg: FpConfig) -> FusionPredictor {
+        FusionPredictor {
+            local: Component::new(cfg.sets, cfg.ways),
+            global: Component::new(cfg.sets, cfg.ways),
+            selector: vec![1; cfg.selector_entries], // weakly local
+            coin: 0x9e37_79b9_7f4a_7c15,
+            cfg,
+        }
+    }
+
+    /// Deterministic coin flip for probabilistic confidence updates.
+    fn flip(&mut self) -> bool {
+        let mut x = self.coin;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.coin = x;
+        x & 1 == 1
+    }
+
+    /// Predictor configuration.
+    pub fn config(&self) -> &FpConfig {
+        &self.cfg
+    }
+
+    #[inline]
+    fn local_index(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & (self.cfg.sets - 1)
+    }
+
+    #[inline]
+    fn global_index(&self, pc: u64, ghr: u64) -> usize {
+        (((pc >> 2) ^ ghr) as usize) & (self.cfg.sets - 1)
+    }
+
+    #[inline]
+    fn tag(&self, pc: u64) -> u16 {
+        // Fold the PC down to `tag_bits` bits (skip the set-index bits so
+        // tags discriminate within a set).
+        let t = (pc >> 2) ^ (pc >> 11) ^ (pc >> 19);
+        (t as u16) & ((1 << self.cfg.tag_bits) - 1)
+    }
+
+    #[inline]
+    fn selector_index(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & (self.cfg.selector_entries - 1)
+    }
+
+    /// Looks up a prediction for the µ-op at `pc` (Decode-time).
+    ///
+    /// Returns the distance (in µ-ops) to the head nucleus to fuse with, but
+    /// only when the selected component hits with saturated confidence
+    /// (§IV-A2 condition 1).
+    pub fn predict(&mut self, pc: u64, ghr: u64) -> Option<PredMeta> {
+        let tag = self.tag(pc);
+        let li = self.local_index(pc);
+        let gi = self.global_index(pc, ghr);
+        let l = self.local.lookup(li, tag);
+        let g = self.global.lookup(gi, tag);
+        let use_global = self.selector[self.selector_index(pc)] >= 2;
+        let chosen = if use_global {
+            Chosen::Global
+        } else {
+            Chosen::Local
+        };
+        let picked = if use_global { g } else { l };
+        match picked {
+            Some((distance, conf)) if conf >= 3 && distance >= 1 => Some(PredMeta {
+                pc,
+                ghr,
+                chosen,
+                local: l.map(|(d, _)| d),
+                global: g.map(|(d, _)| d),
+                distance,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Commit-time training from a UCH pair discovery: the µ-op at `pc`
+    /// (the tail nucleus) fused with the µ-op `distance` µ-ops earlier.
+    pub fn train(&mut self, pc: u64, ghr: u64, distance: u32) {
+        if distance == 0 || distance > self.cfg.max_distance() {
+            return;
+        }
+        let tag = self.tag(pc);
+        let li = self.local_index(pc);
+        let gi = self.global_index(pc, ghr);
+        let bump = !self.cfg.probabilistic_confidence || self.flip();
+        self.local.train(li, tag, distance, bump);
+        self.global.train(gi, tag, distance, bump);
+    }
+
+    /// Execute-time resolution of a fusion prediction.
+    ///
+    /// `correct` is whether the fused pair turned out valid (addresses within
+    /// the fusion region, no unfuse). On a misprediction the chosen entry's
+    /// confidence resets to 0. The selector trains whenever one component
+    /// would have out-performed the other.
+    pub fn resolve(&mut self, meta: &PredMeta, correct: bool) {
+        let tag = self.tag(meta.pc);
+        if !correct {
+            match meta.chosen {
+                Chosen::Local => {
+                    let i = self.local_index(meta.pc);
+                    self.local.punish(i, tag);
+                }
+                Chosen::Global => {
+                    let i = self.global_index(meta.pc, meta.ghr);
+                    self.global.punish(i, tag);
+                }
+            }
+        }
+        // Tournament selector update: when the components disagree, nudge
+        // toward the one matching the outcome of the used prediction.
+        if meta.local != meta.global {
+            let si = self.selector_index(meta.pc);
+            let toward_global = match meta.chosen {
+                Chosen::Global => correct,
+                Chosen::Local => !correct,
+            };
+            let c = &mut self.selector[si];
+            if toward_global {
+                *c = (*c + 1).min(3);
+            } else {
+                *c = c.saturating_sub(1);
+            }
+        }
+    }
+
+    /// Total storage in bits (see [`FpConfig::storage_bits`]).
+    pub fn storage_bits(&self) -> u64 {
+        self.cfg.storage_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp() -> FusionPredictor {
+        FusionPredictor::new(FpConfig::default())
+    }
+
+    #[test]
+    fn needs_three_trainings_to_predict() {
+        let mut p = fp();
+        let (pc, ghr) = (0x1_0000, 0);
+        assert!(p.predict(pc, ghr).is_none());
+        p.train(pc, ghr, 5);
+        assert!(p.predict(pc, ghr).is_none(), "conf=1");
+        p.train(pc, ghr, 5);
+        assert!(p.predict(pc, ghr).is_none(), "conf=2");
+        p.train(pc, ghr, 5);
+        let m = p.predict(pc, ghr).expect("conf=3 predicts");
+        assert_eq!(m.distance, 5);
+    }
+
+    #[test]
+    fn distance_change_resets_confidence() {
+        let mut p = fp();
+        let (pc, ghr) = (0x1_0000, 0);
+        for _ in 0..3 {
+            p.train(pc, ghr, 5);
+        }
+        assert!(p.predict(pc, ghr).is_some());
+        p.train(pc, ghr, 9); // new distance → conf back to 1
+        assert!(p.predict(pc, ghr).is_none());
+        p.train(pc, ghr, 9);
+        p.train(pc, ghr, 9);
+        assert_eq!(p.predict(pc, ghr).unwrap().distance, 9);
+    }
+
+    #[test]
+    fn misprediction_resets_confidence() {
+        let mut p = fp();
+        let (pc, ghr) = (0x2_0000, 0xabc);
+        for _ in 0..3 {
+            p.train(pc, ghr, 7);
+        }
+        let m = p.predict(pc, ghr).unwrap();
+        p.resolve(&m, false);
+        assert!(p.predict(pc, ghr).is_none(), "confidence was reset");
+        // Retraining restores it.
+        for _ in 0..3 {
+            p.train(pc, ghr, 7);
+        }
+        assert!(p.predict(pc, ghr).is_some());
+    }
+
+    #[test]
+    fn out_of_range_distances_ignored() {
+        let mut p = fp();
+        for _ in 0..3 {
+            p.train(0x100, 0, 0);
+            p.train(0x100, 0, 65);
+        }
+        assert!(p.predict(0x100, 0).is_none());
+    }
+
+    #[test]
+    fn capacity_eviction_in_one_set() {
+        let mut p = fp();
+        // 5 PCs mapping to the same local set (stride = sets * 4 bytes),
+        // distinct tags; 4 ways → one eviction.
+        let base = 0x4_0000u64;
+        let stride = 512 * 4;
+        for k in 0..5u64 {
+            let pc = base + k * stride;
+            for _ in 0..3 {
+                p.train(pc, 0, 3);
+            }
+        }
+        let surviving = (0..5u64)
+            .filter(|k| p.predict(base + k * stride, 0).is_some())
+            .count();
+        assert!(surviving >= 4, "at most one way evicted, got {surviving}");
+    }
+
+    #[test]
+    fn tournament_selector_learns() {
+        let mut p = fp();
+        let pc = 0x8_0000;
+        // Train distance 4 under one history and 12 under another. The
+        // global component can disambiguate; the local cannot.
+        for _ in 0..3 {
+            p.train(pc, 0x1, 4);
+            p.train(pc, 0x2, 12);
+        }
+        // Local entry now flip-flops (last trained wins with conf 1), so the
+        // local prediction is weak/wrong. Simulate resolutions that favour
+        // the global component.
+        for _ in 0..4 {
+            if let Some(m) = p.predict(pc, 0x1) {
+                let correct = m.distance == 4;
+                p.resolve(&m, correct);
+            }
+            if let Some(m) = p.predict(pc, 0x2) {
+                let correct = m.distance == 12;
+                p.resolve(&m, correct);
+            }
+            for _ in 0..3 {
+                p.train(pc, 0x1, 4);
+                p.train(pc, 0x2, 12);
+            }
+        }
+        let m1 = p.predict(pc, 0x1);
+        let m2 = p.predict(pc, 0x2);
+        if let (Some(m1), Some(m2)) = (m1, m2) {
+            assert_eq!(m1.distance, 4);
+            assert_eq!(m2.distance, 12);
+            assert_eq!(m1.chosen, Chosen::Global);
+        }
+    }
+
+    #[test]
+    fn probabilistic_confidence_slows_saturation() {
+        let mut cfg = FpConfig::default();
+        cfg.probabilistic_confidence = true;
+        let mut p = FusionPredictor::new(cfg);
+        let (pc, ghr) = (0x3_0000, 0);
+        // Three trainings are no longer guaranteed to saturate…
+        let mut needed = 0;
+        for i in 1..=64 {
+            p.train(pc, ghr, 9);
+            if p.predict(pc, ghr).is_some() {
+                needed = i;
+                break;
+            }
+        }
+        assert!(needed > 3, "coin flips must slow saturation (took {needed})");
+        // …but a persistent pair still gets predicted eventually.
+        assert_eq!(p.predict(pc, ghr).unwrap().distance, 9);
+    }
+
+    #[test]
+    fn paper_storage_budget() {
+        // 72 Kbit = 73 728 bits (9 KB) total.
+        assert_eq!(FpConfig::default().storage_bits(), 73_728);
+        assert_eq!(FpConfig::default().entry_bits(), 17);
+    }
+}

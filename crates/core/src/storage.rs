@@ -1,0 +1,223 @@
+//! Storage-cost accounting for the Helios NCSF machinery (paper §IV-B7,
+//! §IV-C and the per-mechanism callouts of Figure 7).
+//!
+//! The paper reports, for its processor configuration: 4.77 Kbit of pipeline
+//! additions, 76.77 Kbit including the fusion predictor, and ≈83 Kbit
+//! including the ROB flush-pointer upper bound. This module reproduces those
+//! budgets from first principles so the numbers are auditable.
+
+use crate::FpConfig;
+
+/// Structure sizes the storage costs depend on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PipelineSizes {
+    /// Allocation Queue entries (paper: 140).
+    pub aq: usize,
+    /// Issue Queue (scheduler) entries.
+    pub iq: usize,
+    /// Reorder Buffer entries.
+    pub rob: usize,
+    /// Load Queue entries.
+    pub lq: usize,
+    /// Store Queue entries.
+    pub sq: usize,
+    /// Architectural registers tracked by the RAT.
+    pub arch_regs: usize,
+    /// LQ/SQ entries that can hold a fused pair (carry the second-access
+    /// offset and size fields).
+    pub lsq_pair_entries: usize,
+    /// NCSF nesting depth.
+    pub nest: usize,
+}
+
+impl Default for PipelineSizes {
+    /// The paper's Icelake-like configuration (Table II; AQ size from
+    /// §IV-B1, ROB/IQ/LQ sizes implied by the reported bit counts).
+    fn default() -> Self {
+        PipelineSizes {
+            aq: 140,
+            iq: 160,
+            rob: 352,
+            lq: 128,
+            sq: 72,
+            arch_regs: 32,
+            lsq_pair_entries: 88,
+            nest: 2,
+        }
+    }
+}
+
+/// One named storage item.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StorageItem {
+    /// Mechanism name (matches Figure 7's callouts).
+    pub name: &'static str,
+    /// Pipeline structure it lives in.
+    pub structure: &'static str,
+    /// Cost in bits.
+    pub bits: u64,
+}
+
+/// A storage budget: a list of items and helpers over them.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct StorageBudget {
+    items: Vec<StorageItem>,
+}
+
+impl StorageBudget {
+    /// The items, in pipeline order.
+    pub fn items(&self) -> &[StorageItem] {
+        &self.items
+    }
+
+    /// Total bits.
+    pub fn total_bits(&self) -> u64 {
+        self.items.iter().map(|i| i.bits).sum()
+    }
+
+    /// Total kilobytes (1 KB = 8192 bits), as the paper reports.
+    pub fn total_kib(&self) -> f64 {
+        self.total_bits() as f64 / 8192.0
+    }
+
+    fn push(&mut self, name: &'static str, structure: &'static str, bits: u64) {
+        self.items.push(StorageItem {
+            name,
+            structure,
+            bits,
+        });
+    }
+}
+
+fn ceil_log2(n: usize) -> u64 {
+    (usize::BITS - (n - 1).leading_zeros()) as u64
+}
+
+/// NCSF pipeline-support storage (everything except the predictor and the
+/// flush pointers) — the paper's 4.77 Kbit / 0.60 KB (§IV-B7).
+pub fn ncsf_pipeline_storage(s: &PipelineSizes) -> StorageBudget {
+    let mut b = StorageBudget::default();
+    let aq_tag = ceil_log2(s.aq); // 8 bits for 140 entries
+    // 1: Is Head / Is Tail nucleus bits + NCS Tag per AQ entry.
+    b.push("nucleus bits + NCS tag", "AQ", s.aq as u64 * (2 + aq_tag));
+    // 3: one head/tail bit per source (3) and destination (2) phys-reg id.
+    b.push("phys-reg nucleus bits", "AQ", s.aq as u64 * 5);
+    b.push("phys-reg nucleus bits", "IQ", s.iq as u64 * 5);
+    b.push("dest nucleus bits", "LQ", s.lq as u64 * 2);
+    // 2: Max Active NCS + Active NCS counters.
+    b.push("Active NCS counters", "Rename", 2 * ceil_log2(s.nest + 1));
+    // 4: WaR rename buffer: per nesting level a tagged phys-reg id.
+    b.push(
+        "WaR dest-rename buffer",
+        "Rename",
+        s.nest as u64 * (aq_tag + 8 + 1),
+    );
+    // 5: Inside NCS bit per RAT entry.
+    b.push("Inside-NCS bits", "RAT", s.arch_regs as u64);
+    // 8: deadlock tags: one-hot nest vector per RAT entry + copy in buffer.
+    b.push("deadlock tags", "RAT", (s.arch_regs * s.nest) as u64);
+    b.push("deadlock tags", "Rename buffer", (s.nest * s.nest) as u64);
+    // 6: NCS Ready bit per IQ entry.
+    b.push("NCS-Ready bits", "IQ", s.iq as u64);
+    // 7: Dispatch repair buffer: per nest level, pointers to IQ/ROB/LQ/SQ.
+    b.push("repair buffer", "Dispatch", s.nest as u64 * 32);
+    // 10: extended-commit-group bits (2 per ROB entry).
+    b.push("extended commit groups", "ROB", s.rob as u64 * 2);
+    // 12: second-access offset (6b) + size (2b) for pair-capable LSQ entries.
+    b.push("second-access offset+size", "LQ/SQ", s.lsq_pair_entries as u64 * 8);
+    // 9, 11: NCSF Serializing and NCSF StorePair bits.
+    b.push("NCSF-Serializing bit", "Rename", 1);
+    b.push("NCSF-StorePair bit", "Rename", 1);
+    b
+}
+
+/// Upper-bound flush-pointer storage (§IV-C solution i): two ROB pointers
+/// per ROB entry — the paper's 6336 bits.
+pub fn flush_pointer_storage(s: &PipelineSizes) -> StorageBudget {
+    let mut b = StorageBudget::default();
+    b.push(
+        "encompassing-NCSF pointers",
+        "ROB",
+        s.rob as u64 * 2 * ceil_log2(s.rob),
+    );
+    b
+}
+
+/// The complete Helios storage budget: pipeline support + fusion predictor
+/// (+ optionally the flush-pointer upper bound).
+pub fn helios_storage(s: &PipelineSizes, fp: &FpConfig, with_flush_pointers: bool) -> StorageBudget {
+    let mut b = ncsf_pipeline_storage(s);
+    b.push("fusion predictor", "Decode", fp.storage_bits());
+    b.push("UCH", "Commit", (s_uch_entries() as u64) * 40);
+    if with_flush_pointers {
+        for i in flush_pointer_storage(s).items {
+            b.items.push(i);
+        }
+    }
+    b
+}
+
+fn s_uch_entries() -> usize {
+    7 // 6 load entries + 1 store entry
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_component_budgets() {
+        let s = PipelineSizes::default();
+        let b = ncsf_pipeline_storage(&s);
+        let get = |name: &str, st: &str| {
+            b.items()
+                .iter()
+                .find(|i| i.name == name && i.structure == st)
+                .map(|i| i.bits)
+                .unwrap_or_else(|| panic!("missing {name}/{st}"))
+        };
+        assert_eq!(get("nucleus bits + NCS tag", "AQ"), 1400); // 1.37 Kbit
+        assert_eq!(get("phys-reg nucleus bits", "AQ"), 700);
+        assert_eq!(get("phys-reg nucleus bits", "IQ"), 800);
+        assert_eq!(get("dest nucleus bits", "LQ"), 256);
+        assert_eq!(get("Active NCS counters", "Rename"), 4);
+        assert_eq!(get("WaR dest-rename buffer", "Rename"), 34);
+        assert_eq!(get("Inside-NCS bits", "RAT"), 32);
+        assert_eq!(get("deadlock tags", "RAT"), 64);
+        assert_eq!(get("deadlock tags", "Rename buffer"), 4);
+        assert_eq!(get("NCS-Ready bits", "IQ"), 160);
+        assert_eq!(get("repair buffer", "Dispatch"), 64);
+        assert_eq!(get("extended commit groups", "ROB"), 704);
+        assert_eq!(get("second-access offset+size", "LQ/SQ"), 704);
+    }
+
+    #[test]
+    fn matches_paper_totals() {
+        let s = PipelineSizes::default();
+        // Summing the paper's own per-mechanism numbers (1400 + 700 + 800 +
+        // 256 + 4 + 34 + 32 + 64 + 4 + 160 + 64 + 704 + 704 + 2) gives 4928
+        // bits; the §IV-B7 headline of "4.77 Kbits" appears to omit the
+        // 160 NCS-Ready bits. We account for all items.
+        assert_eq!(ncsf_pipeline_storage(&s).total_bits(), 4928);
+        // §IV-C: 6336-bit flush-pointer upper bound.
+        assert_eq!(flush_pointer_storage(&s).total_bits(), 6336);
+        // §IV-B7: with the 72 Kbit predictor → "76.77 Kbits" (we get 76.8).
+        let fp = FpConfig::default();
+        let with_fp = ncsf_pipeline_storage(&s).total_bits() + fp.storage_bits();
+        let with_fp_kbit = with_fp as f64 / 1024.0;
+        assert!((76.0..77.5).contains(&with_fp_kbit), "{with_fp_kbit:.2}");
+        // §IV-C: grand total "around 83 Kbits (around 10.4KB)".
+        let total = helios_storage(&s, &fp, true).total_bits();
+        assert_eq!(total, 4928 + 73_728 + 280 + 6336);
+        let kbits = total as f64 / 1024.0;
+        assert!((82.0..86.0).contains(&kbits), "total {kbits:.2} Kbit");
+    }
+
+    #[test]
+    fn kib_conversion() {
+        let s = PipelineSizes::default();
+        let fp = FpConfig::default();
+        let kib = helios_storage(&s, &fp, true).total_kib();
+        assert!((10.0..11.0).contains(&kib), "≈10.4 KB, got {kib:.2}");
+    }
+}

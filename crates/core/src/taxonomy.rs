@@ -1,0 +1,212 @@
+//! Fusion taxonomy (paper §II-A).
+//!
+//! * **CSF / NCSF** — whether the two fused µ-ops are consecutive in the
+//!   dynamic stream.
+//! * **CTF / NCTF** — whether the two memory accesses touch contiguous bytes.
+//! * **head nucleus** — the older µ-op of a fused pair; **tail nucleus** —
+//!   the younger; **catalyst** — the µ-ops in between (NCSF only).
+
+use helios_emu::MemAccess;
+
+/// Consecutivity of a fused pair in the dynamic µ-op stream.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FusionClass {
+    /// ConSecutive Fusion: head and tail are adjacent in program order.
+    Consecutive,
+    /// Non-ConSecutive Fusion: one or more catalyst µ-ops in between.
+    NonConsecutive,
+}
+
+/// Spatial relationship of the two memory accesses of a candidate pair,
+/// relative to a cache access granularity of `line_bytes` (Fig. 4's
+/// categories).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Contiguity {
+    /// Byte-adjacent, non-overlapping (what Armv8 `ldp`/`stp` can express).
+    Contiguous,
+    /// At least one shared byte.
+    Overlapping,
+    /// Same cache line, with a gap between the accesses.
+    SameLine,
+    /// Fits in a 64-byte span but crosses a line boundary
+    /// (two contiguous cache lines; costs a serialized second access).
+    NextLine,
+    /// Too far apart to fuse at this granularity.
+    TooFar,
+}
+
+impl Contiguity {
+    /// Whether a pair with this relationship may be fused at all.
+    #[inline]
+    pub fn fusible(self) -> bool {
+        !matches!(self, Contiguity::TooFar)
+    }
+
+    /// Whether the fused access can be satisfied with a single cache access
+    /// (NextLine pairs need two serialized accesses — §II-B
+    /// "Cacheline Crossers").
+    #[inline]
+    pub fn single_access(self) -> bool {
+        matches!(
+            self,
+            Contiguity::Contiguous | Contiguity::Overlapping | Contiguity::SameLine
+        )
+    }
+}
+
+/// Classifies the spatial relationship of two accesses (order-insensitive).
+///
+/// `line_bytes` is the cache access granularity (64 B in the paper's
+/// evaluation, §III-C).
+///
+/// # Examples
+///
+/// ```
+/// use helios_core::{classify_contiguity, Contiguity};
+/// use helios_emu::MemAccess;
+/// let a = MemAccess { addr: 0x100, size: 8, is_store: false };
+/// let b = MemAccess { addr: 0x108, size: 8, is_store: false };
+/// assert_eq!(classify_contiguity(&a, &b, 64), Contiguity::Contiguous);
+/// ```
+pub fn classify_contiguity(a: &MemAccess, b: &MemAccess, line_bytes: u64) -> Contiguity {
+    let lo = a.addr.min(b.addr);
+    let hi = a.last_byte().max(b.last_byte());
+    let span = hi - lo + 1;
+    if span > line_bytes {
+        return Contiguity::TooFar;
+    }
+    if a.overlaps(b) {
+        return Contiguity::Overlapping;
+    }
+    // Adjacent with no gap?
+    let (first, second) = if a.addr <= b.addr { (a, b) } else { (b, a) };
+    if first.last_byte() + 1 == second.addr {
+        // Contiguous — but if the pair straddles a line it still needs two
+        // accesses; the paper counts such pairs by line relationship.
+        if lo & !(line_bytes - 1) == hi & !(line_bytes - 1) {
+            return Contiguity::Contiguous;
+        }
+        return Contiguity::NextLine;
+    }
+    if lo & !(line_bytes - 1) == hi & !(line_bytes - 1) {
+        Contiguity::SameLine
+    } else {
+        Contiguity::NextLine
+    }
+}
+
+/// Whether the two accesses have different sizes (asymmetric pair, §III-D).
+#[inline]
+pub fn is_asymmetric(a: &MemAccess, b: &MemAccess) -> bool {
+    a.size != b.size
+}
+
+/// Role of a µ-op inside a fused pair.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum NucleusRole {
+    /// Oldest µ-op of the pair (the fused µ-op replaces it).
+    Head,
+    /// Youngest µ-op of the pair.
+    Tail,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acc(addr: u64, size: u8) -> MemAccess {
+        MemAccess {
+            addr,
+            size,
+            is_store: false,
+        }
+    }
+
+    #[test]
+    fn contiguous_pairs() {
+        assert_eq!(
+            classify_contiguity(&acc(0x100, 8), &acc(0x108, 8), 64),
+            Contiguity::Contiguous
+        );
+        // Order-insensitive.
+        assert_eq!(
+            classify_contiguity(&acc(0x108, 8), &acc(0x100, 8), 64),
+            Contiguity::Contiguous
+        );
+        // Asymmetric contiguous.
+        assert_eq!(
+            classify_contiguity(&acc(0x100, 4), &acc(0x104, 8), 64),
+            Contiguity::Contiguous
+        );
+    }
+
+    #[test]
+    fn overlapping_pairs() {
+        assert_eq!(
+            classify_contiguity(&acc(0x100, 8), &acc(0x104, 8), 64),
+            Contiguity::Overlapping
+        );
+        assert_eq!(
+            classify_contiguity(&acc(0x100, 8), &acc(0x100, 8), 64),
+            Contiguity::Overlapping
+        );
+    }
+
+    #[test]
+    fn same_line_with_gap() {
+        assert_eq!(
+            classify_contiguity(&acc(0x100, 8), &acc(0x130, 8), 64),
+            Contiguity::SameLine
+        );
+    }
+
+    #[test]
+    fn next_line_within_span() {
+        // 0x138..0x140 and 0x140..0x148: adjacent but crossing line 0x140.
+        assert_eq!(
+            classify_contiguity(&acc(0x138, 8), &acc(0x140, 8), 64),
+            Contiguity::NextLine
+        );
+        // Gap crossing a line boundary, span <= 64.
+        assert_eq!(
+            classify_contiguity(&acc(0x130, 8), &acc(0x148, 8), 64),
+            Contiguity::NextLine
+        );
+    }
+
+    #[test]
+    fn too_far() {
+        assert_eq!(
+            classify_contiguity(&acc(0x100, 8), &acc(0x148, 8), 64),
+            Contiguity::TooFar
+        );
+        assert_eq!(
+            classify_contiguity(&acc(0x100, 8), &acc(0x2100, 8), 64),
+            Contiguity::TooFar
+        );
+    }
+
+    #[test]
+    fn fusibility_and_single_access() {
+        assert!(Contiguity::Contiguous.fusible());
+        assert!(Contiguity::NextLine.fusible());
+        assert!(!Contiguity::TooFar.fusible());
+        assert!(Contiguity::SameLine.single_access());
+        assert!(!Contiguity::NextLine.single_access());
+    }
+
+    #[test]
+    fn asymmetry() {
+        assert!(is_asymmetric(&acc(0, 4), &acc(8, 8)));
+        assert!(!is_asymmetric(&acc(0, 8), &acc(8, 8)));
+    }
+
+    #[test]
+    fn span_exactly_line_size_is_fusible() {
+        // 64-byte span: bytes 0x100..0x140.
+        assert_eq!(
+            classify_contiguity(&acc(0x100, 8), &acc(0x138, 8), 64),
+            Contiguity::SameLine
+        );
+    }
+}

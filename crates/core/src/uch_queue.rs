@@ -1,0 +1,190 @@
+//! Post-commit UCH decoupling queue (paper §IV-A1, note to Figure 6).
+//!
+//! UCH training is off the critical path: committing memory µ-ops are
+//! inserted into a small queue (at most `insert_per_cycle` per cycle); if
+//! the queue is full they are simply dropped and "get a chance to train at a
+//! later time". The queue drains at the UCH's port rate. The paper finds an
+//! 8-entry queue with a single search-and-update port loses nothing — this
+//! module lets that claim be measured (see the `ablation` binary).
+
+use crate::{Uch, UchOutcome};
+
+/// A queued training record: one committed, unfused memory µ-op.
+#[derive(Clone, Copy, Debug)]
+pub struct UchTrainRecord {
+    /// PC of the µ-op (used to train the fusion predictor on a pair hit).
+    pub pc: u64,
+    /// Global branch history at its commit.
+    pub ghr: u64,
+    /// Original-sequence position (keeps UCH distances exact).
+    pub seq: u64,
+    /// Accessed cache-line address.
+    pub line: u64,
+    /// Whether the µ-op is a store.
+    pub is_store: bool,
+}
+
+/// Configuration of the decoupling queue.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct UchQueueConfig {
+    /// Queue capacity (paper: 8). `None` models an ideal, unbounded queue.
+    pub entries: Option<usize>,
+    /// µ-ops drained into the UCH per cycle (paper: 1 port).
+    pub drain_per_cycle: usize,
+}
+
+impl Default for UchQueueConfig {
+    fn default() -> Self {
+        UchQueueConfig {
+            entries: Some(8),
+            drain_per_cycle: 1,
+        }
+    }
+}
+
+/// The decoupling queue plus drop/drain statistics.
+#[derive(Clone, Debug)]
+pub struct UchQueue {
+    cfg: UchQueueConfig,
+    queue: std::collections::VecDeque<UchTrainRecord>,
+    /// Training records dropped because the queue was full.
+    pub dropped: u64,
+    /// Records drained into the UCH.
+    pub drained: u64,
+}
+
+impl UchQueue {
+    /// Creates an empty queue.
+    pub fn new(cfg: UchQueueConfig) -> UchQueue {
+        UchQueue {
+            cfg,
+            queue: std::collections::VecDeque::new(),
+            dropped: 0,
+            drained: 0,
+        }
+    }
+
+    /// Offers a committing µ-op's training record; drops it if full.
+    /// Returns whether the record was accepted.
+    pub fn offer(&mut self, rec: UchTrainRecord) -> bool {
+        if let Some(cap) = self.cfg.entries {
+            if self.queue.len() >= cap {
+                self.dropped += 1;
+                return false;
+            }
+        }
+        self.queue.push_back(rec);
+        true
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Drains up to the per-cycle port limit into the UCH, invoking
+    /// `on_pair(pc, ghr, distance)` for each discovered pair.
+    ///
+    /// The UCH commit number is synchronised to each record's original
+    /// sequence position, so distances remain exact even when training lags
+    /// commit.
+    pub fn drain_cycle(
+        &mut self,
+        uch: &mut Uch,
+        uch_seq: &mut u64,
+        mut on_pair: impl FnMut(u64, u64, u32),
+    ) {
+        for _ in 0..self.cfg.drain_per_cycle {
+            let Some(rec) = self.queue.pop_front() else { break };
+            while *uch_seq < rec.seq {
+                uch.tick();
+                *uch_seq += 1;
+            }
+            if let UchOutcome::Pair { distance } = uch.observe(rec.is_store, rec.line) {
+                on_pair(rec.pc, rec.ghr, distance);
+            }
+            self.drained += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UchConfig;
+
+    fn rec(seq: u64, line: u64) -> UchTrainRecord {
+        UchTrainRecord {
+            pc: 0x1000 + seq * 4,
+            ghr: 0,
+            seq,
+            line,
+            is_store: false,
+        }
+    }
+
+    #[test]
+    fn bounded_queue_drops_when_full() {
+        let mut q = UchQueue::new(UchQueueConfig {
+            entries: Some(2),
+            drain_per_cycle: 1,
+        });
+        assert!(q.offer(rec(0, 0x40)));
+        assert!(q.offer(rec(1, 0x80)));
+        assert!(!q.offer(rec(2, 0xc0)), "third insert must drop");
+        assert_eq!(q.dropped, 1);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn unbounded_queue_never_drops() {
+        let mut q = UchQueue::new(UchQueueConfig {
+            entries: None,
+            drain_per_cycle: 1,
+        });
+        for i in 0..1000 {
+            assert!(q.offer(rec(i, 0x40 * i)));
+        }
+        assert_eq!(q.dropped, 0);
+    }
+
+    #[test]
+    fn drain_respects_port_limit_and_finds_pairs() {
+        let mut q = UchQueue::new(UchQueueConfig {
+            entries: Some(8),
+            drain_per_cycle: 1,
+        });
+        let mut uch = Uch::new(UchConfig::default());
+        let mut uch_seq = 0u64;
+        // Two same-line loads 5 µ-ops apart.
+        q.offer(rec(3, 0x1c0));
+        q.offer(rec(8, 0x1c0));
+        let mut pairs = Vec::new();
+        q.drain_cycle(&mut uch, &mut uch_seq, |pc, _, d| pairs.push((pc, d)));
+        assert!(pairs.is_empty(), "one drain per cycle");
+        q.drain_cycle(&mut uch, &mut uch_seq, |pc, _, d| pairs.push((pc, d)));
+        assert_eq!(pairs, vec![(0x1000 + 8 * 4, 5)]);
+        assert_eq!(q.drained, 2);
+    }
+
+    #[test]
+    fn lagging_drain_keeps_distances_exact() {
+        let mut q = UchQueue::new(UchQueueConfig {
+            entries: Some(8),
+            drain_per_cycle: 2,
+        });
+        let mut uch = Uch::new(UchConfig::default());
+        let mut uch_seq = 0u64;
+        q.offer(rec(100, 0x40));
+        q.offer(rec(110, 0x40));
+        let mut pairs = Vec::new();
+        // Drained long after "commit" — distance must still be 10.
+        q.drain_cycle(&mut uch, &mut uch_seq, |_, _, d| pairs.push(d));
+        assert_eq!(pairs, vec![10]);
+    }
+}

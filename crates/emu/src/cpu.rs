@@ -1,0 +1,437 @@
+//! The functional RV64IM emulator (this reproduction's Spike substitute).
+
+use crate::{MemAccess, Memory, Retired};
+use helios_isa::{Inst, Program, Reg, DEFAULT_STACK_TOP};
+use std::fmt;
+
+/// Error conditions that abort emulation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum EmuError {
+    /// PC left the program's code region.
+    FetchFault { pc: u64 },
+    /// The instruction budget was exhausted before the program halted.
+    OutOfFuel { executed: u64 },
+}
+
+impl fmt::Display for EmuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmuError::FetchFault { pc } => write!(f, "fetch fault at pc {pc:#x}"),
+            EmuError::OutOfFuel { executed } => {
+                write!(f, "instruction budget exhausted after {executed} µ-ops")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EmuError {}
+
+/// Functional emulator state: architectural registers, PC, and memory.
+///
+/// Executes a [`Program`] one instruction at a time, producing a [`Retired`]
+/// record per step. `ebreak` halts the program; `ecall` implements a minimal
+/// environment (`a7 == 93` exits, `a7 == 64` appends `a0` to an output log
+/// that workloads use for self-validation); `fence` is a no-op functionally.
+#[derive(Clone, Debug)]
+pub struct Cpu {
+    regs: [u64; 32],
+    pc: u64,
+    mem: Memory,
+    program: Program,
+    retired: u64,
+    halted: bool,
+    output: Vec<u64>,
+}
+
+impl Cpu {
+    /// Loads a program: copies its data image into memory and points the PC
+    /// at the entry, with `sp` initialised to the default stack top.
+    pub fn new(program: Program) -> Cpu {
+        let mut mem = Memory::new();
+        for (addr, bytes) in &program.data {
+            mem.write_bytes(*addr, bytes);
+        }
+        let mut regs = [0u64; 32];
+        regs[Reg::SP.index()] = DEFAULT_STACK_TOP;
+        Cpu {
+            regs,
+            pc: program.entry,
+            mem,
+            program,
+            retired: 0,
+            halted: false,
+            output: Vec::new(),
+        }
+    }
+
+    /// Current PC.
+    pub fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    /// Whether the program has halted (`ebreak` or exit `ecall`).
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Number of retired µ-ops so far.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Reads an architectural register.
+    #[inline]
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.regs[r.index()]
+    }
+
+    /// Writes an architectural register (`x0` writes are discarded).
+    #[inline]
+    pub fn set_reg(&mut self, r: Reg, v: u64) {
+        if !r.is_zero() {
+            self.regs[r.index()] = v;
+        }
+    }
+
+    /// The memory behind this CPU.
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Mutable access to memory (for test setup).
+    pub fn mem_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// Values the program reported through the `write` ecall, in order.
+    pub fn output(&self) -> &[u64] {
+        &self.output
+    }
+
+    /// Executes one instruction.
+    ///
+    /// Returns `Ok(None)` if already halted.
+    ///
+    /// # Errors
+    ///
+    /// [`EmuError::FetchFault`] if the PC leaves the code region.
+    pub fn step(&mut self) -> Result<Option<Retired>, EmuError> {
+        if self.halted {
+            return Ok(None);
+        }
+        let pc = self.pc;
+        let inst = *self
+            .program
+            .fetch(pc)
+            .ok_or(EmuError::FetchFault { pc })?;
+
+        let mut next_pc = pc.wrapping_add(4);
+        let mut mem_access = None;
+        let mut rd_value = None;
+
+        match inst {
+            Inst::Lui { rd, imm20 } => {
+                let v = ((imm20 as i64) << 12) as u64;
+                self.set_reg(rd, v);
+                rd_value = Some(v);
+            }
+            Inst::Auipc { rd, imm20 } => {
+                let v = pc.wrapping_add(((imm20 as i64) << 12) as u64);
+                self.set_reg(rd, v);
+                rd_value = Some(v);
+            }
+            Inst::Jal { rd, offset } => {
+                self.set_reg(rd, pc.wrapping_add(4));
+                rd_value = Some(pc.wrapping_add(4));
+                next_pc = pc.wrapping_add(offset as i64 as u64);
+            }
+            Inst::Jalr { rd, rs1, offset } => {
+                let target = self
+                    .reg(rs1)
+                    .wrapping_add(offset as i64 as u64)
+                    & !1;
+                self.set_reg(rd, pc.wrapping_add(4));
+                rd_value = Some(pc.wrapping_add(4));
+                next_pc = target;
+            }
+            Inst::Branch {
+                kind,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                if kind.taken(self.reg(rs1), self.reg(rs2)) {
+                    next_pc = pc.wrapping_add(offset as i64 as u64);
+                }
+            }
+            Inst::Load {
+                width,
+                signed,
+                rd,
+                rs1,
+                offset,
+            } => {
+                let addr = self.reg(rs1).wrapping_add(offset as i64 as u64);
+                let size = width.bytes();
+                let raw = self.mem.read(addr, size);
+                let v = if signed && size < 8 {
+                    let shift = 64 - 8 * size;
+                    (((raw << shift) as i64) >> shift) as u64
+                } else {
+                    raw
+                };
+                self.set_reg(rd, v);
+                rd_value = Some(v);
+                mem_access = Some(MemAccess {
+                    addr,
+                    size: size as u8,
+                    is_store: false,
+                });
+            }
+            Inst::Store {
+                width,
+                rs2,
+                rs1,
+                offset,
+            } => {
+                let addr = self.reg(rs1).wrapping_add(offset as i64 as u64);
+                let size = width.bytes();
+                self.mem.write(addr, size, self.reg(rs2));
+                mem_access = Some(MemAccess {
+                    addr,
+                    size: size as u8,
+                    is_store: true,
+                });
+            }
+            Inst::OpImm { op, rd, rs1, imm } => {
+                let v = op.eval(self.reg(rs1), imm);
+                self.set_reg(rd, v);
+                rd_value = Some(v);
+            }
+            Inst::Op { op, rd, rs1, rs2 } => {
+                let v = op.eval(self.reg(rs1), self.reg(rs2));
+                self.set_reg(rd, v);
+                rd_value = Some(v);
+            }
+            Inst::Fence => {}
+            Inst::Ecall => {
+                // Minimal environment: exit(93), write-value(64).
+                match self.reg(Reg::A7) {
+                    93 => self.halted = true,
+                    64 => self.output.push(self.reg(Reg::A0)),
+                    _ => {}
+                }
+            }
+            Inst::Ebreak => {
+                self.halted = true;
+            }
+        }
+
+        let seq = self.retired;
+        self.retired += 1;
+        if !self.halted {
+            self.pc = next_pc;
+        }
+        Ok(Some(Retired {
+            seq,
+            pc,
+            inst,
+            next_pc,
+            mem: mem_access,
+            rd_value,
+        }))
+    }
+
+    /// Runs until halt or until `max_insts` µ-ops retire.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fetch faults; returns [`EmuError::OutOfFuel`] if the budget
+    /// is hit before the program halts.
+    pub fn run(&mut self, max_insts: u64) -> Result<u64, EmuError> {
+        let start = self.retired;
+        while !self.halted {
+            if self.retired - start >= max_insts {
+                return Err(EmuError::OutOfFuel {
+                    executed: self.retired - start,
+                });
+            }
+            self.step()?;
+        }
+        Ok(self.retired - start)
+    }
+}
+
+/// Streaming iterator adapter over a [`Cpu`]: yields retired µ-ops until the
+/// program halts, faults, or the fuel budget runs out.
+#[derive(Debug)]
+pub struct RetireStream {
+    cpu: Cpu,
+    fuel: u64,
+    error: Option<EmuError>,
+}
+
+impl RetireStream {
+    /// Creates a stream that will retire at most `fuel` µ-ops.
+    pub fn new(program: Program, fuel: u64) -> RetireStream {
+        RetireStream {
+            cpu: Cpu::new(program),
+            fuel,
+            error: None,
+        }
+    }
+
+    /// Error encountered, if the stream terminated abnormally.
+    pub fn error(&self) -> Option<&EmuError> {
+        self.error.as_ref()
+    }
+
+    /// The underlying CPU (e.g. to inspect output after draining).
+    pub fn cpu(&self) -> &Cpu {
+        &self.cpu
+    }
+}
+
+impl Iterator for RetireStream {
+    type Item = Retired;
+
+    fn next(&mut self) -> Option<Retired> {
+        if self.fuel == 0 {
+            return None;
+        }
+        self.fuel -= 1;
+        match self.cpu.step() {
+            Ok(r) => r,
+            Err(e) => {
+                self.error = Some(e);
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helios_isa::{parse_asm, Asm};
+
+    fn run(src: &str) -> Cpu {
+        let prog = parse_asm(src).expect("asm");
+        let mut cpu = Cpu::new(prog);
+        cpu.run(1_000_000).expect("run");
+        cpu
+    }
+
+    #[test]
+    fn arithmetic_loop() {
+        // Sum 1..=10 = 55.
+        let cpu = run(r#"
+            li a0, 0
+            li a1, 10
+        top:
+            add a0, a0, a1
+            addi a1, a1, -1
+            bnez a1, top
+            ebreak
+        "#);
+        assert_eq!(cpu.reg(Reg::A0), 55);
+    }
+
+    #[test]
+    fn memory_store_load() {
+        let cpu = run(r#"
+            li t0, 0x3000
+            li t1, 0x123456789abcdef0
+            sd t1, 0(t0)
+            lw a0, 0(t0)        # low 32 bits sign-extended
+            lwu a1, 4(t0)       # high 32 bits zero-extended
+            lbu a2, 0(t0)
+            lh a3, 6(t0)
+            ebreak
+        "#);
+        assert_eq!(cpu.reg(Reg::A0), 0x9abcdef0u32 as i32 as i64 as u64);
+        assert_eq!(cpu.reg(Reg::A1), 0x12345678);
+        assert_eq!(cpu.reg(Reg::A2), 0xf0);
+        assert_eq!(cpu.reg(Reg::A3), 0x1234);
+    }
+
+    #[test]
+    fn call_and_return() {
+        let cpu = run(r#"
+            li a0, 5
+            call double
+            call double
+            ebreak
+        double:
+            add a0, a0, a0
+            ret
+        "#);
+        assert_eq!(cpu.reg(Reg::A0), 20);
+    }
+
+    #[test]
+    fn ecall_write_and_exit() {
+        let cpu = run(r#"
+            li a0, 42
+            li a7, 64
+            ecall
+            li a7, 93
+            ecall
+        "#);
+        assert!(cpu.halted());
+        assert_eq!(cpu.output(), &[42]);
+    }
+
+    #[test]
+    fn fetch_fault_reported() {
+        let prog = parse_asm("nop\nnop").unwrap();
+        let mut cpu = Cpu::new(prog);
+        let e = cpu.run(100).unwrap_err();
+        assert!(matches!(e, EmuError::FetchFault { .. }));
+    }
+
+    #[test]
+    fn out_of_fuel() {
+        let prog = parse_asm("top: j top").unwrap();
+        let mut cpu = Cpu::new(prog);
+        assert!(matches!(cpu.run(10), Err(EmuError::OutOfFuel { .. })));
+    }
+
+    #[test]
+    fn retired_records_memory_and_control() {
+        let mut a = Asm::new();
+        let buf = a.words64(&[7]);
+        a.la(Reg::A1, buf);
+        a.ld(Reg::A0, 0, Reg::A1);
+        a.halt();
+        let mut cpu = Cpu::new(a.assemble().unwrap());
+        let mut last_mem = None;
+        while let Ok(Some(r)) = cpu.step() {
+            if let Some(m) = r.mem {
+                last_mem = Some(m);
+            }
+            if cpu.halted() {
+                break;
+            }
+        }
+        let m = last_mem.expect("saw a load");
+        assert_eq!(m.addr, buf);
+        assert_eq!(m.size, 8);
+        assert!(!m.is_store);
+        assert_eq!(cpu.reg(Reg::A0), 7);
+    }
+
+    #[test]
+    fn stream_iterator_drains() {
+        let prog = parse_asm("li a0, 3\ntop: addi a0, a0, -1\nbnez a0, top\nebreak").unwrap();
+        let stream = RetireStream::new(prog, 1000);
+        let v: Vec<_> = stream.collect();
+        // li(1) + 3*(addi+bnez) + ebreak = 8
+        assert_eq!(v.len(), 8);
+        assert_eq!(v.last().unwrap().inst, helios_isa::Inst::Ebreak);
+        // seq numbers are dense.
+        for (i, r) in v.iter().enumerate() {
+            assert_eq!(r.seq, i as u64);
+        }
+    }
+}

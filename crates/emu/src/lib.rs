@@ -1,0 +1,28 @@
+//! # helios-emu — functional RV64IM emulator
+//!
+//! The Spike substitute of the Helios reproduction (MICRO 2022). Executes
+//! programs assembled by `helios-isa` and produces the in-order retired-µ-op
+//! stream ([`Retired`]) that drives the `helios-uarch` cycle-level model —
+//! mirroring how the paper couples a modified Spike to its in-house timing
+//! simulator (§V-A).
+//!
+//! # Examples
+//!
+//! ```
+//! use helios_emu::Cpu;
+//! use helios_isa::{parse_asm, Reg};
+//!
+//! let prog = parse_asm("li a0, 21\nadd a0, a0, a0\nebreak")?;
+//! let mut cpu = Cpu::new(prog);
+//! cpu.run(1000)?;
+//! assert_eq!(cpu.reg(Reg::A0), 42);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod cpu;
+mod mem;
+mod trace;
+
+pub use cpu::{Cpu, EmuError, RetireStream};
+pub use mem::Memory;
+pub use trace::{MemAccess, Retired};

@@ -1,0 +1,122 @@
+//! Retired-µ-op records: the interface between the functional emulator and
+//! the cycle-level timing model.
+//!
+//! The paper couples a modified Spike to an in-house timing model by
+//! injecting executed instructions into the pipeline (§V-A). [`Retired`]
+//! is this reproduction's equivalent of that injection record: it carries
+//! the oracle next-PC (branch outcome) and oracle effective address, which
+//! the timing model uses to verify its branch and fusion predictions.
+
+use helios_isa::Inst;
+
+/// A memory access performed by a retired µ-op.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MemAccess {
+    /// Effective (virtual = physical in this model) address of the first byte.
+    pub addr: u64,
+    /// Access size in bytes (1, 2, 4, or 8).
+    pub size: u8,
+    /// `true` for stores.
+    pub is_store: bool,
+}
+
+impl MemAccess {
+    /// Address of the last byte accessed.
+    #[inline]
+    pub fn last_byte(&self) -> u64 {
+        self.addr + self.size as u64 - 1
+    }
+
+    /// Cache line address (for `line_bytes` sized lines, a power of two).
+    #[inline]
+    pub fn line(&self, line_bytes: u64) -> u64 {
+        debug_assert!(line_bytes.is_power_of_two());
+        self.addr & !(line_bytes - 1)
+    }
+
+    /// Whether the access straddles a cache line boundary.
+    #[inline]
+    pub fn crosses_line(&self, line_bytes: u64) -> bool {
+        self.line(line_bytes) != (self.last_byte() & !(line_bytes - 1))
+    }
+
+    /// Whether two accesses overlap in at least one byte.
+    #[inline]
+    pub fn overlaps(&self, other: &MemAccess) -> bool {
+        self.addr <= other.last_byte() && other.addr <= self.last_byte()
+    }
+}
+
+/// One architecturally retired µ-op, in program order.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Retired {
+    /// Dynamic µ-op sequence number (0-based).
+    pub seq: u64,
+    /// PC of this µ-op.
+    pub pc: u64,
+    /// The instruction.
+    pub inst: Inst,
+    /// PC of the next retired µ-op (encodes taken/not-taken and targets).
+    pub next_pc: u64,
+    /// Memory access, for loads and stores.
+    pub mem: Option<MemAccess>,
+    /// Value written to the destination register, if any.
+    pub rd_value: Option<u64>,
+}
+
+impl Retired {
+    /// Whether the µ-op redirected control flow (taken branch or jump).
+    #[inline]
+    pub fn control_taken(&self) -> bool {
+        self.next_pc != self.pc + 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_and_lines() {
+        let a = MemAccess {
+            addr: 0x100,
+            size: 8,
+            is_store: false,
+        };
+        let b = MemAccess {
+            addr: 0x107,
+            size: 1,
+            is_store: false,
+        };
+        let c = MemAccess {
+            addr: 0x108,
+            size: 8,
+            is_store: false,
+        };
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert_eq!(a.line(64), 0x100);
+        assert!(!a.crosses_line(64));
+        let d = MemAccess {
+            addr: 0x13c,
+            size: 8,
+            is_store: false,
+        };
+        assert!(d.crosses_line(64));
+    }
+
+    #[test]
+    fn control_taken() {
+        let r = Retired {
+            seq: 0,
+            pc: 0x1000,
+            inst: Inst::NOP,
+            next_pc: 0x1004,
+            mem: None,
+            rd_value: None,
+        };
+        assert!(!r.control_taken());
+        let r = Retired { next_pc: 0x2000, ..r };
+        assert!(r.control_taken());
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests for the emulator: memory semantics and load
+//! sign-extension against a reference model.
+
+use helios_emu::{Cpu, Memory};
+use helios_isa::{Asm, Reg};
+use proptest::prelude::*;
+
+proptest! {
+    /// Memory write→read round trip for every size, anywhere (including
+    /// page boundaries).
+    #[test]
+    fn memory_roundtrip(addr in 0u64..1u64 << 40, value in any::<u64>(),
+                        size in prop_oneof![Just(1u64), Just(2), Just(4), Just(8)]) {
+        let mut m = Memory::new();
+        let masked = if size == 8 { value } else { value & ((1 << (8 * size)) - 1) };
+        m.write(addr, size, value);
+        prop_assert_eq!(m.read(addr, size), masked);
+    }
+
+    /// Writes to one location never disturb a disjoint location.
+    #[test]
+    fn memory_disjoint_writes(a in 0u64..1u64 << 20, b in 0u64..1u64 << 20,
+                              va in any::<u64>(), vb in any::<u64>()) {
+        prop_assume!(a.abs_diff(b) >= 8);
+        let mut m = Memory::new();
+        m.write(a, 8, va);
+        m.write(b, 8, vb);
+        prop_assert_eq!(m.read(a, 8), va);
+        prop_assert_eq!(m.read(b, 8), vb);
+    }
+
+    /// Byte-wise and word-wise views agree (little-endian).
+    #[test]
+    fn memory_byte_view(addr in 0u64..1u64 << 20, value in any::<u64>()) {
+        let mut m = Memory::new();
+        m.write(addr, 8, value);
+        for i in 0..8 {
+            prop_assert_eq!(m.read_u8(addr + i), (value >> (8 * i)) as u8);
+        }
+    }
+
+    /// Each load flavour sign/zero-extends exactly like the reference.
+    #[test]
+    fn load_extension_semantics(value in any::<u64>()) {
+        let mut a = Asm::new();
+        let buf = a.words64(&[value]);
+        a.la(Reg::S0, buf);
+        a.lb(Reg::A0, 0, Reg::S0);
+        a.lbu(Reg::A1, 0, Reg::S0);
+        a.lh(Reg::A2, 0, Reg::S0);
+        a.lhu(Reg::A3, 0, Reg::S0);
+        a.lw(Reg::A4, 0, Reg::S0);
+        a.lwu(Reg::A5, 0, Reg::S0);
+        a.ld(Reg::A6, 0, Reg::S0);
+        a.halt();
+        let mut cpu = Cpu::new(a.assemble().unwrap());
+        cpu.run(100).unwrap();
+        prop_assert_eq!(cpu.reg(Reg::A0), value as u8 as i8 as i64 as u64);
+        prop_assert_eq!(cpu.reg(Reg::A1), value as u8 as u64);
+        prop_assert_eq!(cpu.reg(Reg::A2), value as u16 as i16 as i64 as u64);
+        prop_assert_eq!(cpu.reg(Reg::A3), value as u16 as u64);
+        prop_assert_eq!(cpu.reg(Reg::A4), value as u32 as i32 as i64 as u64);
+        prop_assert_eq!(cpu.reg(Reg::A5), value as u32 as u64);
+        prop_assert_eq!(cpu.reg(Reg::A6), value);
+    }
+
+    /// ALU register ops match Rust's wrapping semantics.
+    #[test]
+    fn alu_matches_rust(a_val in any::<u64>(), b_val in any::<u64>()) {
+        let mut a = Asm::new();
+        a.li(Reg::A0, a_val as i64);
+        a.li(Reg::A1, b_val as i64);
+        a.add(Reg::T0, Reg::A0, Reg::A1);
+        a.sub(Reg::T1, Reg::A0, Reg::A1);
+        a.mul(Reg::T2, Reg::A0, Reg::A1);
+        a.xor(Reg::T3, Reg::A0, Reg::A1);
+        a.sltu(Reg::T4, Reg::A0, Reg::A1);
+        a.halt();
+        let mut cpu = Cpu::new(a.assemble().unwrap());
+        cpu.run(100).unwrap();
+        prop_assert_eq!(cpu.reg(Reg::A0), a_val, "li must load the exact value");
+        prop_assert_eq!(cpu.reg(Reg::T0), a_val.wrapping_add(b_val));
+        prop_assert_eq!(cpu.reg(Reg::T1), a_val.wrapping_sub(b_val));
+        prop_assert_eq!(cpu.reg(Reg::T2), a_val.wrapping_mul(b_val));
+        prop_assert_eq!(cpu.reg(Reg::T3), a_val ^ b_val);
+        prop_assert_eq!(cpu.reg(Reg::T4), (a_val < b_val) as u64);
+    }
+
+    /// Retired sequence numbers are dense and in order for any program.
+    #[test]
+    fn retire_stream_is_dense(n in 1u64..200) {
+        let mut a = Asm::new();
+        a.li(Reg::A0, n as i64);
+        let top = a.here();
+        a.addi(Reg::A0, Reg::A0, -1);
+        a.bnez(Reg::A0, top);
+        a.halt();
+        let stream = helios_emu::RetireStream::new(a.assemble().unwrap(), 1_000_000);
+        for (i, r) in stream.enumerate() {
+            prop_assert_eq!(r.seq, i as u64);
+        }
+    }
+}

@@ -1,0 +1,697 @@
+//! Programmatic assembler with labels, pseudo-instructions, and a static
+//! data segment.
+//!
+//! The assembler is how this repository's workloads are written: it plays the
+//! role GCC played in the paper, emitting the idiomatic RV64 sequences
+//! (`lui+addi` constants, stack save/restore runs, `slli+add` addressing) that
+//! the fusion machinery targets.
+
+use super::Program;
+use crate::{AluImmOp, AluOp, BranchKind, Inst, MemWidth, Reg};
+use std::fmt;
+
+/// A code label. Create with [`Asm::new_label`], place with [`Asm::bind`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Label(usize);
+
+/// Error produced when a program cannot be assembled.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AsmError {
+    /// A label was referenced but never bound.
+    UnboundLabel(Label),
+    /// A branch target is outside the ±4 KiB B-type range.
+    BranchOutOfRange { at: usize, offset: i64 },
+    /// A jump target is outside the ±1 MiB J-type range.
+    JumpOutOfRange { at: usize, offset: i64 },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnboundLabel(l) => write!(f, "label {l:?} was never bound"),
+            AsmError::BranchOutOfRange { at, offset } => {
+                write!(f, "branch at instruction {at} has out-of-range offset {offset}")
+            }
+            AsmError::JumpOutOfRange { at, offset } => {
+                write!(f, "jump at instruction {at} has out-of-range offset {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+enum Entry {
+    Fixed(Inst),
+    Branch {
+        kind: BranchKind,
+        rs1: Reg,
+        rs2: Reg,
+        target: Label,
+    },
+    Jal {
+        rd: Reg,
+        target: Label,
+    },
+}
+
+/// Incremental program builder.
+///
+/// Every emitted entry is exactly one instruction, so label offsets are
+/// resolved in a single pass at [`Asm::assemble`] time. Pseudo-instructions
+/// (`li`, `mv`, ...) expand eagerly into their real sequences.
+///
+/// # Examples
+///
+/// ```
+/// use helios_isa::{Asm, Reg};
+/// let mut a = Asm::new();
+/// let done = a.new_label();
+/// a.li(Reg::A0, 10);
+/// let top = a.here();
+/// a.addi(Reg::A0, Reg::A0, -1);
+/// a.beqz(Reg::A0, done);
+/// a.j(top);
+/// a.bind(done);
+/// a.halt();
+/// let prog = a.assemble()?;
+/// assert!(prog.len() > 4);
+/// # Ok::<(), helios_isa::AsmError>(())
+/// ```
+pub struct Asm {
+    entries: Vec<Entry>,
+    labels: Vec<Option<usize>>,
+    base: u64,
+    data_base: u64,
+    data_cursor: u64,
+    data: Vec<(u64, Vec<u8>)>,
+}
+
+/// Default address of the first instruction.
+pub const DEFAULT_CODE_BASE: u64 = 0x0001_0000;
+/// Default start of the static data region.
+pub const DEFAULT_DATA_BASE: u64 = 0x0100_0000;
+/// Default initial stack pointer (grows down).
+pub const DEFAULT_STACK_TOP: u64 = 0x7fff_f000;
+
+impl Asm {
+    /// Creates an assembler with the default code/data layout.
+    pub fn new() -> Asm {
+        Asm::with_bases(DEFAULT_CODE_BASE, DEFAULT_DATA_BASE)
+    }
+
+    /// Creates an assembler with explicit code and data base addresses.
+    pub fn with_bases(code_base: u64, data_base: u64) -> Asm {
+        assert!(code_base % 4 == 0, "code base must be 4-byte aligned");
+        Asm {
+            entries: Vec::new(),
+            labels: Vec::new(),
+            base: code_base,
+            data_base,
+            data_cursor: data_base,
+            data: Vec::new(),
+        }
+    }
+
+    /// Creates a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound.
+    pub fn bind(&mut self, label: Label) {
+        let slot = &mut self.labels[label.0];
+        assert!(slot.is_none(), "label bound twice");
+        *slot = Some(self.entries.len());
+    }
+
+    /// Creates a label already bound to the current position.
+    pub fn here(&mut self) -> Label {
+        let l = self.new_label();
+        self.bind(l);
+        l
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no instructions have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Start address of the static data region.
+    pub fn data_base(&self) -> u64 {
+        self.data_base
+    }
+
+    /// Emits a raw instruction.
+    pub fn inst(&mut self, inst: Inst) -> &mut Self {
+        self.entries.push(Entry::Fixed(inst));
+        self
+    }
+
+    // ---- data segment ------------------------------------------------
+
+    /// Reserves `len` zeroed bytes in the data segment, aligned to `align`,
+    /// and returns their address.
+    pub fn zeros(&mut self, len: u64, align: u64) -> u64 {
+        self.bytes_aligned(vec![0u8; len as usize], align)
+    }
+
+    /// Places `bytes` in the data segment aligned to `align`; returns the address.
+    pub fn bytes_aligned(&mut self, bytes: Vec<u8>, align: u64) -> u64 {
+        assert!(align.is_power_of_two());
+        let addr = (self.data_cursor + align - 1) & !(align - 1);
+        self.data_cursor = addr + bytes.len() as u64;
+        self.data.push((addr, bytes));
+        addr
+    }
+
+    /// Places a little-endian `u64` array in the data segment; returns its address.
+    pub fn words64(&mut self, words: &[u64]) -> u64 {
+        let bytes = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        self.bytes_aligned(bytes, 8)
+    }
+
+    /// Places a little-endian `u32` array in the data segment; returns its address.
+    pub fn words32(&mut self, words: &[u32]) -> u64 {
+        let bytes = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        self.bytes_aligned(bytes, 8)
+    }
+
+    // ---- ALU ----------------------------------------------------------
+
+    /// `op rd, rs1, imm`
+    pub fn op_imm(&mut self, op: AluImmOp, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        self.inst(Inst::OpImm { op, rd, rs1, imm })
+    }
+
+    /// `op rd, rs1, rs2`
+    pub fn op(&mut self, op: AluOp, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.inst(Inst::Op { op, rd, rs1, rs2 })
+    }
+
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        self.op_imm(AluImmOp::Addi, rd, rs1, imm)
+    }
+    pub fn addiw(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        self.op_imm(AluImmOp::Addiw, rd, rs1, imm)
+    }
+    pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        self.op_imm(AluImmOp::Andi, rd, rs1, imm)
+    }
+    pub fn ori(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        self.op_imm(AluImmOp::Ori, rd, rs1, imm)
+    }
+    pub fn xori(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        self.op_imm(AluImmOp::Xori, rd, rs1, imm)
+    }
+    pub fn slti(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        self.op_imm(AluImmOp::Slti, rd, rs1, imm)
+    }
+    pub fn sltiu(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        self.op_imm(AluImmOp::Sltiu, rd, rs1, imm)
+    }
+    pub fn slli(&mut self, rd: Reg, rs1: Reg, shamt: i32) -> &mut Self {
+        self.op_imm(AluImmOp::Slli, rd, rs1, shamt)
+    }
+    pub fn srli(&mut self, rd: Reg, rs1: Reg, shamt: i32) -> &mut Self {
+        self.op_imm(AluImmOp::Srli, rd, rs1, shamt)
+    }
+    pub fn srai(&mut self, rd: Reg, rs1: Reg, shamt: i32) -> &mut Self {
+        self.op_imm(AluImmOp::Srai, rd, rs1, shamt)
+    }
+    pub fn slliw(&mut self, rd: Reg, rs1: Reg, shamt: i32) -> &mut Self {
+        self.op_imm(AluImmOp::Slliw, rd, rs1, shamt)
+    }
+    pub fn srliw(&mut self, rd: Reg, rs1: Reg, shamt: i32) -> &mut Self {
+        self.op_imm(AluImmOp::Srliw, rd, rs1, shamt)
+    }
+    pub fn sraiw(&mut self, rd: Reg, rs1: Reg, shamt: i32) -> &mut Self {
+        self.op_imm(AluImmOp::Sraiw, rd, rs1, shamt)
+    }
+
+    pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.op(AluOp::Add, rd, rs1, rs2)
+    }
+    pub fn addw(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.op(AluOp::Addw, rd, rs1, rs2)
+    }
+    pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.op(AluOp::Sub, rd, rs1, rs2)
+    }
+    pub fn subw(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.op(AluOp::Subw, rd, rs1, rs2)
+    }
+    pub fn and(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.op(AluOp::And, rd, rs1, rs2)
+    }
+    pub fn or(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.op(AluOp::Or, rd, rs1, rs2)
+    }
+    pub fn xor(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.op(AluOp::Xor, rd, rs1, rs2)
+    }
+    pub fn sll(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.op(AluOp::Sll, rd, rs1, rs2)
+    }
+    pub fn srl(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.op(AluOp::Srl, rd, rs1, rs2)
+    }
+    pub fn sra(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.op(AluOp::Sra, rd, rs1, rs2)
+    }
+    pub fn slt(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.op(AluOp::Slt, rd, rs1, rs2)
+    }
+    pub fn sltu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.op(AluOp::Sltu, rd, rs1, rs2)
+    }
+    pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.op(AluOp::Mul, rd, rs1, rs2)
+    }
+    pub fn mulw(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.op(AluOp::Mulw, rd, rs1, rs2)
+    }
+    pub fn div(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.op(AluOp::Div, rd, rs1, rs2)
+    }
+    pub fn divu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.op(AluOp::Divu, rd, rs1, rs2)
+    }
+    pub fn rem(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.op(AluOp::Rem, rd, rs1, rs2)
+    }
+    pub fn remu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.op(AluOp::Remu, rd, rs1, rs2)
+    }
+
+    pub fn lui(&mut self, rd: Reg, imm20: i32) -> &mut Self {
+        self.inst(Inst::Lui { rd, imm20 })
+    }
+    pub fn auipc(&mut self, rd: Reg, imm20: i32) -> &mut Self {
+        self.inst(Inst::Auipc { rd, imm20 })
+    }
+
+    // ---- memory --------------------------------------------------------
+
+    pub fn load(&mut self, width: MemWidth, signed: bool, rd: Reg, offset: i32, rs1: Reg) -> &mut Self {
+        self.inst(Inst::Load {
+            width,
+            signed,
+            rd,
+            rs1,
+            offset,
+        })
+    }
+    pub fn store(&mut self, width: MemWidth, rs2: Reg, offset: i32, rs1: Reg) -> &mut Self {
+        self.inst(Inst::Store {
+            width,
+            rs2,
+            rs1,
+            offset,
+        })
+    }
+
+    pub fn ld(&mut self, rd: Reg, offset: i32, rs1: Reg) -> &mut Self {
+        self.load(MemWidth::D, true, rd, offset, rs1)
+    }
+    pub fn lw(&mut self, rd: Reg, offset: i32, rs1: Reg) -> &mut Self {
+        self.load(MemWidth::W, true, rd, offset, rs1)
+    }
+    pub fn lwu(&mut self, rd: Reg, offset: i32, rs1: Reg) -> &mut Self {
+        self.load(MemWidth::W, false, rd, offset, rs1)
+    }
+    pub fn lh(&mut self, rd: Reg, offset: i32, rs1: Reg) -> &mut Self {
+        self.load(MemWidth::H, true, rd, offset, rs1)
+    }
+    pub fn lhu(&mut self, rd: Reg, offset: i32, rs1: Reg) -> &mut Self {
+        self.load(MemWidth::H, false, rd, offset, rs1)
+    }
+    pub fn lb(&mut self, rd: Reg, offset: i32, rs1: Reg) -> &mut Self {
+        self.load(MemWidth::B, true, rd, offset, rs1)
+    }
+    pub fn lbu(&mut self, rd: Reg, offset: i32, rs1: Reg) -> &mut Self {
+        self.load(MemWidth::B, false, rd, offset, rs1)
+    }
+    pub fn sd(&mut self, rs2: Reg, offset: i32, rs1: Reg) -> &mut Self {
+        self.store(MemWidth::D, rs2, offset, rs1)
+    }
+    pub fn sw(&mut self, rs2: Reg, offset: i32, rs1: Reg) -> &mut Self {
+        self.store(MemWidth::W, rs2, offset, rs1)
+    }
+    pub fn sh(&mut self, rs2: Reg, offset: i32, rs1: Reg) -> &mut Self {
+        self.store(MemWidth::H, rs2, offset, rs1)
+    }
+    pub fn sb(&mut self, rs2: Reg, offset: i32, rs1: Reg) -> &mut Self {
+        self.store(MemWidth::B, rs2, offset, rs1)
+    }
+
+    // ---- control flow ---------------------------------------------------
+
+    pub fn branch(&mut self, kind: BranchKind, rs1: Reg, rs2: Reg, target: Label) -> &mut Self {
+        self.entries.push(Entry::Branch {
+            kind,
+            rs1,
+            rs2,
+            target,
+        });
+        self
+    }
+
+    pub fn beq(&mut self, rs1: Reg, rs2: Reg, target: Label) -> &mut Self {
+        self.branch(BranchKind::Eq, rs1, rs2, target)
+    }
+    pub fn bne(&mut self, rs1: Reg, rs2: Reg, target: Label) -> &mut Self {
+        self.branch(BranchKind::Ne, rs1, rs2, target)
+    }
+    pub fn blt(&mut self, rs1: Reg, rs2: Reg, target: Label) -> &mut Self {
+        self.branch(BranchKind::Lt, rs1, rs2, target)
+    }
+    pub fn bge(&mut self, rs1: Reg, rs2: Reg, target: Label) -> &mut Self {
+        self.branch(BranchKind::Ge, rs1, rs2, target)
+    }
+    pub fn bltu(&mut self, rs1: Reg, rs2: Reg, target: Label) -> &mut Self {
+        self.branch(BranchKind::Ltu, rs1, rs2, target)
+    }
+    pub fn bgeu(&mut self, rs1: Reg, rs2: Reg, target: Label) -> &mut Self {
+        self.branch(BranchKind::Geu, rs1, rs2, target)
+    }
+    pub fn beqz(&mut self, rs1: Reg, target: Label) -> &mut Self {
+        self.beq(rs1, Reg::ZERO, target)
+    }
+    pub fn bnez(&mut self, rs1: Reg, target: Label) -> &mut Self {
+        self.bne(rs1, Reg::ZERO, target)
+    }
+    pub fn bltz(&mut self, rs1: Reg, target: Label) -> &mut Self {
+        self.blt(rs1, Reg::ZERO, target)
+    }
+    pub fn bgez(&mut self, rs1: Reg, target: Label) -> &mut Self {
+        self.bge(rs1, Reg::ZERO, target)
+    }
+    pub fn bgtz(&mut self, rs1: Reg, target: Label) -> &mut Self {
+        self.blt(Reg::ZERO, rs1, target)
+    }
+    pub fn blez(&mut self, rs1: Reg, target: Label) -> &mut Self {
+        self.bge(Reg::ZERO, rs1, target)
+    }
+
+    /// `jal rd, target`
+    pub fn jal(&mut self, rd: Reg, target: Label) -> &mut Self {
+        self.entries.push(Entry::Jal { rd, target });
+        self
+    }
+
+    /// Unconditional jump (`jal x0, target`).
+    pub fn j(&mut self, target: Label) -> &mut Self {
+        self.jal(Reg::ZERO, target)
+    }
+
+    /// Function call (`jal ra, target`).
+    pub fn call(&mut self, target: Label) -> &mut Self {
+        self.jal(Reg::RA, target)
+    }
+
+    /// Function return (`jalr x0, 0(ra)`).
+    pub fn ret(&mut self) -> &mut Self {
+        self.inst(Inst::Jalr {
+            rd: Reg::ZERO,
+            rs1: Reg::RA,
+            offset: 0,
+        })
+    }
+
+    /// Indirect jump (`jalr x0, 0(rs1)`).
+    pub fn jr(&mut self, rs1: Reg) -> &mut Self {
+        self.inst(Inst::Jalr {
+            rd: Reg::ZERO,
+            rs1,
+            offset: 0,
+        })
+    }
+
+    /// Indirect call (`jalr ra, 0(rs1)`).
+    pub fn jalr_ra(&mut self, rs1: Reg) -> &mut Self {
+        self.inst(Inst::Jalr {
+            rd: Reg::RA,
+            rs1,
+            offset: 0,
+        })
+    }
+
+    // ---- pseudo ----------------------------------------------------------
+
+    /// `nop`
+    pub fn nop(&mut self) -> &mut Self {
+        self.inst(Inst::NOP)
+    }
+
+    /// `mv rd, rs` (`addi rd, rs, 0`).
+    pub fn mv(&mut self, rd: Reg, rs: Reg) -> &mut Self {
+        self.addi(rd, rs, 0)
+    }
+
+    /// `neg rd, rs` (`sub rd, x0, rs`).
+    pub fn neg(&mut self, rd: Reg, rs: Reg) -> &mut Self {
+        self.sub(rd, Reg::ZERO, rs)
+    }
+
+    /// `not rd, rs` (`xori rd, rs, -1`).
+    pub fn not(&mut self, rd: Reg, rs: Reg) -> &mut Self {
+        self.xori(rd, rs, -1)
+    }
+
+    /// `seqz rd, rs` (`sltiu rd, rs, 1`).
+    pub fn seqz(&mut self, rd: Reg, rs: Reg) -> &mut Self {
+        self.sltiu(rd, rs, 1)
+    }
+
+    /// `snez rd, rs` (`sltu rd, x0, rs`).
+    pub fn snez(&mut self, rd: Reg, rs: Reg) -> &mut Self {
+        self.sltu(rd, Reg::ZERO, rs)
+    }
+
+    /// Loads an arbitrary 64-bit constant, expanding into the canonical
+    /// `lui`/`addi`(/`slli`/`addi`...) sequence a compiler would emit.
+    pub fn li(&mut self, rd: Reg, value: i64) -> &mut Self {
+        self.li_inner(rd, value);
+        self
+    }
+
+    fn li_inner(&mut self, rd: Reg, value: i64) {
+        if (-2048..=2047).contains(&value) {
+            self.addi(rd, Reg::ZERO, value as i32);
+            return;
+        }
+        if value == value as i32 as i64 {
+            // 32-bit signed: lui + addiw.
+            let v = value as i32;
+            let lo = (v << 20) >> 20; // low 12 bits, sign extended
+            let hi = (v.wrapping_sub(lo)) >> 12;
+            self.lui(rd, hi);
+            if lo != 0 {
+                self.addiw(rd, rd, lo);
+            }
+            return;
+        }
+        // General 64-bit: build upper part, shift, or in lower chunks.
+        let upper = value >> 32;
+        let lower = value & 0xffff_ffff;
+        self.li_inner(rd, upper);
+        self.slli(rd, rd, 12);
+        self.addi_chunk(rd, (lower >> 20) as i32 & 0xfff);
+        self.slli(rd, rd, 12);
+        self.addi_chunk(rd, (lower >> 8) as i32 & 0xfff);
+        self.slli(rd, rd, 8);
+        self.addi_chunk(rd, lower as i32 & 0xff);
+    }
+
+    fn addi_chunk(&mut self, rd: Reg, chunk: i32) {
+        debug_assert!((0..4096).contains(&chunk));
+        if chunk >= 2048 {
+            // Split into two adds to stay within the signed 12-bit range.
+            self.addi(rd, rd, 2047);
+            self.addi(rd, rd, chunk - 2047);
+        } else if chunk != 0 {
+            self.addi(rd, rd, chunk);
+        }
+    }
+
+    /// Loads the address of a data-segment allocation (absolute `li`).
+    pub fn la(&mut self, rd: Reg, addr: u64) -> &mut Self {
+        self.li(rd, addr as i64)
+    }
+
+    /// Memory fence.
+    pub fn fence(&mut self) -> &mut Self {
+        self.inst(Inst::Fence)
+    }
+
+    /// Environment call.
+    pub fn ecall(&mut self) -> &mut Self {
+        self.inst(Inst::Ecall)
+    }
+
+    /// Terminates the program (the emulator stops at `ebreak`).
+    pub fn halt(&mut self) -> &mut Self {
+        self.inst(Inst::Ebreak)
+    }
+
+    // ---- assembly ---------------------------------------------------------
+
+    /// Resolves all labels and produces the final [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if a referenced label was never bound or an offset exceeds its
+    /// encodable range.
+    pub fn assemble(self) -> Result<Program, AsmError> {
+        let resolve = |l: Label| self.labels[l.0].ok_or(AsmError::UnboundLabel(l));
+        let mut insts = Vec::with_capacity(self.entries.len());
+        for (idx, e) in self.entries.iter().enumerate() {
+            let inst = match *e {
+                Entry::Fixed(i) => i,
+                Entry::Branch {
+                    kind,
+                    rs1,
+                    rs2,
+                    target,
+                } => {
+                    let dst = resolve(target)?;
+                    let offset = (dst as i64 - idx as i64) * 4;
+                    if !(-4096..=4094).contains(&offset) {
+                        return Err(AsmError::BranchOutOfRange { at: idx, offset });
+                    }
+                    Inst::Branch {
+                        kind,
+                        rs1,
+                        rs2,
+                        offset: offset as i32,
+                    }
+                }
+                Entry::Jal { rd, target } => {
+                    let dst = resolve(target)?;
+                    let offset = (dst as i64 - idx as i64) * 4;
+                    if !(-(1 << 20)..(1 << 20)).contains(&offset) {
+                        return Err(AsmError::JumpOutOfRange { at: idx, offset });
+                    }
+                    Inst::Jal {
+                        rd,
+                        offset: offset as i32,
+                    }
+                }
+            };
+            insts.push(inst);
+        }
+        Ok(Program {
+            base: self.base,
+            insts,
+            data: self.data,
+            entry: self.base,
+        })
+    }
+}
+
+impl Default for Asm {
+    fn default() -> Self {
+        Asm::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn branch_resolution_forward_and_backward() {
+        let mut a = Asm::new();
+        let top = a.here();
+        let out = a.new_label();
+        a.beqz(Reg::A0, out); // idx 0 -> idx 2: +8
+        a.j(top); // idx 1 -> idx 0: -4
+        a.bind(out);
+        a.halt();
+        let p = a.assemble().unwrap();
+        assert_eq!(
+            p.insts[0],
+            Inst::Branch {
+                kind: BranchKind::Eq,
+                rs1: Reg::A0,
+                rs2: Reg::ZERO,
+                offset: 8
+            }
+        );
+        assert_eq!(
+            p.insts[1],
+            Inst::Jal {
+                rd: Reg::ZERO,
+                offset: -4
+            }
+        );
+    }
+
+    #[test]
+    fn unbound_label_errors() {
+        let mut a = Asm::new();
+        let l = a.new_label();
+        a.j(l);
+        assert!(matches!(a.assemble(), Err(AsmError::UnboundLabel(_))));
+    }
+
+    #[test]
+    fn branch_out_of_range_errors() {
+        let mut a = Asm::new();
+        let top = a.here();
+        for _ in 0..2000 {
+            a.nop();
+        }
+        a.beqz(Reg::A0, top);
+        a.halt();
+        assert!(matches!(
+            a.assemble(),
+            Err(AsmError::BranchOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn li_small_is_single_addi() {
+        let mut a = Asm::new();
+        a.li(Reg::A0, 42);
+        let p = a.assemble().unwrap();
+        assert_eq!(p.insts.len(), 1);
+    }
+
+    #[test]
+    fn li_32bit_is_lui_addiw() {
+        let mut a = Asm::new();
+        a.li(Reg::A0, 0x12345678);
+        let p = a.assemble().unwrap();
+        assert_eq!(p.insts.len(), 2);
+        assert!(matches!(p.insts[0], Inst::Lui { .. }));
+        assert!(matches!(
+            p.insts[1],
+            Inst::OpImm {
+                op: AluImmOp::Addiw,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn data_alignment() {
+        let mut a = Asm::new();
+        let x = a.bytes_aligned(vec![1, 2, 3], 1);
+        let y = a.words64(&[7]);
+        assert_eq!(x % 1, 0);
+        assert_eq!(y % 8, 0);
+        assert!(y >= x + 3);
+    }
+}

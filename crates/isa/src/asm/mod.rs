@@ -1,0 +1,9 @@
+//! Assembler: programmatic builder, text parser, and assembled programs.
+
+mod builder;
+mod parser;
+mod program;
+
+pub use builder::{Asm, AsmError, Label, DEFAULT_CODE_BASE, DEFAULT_DATA_BASE, DEFAULT_STACK_TOP};
+pub use parser::{parse_asm, ParseError};
+pub use program::Program;

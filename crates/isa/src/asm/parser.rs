@@ -1,0 +1,477 @@
+//! A small text assembler for the RV64IM subset.
+//!
+//! Supports labels, all real instructions of the subset, and the common
+//! pseudo-instructions (`li`, `mv`, `j`, `call`, `ret`, `nop`, `beqz`,
+//! `bnez`, `neg`, `not`, `seqz`, `snez`). Comments start with `#` or `//`.
+//!
+//! This exists so that tests, examples, and users can write kernels as plain
+//! text instead of going through the builder API.
+
+use super::{Asm, Label, Program};
+use crate::{AluImmOp, AluOp, BranchKind, MemWidth, Reg};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error produced while parsing assembly text.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Explanation of the failure.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses assembly text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns [`ParseError`] (with a line number) on any syntax problem, and a
+/// generic error if label resolution fails afterwards.
+///
+/// # Examples
+///
+/// ```
+/// use helios_isa::parse_asm;
+/// let prog = parse_asm(r#"
+///     li a0, 5
+/// loop:
+///     addi a0, a0, -1
+///     bnez a0, loop
+///     ebreak
+/// "#)?;
+/// assert_eq!(prog.len(), 4);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn parse_asm(text: &str) -> Result<Program, Box<dyn std::error::Error>> {
+    let mut asm = Asm::new();
+    let mut labels: HashMap<String, Label> = HashMap::new();
+    let mut get_label = |asm: &mut Asm, name: &str| -> Label {
+        if let Some(&l) = labels.get(name) {
+            l
+        } else {
+            let l = asm.new_label();
+            labels.insert(name.to_string(), l);
+            l
+        }
+    };
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.split('#').next().unwrap_or("");
+        let line = line.split("//").next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut rest = line;
+        // A line may carry one label followed by an optional instruction.
+        if let Some(colon) = rest.find(':') {
+            let (name, tail) = rest.split_at(colon);
+            let name = name.trim();
+            if name.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '.') && !name.is_empty()
+            {
+                let l = get_label(&mut asm, name);
+                asm.bind(l);
+                rest = tail[1..].trim();
+                if rest.is_empty() {
+                    continue;
+                }
+            }
+        }
+        parse_inst(&mut asm, rest, lineno, &mut |a, n| get_label(a, n))?;
+    }
+    Ok(asm.assemble()?)
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, ParseError> {
+    Reg::parse(tok).ok_or_else(|| err(line, format!("unknown register `{tok}`")))
+}
+
+fn parse_int(tok: &str, line: usize) -> Result<i64, ParseError> {
+    let tok = tok.trim();
+    let (neg, t) = match tok.strip_prefix('-') {
+        Some(t) => (true, t),
+        None => (false, tok),
+    };
+    let v = if let Some(hex) = t.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16)
+    } else {
+        t.parse::<i64>()
+    }
+    .map_err(|_| err(line, format!("bad integer `{tok}`")))?;
+    Ok(if neg { -v } else { v })
+}
+
+/// Splits `"8(sp)"` into (offset, reg).
+fn parse_mem_operand(tok: &str, line: usize) -> Result<(i32, Reg), ParseError> {
+    let open = tok
+        .find('(')
+        .ok_or_else(|| err(line, format!("expected offset(reg), got `{tok}`")))?;
+    let close = tok
+        .rfind(')')
+        .ok_or_else(|| err(line, format!("missing `)` in `{tok}`")))?;
+    let off = if tok[..open].trim().is_empty() {
+        0
+    } else {
+        parse_int(&tok[..open], line)?
+    };
+    let reg = parse_reg(tok[open + 1..close].trim(), line)?;
+    Ok((off as i32, reg))
+}
+
+fn parse_inst(
+    asm: &mut Asm,
+    line_text: &str,
+    line: usize,
+    get_label: &mut dyn FnMut(&mut Asm, &str) -> Label,
+) -> Result<(), ParseError> {
+    let (mnemonic, operands) = match line_text.find(char::is_whitespace) {
+        Some(i) => (&line_text[..i], line_text[i..].trim()),
+        None => (line_text, ""),
+    };
+    let ops: Vec<&str> = if operands.is_empty() {
+        Vec::new()
+    } else {
+        operands.split(',').map(str::trim).collect()
+    };
+    let need = |n: usize| -> Result<(), ParseError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(err(
+                line,
+                format!("`{mnemonic}` expects {n} operands, got {}", ops.len()),
+            ))
+        }
+    };
+
+    macro_rules! r {
+        ($i:expr) => {
+            parse_reg(ops[$i], line)?
+        };
+    }
+    macro_rules! imm {
+        ($i:expr) => {
+            parse_int(ops[$i], line)? as i32
+        };
+    }
+    macro_rules! lbl {
+        ($i:expr) => {
+            get_label(asm, ops[$i])
+        };
+    }
+
+    let alu_imm: Option<AluImmOp> = match mnemonic {
+        "addi" => Some(AluImmOp::Addi),
+        "slti" => Some(AluImmOp::Slti),
+        "sltiu" => Some(AluImmOp::Sltiu),
+        "xori" => Some(AluImmOp::Xori),
+        "ori" => Some(AluImmOp::Ori),
+        "andi" => Some(AluImmOp::Andi),
+        "slli" => Some(AluImmOp::Slli),
+        "srli" => Some(AluImmOp::Srli),
+        "srai" => Some(AluImmOp::Srai),
+        "addiw" => Some(AluImmOp::Addiw),
+        "slliw" => Some(AluImmOp::Slliw),
+        "srliw" => Some(AluImmOp::Srliw),
+        "sraiw" => Some(AluImmOp::Sraiw),
+        _ => None,
+    };
+    if let Some(op) = alu_imm {
+        need(3)?;
+        asm.op_imm(op, r!(0), r!(1), imm!(2));
+        return Ok(());
+    }
+
+    let alu: Option<AluOp> = match mnemonic {
+        "add" => Some(AluOp::Add),
+        "sub" => Some(AluOp::Sub),
+        "sll" => Some(AluOp::Sll),
+        "slt" => Some(AluOp::Slt),
+        "sltu" => Some(AluOp::Sltu),
+        "xor" => Some(AluOp::Xor),
+        "srl" => Some(AluOp::Srl),
+        "sra" => Some(AluOp::Sra),
+        "or" => Some(AluOp::Or),
+        "and" => Some(AluOp::And),
+        "addw" => Some(AluOp::Addw),
+        "subw" => Some(AluOp::Subw),
+        "sllw" => Some(AluOp::Sllw),
+        "srlw" => Some(AluOp::Srlw),
+        "sraw" => Some(AluOp::Sraw),
+        "mul" => Some(AluOp::Mul),
+        "mulh" => Some(AluOp::Mulh),
+        "mulhsu" => Some(AluOp::Mulhsu),
+        "mulhu" => Some(AluOp::Mulhu),
+        "div" => Some(AluOp::Div),
+        "divu" => Some(AluOp::Divu),
+        "rem" => Some(AluOp::Rem),
+        "remu" => Some(AluOp::Remu),
+        "mulw" => Some(AluOp::Mulw),
+        "divw" => Some(AluOp::Divw),
+        "divuw" => Some(AluOp::Divuw),
+        "remw" => Some(AluOp::Remw),
+        "remuw" => Some(AluOp::Remuw),
+        _ => None,
+    };
+    if let Some(op) = alu {
+        need(3)?;
+        asm.op(op, r!(0), r!(1), r!(2));
+        return Ok(());
+    }
+
+    let load: Option<(MemWidth, bool)> = match mnemonic {
+        "lb" => Some((MemWidth::B, true)),
+        "lh" => Some((MemWidth::H, true)),
+        "lw" => Some((MemWidth::W, true)),
+        "ld" => Some((MemWidth::D, true)),
+        "lbu" => Some((MemWidth::B, false)),
+        "lhu" => Some((MemWidth::H, false)),
+        "lwu" => Some((MemWidth::W, false)),
+        _ => None,
+    };
+    if let Some((w, s)) = load {
+        need(2)?;
+        let (off, base) = parse_mem_operand(ops[1], line)?;
+        asm.load(w, s, r!(0), off, base);
+        return Ok(());
+    }
+
+    let store: Option<MemWidth> = match mnemonic {
+        "sb" => Some(MemWidth::B),
+        "sh" => Some(MemWidth::H),
+        "sw" => Some(MemWidth::W),
+        "sd" => Some(MemWidth::D),
+        _ => None,
+    };
+    if let Some(w) = store {
+        need(2)?;
+        let (off, base) = parse_mem_operand(ops[1], line)?;
+        asm.store(w, r!(0), off, base);
+        return Ok(());
+    }
+
+    let branch: Option<BranchKind> = match mnemonic {
+        "beq" => Some(BranchKind::Eq),
+        "bne" => Some(BranchKind::Ne),
+        "blt" => Some(BranchKind::Lt),
+        "bge" => Some(BranchKind::Ge),
+        "bltu" => Some(BranchKind::Ltu),
+        "bgeu" => Some(BranchKind::Geu),
+        _ => None,
+    };
+    if let Some(kind) = branch {
+        need(3)?;
+        let (a, b) = (r!(0), r!(1));
+        let l = lbl!(2);
+        asm.branch(kind, a, b, l);
+        return Ok(());
+    }
+
+    match mnemonic {
+        "lui" => {
+            need(2)?;
+            asm.lui(r!(0), imm!(1));
+        }
+        "auipc" => {
+            need(2)?;
+            asm.auipc(r!(0), imm!(1));
+        }
+        "jal" => match ops.len() {
+            1 => {
+                let l = lbl!(0);
+                asm.jal(Reg::RA, l);
+            }
+            2 => {
+                let rd = r!(0);
+                let l = lbl!(1);
+                asm.jal(rd, l);
+            }
+            n => return Err(err(line, format!("`jal` expects 1 or 2 operands, got {n}"))),
+        },
+        "jalr" => {
+            need(1)?;
+            asm.jalr_ra(r!(0));
+        }
+        "j" => {
+            need(1)?;
+            let l = lbl!(0);
+            asm.j(l);
+        }
+        "jr" => {
+            need(1)?;
+            asm.jr(r!(0));
+        }
+        "call" => {
+            need(1)?;
+            let l = lbl!(0);
+            asm.call(l);
+        }
+        "ret" => {
+            need(0)?;
+            asm.ret();
+        }
+        "li" => {
+            need(2)?;
+            asm.li(r!(0), parse_int(ops[1], line)?);
+        }
+        "mv" => {
+            need(2)?;
+            asm.mv(r!(0), r!(1));
+        }
+        "neg" => {
+            need(2)?;
+            asm.neg(r!(0), r!(1));
+        }
+        "not" => {
+            need(2)?;
+            asm.not(r!(0), r!(1));
+        }
+        "seqz" => {
+            need(2)?;
+            asm.seqz(r!(0), r!(1));
+        }
+        "snez" => {
+            need(2)?;
+            asm.snez(r!(0), r!(1));
+        }
+        "beqz" => {
+            need(2)?;
+            let a = r!(0);
+            let l = lbl!(1);
+            asm.beqz(a, l);
+        }
+        "bnez" => {
+            need(2)?;
+            let a = r!(0);
+            let l = lbl!(1);
+            asm.bnez(a, l);
+        }
+        "bltz" => {
+            need(2)?;
+            let a = r!(0);
+            let l = lbl!(1);
+            asm.bltz(a, l);
+        }
+        "bgez" => {
+            need(2)?;
+            let a = r!(0);
+            let l = lbl!(1);
+            asm.bgez(a, l);
+        }
+        "nop" => {
+            need(0)?;
+            asm.nop();
+        }
+        "fence" => {
+            need(0)?;
+            asm.fence();
+        }
+        "ecall" => {
+            need(0)?;
+            asm.ecall();
+        }
+        "ebreak" => {
+            need(0)?;
+            asm.halt();
+        }
+        other => return Err(err(line, format!("unknown mnemonic `{other}`"))),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Inst;
+
+    #[test]
+    fn parses_loop() {
+        let p = parse_asm(
+            r#"
+            li a0, 3        # counter
+        top:
+            addi a0, a0, -1
+            bnez a0, top
+            ebreak
+        "#,
+        )
+        .unwrap();
+        assert_eq!(p.len(), 4);
+        assert!(matches!(p.insts[3], Inst::Ebreak));
+    }
+
+    #[test]
+    fn parses_memory_operands() {
+        let p = parse_asm("ld a0, 16(sp)\nsd a0, -8(s0)\nlw t0, (a1)\nebreak").unwrap();
+        assert_eq!(
+            p.insts[0],
+            Inst::Load {
+                width: MemWidth::D,
+                signed: true,
+                rd: Reg::A0,
+                rs1: Reg::SP,
+                offset: 16
+            }
+        );
+        assert_eq!(
+            p.insts[1],
+            Inst::Store {
+                width: MemWidth::D,
+                rs2: Reg::A0,
+                rs1: Reg::S0,
+                offset: -8
+            }
+        );
+        assert_eq!(p.insts[2].mem_offset(), Some(0));
+    }
+
+    #[test]
+    fn error_has_line_number() {
+        let e = parse_asm("nop\nbogus a0\n").unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("line 2"), "got: {msg}");
+    }
+
+    #[test]
+    fn forward_label_reference() {
+        let p = parse_asm("beqz a0, end\nnop\nend: ebreak").unwrap();
+        assert_eq!(
+            p.insts[0],
+            Inst::Branch {
+                kind: BranchKind::Eq,
+                rs1: Reg::A0,
+                rs2: Reg::ZERO,
+                offset: 8
+            }
+        );
+    }
+
+    #[test]
+    fn hex_immediates() {
+        let p = parse_asm("addi a0, zero, 0x7f\nebreak").unwrap();
+        assert_eq!(
+            p.insts[0],
+            Inst::OpImm {
+                op: AluImmOp::Addi,
+                rd: Reg::A0,
+                rs1: Reg::ZERO,
+                imm: 0x7f
+            }
+        );
+    }
+}

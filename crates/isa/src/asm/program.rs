@@ -1,0 +1,93 @@
+//! Assembled programs: code, initial data image, entry point.
+
+use crate::{encode, Inst};
+
+/// An assembled program ready to be loaded into the emulator.
+///
+/// Code is a contiguous run of 4-byte instructions starting at [`Program::base`];
+/// `data` holds initial memory images (address, bytes) for statically
+/// allocated buffers created through the assembler.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    /// Address of `insts[0]`.
+    pub base: u64,
+    /// The instructions, in layout order.
+    pub insts: Vec<Inst>,
+    /// Initial data segments: `(address, bytes)`.
+    pub data: Vec<(u64, Vec<u8>)>,
+    /// Initial PC (may differ from `base` if entry is mid-program).
+    pub entry: u64,
+}
+
+impl Program {
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The instruction at `pc`, if `pc` is in range and 4-byte aligned.
+    #[inline]
+    pub fn fetch(&self, pc: u64) -> Option<&Inst> {
+        if pc < self.base || pc % 4 != 0 {
+            return None;
+        }
+        self.insts.get(((pc - self.base) / 4) as usize)
+    }
+
+    /// Encodes all instructions into raw 32-bit words (the binary image).
+    pub fn words(&self) -> Vec<u32> {
+        self.insts.iter().map(encode).collect()
+    }
+
+    /// Total bytes of initial data.
+    pub fn data_bytes(&self) -> usize {
+        self.data.iter().map(|(_, b)| b.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AluImmOp, Reg};
+
+    fn prog() -> Program {
+        Program {
+            base: 0x1000,
+            insts: vec![
+                Inst::NOP,
+                Inst::OpImm {
+                    op: AluImmOp::Addi,
+                    rd: Reg::A0,
+                    rs1: Reg::ZERO,
+                    imm: 7,
+                },
+            ],
+            data: vec![(0x8000, vec![1, 2, 3])],
+            entry: 0x1000,
+        }
+    }
+
+    #[test]
+    fn fetch_bounds() {
+        let p = prog();
+        assert_eq!(p.fetch(0x1000), Some(&Inst::NOP));
+        assert!(p.fetch(0x1004).is_some());
+        assert_eq!(p.fetch(0x1008), None);
+        assert_eq!(p.fetch(0x0ffc), None);
+        assert_eq!(p.fetch(0x1002), None, "unaligned");
+    }
+
+    #[test]
+    fn words_roundtrip() {
+        let p = prog();
+        for (w, i) in p.words().iter().zip(&p.insts) {
+            assert_eq!(crate::decode(*w).unwrap(), *i);
+        }
+        assert_eq!(p.data_bytes(), 3);
+    }
+}

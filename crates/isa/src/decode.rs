@@ -1,0 +1,323 @@
+//! Decoding of raw 32-bit RISC-V words back into [`Inst`].
+
+use crate::{AluImmOp, AluOp, BranchKind, Inst, MemWidth, Reg};
+use std::fmt;
+
+/// Error returned when a 32-bit word is not a supported RV64IM instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DecodeError {
+    /// The raw word that failed to decode.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot decode instruction word {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+#[inline]
+fn reg_at(word: u32, lsb: u32) -> Reg {
+    Reg::new(((word >> lsb) & 0x1f) as u8)
+}
+
+#[inline]
+fn i_imm(word: u32) -> i32 {
+    (word as i32) >> 20
+}
+
+#[inline]
+fn s_imm(word: u32) -> i32 {
+    (((word >> 7) & 0x1f) | (((word as i32 >> 25) as u32) << 5)) as i32
+}
+
+#[inline]
+fn b_imm(word: u32) -> i32 {
+    let imm = (((word >> 8) & 0xf) << 1)
+        | (((word >> 25) & 0x3f) << 5)
+        | (((word >> 7) & 1) << 11)
+        | ((word >> 31) << 12);
+    ((imm << 19) as i32) >> 19
+}
+
+#[inline]
+fn u_imm20(word: u32) -> i32 {
+    (word as i32) >> 12
+}
+
+#[inline]
+fn j_imm(word: u32) -> i32 {
+    let imm = (((word >> 21) & 0x3ff) << 1)
+        | (((word >> 20) & 1) << 11)
+        | (((word >> 12) & 0xff) << 12)
+        | ((word >> 31) << 20);
+    ((imm << 11) as i32) >> 11
+}
+
+/// Decodes a 32-bit word into an [`Inst`].
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] for words that are not valid RV64IM encodings
+/// (unknown opcodes, reserved funct combinations, unsupported extensions).
+pub fn decode(word: u32) -> Result<Inst, DecodeError> {
+    let err = || DecodeError { word };
+    let opcode = word & 0x7f;
+    let rd = reg_at(word, 7);
+    let rs1 = reg_at(word, 15);
+    let rs2 = reg_at(word, 20);
+    let f3 = (word >> 12) & 0x7;
+    let f7 = word >> 25;
+
+    let inst = match opcode {
+        0b0110111 => Inst::Lui {
+            rd,
+            imm20: u_imm20(word),
+        },
+        0b0010111 => Inst::Auipc {
+            rd,
+            imm20: u_imm20(word),
+        },
+        0b1101111 => Inst::Jal {
+            rd,
+            offset: j_imm(word),
+        },
+        0b1100111 => {
+            if f3 != 0 {
+                return Err(err());
+            }
+            Inst::Jalr {
+                rd,
+                rs1,
+                offset: i_imm(word),
+            }
+        }
+        0b1100011 => {
+            let kind = match f3 {
+                0b000 => BranchKind::Eq,
+                0b001 => BranchKind::Ne,
+                0b100 => BranchKind::Lt,
+                0b101 => BranchKind::Ge,
+                0b110 => BranchKind::Ltu,
+                0b111 => BranchKind::Geu,
+                _ => return Err(err()),
+            };
+            Inst::Branch {
+                kind,
+                rs1,
+                rs2,
+                offset: b_imm(word),
+            }
+        }
+        0b0000011 => {
+            let (width, signed) = match f3 {
+                0b000 => (MemWidth::B, true),
+                0b001 => (MemWidth::H, true),
+                0b010 => (MemWidth::W, true),
+                0b011 => (MemWidth::D, true),
+                0b100 => (MemWidth::B, false),
+                0b101 => (MemWidth::H, false),
+                0b110 => (MemWidth::W, false),
+                _ => return Err(err()),
+            };
+            Inst::Load {
+                width,
+                signed,
+                rd,
+                rs1,
+                offset: i_imm(word),
+            }
+        }
+        0b0100011 => {
+            let width = match f3 {
+                0b000 => MemWidth::B,
+                0b001 => MemWidth::H,
+                0b010 => MemWidth::W,
+                0b011 => MemWidth::D,
+                _ => return Err(err()),
+            };
+            Inst::Store {
+                width,
+                rs2,
+                rs1,
+                offset: s_imm(word),
+            }
+        }
+        0b0010011 => {
+            let op = match f3 {
+                0b000 => AluImmOp::Addi,
+                0b010 => AluImmOp::Slti,
+                0b011 => AluImmOp::Sltiu,
+                0b100 => AluImmOp::Xori,
+                0b110 => AluImmOp::Ori,
+                0b111 => AluImmOp::Andi,
+                0b001 => {
+                    if f7 >> 1 != 0 {
+                        return Err(err());
+                    }
+                    return Ok(Inst::OpImm {
+                        op: AluImmOp::Slli,
+                        rd,
+                        rs1,
+                        imm: ((word >> 20) & 0x3f) as i32,
+                    });
+                }
+                0b101 => {
+                    let op = match f7 >> 1 {
+                        0b000000 => AluImmOp::Srli,
+                        0b010000 => AluImmOp::Srai,
+                        _ => return Err(err()),
+                    };
+                    return Ok(Inst::OpImm {
+                        op,
+                        rd,
+                        rs1,
+                        imm: ((word >> 20) & 0x3f) as i32,
+                    });
+                }
+                _ => unreachable!(),
+            };
+            Inst::OpImm {
+                op,
+                rd,
+                rs1,
+                imm: i_imm(word),
+            }
+        }
+        0b0011011 => match f3 {
+            0b000 => Inst::OpImm {
+                op: AluImmOp::Addiw,
+                rd,
+                rs1,
+                imm: i_imm(word),
+            },
+            0b001 if f7 == 0 => Inst::OpImm {
+                op: AluImmOp::Slliw,
+                rd,
+                rs1,
+                imm: ((word >> 20) & 0x1f) as i32,
+            },
+            0b101 if f7 == 0 => Inst::OpImm {
+                op: AluImmOp::Srliw,
+                rd,
+                rs1,
+                imm: ((word >> 20) & 0x1f) as i32,
+            },
+            0b101 if f7 == 0b0100000 => Inst::OpImm {
+                op: AluImmOp::Sraiw,
+                rd,
+                rs1,
+                imm: ((word >> 20) & 0x1f) as i32,
+            },
+            _ => return Err(err()),
+        },
+        0b0110011 => {
+            let op = match (f7, f3) {
+                (0b0000000, 0b000) => AluOp::Add,
+                (0b0100000, 0b000) => AluOp::Sub,
+                (0b0000000, 0b001) => AluOp::Sll,
+                (0b0000000, 0b010) => AluOp::Slt,
+                (0b0000000, 0b011) => AluOp::Sltu,
+                (0b0000000, 0b100) => AluOp::Xor,
+                (0b0000000, 0b101) => AluOp::Srl,
+                (0b0100000, 0b101) => AluOp::Sra,
+                (0b0000000, 0b110) => AluOp::Or,
+                (0b0000000, 0b111) => AluOp::And,
+                (0b0000001, 0b000) => AluOp::Mul,
+                (0b0000001, 0b001) => AluOp::Mulh,
+                (0b0000001, 0b010) => AluOp::Mulhsu,
+                (0b0000001, 0b011) => AluOp::Mulhu,
+                (0b0000001, 0b100) => AluOp::Div,
+                (0b0000001, 0b101) => AluOp::Divu,
+                (0b0000001, 0b110) => AluOp::Rem,
+                (0b0000001, 0b111) => AluOp::Remu,
+                _ => return Err(err()),
+            };
+            Inst::Op { op, rd, rs1, rs2 }
+        }
+        0b0111011 => {
+            let op = match (f7, f3) {
+                (0b0000000, 0b000) => AluOp::Addw,
+                (0b0100000, 0b000) => AluOp::Subw,
+                (0b0000000, 0b001) => AluOp::Sllw,
+                (0b0000000, 0b101) => AluOp::Srlw,
+                (0b0100000, 0b101) => AluOp::Sraw,
+                (0b0000001, 0b000) => AluOp::Mulw,
+                (0b0000001, 0b100) => AluOp::Divw,
+                (0b0000001, 0b101) => AluOp::Divuw,
+                (0b0000001, 0b110) => AluOp::Remw,
+                (0b0000001, 0b111) => AluOp::Remuw,
+                _ => return Err(err()),
+            };
+            Inst::Op { op, rd, rs1, rs2 }
+        }
+        0b0001111 => Inst::Fence,
+        0b1110011 => match word >> 20 {
+            0 => Inst::Ecall,
+            1 => Inst::Ebreak,
+            _ => return Err(err()),
+        },
+        _ => return Err(err()),
+    };
+    Ok(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode;
+
+    #[test]
+    fn decode_known_words() {
+        assert_eq!(
+            decode(0x00150513).unwrap(),
+            Inst::OpImm {
+                op: AluImmOp::Addi,
+                rd: Reg::A0,
+                rs1: Reg::A0,
+                imm: 1
+            }
+        );
+        assert_eq!(
+            decode(0xfe010113).unwrap(),
+            Inst::OpImm {
+                op: AluImmOp::Addi,
+                rd: Reg::SP,
+                rs1: Reg::SP,
+                imm: -32
+            }
+        );
+        assert_eq!(decode(0x00000073).unwrap(), Inst::Ecall);
+        assert_eq!(decode(0x00100073).unwrap(), Inst::Ebreak);
+    }
+
+    #[test]
+    fn reject_garbage() {
+        assert!(decode(0x0000_0000).is_err());
+        assert!(decode(0xffff_ffff).is_err());
+        // Compressed instruction (low bits != 11) patterns are invalid here.
+        assert!(decode(0x0000_0001).is_err());
+    }
+
+    #[test]
+    fn negative_branch_offset_roundtrip() {
+        let b = Inst::Branch {
+            kind: BranchKind::Ne,
+            rs1: Reg::A0,
+            rs2: Reg::ZERO,
+            offset: -16,
+        };
+        assert_eq!(decode(encode(&b)).unwrap(), b);
+    }
+
+    #[test]
+    fn negative_jal_offset_roundtrip() {
+        let j = Inst::Jal {
+            rd: Reg::ZERO,
+            offset: -1048576,
+        };
+        assert_eq!(decode(encode(&j)).unwrap(), j);
+    }
+}

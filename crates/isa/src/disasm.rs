@@ -1,0 +1,114 @@
+//! Textual disassembly of [`Inst`] values.
+
+use crate::Inst;
+
+/// Renders an instruction in conventional RISC-V assembly syntax.
+///
+/// Branch and jump offsets are printed as relative byte offsets
+/// (`beq a0, a1, +8`), since a lone instruction has no label context.
+///
+/// # Examples
+///
+/// ```
+/// use helios_isa::{disassemble, Inst, Reg, MemWidth};
+/// let ld = Inst::Load { width: MemWidth::D, signed: true, rd: Reg::A0, rs1: Reg::SP, offset: 16 };
+/// assert_eq!(disassemble(&ld), "ld a0, 16(sp)");
+/// ```
+pub fn disassemble(inst: &Inst) -> String {
+    match *inst {
+        Inst::Lui { rd, imm20 } => format!("lui {rd}, {:#x}", imm20 as u32 & 0xfffff),
+        Inst::Auipc { rd, imm20 } => format!("auipc {rd}, {:#x}", imm20 as u32 & 0xfffff),
+        Inst::Jal { rd, offset } => format!("jal {rd}, {offset:+}"),
+        Inst::Jalr { rd, rs1, offset } => format!("jalr {rd}, {offset}({rs1})"),
+        Inst::Branch {
+            kind,
+            rs1,
+            rs2,
+            offset,
+        } => format!("{} {rs1}, {rs2}, {offset:+}", kind.mnemonic()),
+        Inst::Load {
+            width,
+            signed,
+            rd,
+            rs1,
+            offset,
+        } => {
+            let m = match (width, signed) {
+                (crate::MemWidth::B, true) => "lb",
+                (crate::MemWidth::H, true) => "lh",
+                (crate::MemWidth::W, true) => "lw",
+                (crate::MemWidth::D, _) => "ld",
+                (crate::MemWidth::B, false) => "lbu",
+                (crate::MemWidth::H, false) => "lhu",
+                (crate::MemWidth::W, false) => "lwu",
+            };
+            format!("{m} {rd}, {offset}({rs1})")
+        }
+        Inst::Store {
+            width,
+            rs2,
+            rs1,
+            offset,
+        } => {
+            let m = match width {
+                crate::MemWidth::B => "sb",
+                crate::MemWidth::H => "sh",
+                crate::MemWidth::W => "sw",
+                crate::MemWidth::D => "sd",
+            };
+            format!("{m} {rs2}, {offset}({rs1})")
+        }
+        Inst::OpImm { op, rd, rs1, imm } => format!("{} {rd}, {rs1}, {imm}", op.mnemonic()),
+        Inst::Op { op, rd, rs1, rs2 } => format!("{} {rd}, {rs1}, {rs2}", op.mnemonic()),
+        Inst::Fence => "fence".to_string(),
+        Inst::Ecall => "ecall".to_string(),
+        Inst::Ebreak => "ebreak".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AluImmOp, AluOp, BranchKind, MemWidth, Reg};
+
+    #[test]
+    fn formats() {
+        assert_eq!(
+            disassemble(&Inst::OpImm {
+                op: AluImmOp::Addi,
+                rd: Reg::SP,
+                rs1: Reg::SP,
+                imm: -32
+            }),
+            "addi sp, sp, -32"
+        );
+        assert_eq!(
+            disassemble(&Inst::Op {
+                op: AluOp::Mul,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::A2
+            }),
+            "mul a0, a1, a2"
+        );
+        assert_eq!(
+            disassemble(&Inst::Branch {
+                kind: BranchKind::Ltu,
+                rs1: Reg::T0,
+                rs2: Reg::T1,
+                offset: -64
+            }),
+            "bltu t0, t1, -64"
+        );
+        assert_eq!(
+            disassemble(&Inst::Store {
+                width: MemWidth::W,
+                rs2: Reg::A0,
+                rs1: Reg::S1,
+                offset: 4
+            }),
+            "sw a0, 4(s1)"
+        );
+        assert_eq!(disassemble(&Inst::Fence), "fence");
+    }
+}

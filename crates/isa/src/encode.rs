@@ -1,0 +1,325 @@
+//! Encoding of [`Inst`] into the standard 32-bit RISC-V instruction format.
+
+use crate::{AluImmOp, AluOp, BranchKind, Inst, MemWidth, Reg};
+
+const OPC_LUI: u32 = 0b0110111;
+const OPC_AUIPC: u32 = 0b0010111;
+const OPC_JAL: u32 = 0b1101111;
+const OPC_JALR: u32 = 0b1100111;
+const OPC_BRANCH: u32 = 0b1100011;
+const OPC_LOAD: u32 = 0b0000011;
+const OPC_STORE: u32 = 0b0100011;
+const OPC_OP_IMM: u32 = 0b0010011;
+const OPC_OP_IMM32: u32 = 0b0011011;
+const OPC_OP: u32 = 0b0110011;
+const OPC_OP32: u32 = 0b0111011;
+const OPC_MISC_MEM: u32 = 0b0001111;
+const OPC_SYSTEM: u32 = 0b1110011;
+
+#[inline]
+fn rd(r: Reg) -> u32 {
+    (r.index() as u32) << 7
+}
+#[inline]
+fn rs1(r: Reg) -> u32 {
+    (r.index() as u32) << 15
+}
+#[inline]
+fn rs2(r: Reg) -> u32 {
+    (r.index() as u32) << 20
+}
+#[inline]
+fn funct3(f: u32) -> u32 {
+    f << 12
+}
+#[inline]
+fn funct7(f: u32) -> u32 {
+    f << 25
+}
+
+fn i_type(op: u32, f3: u32, d: Reg, s1: Reg, imm: i32) -> u32 {
+    debug_assert!((-2048..=2047).contains(&imm), "I-imm out of range: {imm}");
+    op | rd(d) | funct3(f3) | rs1(s1) | ((imm as u32 & 0xfff) << 20)
+}
+
+fn s_type(op: u32, f3: u32, s1: Reg, s2: Reg, imm: i32) -> u32 {
+    debug_assert!((-2048..=2047).contains(&imm), "S-imm out of range: {imm}");
+    let imm = imm as u32 & 0xfff;
+    op | ((imm & 0x1f) << 7) | funct3(f3) | rs1(s1) | rs2(s2) | ((imm >> 5) << 25)
+}
+
+fn b_type(op: u32, f3: u32, s1: Reg, s2: Reg, imm: i32) -> u32 {
+    debug_assert!(
+        (-4096..=4095).contains(&imm) && imm % 2 == 0,
+        "B-imm out of range or odd: {imm}"
+    );
+    let imm = imm as u32 & 0x1fff;
+    op | (((imm >> 11) & 1) << 7)
+        | (((imm >> 1) & 0xf) << 8)
+        | funct3(f3)
+        | rs1(s1)
+        | rs2(s2)
+        | (((imm >> 5) & 0x3f) << 25)
+        | (((imm >> 12) & 1) << 31)
+}
+
+fn u_type(op: u32, d: Reg, imm20: i32) -> u32 {
+    debug_assert!(
+        (-(1 << 19)..(1 << 19)).contains(&imm20),
+        "U-imm20 out of range: {imm20}"
+    );
+    op | rd(d) | ((imm20 as u32 & 0xfffff) << 12)
+}
+
+fn j_type(op: u32, d: Reg, imm: i32) -> u32 {
+    debug_assert!(
+        (-(1 << 20)..(1 << 20)).contains(&imm) && imm % 2 == 0,
+        "J-imm out of range or odd: {imm}"
+    );
+    let imm = imm as u32 & 0x1f_ffff;
+    op | rd(d)
+        | (((imm >> 12) & 0xff) << 12)
+        | (((imm >> 11) & 1) << 20)
+        | (((imm >> 1) & 0x3ff) << 21)
+        | (((imm >> 20) & 1) << 31)
+}
+
+fn load_funct3(width: MemWidth, signed: bool) -> u32 {
+    match (width, signed) {
+        (MemWidth::B, true) => 0b000,
+        (MemWidth::H, true) => 0b001,
+        (MemWidth::W, true) => 0b010,
+        (MemWidth::D, _) => 0b011,
+        (MemWidth::B, false) => 0b100,
+        (MemWidth::H, false) => 0b101,
+        (MemWidth::W, false) => 0b110,
+    }
+}
+
+fn branch_funct3(kind: BranchKind) -> u32 {
+    match kind {
+        BranchKind::Eq => 0b000,
+        BranchKind::Ne => 0b001,
+        BranchKind::Lt => 0b100,
+        BranchKind::Ge => 0b101,
+        BranchKind::Ltu => 0b110,
+        BranchKind::Geu => 0b111,
+    }
+}
+
+/// Encodes an instruction into its 32-bit RISC-V representation.
+///
+/// # Panics
+///
+/// Debug builds assert that immediates fit their encodable ranges; the
+/// assembler guarantees this for programs it produces.
+///
+/// # Examples
+///
+/// ```
+/// use helios_isa::{encode, decode, Inst, Reg, MemWidth};
+/// let ld = Inst::Load { width: MemWidth::D, signed: true, rd: Reg::A0, rs1: Reg::SP, offset: 16 };
+/// assert_eq!(decode(encode(&ld))?, ld);
+/// # Ok::<(), helios_isa::DecodeError>(())
+/// ```
+pub fn encode(inst: &Inst) -> u32 {
+    match *inst {
+        Inst::Lui { rd: d, imm20 } => u_type(OPC_LUI, d, imm20),
+        Inst::Auipc { rd: d, imm20 } => u_type(OPC_AUIPC, d, imm20),
+        Inst::Jal { rd: d, offset } => j_type(OPC_JAL, d, offset),
+        Inst::Jalr {
+            rd: d,
+            rs1: s1,
+            offset,
+        } => i_type(OPC_JALR, 0, d, s1, offset),
+        Inst::Branch {
+            kind,
+            rs1: s1,
+            rs2: s2,
+            offset,
+        } => b_type(OPC_BRANCH, branch_funct3(kind), s1, s2, offset),
+        Inst::Load {
+            width,
+            signed,
+            rd: d,
+            rs1: s1,
+            offset,
+        } => i_type(OPC_LOAD, load_funct3(width, signed), d, s1, offset),
+        Inst::Store {
+            width,
+            rs2: s2,
+            rs1: s1,
+            offset,
+        } => s_type(OPC_STORE, width.log2(), s1, s2, offset),
+        Inst::OpImm {
+            op,
+            rd: d,
+            rs1: s1,
+            imm,
+        } => encode_op_imm(op, d, s1, imm),
+        Inst::Op {
+            op,
+            rd: d,
+            rs1: s1,
+            rs2: s2,
+        } => encode_op(op, d, s1, s2),
+        Inst::Fence => OPC_MISC_MEM | (0b0000_1111_1111 << 20),
+        Inst::Ecall => OPC_SYSTEM,
+        Inst::Ebreak => OPC_SYSTEM | (1 << 20),
+    }
+}
+
+fn encode_op_imm(op: AluImmOp, d: Reg, s1: Reg, imm: i32) -> u32 {
+    use AluImmOp::*;
+    match op {
+        Addi => i_type(OPC_OP_IMM, 0b000, d, s1, imm),
+        Slti => i_type(OPC_OP_IMM, 0b010, d, s1, imm),
+        Sltiu => i_type(OPC_OP_IMM, 0b011, d, s1, imm),
+        Xori => i_type(OPC_OP_IMM, 0b100, d, s1, imm),
+        Ori => i_type(OPC_OP_IMM, 0b110, d, s1, imm),
+        Andi => i_type(OPC_OP_IMM, 0b111, d, s1, imm),
+        Slli => {
+            debug_assert!((0..64).contains(&imm));
+            OPC_OP_IMM | rd(d) | funct3(0b001) | rs1(s1) | ((imm as u32) << 20)
+        }
+        Srli => {
+            debug_assert!((0..64).contains(&imm));
+            OPC_OP_IMM | rd(d) | funct3(0b101) | rs1(s1) | ((imm as u32) << 20)
+        }
+        Srai => {
+            debug_assert!((0..64).contains(&imm));
+            OPC_OP_IMM | rd(d) | funct3(0b101) | rs1(s1) | ((imm as u32) << 20) | (0b010000 << 26)
+        }
+        Addiw => i_type(OPC_OP_IMM32, 0b000, d, s1, imm),
+        Slliw => {
+            debug_assert!((0..32).contains(&imm));
+            OPC_OP_IMM32 | rd(d) | funct3(0b001) | rs1(s1) | ((imm as u32) << 20)
+        }
+        Srliw => {
+            debug_assert!((0..32).contains(&imm));
+            OPC_OP_IMM32 | rd(d) | funct3(0b101) | rs1(s1) | ((imm as u32) << 20)
+        }
+        Sraiw => {
+            debug_assert!((0..32).contains(&imm));
+            OPC_OP_IMM32 | rd(d) | funct3(0b101) | rs1(s1) | ((imm as u32) << 20) | funct7(0b0100000)
+        }
+    }
+}
+
+fn encode_op(op: AluOp, d: Reg, s1: Reg, s2: Reg) -> u32 {
+    use AluOp::*;
+    let (opc, f3, f7) = match op {
+        Add => (OPC_OP, 0b000, 0b0000000),
+        Sub => (OPC_OP, 0b000, 0b0100000),
+        Sll => (OPC_OP, 0b001, 0b0000000),
+        Slt => (OPC_OP, 0b010, 0b0000000),
+        Sltu => (OPC_OP, 0b011, 0b0000000),
+        Xor => (OPC_OP, 0b100, 0b0000000),
+        Srl => (OPC_OP, 0b101, 0b0000000),
+        Sra => (OPC_OP, 0b101, 0b0100000),
+        Or => (OPC_OP, 0b110, 0b0000000),
+        And => (OPC_OP, 0b111, 0b0000000),
+        Addw => (OPC_OP32, 0b000, 0b0000000),
+        Subw => (OPC_OP32, 0b000, 0b0100000),
+        Sllw => (OPC_OP32, 0b001, 0b0000000),
+        Srlw => (OPC_OP32, 0b101, 0b0000000),
+        Sraw => (OPC_OP32, 0b101, 0b0100000),
+        Mul => (OPC_OP, 0b000, 0b0000001),
+        Mulh => (OPC_OP, 0b001, 0b0000001),
+        Mulhsu => (OPC_OP, 0b010, 0b0000001),
+        Mulhu => (OPC_OP, 0b011, 0b0000001),
+        Div => (OPC_OP, 0b100, 0b0000001),
+        Divu => (OPC_OP, 0b101, 0b0000001),
+        Rem => (OPC_OP, 0b110, 0b0000001),
+        Remu => (OPC_OP, 0b111, 0b0000001),
+        Mulw => (OPC_OP32, 0b000, 0b0000001),
+        Divw => (OPC_OP32, 0b100, 0b0000001),
+        Divuw => (OPC_OP32, 0b101, 0b0000001),
+        Remw => (OPC_OP32, 0b110, 0b0000001),
+        Remuw => (OPC_OP32, 0b111, 0b0000001),
+    };
+    opc | rd(d) | funct3(f3) | rs1(s1) | rs2(s2) | funct7(f7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_encodings() {
+        // Cross-checked against the RISC-V spec / GNU as output.
+        // addi a0, a0, 1  => 0x00150513
+        assert_eq!(
+            encode(&Inst::OpImm {
+                op: AluImmOp::Addi,
+                rd: Reg::A0,
+                rs1: Reg::A0,
+                imm: 1
+            }),
+            0x00150513
+        );
+        // ld a1, 8(sp) => 0x00813583
+        assert_eq!(
+            encode(&Inst::Load {
+                width: MemWidth::D,
+                signed: true,
+                rd: Reg::A1,
+                rs1: Reg::SP,
+                offset: 8
+            }),
+            0x00813583
+        );
+        // sd s0, 16(sp) => 0x00813823
+        assert_eq!(
+            encode(&Inst::Store {
+                width: MemWidth::D,
+                rs2: Reg::S0,
+                rs1: Reg::SP,
+                offset: 16
+            }),
+            0x00813823
+        );
+        // beq a0, a1, +8 => 0x00b50463
+        assert_eq!(
+            encode(&Inst::Branch {
+                kind: BranchKind::Eq,
+                rs1: Reg::A0,
+                rs2: Reg::A1,
+                offset: 8
+            }),
+            0x00b50463
+        );
+        // lui t0, 0x12345 => 0x123452b7
+        assert_eq!(
+            encode(&Inst::Lui {
+                rd: Reg::T0,
+                imm20: 0x12345
+            }),
+            0x123452b7
+        );
+        // jal ra, +0 => 0x000000ef
+        assert_eq!(
+            encode(&Inst::Jal {
+                rd: Reg::RA,
+                offset: 0
+            }),
+            0x000000ef
+        );
+        // ecall => 0x00000073
+        assert_eq!(encode(&Inst::Ecall), 0x00000073);
+    }
+
+    #[test]
+    fn negative_immediates() {
+        // addi sp, sp, -32 => 0xfe010113
+        assert_eq!(
+            encode(&Inst::OpImm {
+                op: AluImmOp::Addi,
+                rd: Reg::SP,
+                rs1: Reg::SP,
+                imm: -32
+            }),
+            0xfe010113
+        );
+    }
+}

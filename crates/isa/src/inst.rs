@@ -1,0 +1,659 @@
+//! The RV64IM instruction model.
+//!
+//! Instructions are represented as a structured enum rather than raw bits so
+//! that the emulator, the fusion idiom matcher, and the pipeline model can
+//! pattern-match on them directly. [`crate::encode`] and [`crate::decode`]
+//! convert to and from the standard 32-bit RISC-V encoding.
+
+use crate::Reg;
+use std::fmt;
+
+/// Width of a memory access in bytes.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum MemWidth {
+    /// 1 byte (`lb`/`lbu`/`sb`).
+    B,
+    /// 2 bytes (`lh`/`lhu`/`sh`).
+    H,
+    /// 4 bytes (`lw`/`lwu`/`sw`).
+    W,
+    /// 8 bytes (`ld`/`sd`).
+    D,
+}
+
+impl MemWidth {
+    /// Number of bytes accessed.
+    #[inline]
+    pub fn bytes(self) -> u64 {
+        match self {
+            MemWidth::B => 1,
+            MemWidth::H => 2,
+            MemWidth::W => 4,
+            MemWidth::D => 8,
+        }
+    }
+
+    /// log2 of the access size.
+    #[inline]
+    pub fn log2(self) -> u32 {
+        match self {
+            MemWidth::B => 0,
+            MemWidth::H => 1,
+            MemWidth::W => 2,
+            MemWidth::D => 3,
+        }
+    }
+}
+
+/// Conditional branch comparisons.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BranchKind {
+    Eq,
+    Ne,
+    Lt,
+    Ge,
+    Ltu,
+    Geu,
+}
+
+impl BranchKind {
+    /// Evaluates the branch condition on two 64-bit register values.
+    #[inline]
+    pub fn taken(self, a: u64, b: u64) -> bool {
+        match self {
+            BranchKind::Eq => a == b,
+            BranchKind::Ne => a != b,
+            BranchKind::Lt => (a as i64) < (b as i64),
+            BranchKind::Ge => (a as i64) >= (b as i64),
+            BranchKind::Ltu => a < b,
+            BranchKind::Geu => a >= b,
+        }
+    }
+
+    /// Assembly mnemonic suffix (`"eq"` for `beq`, ...).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BranchKind::Eq => "beq",
+            BranchKind::Ne => "bne",
+            BranchKind::Lt => "blt",
+            BranchKind::Ge => "bge",
+            BranchKind::Ltu => "bltu",
+            BranchKind::Geu => "bgeu",
+        }
+    }
+}
+
+/// Register-immediate ALU operations (I-type), including the RV64 `*w`
+/// 32-bit variants.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AluImmOp {
+    Addi,
+    Slti,
+    Sltiu,
+    Xori,
+    Ori,
+    Andi,
+    Slli,
+    Srli,
+    Srai,
+    /// 32-bit add immediate, sign-extends the 32-bit result.
+    Addiw,
+    Slliw,
+    Srliw,
+    Sraiw,
+}
+
+impl AluImmOp {
+    /// Whether this is one of the `*w` operations on the low 32 bits.
+    pub fn is_word(self) -> bool {
+        matches!(
+            self,
+            AluImmOp::Addiw | AluImmOp::Slliw | AluImmOp::Srliw | AluImmOp::Sraiw
+        )
+    }
+
+    /// Whether this is a shift (immediate is a shamt, not a 12-bit value).
+    pub fn is_shift(self) -> bool {
+        matches!(
+            self,
+            AluImmOp::Slli
+                | AluImmOp::Srli
+                | AluImmOp::Srai
+                | AluImmOp::Slliw
+                | AluImmOp::Srliw
+                | AluImmOp::Sraiw
+        )
+    }
+
+    /// Assembly mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluImmOp::Addi => "addi",
+            AluImmOp::Slti => "slti",
+            AluImmOp::Sltiu => "sltiu",
+            AluImmOp::Xori => "xori",
+            AluImmOp::Ori => "ori",
+            AluImmOp::Andi => "andi",
+            AluImmOp::Slli => "slli",
+            AluImmOp::Srli => "srli",
+            AluImmOp::Srai => "srai",
+            AluImmOp::Addiw => "addiw",
+            AluImmOp::Slliw => "slliw",
+            AluImmOp::Srliw => "srliw",
+            AluImmOp::Sraiw => "sraiw",
+        }
+    }
+
+    /// Evaluates the operation.
+    #[inline]
+    pub fn eval(self, a: u64, imm: i32) -> u64 {
+        let i = imm as i64 as u64;
+        match self {
+            AluImmOp::Addi => a.wrapping_add(i),
+            AluImmOp::Slti => ((a as i64) < (i as i64)) as u64,
+            AluImmOp::Sltiu => (a < i) as u64,
+            AluImmOp::Xori => a ^ i,
+            AluImmOp::Ori => a | i,
+            AluImmOp::Andi => a & i,
+            AluImmOp::Slli => a << (imm as u32 & 63),
+            AluImmOp::Srli => a >> (imm as u32 & 63),
+            AluImmOp::Srai => ((a as i64) >> (imm as u32 & 63)) as u64,
+            AluImmOp::Addiw => (a as i32).wrapping_add(imm) as i64 as u64,
+            AluImmOp::Slliw => ((a as i32) << (imm as u32 & 31)) as i64 as u64,
+            AluImmOp::Srliw => (((a as u32) >> (imm as u32 & 31)) as i32) as i64 as u64,
+            AluImmOp::Sraiw => ((a as i32) >> (imm as u32 & 31)) as i64 as u64,
+        }
+    }
+}
+
+/// Register-register ALU operations (R-type), including RV64 `*w` variants
+/// and the M extension (multiply/divide).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AluOp {
+    Add,
+    Sub,
+    Sll,
+    Slt,
+    Sltu,
+    Xor,
+    Srl,
+    Sra,
+    Or,
+    And,
+    Addw,
+    Subw,
+    Sllw,
+    Srlw,
+    Sraw,
+    // M extension
+    Mul,
+    Mulh,
+    Mulhsu,
+    Mulhu,
+    Div,
+    Divu,
+    Rem,
+    Remu,
+    Mulw,
+    Divw,
+    Divuw,
+    Remw,
+    Remuw,
+}
+
+impl AluOp {
+    /// Whether this operation belongs to the M extension.
+    pub fn is_muldiv(self) -> bool {
+        matches!(
+            self,
+            AluOp::Mul
+                | AluOp::Mulh
+                | AluOp::Mulhsu
+                | AluOp::Mulhu
+                | AluOp::Div
+                | AluOp::Divu
+                | AluOp::Rem
+                | AluOp::Remu
+                | AluOp::Mulw
+                | AluOp::Divw
+                | AluOp::Divuw
+                | AluOp::Remw
+                | AluOp::Remuw
+        )
+    }
+
+    /// Whether this is a divide/remainder (long latency, unpipelined).
+    pub fn is_div(self) -> bool {
+        matches!(
+            self,
+            AluOp::Div
+                | AluOp::Divu
+                | AluOp::Rem
+                | AluOp::Remu
+                | AluOp::Divw
+                | AluOp::Divuw
+                | AluOp::Remw
+                | AluOp::Remuw
+        )
+    }
+
+    /// Assembly mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Sll => "sll",
+            AluOp::Slt => "slt",
+            AluOp::Sltu => "sltu",
+            AluOp::Xor => "xor",
+            AluOp::Srl => "srl",
+            AluOp::Sra => "sra",
+            AluOp::Or => "or",
+            AluOp::And => "and",
+            AluOp::Addw => "addw",
+            AluOp::Subw => "subw",
+            AluOp::Sllw => "sllw",
+            AluOp::Srlw => "srlw",
+            AluOp::Sraw => "sraw",
+            AluOp::Mul => "mul",
+            AluOp::Mulh => "mulh",
+            AluOp::Mulhsu => "mulhsu",
+            AluOp::Mulhu => "mulhu",
+            AluOp::Div => "div",
+            AluOp::Divu => "divu",
+            AluOp::Rem => "rem",
+            AluOp::Remu => "remu",
+            AluOp::Mulw => "mulw",
+            AluOp::Divw => "divw",
+            AluOp::Divuw => "divuw",
+            AluOp::Remw => "remw",
+            AluOp::Remuw => "remuw",
+        }
+    }
+
+    /// Evaluates the operation.
+    #[inline]
+    pub fn eval(self, a: u64, b: u64) -> u64 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Sll => a << (b & 63),
+            AluOp::Slt => ((a as i64) < (b as i64)) as u64,
+            AluOp::Sltu => (a < b) as u64,
+            AluOp::Xor => a ^ b,
+            AluOp::Srl => a >> (b & 63),
+            AluOp::Sra => ((a as i64) >> (b & 63)) as u64,
+            AluOp::Or => a | b,
+            AluOp::And => a & b,
+            AluOp::Addw => (a as i32).wrapping_add(b as i32) as i64 as u64,
+            AluOp::Subw => (a as i32).wrapping_sub(b as i32) as i64 as u64,
+            AluOp::Sllw => ((a as i32) << (b as u32 & 31)) as i64 as u64,
+            AluOp::Srlw => (((a as u32) >> (b as u32 & 31)) as i32) as i64 as u64,
+            AluOp::Sraw => ((a as i32) >> (b as u32 & 31)) as i64 as u64,
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Mulh => (((a as i64 as i128) * (b as i64 as i128)) >> 64) as u64,
+            AluOp::Mulhsu => (((a as i64 as i128) * (b as u128 as i128)) >> 64) as u64,
+            AluOp::Mulhu => (((a as u128) * (b as u128)) >> 64) as u64,
+            AluOp::Div => {
+                if b == 0 {
+                    u64::MAX
+                } else if a as i64 == i64::MIN && b as i64 == -1 {
+                    a
+                } else {
+                    ((a as i64) / (b as i64)) as u64
+                }
+            }
+            AluOp::Divu => {
+                if b == 0 {
+                    u64::MAX
+                } else {
+                    a / b
+                }
+            }
+            AluOp::Rem => {
+                if b == 0 {
+                    a
+                } else if a as i64 == i64::MIN && b as i64 == -1 {
+                    0
+                } else {
+                    ((a as i64) % (b as i64)) as u64
+                }
+            }
+            AluOp::Remu => {
+                if b == 0 {
+                    a
+                } else {
+                    a % b
+                }
+            }
+            AluOp::Mulw => (a as i32).wrapping_mul(b as i32) as i64 as u64,
+            AluOp::Divw => {
+                let (a, b) = (a as i32, b as i32);
+                if b == 0 {
+                    u64::MAX
+                } else if a == i32::MIN && b == -1 {
+                    a as i64 as u64
+                } else {
+                    (a / b) as i64 as u64
+                }
+            }
+            AluOp::Divuw => {
+                let (a, b) = (a as u32, b as u32);
+                if b == 0 {
+                    u64::MAX
+                } else {
+                    (a / b) as i32 as i64 as u64
+                }
+            }
+            AluOp::Remw => {
+                let (a, b) = (a as i32, b as i32);
+                if b == 0 {
+                    a as i64 as u64
+                } else if a == i32::MIN && b == -1 {
+                    0
+                } else {
+                    (a % b) as i64 as u64
+                }
+            }
+            AluOp::Remuw => {
+                let (a, b) = (a as u32, b as u32);
+                if b == 0 {
+                    a as i32 as i64 as u64
+                } else {
+                    (a % b) as i32 as i64 as u64
+                }
+            }
+        }
+    }
+}
+
+/// A single RV64IM architectural instruction.
+///
+/// In this reproduction, as in the paper (§IV footnote 2), every RISC-V
+/// instruction — including loads and stores — translates to exactly one µ-op,
+/// so `Inst` doubles as the µ-op type before fusion.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Inst {
+    /// `lui rd, imm20` — load upper immediate.
+    Lui { rd: Reg, imm20: i32 },
+    /// `auipc rd, imm20` — add upper immediate to PC.
+    Auipc { rd: Reg, imm20: i32 },
+    /// `jal rd, offset` — jump and link.
+    Jal { rd: Reg, offset: i32 },
+    /// `jalr rd, offset(rs1)` — indirect jump and link.
+    Jalr { rd: Reg, rs1: Reg, offset: i32 },
+    /// Conditional branch `bXX rs1, rs2, offset`.
+    Branch {
+        kind: BranchKind,
+        rs1: Reg,
+        rs2: Reg,
+        offset: i32,
+    },
+    /// Load `l{b,h,w,d}[u] rd, offset(rs1)`.
+    Load {
+        width: MemWidth,
+        signed: bool,
+        rd: Reg,
+        rs1: Reg,
+        offset: i32,
+    },
+    /// Store `s{b,h,w,d} rs2, offset(rs1)`.
+    Store {
+        width: MemWidth,
+        rs2: Reg,
+        rs1: Reg,
+        offset: i32,
+    },
+    /// Register-immediate ALU operation.
+    OpImm {
+        op: AluImmOp,
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
+    /// Register-register ALU operation.
+    Op {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    /// `fence` — memory ordering fence (serializing in this model).
+    Fence,
+    /// `ecall` — environment call (serializing).
+    Ecall,
+    /// `ebreak` — breakpoint (serializing).
+    Ebreak,
+}
+
+impl Inst {
+    /// Canonical no-op (`addi x0, x0, 0`).
+    pub const NOP: Inst = Inst::OpImm {
+        op: AluImmOp::Addi,
+        rd: Reg::ZERO,
+        rs1: Reg::ZERO,
+        imm: 0,
+    };
+
+    /// Destination register, if the instruction writes one.
+    ///
+    /// Writes to `x0` are reported as `None` since they are architecturally
+    /// discarded (and consume no rename resources in the pipeline model).
+    pub fn rd(&self) -> Option<Reg> {
+        let rd = match *self {
+            Inst::Lui { rd, .. }
+            | Inst::Auipc { rd, .. }
+            | Inst::Jal { rd, .. }
+            | Inst::Jalr { rd, .. }
+            | Inst::Load { rd, .. }
+            | Inst::OpImm { rd, .. }
+            | Inst::Op { rd, .. } => rd,
+            _ => return None,
+        };
+        (!rd.is_zero()).then_some(rd)
+    }
+
+    /// First source register, if any (reads of `x0` are still reported).
+    pub fn rs1(&self) -> Option<Reg> {
+        match *self {
+            Inst::Jalr { rs1, .. }
+            | Inst::Branch { rs1, .. }
+            | Inst::Load { rs1, .. }
+            | Inst::Store { rs1, .. }
+            | Inst::OpImm { rs1, .. }
+            | Inst::Op { rs1, .. } => Some(rs1),
+            _ => None,
+        }
+    }
+
+    /// Second source register, if any.
+    pub fn rs2(&self) -> Option<Reg> {
+        match *self {
+            Inst::Branch { rs2, .. } | Inst::Store { rs2, .. } | Inst::Op { rs2, .. } => Some(rs2),
+            _ => None,
+        }
+    }
+
+    /// Source registers excluding `x0` (which never creates a dependency).
+    pub fn sources(&self) -> impl Iterator<Item = Reg> {
+        self.rs1()
+            .into_iter()
+            .chain(self.rs2())
+            .filter(|r| !r.is_zero())
+    }
+
+    /// Whether this is a load.
+    #[inline]
+    pub fn is_load(&self) -> bool {
+        matches!(self, Inst::Load { .. })
+    }
+
+    /// Whether this is a store.
+    #[inline]
+    pub fn is_store(&self) -> bool {
+        matches!(self, Inst::Store { .. })
+    }
+
+    /// Whether this is any memory access.
+    #[inline]
+    pub fn is_mem(&self) -> bool {
+        self.is_load() || self.is_store()
+    }
+
+    /// Memory access width for loads and stores.
+    #[inline]
+    pub fn mem_width(&self) -> Option<MemWidth> {
+        match *self {
+            Inst::Load { width, .. } | Inst::Store { width, .. } => Some(width),
+            _ => None,
+        }
+    }
+
+    /// Memory offset for loads and stores.
+    #[inline]
+    pub fn mem_offset(&self) -> Option<i32> {
+        match *self {
+            Inst::Load { offset, .. } | Inst::Store { offset, .. } => Some(offset),
+            _ => None,
+        }
+    }
+
+    /// Base register for loads and stores.
+    #[inline]
+    pub fn mem_base(&self) -> Option<Reg> {
+        match *self {
+            Inst::Load { rs1, .. } | Inst::Store { rs1, .. } => Some(rs1),
+            _ => None,
+        }
+    }
+
+    /// Whether this instruction changes control flow (branches and jumps).
+    #[inline]
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Inst::Jal { .. } | Inst::Jalr { .. } | Inst::Branch { .. }
+        )
+    }
+
+    /// Whether this is a conditional branch.
+    #[inline]
+    pub fn is_cond_branch(&self) -> bool {
+        matches!(self, Inst::Branch { .. })
+    }
+
+    /// Whether this instruction is an indirect jump.
+    #[inline]
+    pub fn is_indirect(&self) -> bool {
+        matches!(self, Inst::Jalr { .. })
+    }
+
+    /// Whether this instruction serializes the pipeline (fences and
+    /// environment calls; the paper's "serializing instruction" in §IV-B2).
+    #[inline]
+    pub fn is_serializing(&self) -> bool {
+        matches!(self, Inst::Fence | Inst::Ecall | Inst::Ebreak)
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::disasm::disassemble(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rd_filters_x0() {
+        let i = Inst::OpImm {
+            op: AluImmOp::Addi,
+            rd: Reg::ZERO,
+            rs1: Reg::A0,
+            imm: 1,
+        };
+        assert_eq!(i.rd(), None);
+        let i = Inst::OpImm {
+            op: AluImmOp::Addi,
+            rd: Reg::A1,
+            rs1: Reg::A0,
+            imm: 1,
+        };
+        assert_eq!(i.rd(), Some(Reg::A1));
+    }
+
+    #[test]
+    fn sources_filter_x0() {
+        let i = Inst::Op {
+            op: AluOp::Add,
+            rd: Reg::A0,
+            rs1: Reg::ZERO,
+            rs2: Reg::A2,
+        };
+        let srcs: Vec<_> = i.sources().collect();
+        assert_eq!(srcs, vec![Reg::A2]);
+    }
+
+    #[test]
+    fn mem_classification() {
+        let ld = Inst::Load {
+            width: MemWidth::D,
+            signed: true,
+            rd: Reg::A0,
+            rs1: Reg::SP,
+            offset: 16,
+        };
+        assert!(ld.is_load() && ld.is_mem() && !ld.is_store());
+        assert_eq!(ld.mem_width(), Some(MemWidth::D));
+        assert_eq!(ld.mem_offset(), Some(16));
+        assert_eq!(ld.mem_base(), Some(Reg::SP));
+        assert!(!ld.is_serializing());
+        assert!(Inst::Fence.is_serializing());
+    }
+
+    #[test]
+    fn branch_eval() {
+        assert!(BranchKind::Lt.taken(u64::MAX, 0)); // -1 < 0 signed
+        assert!(!BranchKind::Ltu.taken(u64::MAX, 0));
+        assert!(BranchKind::Geu.taken(u64::MAX, 0));
+        assert!(BranchKind::Eq.taken(3, 3));
+        assert!(BranchKind::Ne.taken(3, 4));
+        assert!(BranchKind::Ge.taken(0, 0));
+    }
+
+    #[test]
+    fn alu_word_ops_sign_extend() {
+        assert_eq!(
+            AluOp::Addw.eval(0x7fff_ffff, 1),
+            0xffff_ffff_8000_0000u64,
+            "addw overflow wraps into the sign bit and sign-extends"
+        );
+        assert_eq!(AluImmOp::Addiw.eval(0xffff_ffff, 1), 0);
+        assert_eq!(AluImmOp::Srliw.eval(0x8000_0000, 31), 1);
+        assert_eq!(
+            AluImmOp::Sraiw.eval(0x8000_0000, 31),
+            0xffff_ffff_ffff_ffffu64
+        );
+    }
+
+    #[test]
+    fn division_by_zero_semantics() {
+        // RISC-V defines div-by-zero as all-ones / dividend, no traps.
+        assert_eq!(AluOp::Div.eval(42, 0), u64::MAX);
+        assert_eq!(AluOp::Divu.eval(42, 0), u64::MAX);
+        assert_eq!(AluOp::Rem.eval(42, 0), 42);
+        assert_eq!(AluOp::Remu.eval(42, 0), 42);
+        // Overflow case.
+        assert_eq!(AluOp::Div.eval(i64::MIN as u64, -1i64 as u64), i64::MIN as u64);
+        assert_eq!(AluOp::Rem.eval(i64::MIN as u64, -1i64 as u64), 0);
+    }
+
+    #[test]
+    fn mulh_variants() {
+        assert_eq!(AluOp::Mulhu.eval(u64::MAX, 2), 1);
+        assert_eq!(AluOp::Mulh.eval(-1i64 as u64, 2), u64::MAX); // -1*2 >> 64 = -1
+        assert_eq!(AluOp::Mulhsu.eval(-1i64 as u64, 2), u64::MAX);
+    }
+}

@@ -1,0 +1,48 @@
+//! # helios-isa — RV64IM instruction set model
+//!
+//! The ISA substrate for the Helios instruction-fusion reproduction
+//! (MICRO 2022). Provides:
+//!
+//! * a structured instruction model ([`Inst`]) the rest of the stack
+//!   pattern-matches on,
+//! * binary [`encode`]/[`decode`] against the standard RISC-V formats,
+//! * a programmatic assembler ([`Asm`]) and text assembler ([`parse_asm`])
+//!   used to author the benchmark kernels,
+//! * a disassembler ([`disassemble`]).
+//!
+//! The paper targets RV64G; this model implements the RV64IM integer subset
+//! plus `fence`/`ecall`/`ebreak`, which covers every fusion idiom studied
+//! (all idioms are integer ALU + memory sequences — see `helios-core`).
+//!
+//! # Examples
+//!
+//! ```
+//! use helios_isa::{Asm, Reg};
+//!
+//! let mut a = Asm::new();
+//! let buf = a.words64(&[1, 2, 3, 4]);
+//! a.la(Reg::A1, buf);
+//! a.ld(Reg::A2, 0, Reg::A1);   // these two loads form a load-pair idiom:
+//! a.ld(Reg::A3, 8, Reg::A1);   // same base register, contiguous offsets
+//! a.halt();
+//! let prog = a.assemble()?;
+//! assert!(prog.fetch(prog.entry).is_some());
+//! # Ok::<(), helios_isa::AsmError>(())
+//! ```
+
+mod asm;
+mod decode;
+mod disasm;
+mod encode;
+mod inst;
+mod reg;
+
+pub use asm::{
+    parse_asm, Asm, AsmError, Label, ParseError, Program, DEFAULT_CODE_BASE, DEFAULT_DATA_BASE,
+    DEFAULT_STACK_TOP,
+};
+pub use decode::{decode, DecodeError};
+pub use disasm::disassemble;
+pub use encode::encode;
+pub use inst::{AluImmOp, AluOp, BranchKind, Inst, MemWidth};
+pub use reg::Reg;

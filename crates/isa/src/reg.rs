@@ -1,0 +1,179 @@
+//! Architectural integer registers of RV64.
+
+use std::fmt;
+
+/// An RV64 integer architectural register, `x0` through `x31`.
+///
+/// `x0` is hard-wired to zero: writes to it are discarded and reads always
+/// return 0. The emulator and the rename stage both rely on this invariant.
+///
+/// # Examples
+///
+/// ```
+/// use helios_isa::Reg;
+/// let sp = Reg::SP;
+/// assert_eq!(sp.index(), 2);
+/// assert_eq!(sp.to_string(), "sp");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Hard-wired zero register.
+    pub const ZERO: Reg = Reg(0);
+    /// Return address.
+    pub const RA: Reg = Reg(1);
+    /// Stack pointer.
+    pub const SP: Reg = Reg(2);
+    /// Global pointer.
+    pub const GP: Reg = Reg(3);
+    /// Thread pointer.
+    pub const TP: Reg = Reg(4);
+    /// Temporaries `t0`-`t2`.
+    pub const T0: Reg = Reg(5);
+    pub const T1: Reg = Reg(6);
+    pub const T2: Reg = Reg(7);
+    /// Saved register / frame pointer.
+    pub const S0: Reg = Reg(8);
+    pub const FP: Reg = Reg(8);
+    pub const S1: Reg = Reg(9);
+    /// Argument / return registers `a0`-`a7`.
+    pub const A0: Reg = Reg(10);
+    pub const A1: Reg = Reg(11);
+    pub const A2: Reg = Reg(12);
+    pub const A3: Reg = Reg(13);
+    pub const A4: Reg = Reg(14);
+    pub const A5: Reg = Reg(15);
+    pub const A6: Reg = Reg(16);
+    pub const A7: Reg = Reg(17);
+    /// Saved registers `s2`-`s11`.
+    pub const S2: Reg = Reg(18);
+    pub const S3: Reg = Reg(19);
+    pub const S4: Reg = Reg(20);
+    pub const S5: Reg = Reg(21);
+    pub const S6: Reg = Reg(22);
+    pub const S7: Reg = Reg(23);
+    pub const S8: Reg = Reg(24);
+    pub const S9: Reg = Reg(25);
+    pub const S10: Reg = Reg(26);
+    pub const S11: Reg = Reg(27);
+    /// Temporaries `t3`-`t6`.
+    pub const T3: Reg = Reg(28);
+    pub const T4: Reg = Reg(29);
+    pub const T5: Reg = Reg(30);
+    pub const T6: Reg = Reg(31);
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[inline]
+    pub fn new(index: u8) -> Reg {
+        assert!(index < 32, "register index {index} out of range");
+        Reg(index)
+    }
+
+    /// Creates a register from its index, returning `None` if out of range.
+    #[inline]
+    pub fn try_new(index: u8) -> Option<Reg> {
+        (index < 32).then_some(Reg(index))
+    }
+
+    /// The register's index, `0..32`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the hard-wired zero register `x0`.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// ABI mnemonic (`"sp"`, `"a0"`, ...).
+    pub fn abi_name(self) -> &'static str {
+        const NAMES: [&str; 32] = [
+            "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3",
+            "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+            "t3", "t4", "t5", "t6",
+        ];
+        NAMES[self.index()]
+    }
+
+    /// Parses either an `xN` numeric name or an ABI name.
+    ///
+    /// ```
+    /// use helios_isa::Reg;
+    /// assert_eq!(Reg::parse("x2"), Some(Reg::SP));
+    /// assert_eq!(Reg::parse("sp"), Some(Reg::SP));
+    /// assert_eq!(Reg::parse("fp"), Some(Reg::S0));
+    /// assert_eq!(Reg::parse("x32"), None);
+    /// ```
+    pub fn parse(s: &str) -> Option<Reg> {
+        if let Some(num) = s.strip_prefix('x') {
+            if let Ok(n) = num.parse::<u8>() {
+                return Reg::try_new(n);
+            }
+        }
+        if s == "fp" {
+            return Some(Reg::FP);
+        }
+        (0..32u8).map(Reg).find(|r| r.abi_name() == s)
+    }
+
+    /// Iterator over all 32 registers in index order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..32u8).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abi_name())
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}/{}", self.0, self.abi_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abi_names_roundtrip() {
+        for r in Reg::all() {
+            assert_eq!(Reg::parse(r.abi_name()), Some(r));
+            assert_eq!(Reg::parse(&format!("x{}", r.index())), Some(r));
+        }
+    }
+
+    #[test]
+    fn zero_is_zero() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::RA.is_zero());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_panics() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    fn try_new_bounds() {
+        assert_eq!(Reg::try_new(31), Some(Reg::T6));
+        assert_eq!(Reg::try_new(32), None);
+    }
+
+    #[test]
+    fn fp_aliases_s0() {
+        assert_eq!(Reg::FP, Reg::S0);
+        assert_eq!(Reg::parse("fp"), Some(Reg::S0));
+    }
+}

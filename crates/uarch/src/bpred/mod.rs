@@ -1,0 +1,181 @@
+//! Frontend control-flow prediction: TAGE direction predictor, last-target
+//! BTB for indirect jumps, and a return address stack.
+
+mod tage;
+
+pub use tage::Tage;
+
+use helios_isa::{Inst, Reg};
+use std::collections::HashMap;
+
+/// What the frontend learned about one fetched control instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BranchOutcome {
+    /// Whether the prediction matched the oracle outcome.
+    pub mispredicted: bool,
+    /// Whether this was a conditional branch.
+    pub conditional: bool,
+    /// Whether this was an indirect jump (jalr).
+    pub indirect: bool,
+}
+
+/// The combined frontend predictor.
+///
+/// Operated trace-driven: each control µ-op is predicted and immediately
+/// updated with the oracle outcome (the trace is the correct path); a
+/// misprediction is charged as a frontend redirect stall by the pipeline.
+#[derive(Clone, Debug, Default)]
+pub struct BranchPredictor {
+    tage: Tage,
+    btb: HashMap<u64, u64>,
+    ras: Vec<u64>,
+    ghr: u64,
+}
+
+impl BranchPredictor {
+    /// Creates an empty predictor.
+    pub fn new() -> BranchPredictor {
+        BranchPredictor::default()
+    }
+
+    /// Current global branch-direction history (shared with the fusion
+    /// predictor's gshare component, §IV-A2).
+    #[inline]
+    pub fn ghr(&self) -> u64 {
+        self.ghr
+    }
+
+    /// Processes a fetched control µ-op with its oracle outcome.
+    ///
+    /// Returns `None` for non-control µ-ops.
+    pub fn process(&mut self, pc: u64, inst: &Inst, taken: bool, target: u64) -> Option<BranchOutcome> {
+        match *inst {
+            Inst::Branch { .. } => {
+                let pred = self.tage.predict(pc, self.ghr);
+                self.tage.update(pc, self.ghr, taken);
+                self.ghr = (self.ghr << 1) | taken as u64;
+                Some(BranchOutcome {
+                    mispredicted: pred != taken,
+                    conditional: true,
+                    indirect: false,
+                })
+            }
+            Inst::Jal { rd, .. } => {
+                if rd == Reg::RA {
+                    self.ras.push(pc + 4);
+                    if self.ras.len() > 64 {
+                        self.ras.remove(0);
+                    }
+                }
+                // Direct jumps: decoded target, never mispredicts here.
+                Some(BranchOutcome {
+                    mispredicted: false,
+                    conditional: false,
+                    indirect: false,
+                })
+            }
+            Inst::Jalr { rd, rs1, .. } => {
+                let is_return = rd == Reg::ZERO && rs1 == Reg::RA;
+                let predicted = if is_return {
+                    self.ras.pop()
+                } else {
+                    self.btb.get(&pc).copied()
+                };
+                if rd == Reg::RA {
+                    self.ras.push(pc + 4);
+                    if self.ras.len() > 64 {
+                        self.ras.remove(0);
+                    }
+                }
+                let mispredicted = predicted != Some(target);
+                if !is_return {
+                    self.btb.insert(pc, target);
+                }
+                Some(BranchOutcome {
+                    mispredicted,
+                    conditional: false,
+                    indirect: true,
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helios_isa::BranchKind;
+
+    fn branch() -> Inst {
+        Inst::Branch {
+            kind: BranchKind::Eq,
+            rs1: Reg::A0,
+            rs2: Reg::A1,
+            offset: 16,
+        }
+    }
+
+    #[test]
+    fn conditional_learns() {
+        let mut bp = BranchPredictor::new();
+        let mut misses = 0;
+        for _ in 0..100 {
+            let o = bp.process(0x1000, &branch(), true, 0x1010).unwrap();
+            misses += o.mispredicted as u32;
+        }
+        assert!(misses < 5, "always-taken learned, {misses} misses");
+    }
+
+    #[test]
+    fn call_return_pairs_hit_ras() {
+        let mut bp = BranchPredictor::new();
+        let call = Inst::Jal {
+            rd: Reg::RA,
+            offset: 0x100,
+        };
+        let ret = Inst::Jalr {
+            rd: Reg::ZERO,
+            rs1: Reg::RA,
+            offset: 0,
+        };
+        for i in 0..10u64 {
+            let call_pc = 0x2000 + i * 64;
+            bp.process(call_pc, &call, true, call_pc + 0x100);
+            let o = bp.process(0x5000, &ret, true, call_pc + 4).unwrap();
+            assert!(!o.mispredicted, "return {i} predicted by RAS");
+        }
+    }
+
+    #[test]
+    fn indirect_last_target() {
+        let mut bp = BranchPredictor::new();
+        let ind = Inst::Jalr {
+            rd: Reg::ZERO,
+            rs1: Reg::T0,
+            offset: 0,
+        };
+        // First encounter: miss.
+        assert!(bp.process(0x3000, &ind, true, 0x4000).unwrap().mispredicted);
+        // Stable target: hit.
+        assert!(!bp.process(0x3000, &ind, true, 0x4000).unwrap().mispredicted);
+        // Target change: miss once, then hit.
+        assert!(bp.process(0x3000, &ind, true, 0x5000).unwrap().mispredicted);
+        assert!(!bp.process(0x3000, &ind, true, 0x5000).unwrap().mispredicted);
+    }
+
+    #[test]
+    fn non_control_returns_none() {
+        let mut bp = BranchPredictor::new();
+        assert!(bp.process(0x100, &Inst::NOP, false, 0x104).is_none());
+    }
+
+    #[test]
+    fn ghr_tracks_directions() {
+        let mut bp = BranchPredictor::new();
+        bp.process(0x1000, &branch(), true, 0);
+        bp.process(0x1000, &branch(), false, 0);
+        bp.process(0x1000, &branch(), true, 0);
+        assert_eq!(bp.ghr() & 0b111, 0b101);
+    }
+}

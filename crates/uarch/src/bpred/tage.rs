@@ -1,0 +1,256 @@
+//! A TAGE-style conditional branch predictor (stand-in for the paper's
+//! L-TAGE [25], per DESIGN.md substitution #3).
+//!
+//! Bimodal base predictor plus `N` partially-tagged components indexed with
+//! geometrically increasing global-history lengths. Implements provider /
+//! alternate prediction, useful counters, and allocation on mispredictions —
+//! the parts of L-TAGE that matter for misprediction *rates*; the loop
+//! predictor and the full folded-history machinery are omitted.
+
+/// Number of tagged components.
+const COMPONENTS: usize = 7;
+/// History lengths per component (geometric-ish, capped at 64 bits of GHR).
+const HIST_LEN: [u32; COMPONENTS] = [3, 6, 12, 21, 34, 48, 64];
+/// log2 entries per tagged component (sized toward the paper's 256-Kbit
+/// L-TAGE budget).
+const TAGGED_BITS: usize = 12;
+/// log2 entries of the bimodal table.
+const BIMODAL_BITS: usize = 15;
+/// Tag width.
+const TAG_BITS: u32 = 11;
+
+#[derive(Clone, Copy, Debug, Default)]
+struct TaggedEntry {
+    tag: u16,
+    ctr: i8, // -4..=3, taken if >= 0
+    useful: u8,
+}
+
+/// The TAGE predictor.
+#[derive(Clone, Debug)]
+pub struct Tage {
+    bimodal: Vec<i8>, // -2..=1, taken if >= 0
+    tagged: Vec<Vec<TaggedEntry>>,
+    /// Allocation tie-breaker (reset period for useful bits).
+    tick: u64,
+}
+
+fn mix(pc: u64, hist: u64, len: u32, salt: u64) -> u64 {
+    let h = if len >= 64 { hist } else { hist & ((1u64 << len) - 1) };
+    let mut x = (pc >> 2) ^ h ^ (h >> 17) ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 29;
+    x
+}
+
+impl Tage {
+    /// Creates an empty predictor (weakly not-taken).
+    pub fn new() -> Tage {
+        Tage {
+            bimodal: vec![-1; 1 << BIMODAL_BITS],
+            tagged: vec![vec![TaggedEntry::default(); 1 << TAGGED_BITS]; COMPONENTS],
+            tick: 0,
+        }
+    }
+
+    fn bimodal_index(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & ((1 << BIMODAL_BITS) - 1)
+    }
+
+    fn index(&self, comp: usize, pc: u64, hist: u64) -> usize {
+        (mix(pc, hist, HIST_LEN[comp], comp as u64) as usize) & ((1 << TAGGED_BITS) - 1)
+    }
+
+    fn tag(&self, comp: usize, pc: u64, hist: u64) -> u16 {
+        ((mix(pc, hist, HIST_LEN[comp], 0x5bd1_e995 ^ comp as u64) >> 13) as u16)
+            & ((1 << TAG_BITS) - 1)
+    }
+
+    /// Predicts the direction of the conditional branch at `pc` under global
+    /// history `hist`.
+    pub fn predict(&self, pc: u64, hist: u64) -> bool {
+        let (provider, _alt) = self.find(pc, hist);
+        match provider {
+            Some((c, i)) => self.tagged[c][i].ctr >= 0,
+            None => self.bimodal[self.bimodal_index(pc)] >= 0,
+        }
+    }
+
+    /// (provider component+index, alternate component+index) hits.
+    fn find(&self, pc: u64, hist: u64) -> (Option<(usize, usize)>, Option<(usize, usize)>) {
+        let mut provider = None;
+        let mut alt = None;
+        for c in (0..COMPONENTS).rev() {
+            let i = self.index(c, pc, hist);
+            let e = &self.tagged[c][i];
+            if e.tag == self.tag(c, pc, hist) {
+                if provider.is_none() {
+                    provider = Some((c, i));
+                } else {
+                    alt = Some((c, i));
+                    break;
+                }
+            }
+        }
+        (provider, alt)
+    }
+
+    /// Updates the predictor with the actual outcome. Returns whether the
+    /// prediction (before update) was correct.
+    pub fn update(&mut self, pc: u64, hist: u64, taken: bool) -> bool {
+        self.tick += 1;
+        let (provider, alt) = self.find(pc, hist);
+        let pred = match provider {
+            Some((c, i)) => self.tagged[c][i].ctr >= 0,
+            None => self.bimodal[self.bimodal_index(pc)] >= 0,
+        };
+        let correct = pred == taken;
+
+        match provider {
+            Some((c, i)) => {
+                let alt_pred = match alt {
+                    Some((ac, ai)) => self.tagged[ac][ai].ctr >= 0,
+                    None => self.bimodal[self.bimodal_index(pc)] >= 0,
+                };
+                {
+                    let e = &mut self.tagged[c][i];
+                    e.ctr = (e.ctr + if taken { 1 } else { -1 }).clamp(-4, 3);
+                    if pred != alt_pred {
+                        if correct {
+                            e.useful = (e.useful + 1).min(3);
+                        } else {
+                            e.useful = e.useful.saturating_sub(1);
+                        }
+                    }
+                }
+                if !correct && c < COMPONENTS - 1 {
+                    self.allocate(c + 1, pc, hist, taken);
+                }
+            }
+            None => {
+                let bi = self.bimodal_index(pc);
+                let b = &mut self.bimodal[bi];
+                *b = (*b + if taken { 1 } else { -1 }).clamp(-2, 1);
+                if !correct {
+                    self.allocate(0, pc, hist, taken);
+                }
+            }
+        }
+
+        // Periodic useful-counter decay (L-TAGE uses a global reset).
+        if self.tick % (1 << 18) == 0 {
+            for t in &mut self.tagged {
+                for e in t.iter_mut() {
+                    e.useful >>= 1;
+                }
+            }
+        }
+        correct
+    }
+
+    /// Allocates a new entry in a component >= `from` with useful == 0.
+    fn allocate(&mut self, from: usize, pc: u64, hist: u64, taken: bool) {
+        for c in from..COMPONENTS {
+            let i = self.index(c, pc, hist);
+            if self.tagged[c][i].useful == 0 {
+                self.tagged[c][i] = TaggedEntry {
+                    tag: self.tag(c, pc, hist),
+                    ctr: if taken { 0 } else { -1 },
+                    useful: 0,
+                };
+                return;
+            }
+        }
+        // No room: age the candidates.
+        for c in from..COMPONENTS {
+            let i = self.index(c, pc, hist);
+            self.tagged[c][i].useful = self.tagged[c][i].useful.saturating_sub(1);
+        }
+    }
+}
+
+impl Default for Tage {
+    fn default() -> Self {
+        Tage::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Runs `pattern` repeatedly through the predictor, returning accuracy
+    /// over the last half (after warmup).
+    fn accuracy(pattern: &[bool], reps: usize) -> f64 {
+        let mut t = Tage::new();
+        let mut hist = 0u64;
+        let pc = 0x40_0000;
+        let total = pattern.len() * reps;
+        let mut correct = 0usize;
+        let mut seen = 0usize;
+        for r in 0..reps {
+            for &taken in pattern {
+                let ok = t.update(pc, hist, taken);
+                hist = (hist << 1) | taken as u64;
+                if r >= reps / 2 {
+                    seen += 1;
+                    if ok {
+                        correct += 1;
+                    }
+                }
+            }
+        }
+        let _ = total;
+        correct as f64 / seen as f64
+    }
+
+    #[test]
+    fn learns_biased_branches() {
+        assert!(accuracy(&[true], 200) > 0.99);
+        assert!(accuracy(&[false], 200) > 0.99);
+    }
+
+    #[test]
+    fn learns_short_periodic_patterns() {
+        // T T N repeated — bimodal alone can't get this right.
+        let acc = accuracy(&[true, true, false], 400);
+        assert!(acc > 0.95, "periodic accuracy {acc}");
+    }
+
+    #[test]
+    fn learns_loop_exit_pattern() {
+        // 7 taken then 1 not-taken (8-iteration loop).
+        let mut p = vec![true; 7];
+        p.push(false);
+        let acc = accuracy(&p, 300);
+        assert!(acc > 0.95, "loop accuracy {acc}");
+    }
+
+    #[test]
+    fn random_is_not_catastrophic() {
+        // Alternating pattern is perfectly predictable with history.
+        let acc = accuracy(&[true, false], 400);
+        assert!(acc > 0.95, "alternating accuracy {acc}");
+    }
+
+    #[test]
+    fn distinct_pcs_do_not_interfere_much() {
+        let mut t = Tage::new();
+        let mut hist = 0u64;
+        let mut correct = 0;
+        let n = 2000;
+        for i in 0..n {
+            // pc A always taken, pc B never taken.
+            let ok_a = t.update(0x1000, hist, true);
+            hist = (hist << 1) | 1;
+            let ok_b = t.update(0x2000, hist, false);
+            hist <<= 1;
+            if i > n / 2 {
+                correct += ok_a as u32 + ok_b as u32;
+            }
+        }
+        let acc = correct as f64 / (n as f64 - n as f64 / 2.0 - 1.0) / 2.0;
+        assert!(acc > 0.98, "interference accuracy {acc}");
+    }
+}

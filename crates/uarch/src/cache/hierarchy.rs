@@ -1,0 +1,144 @@
+//! Three-level data-cache hierarchy returning access latencies.
+
+use super::Cache;
+use crate::PipeConfig;
+use std::collections::HashMap;
+
+/// Result of a hierarchy access.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MemResult {
+    /// Total latency in cycles for this access.
+    pub latency: u64,
+    /// Deepest level that missed (0 = L1 hit, 1 = L1 miss/L2 hit, ...).
+    pub miss_level: u8,
+}
+
+/// L1D + L2 + L3 + memory, inclusive-allocating on the access path, with
+/// MSHR-style in-flight fill tracking: a second access to a line whose fill
+/// is still in flight waits for the fill rather than hitting instantly.
+#[derive(Clone, Debug)]
+pub struct Hierarchy {
+    l1: Cache,
+    l2: Cache,
+    l3: Cache,
+    l1_latency: u64,
+    l2_latency: u64,
+    l3_latency: u64,
+    mem_latency: u64,
+    line_shift: u32,
+    /// line address → cycle its in-flight fill completes.
+    fills: HashMap<u64, u64>,
+}
+
+impl Hierarchy {
+    /// Builds the hierarchy from the pipeline configuration.
+    pub fn new(cfg: &PipeConfig) -> Hierarchy {
+        Hierarchy {
+            l1: Cache::new(&cfg.l1d),
+            l2: Cache::new(&cfg.l2),
+            l3: Cache::new(&cfg.l3),
+            l1_latency: cfg.l1d.latency,
+            l2_latency: cfg.l2.latency,
+            l3_latency: cfg.l3.latency,
+            mem_latency: cfg.mem_latency,
+            line_shift: cfg.l1d.line.trailing_zeros(),
+            fills: HashMap::new(),
+        }
+    }
+
+    /// Performs a demand access to the line containing `addr` at `now`.
+    pub fn access(&mut self, addr: u64, write: bool, now: u64) -> MemResult {
+        let line = addr >> self.line_shift;
+        if self.l1.access(addr, write) {
+            // Hit in the tag array — but the fill may still be in flight.
+            if let Some(&ready) = self.fills.get(&line) {
+                if ready > now {
+                    return MemResult {
+                        latency: (ready - now).max(self.l1_latency),
+                        miss_level: 0,
+                    };
+                }
+                self.fills.remove(&line);
+            }
+            return MemResult {
+                latency: self.l1_latency,
+                miss_level: 0,
+            };
+        }
+        let (latency, miss_level) = if self.l2.access(addr, write) {
+            (self.l2_latency, 1)
+        } else if self.l3.access(addr, write) {
+            (self.l3_latency, 2)
+        } else {
+            (self.mem_latency, 3)
+        };
+        if self.fills.len() > 4096 {
+            self.fills.retain(|_, &mut r| r > now);
+        }
+        self.fills.insert(line, now + latency);
+        MemResult { latency, miss_level }
+    }
+
+    /// L1 line size in bytes.
+    pub fn line_bytes(&self) -> u64 {
+        self.l1.line_bytes()
+    }
+
+    /// (L1 misses, L2 misses, L3 misses) so far.
+    pub fn miss_counts(&self) -> (u64, u64, u64) {
+        (self.l1.misses(), self.l2.misses(), self.l3.misses())
+    }
+
+    /// Total L1 accesses so far.
+    pub fn l1_accesses(&self) -> u64 {
+        self.l1.hits() + self.l1.misses()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_ladder() {
+        let cfg = PipeConfig::default();
+        let mut h = Hierarchy::new(&cfg);
+        let first = h.access(0x10000, false, 0);
+        assert_eq!(first.miss_level, 3);
+        assert_eq!(first.latency, cfg.mem_latency);
+        // After the fill completes, it's an L1 hit.
+        let second = h.access(0x10000, false, cfg.mem_latency + 1);
+        assert_eq!(second.miss_level, 0);
+        assert_eq!(second.latency, cfg.l1d.latency);
+    }
+
+    #[test]
+    fn inflight_fill_delays_second_access() {
+        let cfg = PipeConfig::default();
+        let mut h = Hierarchy::new(&cfg);
+        let first = h.access(0x20000, false, 100);
+        assert_eq!(first.latency, cfg.mem_latency);
+        // Ten cycles later the line is still in flight: the second access
+        // waits out the remaining fill time instead of hitting instantly.
+        let second = h.access(0x20010, false, 110);
+        assert_eq!(second.miss_level, 0);
+        assert_eq!(second.latency, cfg.mem_latency - 10);
+        // Once filled, normal hit latency.
+        let third = h.access(0x20020, false, 100 + cfg.mem_latency);
+        assert_eq!(third.latency, cfg.l1d.latency);
+    }
+
+    #[test]
+    fn l2_hit_after_l1_eviction() {
+        let cfg = PipeConfig::default();
+        let mut h = Hierarchy::new(&cfg);
+        // Fill enough lines mapping to one L1 set to evict, but stay in L2.
+        // L1: 48K/12way/64B = 64 sets → stride 4096 aliases to the same set.
+        for i in 0..13u64 {
+            h.access(0x10_0000 + i * 4096, false, 1_000_000 + i);
+        }
+        let r = h.access(0x10_0000, false, 2_000_000);
+        assert_eq!(r.miss_level, 1, "L1 evicted but L2 retains");
+        assert_eq!(r.latency, cfg.l2.latency);
+    }
+}

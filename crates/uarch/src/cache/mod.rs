@@ -1,0 +1,7 @@
+//! Data-cache models.
+
+mod cache;
+mod hierarchy;
+
+pub use cache::Cache;
+pub use hierarchy::{Hierarchy, MemResult};

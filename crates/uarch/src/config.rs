@@ -1,0 +1,163 @@
+//! Pipeline configuration (paper Table II: Icelake-like out-of-order core
+//! with an 8-wide frontend so the Allocation Queue actually fills, §V-A).
+
+use helios_core::{FusionMode, HeliosParams, PipelineSizes};
+
+/// Cache level parameters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CacheParams {
+    /// Total size in bytes.
+    pub size: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line: usize,
+    /// Access latency in cycles (hit latency at this level).
+    pub latency: u64,
+}
+
+/// Full processor configuration.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct PipeConfig {
+    /// Fusion configuration under evaluation.
+    pub fusion: FusionMode,
+    /// Helios machinery parameters.
+    pub helios: HeliosParams,
+
+    // Widths (µ-ops per cycle).
+    pub fetch_width: usize,
+    pub rename_width: usize,
+    pub dispatch_width: usize,
+    pub commit_width: usize,
+
+    // Structure capacities.
+    pub aq_size: usize,
+    pub rob_size: usize,
+    pub iq_size: usize,
+    pub lq_size: usize,
+    pub sq_size: usize,
+    /// Physical integer registers (beyond the 32 architectural mappings).
+    pub prf_size: usize,
+
+    // Execution resources.
+    pub alu_ports: usize,
+    pub load_ports: usize,
+    pub store_ports: usize,
+    /// Stores drained from the senior SQ to the L1D per cycle.
+    pub store_drain_per_cycle: usize,
+
+    // Latencies (cycles).
+    pub alu_latency: u64,
+    pub mul_latency: u64,
+    pub div_latency: u64,
+    pub branch_redirect_penalty: u64,
+    /// Extra latency when a (possibly fused) access crosses a cache line
+    /// (§II-B "Cacheline Crossers": a single cycle on modern cores).
+    pub line_cross_penalty: u64,
+
+    // Memory hierarchy.
+    pub l1d: CacheParams,
+    pub l2: CacheParams,
+    pub l3: CacheParams,
+    pub mem_latency: u64,
+}
+
+impl Default for PipeConfig {
+    fn default() -> Self {
+        PipeConfig {
+            fusion: FusionMode::NoFusion,
+            helios: HeliosParams::default(),
+            fetch_width: 8,
+            rename_width: 5,
+            dispatch_width: 5,
+            commit_width: 8,
+            aq_size: 140,
+            rob_size: 352,
+            iq_size: 160,
+            lq_size: 128,
+            sq_size: 72,
+            prf_size: 280,
+            alu_ports: 4,
+            load_ports: 2,
+            store_ports: 2,
+            store_drain_per_cycle: 1,
+            alu_latency: 1,
+            mul_latency: 3,
+            div_latency: 18,
+            branch_redirect_penalty: 14,
+            line_cross_penalty: 1,
+            l1d: CacheParams {
+                size: 48 * 1024,
+                ways: 12,
+                line: 64,
+                latency: 5,
+            },
+            l2: CacheParams {
+                size: 512 * 1024,
+                ways: 8,
+                line: 64,
+                latency: 14,
+            },
+            l3: CacheParams {
+                size: 2 * 1024 * 1024,
+                ways: 16,
+                line: 64,
+                latency: 40,
+            },
+            mem_latency: 200,
+        }
+    }
+}
+
+impl PipeConfig {
+    /// A configuration for the given fusion mode, otherwise default.
+    pub fn with_fusion(fusion: FusionMode) -> PipeConfig {
+        PipeConfig {
+            fusion,
+            ..PipeConfig::default()
+        }
+    }
+
+    /// The structure sizes relevant to Helios storage accounting.
+    pub fn sizes(&self) -> PipelineSizes {
+        PipelineSizes {
+            aq: self.aq_size,
+            iq: self.iq_size,
+            rob: self.rob_size,
+            lq: self.lq_size,
+            sq: self.sq_size,
+            arch_regs: 32,
+            lsq_pair_entries: 88,
+            nest: self.helios.max_nest,
+        }
+    }
+
+    /// Number of physical registers available for renaming.
+    pub fn free_phys_regs(&self) -> usize {
+        self.prf_size.saturating_sub(32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_icelake_like() {
+        let c = PipeConfig::default();
+        assert_eq!(c.fetch_width, 8, "8-wide frontend per §V-A");
+        assert_eq!(c.rename_width, 5, "Icelake allocation width");
+        assert_eq!(c.aq_size, 140, "AQ size per §IV-B1");
+        assert_eq!(c.rob_size, 352);
+        assert_eq!(c.l1d.line, 64);
+        assert_eq!(c.free_phys_regs(), 248);
+        assert_eq!(c.sizes().aq, 140);
+    }
+
+    #[test]
+    fn with_fusion_sets_mode() {
+        let c = PipeConfig::with_fusion(FusionMode::Helios);
+        assert_eq!(c.fusion, FusionMode::Helios);
+        assert_eq!(c.rob_size, PipeConfig::default().rob_size);
+    }
+}

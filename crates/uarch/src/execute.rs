@@ -1,0 +1,269 @@
+//! Issue + Execute: wakeup/select over the IQ, functional-unit ports, load
+//! execution with store-to-load forwarding and fused-pair cache access,
+//! store address generation, and senior-store draining (TSO).
+
+use crate::pipeline::{FlushKind, PendingFlush, Pipeline, StoreCheck};
+use crate::FuClass;
+use helios_core::{classify_contiguity, Contiguity, Idiom, RepairCase};
+use helios_emu::{MemAccess, Retired};
+
+impl<I: Iterator<Item = Retired>> Pipeline<I> {
+    /// One cycle of Issue/Execute: select ready µ-ops oldest-first within
+    /// port constraints and start their execution.
+    pub(crate) fn stage_issue(&mut self) {
+        let mut alu = self.cfg.alu_ports;
+        let mut loads = self.cfg.load_ports;
+        let mut stores = self.cfg.store_ports;
+        let now = self.now;
+        let mut issued: Vec<u64> = Vec::new();
+
+        for i in 0..self.iq.len() {
+            if alu == 0 && loads == 0 && stores == 0 {
+                break;
+            }
+            let e = &self.iq[i];
+            if !e.ncs_ready {
+                continue;
+            }
+            let port_ok = match e.fu {
+                FuClass::Load => loads > 0,
+                FuClass::Store => stores > 0,
+                FuClass::Div => alu > 0 && self.div_busy_until <= now,
+                _ => alu > 0,
+            };
+            if !port_ok {
+                continue;
+            }
+            // Phase selection: STA waits on address sources, STD on data.
+            let sta_pending = e.fu == FuClass::Store && !e.sta_done;
+            let waiting_on = if e.fu == FuClass::Store && e.sta_done {
+                &e.data_srcs
+            } else {
+                &e.srcs
+            };
+            if !waiting_on.iter().all(|&p| self.producer_ready(p, now)) {
+                continue;
+            }
+            if e.fu == FuClass::Load {
+                if let Some(d) = e.memdep_wait {
+                    if !self.store_addr_known(d, now) {
+                        continue;
+                    }
+                }
+            }
+
+            let seq = e.seq;
+            let fu = e.fu;
+            if sta_pending {
+                // STA: compute the address(es), expose them to loads and the
+                // violation scan; the entry stays in the IQ for STD.
+                stores -= 1;
+                let complete = now + self.cfg.alu_latency;
+                if let Some(s) = self.sq.iter_mut().find(|s| s.seq == seq) {
+                    s.addr_known_at = Some(complete);
+                    let pc = s.pc;
+                    self.store_sets.store_executed(pc, seq);
+                }
+                self.store_checks.push(StoreCheck {
+                    at_cycle: complete,
+                    store_seq: seq,
+                });
+                if let Some(iqe) = self.iq.iter_mut().find(|x| x.seq == seq) {
+                    iqe.sta_done = true;
+                }
+                continue;
+            }
+            let latency = self.execute(seq, fu);
+            let complete = now + latency;
+            match fu {
+                FuClass::Load => loads -= 1,
+                FuClass::Store => stores -= 1,
+                FuClass::Div => {
+                    alu -= 1;
+                    self.div_busy_until = complete;
+                }
+                _ => alu -= 1,
+            }
+            self.board.set(seq, complete);
+            if let Some(ri) = self.rob_index(seq) {
+                self.rob[ri].issued = true;
+                self.rob[ri].complete_at = Some(complete);
+            }
+            issued.push(seq);
+        }
+
+        if !issued.is_empty() {
+            self.iq.retain(|e| !issued.contains(&e.seq));
+        }
+    }
+
+    /// Computes the execution latency of µ-op `seq` and performs its memory
+    /// side effects (cache accesses, STLF, fused-pair span check).
+    fn execute(&mut self, seq: u64, fu: FuClass) -> u64 {
+        match fu {
+            FuClass::Alu => self.cfg.alu_latency,
+            FuClass::Branch => self.cfg.alu_latency,
+            FuClass::Mul => self.cfg.mul_latency,
+            FuClass::Div => self.cfg.div_latency,
+            FuClass::Store => self.cfg.alu_latency,
+            FuClass::Load => self.execute_load(seq),
+        }
+    }
+
+    /// Executes a load (or fused load pair / ALU+load idiom).
+    fn execute_load(&mut self, seq: u64) -> u64 {
+        let Some(ri) = self.rob_index(seq) else {
+            return self.cfg.l1d.latency;
+        };
+        let u = self.rob[ri].uop;
+        let (Some(acc), acc2) = u.lq_accesses() else {
+            return self.cfg.l1d.latency;
+        };
+        let line = self.cfg.helios.line_bytes;
+
+        let mut latency = self.load_access_latency(seq, &acc);
+
+        // ALU+load fused idioms pay the internal address-generation cycle.
+        if let Some(f) = &u.fused {
+            if matches!(f.idiom, Idiom::IndexedLoad | Idiom::LoadGlobal) {
+                latency += 1;
+            }
+        }
+
+        // Fused load pair: classify the dynamic pair and verify the span
+        // (§IV-C case 5: flush + unfuse when it exceeds the fusion region).
+        if let Some(a2) = acc2 {
+            let c = classify_contiguity(&acc, &a2, line);
+            if let Some(f) = self.rob[ri].uop.fused.as_mut() {
+                f.contiguity = Some(c);
+            }
+            if c == Contiguity::TooFar {
+                // §IV-C case 5: the accesses span more than the fusion
+                // region. The misprediction is uncovered here at Execute
+                // (predictor confidence resets now, §IV-A2); the pipeline
+                // flushes from the fused µ-op when the access completes, and
+                // the whole group is re-fetched unfused.
+                self.stats.fusion.record_repair(RepairCase::SpanMismatch);
+                if let Some(f) = self.rob[ri].uop.fused.as_mut() {
+                    if let Some(meta) = f.pred.take() {
+                        self.fp.resolve(&meta, false);
+                    }
+                }
+                self.schedule_flush(PendingFlush {
+                    at_cycle: self.now + latency,
+                    restart: seq,
+                    kind: FlushKind::FusionSpan,
+                });
+            } else if !c.single_access() {
+                // Second serialized access to the next line (§II-B).
+                self.mem.access(a2.addr, false, self.now);
+                latency += self.cfg.line_cross_penalty;
+            }
+        }
+
+        if let Some(l) = self.lq.iter_mut().find(|l| l.seq == seq) {
+            l.issue_cycle = Some(self.now);
+        }
+        latency
+    }
+
+    /// Base latency of a single load access: STLF against older SQ entries,
+    /// then the cache hierarchy.
+    fn load_access_latency(&mut self, seq: u64, acc: &MemAccess) -> u64 {
+        // Youngest older store with a known address that overlaps.
+        for s in self.sq.iter().rev() {
+            if s.seq >= seq {
+                continue;
+            }
+            let known = s.addr_known_at.is_some_and(|t| t <= self.now) || s.senior;
+            if !known {
+                // Unknown address: the load speculates; a violation, if any,
+                // is detected when the store executes (store-set training).
+                continue;
+            }
+            let covered_by =
+                |a: &MemAccess| a.addr <= acc.addr && a.last_byte() >= acc.last_byte();
+            // Either half of a fused store pair can forward (§II-B STLDF
+            // handles the full byte-vector of the entry).
+            let covers = covered_by(&s.acc) || s.acc2.as_ref().is_some_and(covered_by);
+            let overlaps = s.acc.overlaps(acc)
+                || s.acc2.is_some_and(|a2| a2.overlaps(acc));
+            if covers {
+                // Forward only once the store's data exists (STD executed or
+                // the store is already senior).
+                let data_ready = s.senior || self.board.get(s.seq).is_some_and(|c| c <= self.now);
+                self.stats.stlf_forwards += 1;
+                if data_ready {
+                    return self.cfg.l1d.latency;
+                }
+                // Data not produced yet: the load forwards after a short
+                // replay (still a store-to-load forward, just delayed).
+                return self.cfg.l1d.latency + 4;
+            }
+            if overlaps {
+                // Partial overlap: forwarding impossible; charge a replay
+                // penalty on top of the cache access.
+                let res = self.mem.access(acc.addr, false, self.now);
+                return res.latency + 10;
+            }
+        }
+        let res = self.mem.access(acc.addr, false, self.now);
+        let mut lat = res.latency;
+        if acc.crosses_line(self.cfg.helios.line_bytes) {
+            self.mem.access(acc.last_byte(), false, self.now);
+            lat += self.cfg.line_cross_penalty;
+        }
+        lat
+    }
+
+    /// Drains senior stores from the SQ head into the L1D (post-commit,
+    /// in order — TSO). The drain port is occupied one cycle per cache
+    /// access (two for line-crossing or non-single-access fused pairs);
+    /// miss *fills* are handled by the line-fill buffers in the background
+    /// (they delay subsequent demand loads via the hierarchy's in-flight
+    /// tracking, not the drain port). A fused store pair therefore drains
+    /// with a single access — the §III-C bandwidth benefit.
+    pub(crate) fn stage_drain_stores(&mut self) {
+        let mut budget = self.cfg.store_drain_per_cycle;
+        while budget > 0 {
+            let now = self.now;
+            let line = self.cfg.helios.line_bytes;
+            let Some(front) = self.sq.front_mut() else { break };
+            if !front.senior {
+                break;
+            }
+            match front.draining_until {
+                Some(t) if t <= now => {
+                    self.sq.pop_front();
+                    budget -= 1;
+                }
+                Some(_) => break,
+                None => {
+                    let acc = front.acc;
+                    let acc2 = front.acc2;
+                    self.mem.access(acc.addr, true, now);
+                    let mut port_cycles = 1u64;
+                    if acc.crosses_line(line) {
+                        self.mem.access(acc.last_byte(), true, now);
+                        port_cycles += 1;
+                    }
+                    if let Some(a2) = acc2 {
+                        let c = classify_contiguity(&acc, &a2, line);
+                        if !c.single_access() {
+                            self.mem.access(a2.addr, true, now);
+                            port_cycles += 1;
+                        }
+                    }
+                    if port_cycles == 1 {
+                        self.sq.pop_front();
+                        budget -= 1;
+                    } else {
+                        let Some(front) = self.sq.front_mut() else { break };
+                        front.draining_until = Some(now + port_cycles - 1);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}

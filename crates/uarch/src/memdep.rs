@@ -1,0 +1,155 @@
+//! Store-set memory dependence predictor (Chrysos & Emer [8], the paper's
+//! Table II memory-dependence predictor).
+//!
+//! Loads that previously violated memory ordering against a store are placed
+//! in the same *store set*; at dispatch, such a load must wait for the last
+//! in-flight store of its set to execute before issuing.
+
+const SSIT_ENTRIES: usize = 2048;
+const LFST_ENTRIES: usize = 128;
+
+/// The store-set predictor: SSIT (PC → store-set id) + LFST
+/// (store-set id → last fetched in-flight store).
+#[derive(Clone, Debug)]
+pub struct StoreSets {
+    ssit: Vec<Option<u16>>,
+    lfst: Vec<Option<u64>>,
+    next_id: u16,
+}
+
+impl StoreSets {
+    /// Creates an empty predictor.
+    pub fn new() -> StoreSets {
+        StoreSets {
+            ssit: vec![None; SSIT_ENTRIES],
+            lfst: vec![None; LFST_ENTRIES],
+            next_id: 0,
+        }
+    }
+
+    #[inline]
+    fn ssit_index(pc: u64) -> usize {
+        (((pc >> 2) ^ (pc >> 13)) as usize) & (SSIT_ENTRIES - 1)
+    }
+
+    #[inline]
+    fn set_slot(id: u16) -> usize {
+        id as usize & (LFST_ENTRIES - 1)
+    }
+
+    /// A store at `pc` (dynamic sequence `seq`) is dispatched: record it as
+    /// the last fetched store of its set, if it has one.
+    pub fn store_dispatched(&mut self, pc: u64, seq: u64) {
+        if let Some(id) = self.ssit[Self::ssit_index(pc)] {
+            self.lfst[Self::set_slot(id)] = Some(seq);
+        }
+    }
+
+    /// A store executes (its address is known): clear the LFST if it still
+    /// points at this store.
+    pub fn store_executed(&mut self, pc: u64, seq: u64) {
+        if let Some(id) = self.ssit[Self::ssit_index(pc)] {
+            let slot = Self::set_slot(id);
+            if self.lfst[slot] == Some(seq) {
+                self.lfst[slot] = None;
+            }
+        }
+    }
+
+    /// At load dispatch: the sequence number of the store this load must
+    /// wait for, if its store set has an in-flight store.
+    pub fn load_dependency(&self, pc: u64) -> Option<u64> {
+        let id = self.ssit[Self::ssit_index(pc)]?;
+        self.lfst[Self::set_slot(id)]
+    }
+
+    /// Trains the predictor after a memory-order violation between a load
+    /// and an older store (classic store-set merge rules).
+    pub fn train_violation(&mut self, load_pc: u64, store_pc: u64) {
+        let li = Self::ssit_index(load_pc);
+        let si = Self::ssit_index(store_pc);
+        match (self.ssit[li], self.ssit[si]) {
+            (None, None) => {
+                let id = self.next_id;
+                self.next_id = self.next_id.wrapping_add(1);
+                self.ssit[li] = Some(id);
+                self.ssit[si] = Some(id);
+            }
+            (Some(id), None) => self.ssit[si] = Some(id),
+            (None, Some(id)) => self.ssit[li] = Some(id),
+            (Some(a), Some(b)) => {
+                // Merge: both adopt the smaller id.
+                let id = a.min(b);
+                self.ssit[li] = Some(id);
+                self.ssit[si] = Some(id);
+            }
+        }
+    }
+
+    /// Clears in-flight state (pipeline flush). The SSIT training persists.
+    pub fn flush_inflight(&mut self) {
+        self.lfst.fill(None);
+    }
+}
+
+impl Default for StoreSets {
+    fn default() -> Self {
+        StoreSets::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untrained_loads_are_free() {
+        let mut s = StoreSets::new();
+        s.store_dispatched(0x100, 1);
+        assert_eq!(s.load_dependency(0x200), None);
+    }
+
+    #[test]
+    fn violation_creates_dependency() {
+        let mut s = StoreSets::new();
+        s.train_violation(0x200, 0x100);
+        s.store_dispatched(0x100, 7);
+        assert_eq!(s.load_dependency(0x200), Some(7));
+        s.store_executed(0x100, 7);
+        assert_eq!(s.load_dependency(0x200), None);
+    }
+
+    #[test]
+    fn newer_store_supersedes() {
+        let mut s = StoreSets::new();
+        s.train_violation(0x200, 0x100);
+        s.store_dispatched(0x100, 7);
+        s.store_dispatched(0x100, 9);
+        assert_eq!(s.load_dependency(0x200), Some(9));
+        // Executing the old instance must not clear the newer one.
+        s.store_executed(0x100, 7);
+        assert_eq!(s.load_dependency(0x200), Some(9));
+    }
+
+    #[test]
+    fn merge_rules() {
+        let mut s = StoreSets::new();
+        s.train_violation(0x200, 0x100); // set A: load 0x200, store 0x100
+        s.train_violation(0x300, 0x500); // set B: load 0x300, store 0x500
+        s.train_violation(0x200, 0x500); // merge
+        s.store_dispatched(0x500, 42);
+        assert_eq!(s.load_dependency(0x200), Some(42));
+    }
+
+    #[test]
+    fn flush_clears_inflight_only() {
+        let mut s = StoreSets::new();
+        s.train_violation(0x200, 0x100);
+        s.store_dispatched(0x100, 3);
+        s.flush_inflight();
+        assert_eq!(s.load_dependency(0x200), None);
+        // Training survives: a new dispatch re-arms.
+        s.store_dispatched(0x100, 8);
+        assert_eq!(s.load_dependency(0x200), Some(8));
+    }
+}

@@ -1,0 +1,617 @@
+//! The cycle-level out-of-order pipeline.
+//!
+//! A trace-driven model of the seven-stage machine of Table II:
+//! Fetch → Decode (+fusion) → Allocation Queue → Rename → Dispatch →
+//! Issue/Execute → Commit, with ROB/IQ/LQ/SQ/PRF resources, TAGE branch
+//! prediction, store-set memory-dependence prediction, a three-level data
+//! cache, TSO store draining, and the complete Helios fusion machinery.
+//!
+//! Stage implementations live in sibling modules (`frontend`, `rename`,
+//! `execute`, `commit`); this module owns the state, the main loop, and
+//! flush/repair handling.
+
+use crate::{
+    AqEntry, BranchPredictor, DynUop, Hierarchy, PipeConfig, SimStats, StoreSets, TraceWindow,
+};
+use helios_core::{FusionPredictor, RepairCase, Uch, UchQueue};
+use helios_emu::{MemAccess, Retired};
+use helios_isa::Reg;
+use std::collections::VecDeque;
+
+/// Number of sequence slots tracked by the completion board. Must exceed the
+/// maximum number of µ-ops in flight (ROB + AQ + widths) by a wide margin.
+const BOARD_SLOTS: usize = 8192;
+
+/// Execution-completion scoreboard indexed by trace sequence number.
+#[derive(Clone, Debug)]
+pub(crate) struct CompletionBoard {
+    ring: Vec<(u64, u64)>, // (seq + 1, complete_cycle); 0 = empty
+}
+
+impl CompletionBoard {
+    fn new() -> CompletionBoard {
+        CompletionBoard {
+            ring: vec![(0, 0); BOARD_SLOTS],
+        }
+    }
+
+    #[inline]
+    pub(crate) fn set(&mut self, seq: u64, cycle: u64) {
+        self.ring[(seq as usize) % BOARD_SLOTS] = (seq + 1, cycle);
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, seq: u64) -> Option<u64> {
+        let (s, c) = self.ring[(seq as usize) % BOARD_SLOTS];
+        (s == seq + 1).then_some(c)
+    }
+
+    #[inline]
+    pub(crate) fn clear(&mut self, seq: u64) {
+        let slot = &mut self.ring[(seq as usize) % BOARD_SLOTS];
+        if slot.0 == seq + 1 {
+            *slot = (0, 0);
+        }
+    }
+}
+
+/// Reorder-buffer entry (owns the in-flight µ-op).
+#[derive(Clone, Debug)]
+pub(crate) struct RobEntry {
+    pub uop: DynUop,
+    pub issued: bool,
+    pub complete_at: Option<u64>,
+    /// Physical registers allocated (freed at commit or flush).
+    pub phys_allocated: usize,
+    /// Rename undo log: (dest arch reg, previous RAT mapping).
+    pub undo: Vec<(Reg, Option<u64>)>,
+    /// Whether this µ-op was fetched with a branch misprediction.
+    pub mispredicted: bool,
+    pub conditional: bool,
+    pub indirect: bool,
+}
+
+/// Issue-queue entry.
+///
+/// Stores split into address generation (STA) and data (STD) µ-phases:
+/// `srcs` gates STA (and everything for non-stores), `data_srcs` gates STD.
+#[derive(Clone, Debug)]
+pub(crate) struct IqEntry {
+    pub seq: u64,
+    pub fu: crate::FuClass,
+    /// Producer sequence numbers this µ-op waits on (address side).
+    pub srcs: Vec<u64>,
+    /// Store-data producers (STD side; empty for non-stores).
+    pub data_srcs: Vec<u64>,
+    /// Whether the STA phase has issued.
+    pub sta_done: bool,
+    /// NCS Ready bit: pending NCSF'd µ-ops may not issue (§IV-B2).
+    pub ncs_ready: bool,
+    /// Store-set dependence: store sequence to wait for.
+    pub memdep_wait: Option<u64>,
+}
+
+/// Load-queue entry.
+#[derive(Clone, Debug)]
+pub(crate) struct LqEntry {
+    pub seq: u64,
+    pub pc: u64,
+    pub acc: MemAccess,
+    pub acc2: Option<MemAccess>,
+    pub issue_cycle: Option<u64>,
+}
+
+/// Store-queue entry. Entries become *senior* at commit and drain to the L1D
+/// in order (TSO).
+#[derive(Clone, Debug)]
+pub(crate) struct SqEntry {
+    pub seq: u64,
+    pub pc: u64,
+    pub acc: MemAccess,
+    pub acc2: Option<MemAccess>,
+    /// Cycle the store's address generation completed (STLF eligibility).
+    pub addr_known_at: Option<u64>,
+    pub senior: bool,
+    /// In-progress drain completion cycle.
+    pub draining_until: Option<u64>,
+}
+
+/// A scheduled pipeline flush (applied when `at_cycle` is reached).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct PendingFlush {
+    pub at_cycle: u64,
+    /// First squashed sequence number (fetch restarts here).
+    pub restart: u64,
+    pub kind: FlushKind,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum FlushKind {
+    /// Memory-order violation (store-set trained).
+    MemOrder,
+    /// Fused pair whose accesses span more than the fusion region (§IV-C
+    /// case 5); the head at `restart - 1` is unfused.
+    FusionSpan,
+}
+
+/// Deferred store-set violation check at store-execution completion.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct StoreCheck {
+    pub at_cycle: u64,
+    pub store_seq: u64,
+}
+
+/// Undo record for a tail-nucleus RAT update performed at its Rename.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct TailUndo {
+    pub tail_seq: u64,
+    pub reg: Reg,
+    pub prev: Option<u64>,
+}
+
+/// The pipeline simulator.
+///
+/// Drive it with [`Pipeline::run`] (or [`Pipeline::cycle`] for fine-grained
+/// control) and read the results from [`Pipeline::stats`].
+pub struct Pipeline<I> {
+    pub(crate) cfg: PipeConfig,
+    pub(crate) window: TraceWindow<I>,
+    pub(crate) now: u64,
+
+    // Frontend.
+    pub(crate) bp: BranchPredictor,
+    /// Unresolved mispredicted control µ-op the frontend waits on.
+    pub(crate) redirect_wait: Option<u64>,
+    /// Cycle fetch may resume after a redirect or flush.
+    pub(crate) resume_at: u64,
+    pub(crate) aq: VecDeque<AqEntry>,
+
+    // Fusion machinery.
+    pub(crate) fp: FusionPredictor,
+    pub(crate) uch: Uch,
+    /// Post-commit decoupling queue feeding the UCH (§IV-A1).
+    pub(crate) uch_queue: UchQueue,
+    /// Original-sequence position the UCH commit number is synced to.
+    pub(crate) uch_seq: u64,
+    pub(crate) commit_ghr: u64,
+    pub(crate) active_pending_ncsf: usize,
+
+    // Rename.
+    pub(crate) rat: [Option<u64>; 32],
+    pub(crate) free_phys: usize,
+    pub(crate) tail_undos: Vec<TailUndo>,
+
+    // Backend.
+    pub(crate) rob: VecDeque<RobEntry>,
+    pub(crate) iq: Vec<IqEntry>,
+    pub(crate) lq: VecDeque<LqEntry>,
+    pub(crate) sq: VecDeque<SqEntry>,
+    pub(crate) board: CompletionBoard,
+    pub(crate) committed_upto: u64,
+    pub(crate) div_busy_until: u64,
+    pub(crate) store_sets: StoreSets,
+    pub(crate) mem: Hierarchy,
+    pub(crate) pending_flushes: Vec<PendingFlush>,
+    pub(crate) store_checks: Vec<StoreCheck>,
+    /// Last cycle Rename/Dispatch moved at least one µ-op (deadlock watchdog).
+    pub(crate) last_dispatch_progress: u64,
+
+    pub(crate) stats: SimStats,
+}
+
+impl<I: Iterator<Item = Retired>> Pipeline<I> {
+    /// Builds a pipeline over a retired-µ-op source.
+    pub fn new(cfg: PipeConfig, source: I) -> Pipeline<I> {
+        Pipeline {
+            window: TraceWindow::new(source),
+            now: 0,
+            bp: BranchPredictor::new(),
+            redirect_wait: None,
+            resume_at: 0,
+            aq: VecDeque::with_capacity(cfg.aq_size),
+            fp: FusionPredictor::new(cfg.helios.fp),
+            uch: Uch::new(cfg.helios.uch),
+            uch_queue: UchQueue::new(cfg.helios.uch_queue),
+            uch_seq: 0,
+            commit_ghr: 0,
+            active_pending_ncsf: 0,
+            rat: [None; 32],
+            free_phys: cfg.free_phys_regs(),
+            tail_undos: Vec::new(),
+            rob: VecDeque::with_capacity(cfg.rob_size),
+            iq: Vec::with_capacity(cfg.iq_size),
+            lq: VecDeque::with_capacity(cfg.lq_size),
+            sq: VecDeque::with_capacity(cfg.sq_size),
+            board: CompletionBoard::new(),
+            committed_upto: 0,
+            div_busy_until: 0,
+            store_sets: StoreSets::new(),
+            mem: Hierarchy::new(&cfg),
+            pending_flushes: Vec::new(),
+            store_checks: Vec::new(),
+            last_dispatch_progress: 0,
+            stats: SimStats::default(),
+            cfg,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PipeConfig {
+        &self.cfg
+    }
+
+    /// Statistics collected so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Current cycle.
+    pub fn cycle_count(&self) -> u64 {
+        self.now
+    }
+
+    /// Whether all work has drained.
+    pub fn finished(&mut self) -> bool {
+        self.window.at_end()
+            && self.aq.is_empty()
+            && self.rob.is_empty()
+            && self.sq.is_empty()
+    }
+
+    /// Simulates one cycle.
+    pub fn cycle(&mut self) {
+        self.now += 1;
+        self.stage_commit();
+        if self.cfg.fusion.predictive() {
+            // Drain the post-commit decoupling queue into the UCH at its
+            // port rate, training the fusion predictor on discovered pairs.
+            let fp = &mut self.fp;
+            self.uch_queue
+                .drain_cycle(&mut self.uch, &mut self.uch_seq, |pc, ghr, d| {
+                    fp.train(pc, ghr, d)
+                });
+        }
+        self.stage_drain_stores();
+        self.process_store_checks();
+        self.process_pending_flushes();
+        self.stage_issue();
+        self.stage_rename_dispatch();
+        self.stage_fetch_decode();
+        self.break_resource_deadlock();
+    }
+
+    /// Deadlock breaker: a *pending* NCSF'd µ-op cannot issue until its tail
+    /// nucleus reaches Rename, but the tail's progress may itself require
+    /// resources (LQ/SQ/IQ entries) that only free once the pending µ-op's
+    /// dependants commit. When Dispatch starves for a long window while a
+    /// pending head is in flight, unfuse the oldest pending pair in place
+    /// (repair case 2 machinery) and revive its tail marker.
+    fn break_resource_deadlock(&mut self) {
+        const WINDOW: u64 = 64;
+        if self.now - self.last_dispatch_progress <= WINDOW {
+            return;
+        }
+        let Some(i) = self
+            .rob
+            .iter()
+            .position(|e| e.uop.is_pending_ncsf())
+        else {
+            return;
+        };
+        let fused = self.rob[i].uop.fused;
+        if let Some(f) = fused {
+            self.revive_tail_marker(&f);
+            let pred = f.pred;
+            self.unfuse_rob_entry(i, RepairCase::Deadlock);
+            if let Some(meta) = pred {
+                self.fp.resolve(&meta, false);
+            }
+            self.active_pending_ncsf = self.active_pending_ncsf.saturating_sub(1);
+            self.last_dispatch_progress = self.now;
+        }
+    }
+
+    /// Runs until the trace drains or `max_cycles` elapse. Returns the final
+    /// statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline deadlocks (no commit progress for a long
+    /// window) — that would be a simulator bug, not a workload property.
+    pub fn run(&mut self, max_cycles: u64) -> &SimStats {
+        let mut last_commit = (0u64, 0u64); // (cycle, instructions)
+        while !self.finished() && self.now < max_cycles {
+            self.cycle();
+            if self.stats.instructions != last_commit.1 {
+                last_commit = (self.now, self.stats.instructions);
+            } else if self.now - last_commit.0 >= 100_000 {
+                let front = self.rob.front().map(|e| {
+                    (
+                        e.uop.seq,
+                        e.uop.inst,
+                        e.complete_at,
+                        e.uop.fused.map(|f| (f.tail_seq, f.pending)),
+                    )
+                });
+                let blocked: Vec<String> = self
+                    .iq
+                    .iter()
+                    .take(4)
+                    .map(|e| {
+                        let srcs: Vec<(u64, bool)> = e
+                            .srcs
+                            .iter()
+                            .map(|&p| (p, self.producer_ready(p, self.now)))
+                            .collect();
+                        format!(
+                            "seq {} fu {:?} ncs_ready {} srcs {:?} memdep {:?}",
+                            e.seq, e.fu, e.ncs_ready, srcs, e.memdep_wait
+                        )
+                    })
+                    .collect();
+                panic!(
+                    "pipeline deadlock at cycle {} (committed {}, rob {}, aq {}, iq {}, pending_ncsf {}, flushes {:?})\nrob front: {front:?}\niq: {blocked:#?}",
+                    self.now,
+                    self.stats.instructions,
+                    self.rob.len(),
+                    self.aq.len(),
+                    self.iq.len(),
+                    self.active_pending_ncsf,
+                    self.pending_flushes,
+                );
+            }
+        }
+        self.stats.cycles = self.now;
+        self.stats.uch_queue_dropped = self.uch_queue.dropped;
+        self.stats.uch_queue_drained = self.uch_queue.drained;
+        let (l1m, l2m, l3m) = self.mem.miss_counts();
+        self.stats.l1d_accesses = self.mem.l1_accesses();
+        self.stats.l1d_misses = l1m;
+        self.stats.l2_misses = l2m;
+        self.stats.l3_misses = l3m;
+        &self.stats
+    }
+
+    // ---- shared helpers -------------------------------------------------
+
+    /// Index of the ROB entry holding `seq`, if present.
+    pub(crate) fn rob_index(&self, seq: u64) -> Option<usize> {
+        self.rob
+            .binary_search_by_key(&seq, |e| e.uop.seq)
+            .ok()
+    }
+
+    /// Whether the producer `seq` has completed by `cycle`.
+    #[inline]
+    pub(crate) fn producer_ready(&self, seq: u64, cycle: u64) -> bool {
+        seq < self.committed_upto || self.board.get(seq).is_some_and(|c| c <= cycle)
+    }
+
+    /// Whether the store `seq`'s address is known by `cycle` (STA done or
+    /// the store already left the pipeline).
+    pub(crate) fn store_addr_known(&self, seq: u64, cycle: u64) -> bool {
+        if seq < self.committed_upto {
+            return true;
+        }
+        match self.sq.iter().find(|s| s.seq == seq) {
+            Some(s) => s.senior || s.addr_known_at.is_some_and(|t| t <= cycle),
+            None => true, // squashed or drained
+        }
+    }
+
+    /// Schedules a flush, keeping the list small and coherent.
+    pub(crate) fn schedule_flush(&mut self, f: PendingFlush) {
+        self.pending_flushes.push(f);
+    }
+
+    fn process_pending_flushes(&mut self) {
+        loop {
+            // Earliest due flush; ties broken toward the oldest restart.
+            let due = self
+                .pending_flushes
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.at_cycle <= self.now)
+                .min_by_key(|(_, f)| (f.at_cycle, f.restart))
+                .map(|(i, _)| i);
+            let Some(i) = due else { break };
+            let f = self.pending_flushes.swap_remove(i);
+            // Stale? (an earlier flush already squashed past this point)
+            if f.restart >= self.window.cursor() {
+                continue;
+            }
+            match f.kind {
+                FlushKind::MemOrder => self.stats.memdep_flushes += 1,
+                FlushKind::FusionSpan => self.stats.fusion_flushes += 1,
+            }
+            self.flush_from(f.restart, f.kind);
+        }
+    }
+
+    fn process_store_checks(&mut self) {
+        let due: Vec<StoreCheck> = {
+            let now = self.now;
+            let (due, rest): (Vec<_>, Vec<_>) =
+                self.store_checks.drain(..).partition(|c| c.at_cycle <= now);
+            self.store_checks = rest;
+            due
+        };
+        for c in due {
+            self.check_violation(c.store_seq);
+        }
+    }
+
+    /// Memory-order violation scan when store `store_seq` finishes address
+    /// generation: any younger load that already issued and overlaps must be
+    /// squashed and re-executed.
+    fn check_violation(&mut self, store_seq: u64) {
+        let Some(store) = self.sq.iter().find(|s| s.seq == store_seq) else {
+            return;
+        };
+        let (s_acc, s_acc2) = (store.acc, store.acc2);
+        let s_done = store.addr_known_at.unwrap_or(self.now);
+        let mut victim: Option<(u64, u64)> = None; // (seq, pc)
+        for l in &self.lq {
+            if l.seq <= store_seq {
+                continue;
+            }
+            let Some(issue) = l.issue_cycle else { continue };
+            if issue >= s_done {
+                continue; // issued after the store's address was known
+            }
+            let overlaps = |a: &MemAccess| {
+                a.overlaps(&s_acc) || s_acc2.as_ref().is_some_and(|b| a.overlaps(b))
+            };
+            if overlaps(&l.acc) || l.acc2.as_ref().is_some_and(|a| overlaps(a)) {
+                if victim.map_or(true, |(vs, _)| l.seq < vs) {
+                    victim = Some((l.seq, l.pc));
+                }
+            }
+        }
+        if let Some((load_seq, load_pc)) = victim {
+            let store_pc = self
+                .sq
+                .iter()
+                .find(|s| s.seq == store_seq)
+                .map(|s| s.pc)
+                .unwrap_or(0);
+            self.store_sets.train_violation(load_pc, store_pc);
+            self.stats.memdep_flushes += 1;
+            self.flush_from(load_seq, FlushKind::MemOrder);
+        }
+    }
+
+    /// Squashes everything with `seq >= restart` and restarts fetch there.
+    pub(crate) fn flush_from(&mut self, restart: u64, kind: FlushKind) {
+        debug_assert!(restart >= self.committed_upto);
+
+        // Collect rename-undo records from squashed ROB entries and from
+        // tail-nucleus RAT updates, then apply them youngest-first.
+        let mut undos: Vec<(u64, Reg, Option<u64>)> = Vec::new();
+
+        while let Some(back) = self.rob.back() {
+            if back.uop.seq < restart {
+                break;
+            }
+            let e = self.rob.pop_back().unwrap();
+            // Reverse within the entry so that same-register double
+            // destinations (e.g. lui+addi pairs) unwind correctly under the
+            // stable sort below.
+            for &(reg, prev) in e.undo.iter().rev() {
+                undos.push((e.uop.seq, reg, prev));
+            }
+            self.free_phys += e.phys_allocated;
+            self.board.clear(e.uop.seq);
+        }
+        self.tail_undos.retain(|t| {
+            if t.tail_seq >= restart {
+                undos.push((t.tail_seq, t.reg, t.prev));
+                false
+            } else {
+                true
+            }
+        });
+        undos.sort_by_key(|&(seq, _, _)| std::cmp::Reverse(seq));
+        for (_, reg, prev) in undos {
+            self.rat[reg.index()] = prev;
+        }
+
+        self.iq.retain(|e| e.seq < restart);
+        self.lq.retain(|e| e.seq < restart);
+        self.sq.retain(|e| e.senior || e.seq < restart);
+        self.aq.retain(|e| e.seq() < restart);
+
+        // Unfuse any surviving fused head whose tail was squashed: the tail
+        // will be re-fetched as a normal µ-op (§IV-C cases 5–7).
+        let mut repairs: Vec<(usize, RepairCase, Option<helios_core::PredMeta>)> = Vec::new();
+        // (The span-mismatch head itself has seq >= restart and was popped
+        // above; survivors losing their tail are catalyst-flush repairs.)
+        let _ = kind;
+        for (i, e) in self.rob.iter().enumerate() {
+            if let Some(f) = &e.uop.fused {
+                if f.tail_seq >= restart {
+                    repairs.push((i, RepairCase::CatalystFlush, f.pred));
+                }
+            }
+        }
+        for (i, case, pred) in repairs {
+            let seq = self.rob[i].uop.seq;
+            self.unfuse_rob_entry(i, case);
+            if let Some(meta) = pred {
+                self.fp.resolve(&meta, false);
+            }
+            let _ = seq;
+        }
+        // Also unfuse AQ heads whose tail marker got squashed.
+        for e in self.aq.iter_mut() {
+            if let AqEntry::Uop(u) = e {
+                if let Some(f) = &u.fused {
+                    if f.tail_seq >= restart {
+                        let pred = f.pred;
+                        u.unfuse();
+                        self.stats.fusion.record_repair(RepairCase::CatalystFlush);
+                        if let Some(meta) = pred {
+                            self.fp.resolve(&meta, false);
+                        }
+                    }
+                }
+            }
+        }
+
+        self.active_pending_ncsf = self
+            .rob
+            .iter()
+            .filter(|e| e.uop.is_pending_ncsf())
+            .count()
+            + self
+                .aq
+                .iter()
+                .filter(|e| matches!(e, AqEntry::Uop(u) if u.is_pending_ncsf()))
+                .count();
+
+        self.store_sets.flush_inflight();
+        self.store_checks.retain(|c| c.store_seq < restart);
+        self.pending_flushes.retain(|f| f.restart < restart);
+
+        self.window.rewind(restart);
+        self.resume_at = self.now + self.cfg.branch_redirect_penalty;
+        if self.redirect_wait.is_some_and(|s| s >= restart) {
+            self.redirect_wait = None;
+        }
+    }
+
+    /// Unfuses the ROB entry at `i` (in-place repair): reverts it to the
+    /// plain head µ-op, releases the tail's resources, and records `case`.
+    ///
+    /// The squashed tail re-enters the pipeline via refetch (flush cases) or
+    /// via a fresh dispatch (rename-time unfuse, handled by the caller).
+    pub(crate) fn unfuse_rob_entry(&mut self, i: usize, case: RepairCase) {
+        let seq = self.rob[i].uop.seq;
+        let Some(f) = self.rob[i].uop.unfuse() else {
+            return;
+        };
+        // Free the tail's destination register if one was allocated.
+        if f.tail_inst.rd().is_some() {
+            // Head allocation counted head + tail dests.
+            if self.rob[i].phys_allocated > 0 {
+                let head_dests = self.rob[i].uop.inst.rd().map_or(0, |_| 1);
+                if self.rob[i].phys_allocated > head_dests {
+                    self.rob[i].phys_allocated -= 1;
+                    self.free_phys += 1;
+                }
+            }
+        }
+        // The pending pair could not have issued; make the head issuable.
+        if let Some(iqe) = self.iq.iter_mut().find(|e| e.seq == seq) {
+            iqe.ncs_ready = true;
+        }
+        // Drop the second access from LQ/SQ.
+        if let Some(l) = self.lq.iter_mut().find(|e| e.seq == seq) {
+            l.acc2 = None;
+        }
+        if let Some(s) = self.sq.iter_mut().find(|e| e.seq == seq) {
+            s.acc2 = None;
+        }
+        self.stats.fusion.record_repair(case);
+    }
+}

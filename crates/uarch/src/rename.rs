@@ -1,0 +1,384 @@
+//! Rename + Dispatch: RAT updates, physical-register and ROB/IQ/LQ/SQ
+//! allocation, and the Helios tail-nucleus validation/repair path (§IV-B/C).
+
+use crate::pipeline::{IqEntry, LqEntry, Pipeline, RobEntry, SqEntry, TailUndo};
+use crate::uop::{AqEntry, DynUop};
+use crate::DispatchStall;
+use helios_core::{Idiom, RepairCase};
+use helios_emu::Retired;
+
+impl<I: Iterator<Item = Retired>> Pipeline<I> {
+    /// Converts the AQ tail marker of an aborted pair back into a normal
+    /// µ-op (the paper's "marked as not fused in the AQ through the NCS
+    /// Tag").
+    pub(crate) fn revive_tail_marker(&mut self, f: &crate::uop::Fused) {
+        for e in self.aq.iter_mut() {
+            if let AqEntry::Tail { seq, .. } = e {
+                if *seq == f.tail_seq {
+                    let mut tail = DynUop::new(&Retired {
+                        seq: f.tail_seq,
+                        pc: f.tail_pc,
+                        inst: f.tail_inst,
+                        next_pc: f.tail_pc + 4,
+                        mem: f.tail_mem,
+                        rd_value: None,
+                    });
+                    tail.fused = None;
+                    *e = AqEntry::Uop(tail);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// What blocked an allocation attempt.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum AllocBlock {
+    Phys,
+    Rob,
+    Iq,
+    Lq,
+    Sq,
+}
+
+impl AllocBlock {
+    fn dispatch_stall(self) -> Option<DispatchStall> {
+        match self {
+            AllocBlock::Phys => None,
+            AllocBlock::Rob => Some(DispatchStall::Rob),
+            AllocBlock::Iq => Some(DispatchStall::Iq),
+            AllocBlock::Lq => Some(DispatchStall::Lq),
+            AllocBlock::Sq => Some(DispatchStall::Sq),
+        }
+    }
+}
+
+impl<I: Iterator<Item = Retired>> Pipeline<I> {
+    /// One cycle of Rename + Dispatch over the AQ head.
+    pub(crate) fn stage_rename_dispatch(&mut self) {
+        let mut budget = self.cfg.rename_width as i64;
+        let mut progressed = false;
+        let mut block: Option<AllocBlock> = None;
+
+        while budget > 0 {
+            let Some(front) = self.aq.front() else { break };
+            match *front {
+                AqEntry::Uop(mut u) => {
+                    // Nesting limit (§IV-B2): a pending NCSF head entering
+                    // Rename while Max Active NCS is saturated behaves as
+                    // unfused; the tail is unmarked in the AQ.
+                    if u.is_pending_ncsf()
+                        && self.active_pending_ncsf >= self.cfg.helios.max_nest
+                    {
+                        let f = u.unfuse().unwrap();
+                        self.revive_tail_marker(&f);
+                        self.stats.ncsf_nest_aborts += 1;
+                        if let Some(AqEntry::Uop(front)) = self.aq.front_mut() {
+                            front.fused = None;
+                        }
+                    }
+                    if let Err(b) = self.check_capacity(&u) {
+                        block = Some(b);
+                        break;
+                    }
+                    self.aq.pop_front();
+                    if u.is_pending_ncsf() {
+                        self.active_pending_ncsf += 1;
+                    }
+                    self.alloc_uop(u);
+                    budget -= 1;
+                    progressed = true;
+                }
+                AqEntry::Tail { seq, pc, head_seq } => {
+                    match self.process_tail_marker(seq, pc, head_seq) {
+                        Ok(extra_slot) => {
+                            self.aq.pop_front();
+                            budget -= 1 + extra_slot as i64;
+                            progressed = true;
+                        }
+                        Err(b) => {
+                            block = Some(b);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        // A cycle counts as a Rename/Dispatch structural stall (Fig. 9) when
+        // the stage ended blocked on a resource with work still waiting —
+        // whether or not some younger-stage progress happened first.
+        if progressed || self.aq.is_empty() {
+            self.last_dispatch_progress = self.now;
+        }
+        if let Some(b) = block {
+            match b.dispatch_stall() {
+                Some(d) => self.stats.record_dispatch_stall(d),
+                None => self.stats.rename_stall_cycles += 1,
+            }
+        }
+    }
+
+    /// Checks whether `u` can be renamed and dispatched this cycle.
+    fn check_capacity(&self, u: &DynUop) -> Result<(), AllocBlock> {
+        let dest_count = u.dests().count();
+        if self.free_phys < dest_count {
+            return Err(AllocBlock::Phys);
+        }
+        if self.rob.len() >= self.cfg.rob_size {
+            return Err(AllocBlock::Rob);
+        }
+        if self.iq.len() >= self.cfg.iq_size {
+            return Err(AllocBlock::Iq);
+        }
+        if u.lq_accesses().0.is_some() && self.lq.len() >= self.cfg.lq_size {
+            return Err(AllocBlock::Lq);
+        }
+        if u.sq_accesses().0.is_some() && self.sq.len() >= self.cfg.sq_size {
+            return Err(AllocBlock::Sq);
+        }
+        Ok(())
+    }
+
+    /// Renames and dispatches `u` (capacity already verified).
+    fn alloc_uop(&mut self, u: DynUop) {
+        let seq = u.seq;
+        let pending = u.is_pending_ncsf();
+
+        // --- Rename sources. ---
+        // For pending NCSF'd µ-ops only the head's sources are captured now;
+        // the tail's are captured (possibly corrected, §IV-B2 RaW) when the
+        // tail nucleus reaches Rename.
+        // Stores split into STA (address: rs1) and STD (data: rs2) phases,
+        // so a store's address can be exposed to waiting loads before its
+        // data is produced.
+        let mut srcs: Vec<u64> = Vec::with_capacity(4);
+        let mut data_srcs: Vec<u64> = Vec::new();
+        let head_dests: Vec<_> = u.inst.rd().into_iter().collect();
+        let capture = |rat: &[Option<u64>; 32], srcs: &mut Vec<u64>, reg: helios_isa::Reg| {
+            if let Some(p) = rat[reg.index()] {
+                if p != seq && !srcs.contains(&p) {
+                    srcs.push(p);
+                }
+            }
+        };
+        if let helios_isa::Inst::Store { rs1, rs2, .. } = u.inst {
+            if !rs1.is_zero() {
+                capture(&self.rat, &mut srcs, rs1);
+            }
+            if !rs2.is_zero() {
+                capture(&self.rat, &mut data_srcs, rs2);
+            }
+        } else {
+            for s in u.inst.sources() {
+                capture(&self.rat, &mut srcs, s);
+            }
+        }
+        if let Some(f) = &u.fused {
+            if !pending {
+                if let helios_isa::Inst::Store { rs1, rs2, .. } = f.tail_inst {
+                    // Store-pair tail: address source gates STA, data gates
+                    // STD. (Stores have no destinations, so no tail source
+                    // can be internal to the fused µ-op.)
+                    if !rs1.is_zero() {
+                        capture(&self.rat, &mut srcs, rs1);
+                    }
+                    if !rs2.is_zero() {
+                        capture(&self.rat, &mut data_srcs, rs2);
+                    }
+                } else {
+                    for s in f.tail_inst.sources() {
+                        // Sources fed by the head inside the fused µ-op
+                        // (e.g. the address of an indexed load) are internal.
+                        if head_dests.contains(&s) {
+                            continue;
+                        }
+                        capture(&self.rat, &mut srcs, s);
+                    }
+                }
+            }
+        }
+        srcs.retain(|&p| !self.producer_ready(p, self.now));
+        data_srcs.retain(|&p| !self.producer_ready(p, self.now));
+
+        // --- Rename destinations. ---
+        let mut undo = Vec::with_capacity(2);
+        let mut phys_allocated = 0;
+        if let Some(rd) = u.inst.rd() {
+            undo.push((rd, self.rat[rd.index()]));
+            self.rat[rd.index()] = Some(seq);
+            phys_allocated += 1;
+        }
+        if let Some(f) = &u.fused {
+            if let Some(trd) = f.tail_inst.rd() {
+                phys_allocated += 1; // renamed together with the head's
+                if pending {
+                    // WaR protection (§IV-B2): the RAT is not updated for the
+                    // tail's destination until the tail nucleus renames.
+                } else {
+                    undo.push((trd, self.rat[trd.index()]));
+                    self.rat[trd.index()] = Some(seq);
+                }
+            }
+        }
+        self.free_phys -= phys_allocated;
+
+        // --- Dispatch to IQ / LQ / SQ / memdep. ---
+        let fu = u.fu();
+        let mut memdep_wait = None;
+        let (lacc, lacc2) = u.lq_accesses();
+        if let Some(acc) = lacc {
+            if let Some(sseq) = self.store_sets.load_dependency(u.pc) {
+                if !self.producer_ready(sseq, self.now) {
+                    memdep_wait = Some(sseq);
+                }
+            }
+            self.lq.push_back(LqEntry {
+                seq,
+                pc: u.pc,
+                acc,
+                acc2: lacc2,
+                issue_cycle: None,
+            });
+        }
+        let (sacc, sacc2) = u.sq_accesses();
+        if let Some(acc) = sacc {
+            self.store_sets.store_dispatched(u.pc, seq);
+            self.sq.push_back(SqEntry {
+                seq,
+                pc: u.pc,
+                acc,
+                acc2: sacc2,
+                addr_known_at: None,
+                senior: false,
+                draining_until: None,
+            });
+        }
+
+        self.iq.push(IqEntry {
+            seq,
+            fu,
+            srcs,
+            data_srcs,
+            sta_done: false,
+            ncs_ready: !pending,
+            memdep_wait,
+        });
+        self.rob.push_back(RobEntry {
+            mispredicted: u.mispredicted,
+            conditional: u.conditional,
+            indirect: u.indirect,
+            uop: u,
+            issued: false,
+            complete_at: None,
+            phys_allocated,
+            undo,
+        });
+    }
+
+    /// Processes a tail-nucleus marker at Rename/Dispatch: validate the
+    /// pending NCSF'd µ-op, or unfuse it (repair cases 2/3/4).
+    ///
+    /// Returns `Ok(extra_slot_used)` or the blocking resource.
+    fn process_tail_marker(&mut self, seq: u64, pc: u64, head_seq: u64) -> Result<bool, AllocBlock> {
+        let Some(hi) = self.rob_index(head_seq) else {
+            // The head was unfused by a flush after this marker survived; the
+            // marker is stale. (Defensive: normally markers and heads flush
+            // together.)
+            return Ok(false);
+        };
+        let Some(f) = self.rob[hi].uop.fused else {
+            return Ok(false);
+        };
+        debug_assert_eq!(f.tail_seq, seq);
+        let hz = f.hazards;
+        let must_unfuse =
+            hz.deadlock || hz.serializing || (f.idiom == Idiom::StorePair && hz.store_in_catalyst);
+
+        if must_unfuse {
+            // (counter drops in both branches below)
+            // The tail re-dispatches as its own µ-op, occupying a second
+            // dispatch slot (§IV-C cases 2/3/4).
+            let mut tail = DynUop::new(&Retired {
+                seq,
+                pc,
+                inst: f.tail_inst,
+                next_pc: pc + 4,
+                mem: f.tail_mem,
+                rd_value: None,
+            });
+            tail.fused = None;
+            self.check_capacity(&tail)?;
+            let case = if hz.deadlock {
+                RepairCase::Deadlock
+            } else if hz.serializing {
+                RepairCase::Serializing
+            } else {
+                RepairCase::StoreInCatalyst
+            };
+            let pred = f.pred;
+            self.unfuse_rob_entry(hi, case);
+            if let Some(meta) = pred {
+                self.fp.resolve(&meta, false);
+            }
+            self.active_pending_ncsf -= 1;
+            self.alloc_uop(tail);
+            return Ok(true);
+        }
+
+        // Validated (§IV-B2): perform the tail's deferred destination rename
+        // and source capture, then set NCS Ready.
+        if let Some(trd) = f.tail_inst.rd() {
+            self.tail_undos.push(TailUndo {
+                tail_seq: seq,
+                reg: trd,
+                prev: self.rat[trd.index()],
+            });
+            self.rat[trd.index()] = Some(head_seq);
+        }
+        let mut extra_srcs: Vec<u64> = Vec::new();
+        let mut extra_data: Vec<u64> = Vec::new();
+        let capture_tail = |reg: helios_isa::Reg, out: &mut Vec<u64>, rat: &[Option<u64>; 32]| {
+            if reg.is_zero() {
+                return;
+            }
+            if let Some(p) = rat[reg.index()] {
+                if p != head_seq {
+                    out.push(p);
+                }
+            }
+        };
+        if let helios_isa::Inst::Store { rs1, rs2, .. } = f.tail_inst {
+            capture_tail(rs1, &mut extra_srcs, &self.rat);
+            capture_tail(rs2, &mut extra_data, &self.rat);
+        } else {
+            for s in f.tail_inst.sources() {
+                capture_tail(s, &mut extra_srcs, &self.rat);
+            }
+        }
+        extra_srcs.retain(|&p| !self.producer_ready(p, self.now));
+        extra_data.retain(|&p| !self.producer_ready(p, self.now));
+        if let Some(iqe) = self.iq.iter_mut().find(|e| e.seq == head_seq) {
+            for p in extra_srcs {
+                if !iqe.srcs.contains(&p) {
+                    iqe.srcs.push(p);
+                }
+            }
+            for p in extra_data {
+                if !iqe.data_srcs.contains(&p) {
+                    iqe.data_srcs.push(p);
+                }
+            }
+            iqe.ncs_ready = true;
+        }
+        if let Some(ff) = self.rob[hi].uop.fused.as_mut() {
+            ff.pending = false;
+        }
+        if hz.raw_dep {
+            self.stats.fusion.record_repair(RepairCase::RawSourceFix);
+        }
+        self.active_pending_ncsf -= 1;
+        Ok(false)
+    }
+}

@@ -1,0 +1,187 @@
+//! Simulation statistics: cycles, IPC, stall breakdowns (Fig. 9), branch and
+//! cache behaviour, and the fusion statistics from `helios-core`.
+
+use helios_core::FusionStats;
+
+/// Why Dispatch could not move a µ-op this cycle.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum DispatchStall {
+    Rob,
+    Iq,
+    Lq,
+    Sq,
+}
+
+/// Aggregate statistics for one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct SimStats {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Committed architectural instructions (a fused pair counts as 2).
+    pub instructions: u64,
+    /// Committed µ-ops (a fused pair counts as 1).
+    pub uops: u64,
+    /// Committed memory instructions (loads + stores, pre-fusion count).
+    pub mem_instructions: u64,
+    /// Committed loads / stores (pre-fusion count).
+    pub loads: u64,
+    pub stores: u64,
+
+    /// Cycles in which Rename made zero progress because no physical
+    /// register was available (while work was waiting).
+    pub rename_stall_cycles: u64,
+    /// Cycles in which Dispatch made zero progress, by blocking resource.
+    pub dispatch_stall_rob: u64,
+    pub dispatch_stall_iq: u64,
+    pub dispatch_stall_lq: u64,
+    pub dispatch_stall_sq: u64,
+    /// Cycles the frontend was stalled waiting for a mispredicted branch to
+    /// resolve.
+    pub fetch_stall_redirect: u64,
+
+    /// Conditional branches and mispredictions.
+    pub branches: u64,
+    pub branch_mispredicts: u64,
+    /// Indirect jumps and target mispredictions.
+    pub indirects: u64,
+    pub indirect_mispredicts: u64,
+
+    /// Memory-order violation flushes (store-set trained).
+    pub memdep_flushes: u64,
+    /// Predicted pairs abandoned because the Rename nesting limit
+    /// (Max Active NCS) was saturated (§IV-B2).
+    pub ncsf_nest_aborts: u64,
+    /// Fusion-repair flushes (§IV-C cases 5/6) — also counted in `fusion`.
+    pub fusion_flushes: u64,
+
+    /// L1D accesses and misses (demand loads + store drains).
+    pub l1d_accesses: u64,
+    pub l1d_misses: u64,
+    pub l2_misses: u64,
+    pub l3_misses: u64,
+    /// Store-to-load forwards.
+    pub stlf_forwards: u64,
+    /// UCH decoupling-queue records dropped (queue full) / drained.
+    pub uch_queue_dropped: u64,
+    pub uch_queue_drained: u64,
+
+    /// Fusion statistics.
+    pub fusion: FusionStats,
+}
+
+impl SimStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Records a dispatch stall cycle attributed to `cause`.
+    pub fn record_dispatch_stall(&mut self, cause: DispatchStall) {
+        match cause {
+            DispatchStall::Rob => self.dispatch_stall_rob += 1,
+            DispatchStall::Iq => self.dispatch_stall_iq += 1,
+            DispatchStall::Lq => self.dispatch_stall_lq += 1,
+            DispatchStall::Sq => self.dispatch_stall_sq += 1,
+        }
+    }
+
+    /// Total dispatch stall cycles.
+    pub fn dispatch_stalls(&self) -> u64 {
+        self.dispatch_stall_rob + self.dispatch_stall_iq + self.dispatch_stall_lq
+            + self.dispatch_stall_sq
+    }
+
+    /// Dispatch + rename structural stalls as a percentage of cycles (Fig 9).
+    pub fn stall_pct(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        100.0 * (self.dispatch_stalls() + self.rename_stall_cycles) as f64 / self.cycles as f64
+    }
+
+    /// Branch misprediction rate in MPKI.
+    pub fn branch_mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            1000.0 * (self.branch_mispredicts + self.indirect_mispredicts) as f64
+                / self.instructions as f64
+        }
+    }
+
+    /// Fusion MPKI (Table III).
+    pub fn fusion_mpki(&self) -> f64 {
+        self.fusion.mpki(self.instructions)
+    }
+
+    /// Fused pairs as % of dynamic instructions (both nucleii counted):
+    /// the Fig. 2 metric.
+    pub fn fused_pct_of_uops(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            100.0 * (2 * self.fusion.fused_pairs()) as f64 / self.instructions as f64
+        }
+    }
+
+    /// Fused memory pairs as % of dynamic memory instructions (Fig. 8).
+    pub fn fused_pct_of_mem(&self) -> (f64, f64) {
+        if self.mem_instructions == 0 {
+            return (0.0, 0.0);
+        }
+        let denom = self.mem_instructions as f64;
+        (
+            100.0 * (2 * self.fusion.csf_pairs) as f64 / denom,
+            100.0 * (2 * self.fusion.ncsf_pairs) as f64 / denom,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_and_stalls() {
+        let mut s = SimStats {
+            cycles: 1000,
+            instructions: 1500,
+            ..SimStats::default()
+        };
+        assert!((s.ipc() - 1.5).abs() < 1e-12);
+        s.record_dispatch_stall(DispatchStall::Sq);
+        s.record_dispatch_stall(DispatchStall::Sq);
+        s.record_dispatch_stall(DispatchStall::Rob);
+        s.rename_stall_cycles = 7;
+        assert_eq!(s.dispatch_stalls(), 3);
+        assert!((s.stall_pct() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fusion_percentages() {
+        let mut s = SimStats {
+            instructions: 1000,
+            mem_instructions: 400,
+            ..SimStats::default()
+        };
+        s.fusion.csf_pairs = 20;
+        s.fusion.ncsf_pairs = 10;
+        s.fusion.by_idiom[0] = 30; // load pairs
+        assert!((s.fused_pct_of_uops() - 6.0).abs() < 1e-12);
+        let (csf, ncsf) = s.fused_pct_of_mem();
+        assert!((csf - 10.0).abs() < 1e-12);
+        assert!((ncsf - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cycle_safety() {
+        let s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.stall_pct(), 0.0);
+        assert_eq!(s.branch_mpki(), 0.0);
+    }
+}

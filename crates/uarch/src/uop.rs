@@ -1,0 +1,333 @@
+//! Dynamic µ-op representation inside the pipeline.
+
+use helios_core::{Contiguity, FusionClass, Idiom, PredMeta};
+use helios_emu::{MemAccess, Retired};
+use helios_isa::{Inst, Reg};
+
+/// Functional-unit class a µ-op issues to.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FuClass {
+    Alu,
+    Mul,
+    Div,
+    Branch,
+    Load,
+    Store,
+}
+
+impl FuClass {
+    /// Classifies an instruction.
+    pub fn of(inst: &Inst) -> FuClass {
+        match inst {
+            Inst::Load { .. } => FuClass::Load,
+            Inst::Store { .. } => FuClass::Store,
+            Inst::Branch { .. } | Inst::Jal { .. } | Inst::Jalr { .. } => FuClass::Branch,
+            Inst::Op { op, .. } if op.is_div() => FuClass::Div,
+            Inst::Op { op, .. } if op.is_muldiv() => FuClass::Mul,
+            _ => FuClass::Alu,
+        }
+    }
+}
+
+/// Validation hazards of a non-consecutive fused pair, pre-computed from the
+/// catalyst at marking time but *discovered* by the pipeline at the stage
+/// the paper discovers them (Rename for the tail nucleus, Execute for
+/// address mismatches) — see §IV-B/IV-C.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CatalystHazards {
+    /// Tail depends (directly or transitively) on a head destination —
+    /// dependency deadlock (§IV-B2 "Deadlocks", repair case 2).
+    pub deadlock: bool,
+    /// Store µ-op inside the catalyst of a store pair (§IV-B4, case 3).
+    pub store_in_catalyst: bool,
+    /// Serializing instruction inside the catalyst (case 4).
+    pub serializing: bool,
+    /// Catalyst writes one of the tail's sources (RaW, case 1 — pair stays
+    /// fused; the tail fixes the IQ entry in place at Dispatch).
+    pub raw_dep: bool,
+    /// Subroutine call or return inside the catalyst: the pair would span
+    /// stack frames, serializing the head on a far-away base register.
+    /// Helios does not form such pairs.
+    pub call: bool,
+}
+
+/// Fusion state attached to a head-nucleus µ-op.
+#[derive(Clone, Copy, Debug)]
+pub struct Fused {
+    pub idiom: Idiom,
+    pub class: FusionClass,
+    /// Tail nucleus identity (original trace sequence numbering).
+    pub tail_seq: u64,
+    pub tail_pc: u64,
+    pub tail_inst: Inst,
+    pub tail_mem: Option<MemAccess>,
+    /// Dynamic contiguity of the two accesses (memory pairs).
+    pub contiguity: Option<Contiguity>,
+    /// Different architectural base registers.
+    pub dbr: bool,
+    /// Different access sizes.
+    pub asymmetric: bool,
+    /// Predictor metadata if this pair was created by the Helios FP.
+    pub pred: Option<PredMeta>,
+    /// Pending NCSF'd µ-op: tail has not yet validated it (cannot issue).
+    pub pending: bool,
+    /// Hazards detected when the tail reaches Rename.
+    pub hazards: CatalystHazards,
+}
+
+/// A µ-op flowing through the pipeline (a head nucleus, possibly fused).
+#[derive(Clone, Copy, Debug)]
+pub struct DynUop {
+    /// Original trace sequence number (identity).
+    pub seq: u64,
+    pub pc: u64,
+    pub inst: Inst,
+    pub mem: Option<MemAccess>,
+    pub next_pc: u64,
+    /// Fusion state; `None` for simple µ-ops.
+    pub fused: Option<Fused>,
+    /// Frontend branch-prediction outcome for this µ-op.
+    pub mispredicted: bool,
+    pub conditional: bool,
+    pub indirect: bool,
+}
+
+impl DynUop {
+    /// Wraps a retired trace record.
+    pub fn new(r: &Retired) -> DynUop {
+        DynUop {
+            seq: r.seq,
+            pc: r.pc,
+            inst: r.inst,
+            mem: r.mem,
+            next_pc: r.next_pc,
+            fused: None,
+            mispredicted: false,
+            conditional: false,
+            indirect: false,
+        }
+    }
+
+    /// The load-queue accesses of this µ-op: `(first, second)`.
+    pub fn lq_accesses(&self) -> (Option<MemAccess>, Option<MemAccess>) {
+        match &self.fused {
+            Some(f) if f.idiom == Idiom::LoadPair => (self.mem, f.tail_mem),
+            Some(f) if matches!(f.idiom, Idiom::IndexedLoad | Idiom::LoadGlobal) => {
+                (f.tail_mem, None)
+            }
+            _ if self.inst.is_load() => (self.mem, None),
+            _ => (None, None),
+        }
+    }
+
+    /// The store-queue accesses of this µ-op: `(first, second)`.
+    pub fn sq_accesses(&self) -> (Option<MemAccess>, Option<MemAccess>) {
+        match &self.fused {
+            Some(f) if f.idiom == Idiom::StorePair => (self.mem, f.tail_mem),
+            _ if self.inst.is_store() => (self.mem, None),
+            _ => (None, None),
+        }
+    }
+
+    /// Functional unit for this µ-op (fused pairs issue to the head's unit;
+    /// ALU+load idioms issue to the load unit).
+    pub fn fu(&self) -> FuClass {
+        if let Some(f) = &self.fused {
+            if matches!(f.idiom, Idiom::IndexedLoad | Idiom::LoadGlobal) {
+                return FuClass::Load;
+            }
+            if f.idiom == Idiom::LoadPair {
+                return FuClass::Load;
+            }
+            if f.idiom == Idiom::StorePair {
+                return FuClass::Store;
+            }
+        }
+        FuClass::of(&self.inst)
+    }
+
+    /// Architectural destination registers (0, 1, or 2 for a load pair).
+    pub fn dests(&self) -> impl Iterator<Item = Reg> + '_ {
+        let head = self.inst.rd();
+        let tail = self.fused.as_ref().and_then(|f| f.tail_inst.rd());
+        head.into_iter().chain(tail)
+    }
+
+    /// Architectural source registers (deduplicated not required; the rename
+    /// stage handles repeats).
+    pub fn sources(&self) -> impl Iterator<Item = Reg> + '_ {
+        let tail = self
+            .fused
+            .iter()
+            .flat_map(|f| f.tail_inst.sources().collect::<Vec<_>>());
+        self.inst.sources().chain(tail)
+    }
+
+    /// Whether this µ-op is a pending NCSF'd µ-op (not yet validated).
+    pub fn is_pending_ncsf(&self) -> bool {
+        self.fused.as_ref().is_some_and(|f| f.pending)
+    }
+
+    /// Number of architectural instructions this µ-op represents.
+    pub fn inst_count(&self) -> u64 {
+        if self.fused.is_some() {
+            2
+        } else {
+            1
+        }
+    }
+
+    /// Removes the fusion state, reverting to the plain head µ-op.
+    /// Returns the removed state.
+    pub fn unfuse(&mut self) -> Option<Fused> {
+        self.fused.take()
+    }
+}
+
+/// One entry of the Allocation Queue.
+#[derive(Clone, Copy, Debug)]
+pub enum AqEntry {
+    /// A (possibly fused-head) µ-op.
+    Uop(DynUop),
+    /// A tail nucleus left in the queue after NCS fusion (§IV-B): flows
+    /// through Rename/Dispatch to validate or repair its head, consuming
+    /// slots but no ROB/IQ/LQ/SQ entries.
+    Tail {
+        seq: u64,
+        pc: u64,
+        /// Sequence number of the head-nucleus µ-op it validates.
+        head_seq: u64,
+    },
+}
+
+impl AqEntry {
+    /// The trace sequence number of this entry.
+    pub fn seq(&self) -> u64 {
+        match self {
+            AqEntry::Uop(u) => u.seq,
+            AqEntry::Tail { seq, .. } => *seq,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helios_isa::{AluOp, MemWidth};
+
+    fn load(seq: u64, rd: Reg, base: Reg, offset: i32) -> DynUop {
+        DynUop {
+            seq,
+            pc: 0x1000 + seq * 4,
+            inst: Inst::Load {
+                width: MemWidth::D,
+                signed: true,
+                rd,
+                rs1: base,
+                offset,
+            },
+            mem: Some(MemAccess {
+                addr: 0x8000 + offset as u64,
+                size: 8,
+                is_store: false,
+            }),
+            next_pc: 0x1004 + seq * 4,
+            fused: None,
+            mispredicted: false,
+            conditional: false,
+            indirect: false,
+        }
+    }
+
+    #[test]
+    fn fu_classification() {
+        assert_eq!(FuClass::of(&Inst::NOP), FuClass::Alu);
+        assert_eq!(
+            FuClass::of(&Inst::Op {
+                op: AluOp::Mul,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::A2
+            }),
+            FuClass::Mul
+        );
+        assert_eq!(
+            FuClass::of(&Inst::Op {
+                op: AluOp::Div,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::A2
+            }),
+            FuClass::Div
+        );
+        assert_eq!(
+            FuClass::of(&Inst::Jal {
+                rd: Reg::ZERO,
+                offset: 8
+            }),
+            FuClass::Branch
+        );
+    }
+
+    #[test]
+    fn fused_load_pair_has_two_dests_and_counts_two_insts() {
+        let mut head = load(0, Reg::A0, Reg::SP, 0);
+        let tail = load(1, Reg::A1, Reg::SP, 8);
+        head.fused = Some(Fused {
+            idiom: Idiom::LoadPair,
+            class: FusionClass::Consecutive,
+            tail_seq: 1,
+            tail_pc: tail.pc,
+            tail_inst: tail.inst,
+            tail_mem: tail.mem,
+            contiguity: None,
+            dbr: false,
+            asymmetric: false,
+            pred: None,
+            pending: false,
+            hazards: CatalystHazards::default(),
+        });
+        assert_eq!(head.dests().collect::<Vec<_>>(), vec![Reg::A0, Reg::A1]);
+        assert_eq!(head.inst_count(), 2);
+        assert_eq!(head.fu(), FuClass::Load);
+        assert!(!head.is_pending_ncsf());
+        let f = head.unfuse().unwrap();
+        assert_eq!(f.tail_seq, 1);
+        assert_eq!(head.inst_count(), 1);
+    }
+
+    #[test]
+    fn sources_include_tail_sources() {
+        let mut head = load(0, Reg::A0, Reg::SP, 0);
+        let tail = load(1, Reg::A1, Reg::S1, 8);
+        head.fused = Some(Fused {
+            idiom: Idiom::LoadPair,
+            class: FusionClass::NonConsecutive,
+            tail_seq: 1,
+            tail_pc: tail.pc,
+            tail_inst: tail.inst,
+            tail_mem: tail.mem,
+            contiguity: None,
+            dbr: true,
+            asymmetric: false,
+            pred: None,
+            pending: true,
+            hazards: CatalystHazards::default(),
+        });
+        let srcs: Vec<_> = head.sources().collect();
+        assert_eq!(srcs, vec![Reg::SP, Reg::S1]);
+        assert!(head.is_pending_ncsf());
+    }
+
+    #[test]
+    fn aq_entry_seq() {
+        let u = AqEntry::Uop(load(5, Reg::A0, Reg::SP, 0));
+        assert_eq!(u.seq(), 5);
+        let t = AqEntry::Tail {
+            seq: 9,
+            pc: 0,
+            head_seq: 5,
+        };
+        assert_eq!(t.seq(), 9);
+    }
+}

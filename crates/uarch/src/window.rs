@@ -1,0 +1,180 @@
+//! A rewindable window over the retired-µ-op trace.
+//!
+//! The pipeline fetches correct-path µ-ops from this window. Because fusion
+//! repairs (§IV-C cases 5–7) and memory-order violations squash *correct
+//! path* work that must re-enter the pipeline, the window retains every
+//! record from the oldest uncommitted µ-op onward and supports rewinding the
+//! fetch cursor. It also supports bounded lookahead, which the OracleFusion
+//! configuration uses as its future knowledge.
+
+use helios_emu::Retired;
+use std::collections::VecDeque;
+
+/// Rewindable, releasable trace window (see module docs).
+#[derive(Debug)]
+pub struct TraceWindow<I> {
+    src: I,
+    buf: VecDeque<Retired>,
+    /// Sequence number of `buf[0]`.
+    base: u64,
+    /// Sequence number of the next µ-op to fetch.
+    cursor: u64,
+    exhausted: bool,
+}
+
+impl<I: Iterator<Item = Retired>> TraceWindow<I> {
+    /// Wraps a retired-µ-op source.
+    pub fn new(src: I) -> TraceWindow<I> {
+        TraceWindow {
+            src,
+            buf: VecDeque::new(),
+            base: 0,
+            cursor: 0,
+            exhausted: false,
+        }
+    }
+
+    fn fill_to(&mut self, seq: u64) {
+        while !self.exhausted && self.base + self.buf.len() as u64 <= seq {
+            match self.src.next() {
+                Some(r) => {
+                    debug_assert_eq!(r.seq, self.base + self.buf.len() as u64);
+                    self.buf.push_back(r);
+                }
+                None => self.exhausted = true,
+            }
+        }
+    }
+
+    /// The record at absolute sequence number `seq`, if available.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` precedes the released region.
+    pub fn at(&mut self, seq: u64) -> Option<&Retired> {
+        assert!(seq >= self.base, "seq {seq} already released (base {})", self.base);
+        self.fill_to(seq);
+        self.buf.get((seq - self.base) as usize)
+    }
+
+    /// Sequence number the next [`TraceWindow::fetch`] will return.
+    pub fn cursor(&self) -> u64 {
+        self.cursor
+    }
+
+    /// Fetches the next µ-op and advances the cursor.
+    pub fn fetch(&mut self) -> Option<Retired> {
+        let seq = self.cursor;
+        let r = self.at(seq).copied()?;
+        self.cursor = seq + 1;
+        Some(r)
+    }
+
+    /// Peeks `n` µ-ops ahead of the cursor without advancing.
+    pub fn peek(&mut self, n: u64) -> Option<&Retired> {
+        let seq = self.cursor + n;
+        self.at(seq)
+    }
+
+    /// Rewinds the cursor to `seq` (µ-ops from `seq` on will be re-fetched).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` has already been released or is beyond the cursor.
+    pub fn rewind(&mut self, seq: u64) {
+        assert!(seq >= self.base && seq <= self.cursor);
+        self.cursor = seq;
+    }
+
+    /// Releases all records with sequence number `< seq` (they committed and
+    /// can never be re-fetched).
+    pub fn release_below(&mut self, seq: u64) {
+        let seq = seq.min(self.cursor);
+        while self.base < seq {
+            self.buf.pop_front();
+            self.base += 1;
+        }
+    }
+
+    /// Whether the source is exhausted and the cursor is at the end.
+    pub fn at_end(&mut self) -> bool {
+        self.fill_to(self.cursor);
+        self.exhausted && self.cursor >= self.base + self.buf.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helios_isa::Inst;
+
+    fn mk(n: u64) -> TraceWindow<impl Iterator<Item = Retired>> {
+        TraceWindow::new((0..n).map(|seq| Retired {
+            seq,
+            pc: 0x1000 + seq * 4,
+            inst: Inst::NOP,
+            next_pc: 0x1004 + seq * 4,
+            mem: None,
+            rd_value: None,
+        }))
+    }
+
+    #[test]
+    fn fetch_in_order() {
+        let mut w = mk(3);
+        assert_eq!(w.fetch().unwrap().seq, 0);
+        assert_eq!(w.fetch().unwrap().seq, 1);
+        assert_eq!(w.fetch().unwrap().seq, 2);
+        assert!(w.fetch().is_none());
+        assert!(w.at_end());
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut w = mk(10);
+        assert_eq!(w.peek(3).unwrap().seq, 3);
+        assert_eq!(w.fetch().unwrap().seq, 0);
+    }
+
+    #[test]
+    fn rewind_refetches() {
+        let mut w = mk(10);
+        for _ in 0..5 {
+            w.fetch();
+        }
+        w.rewind(2);
+        assert_eq!(w.fetch().unwrap().seq, 2);
+    }
+
+    #[test]
+    fn release_frees_prefix() {
+        let mut w = mk(10);
+        for _ in 0..6 {
+            w.fetch();
+        }
+        w.release_below(4);
+        assert_eq!(w.at(4).unwrap().seq, 4);
+        assert_eq!(w.fetch().unwrap().seq, 6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn released_access_panics() {
+        let mut w = mk(10);
+        for _ in 0..6 {
+            w.fetch();
+        }
+        w.release_below(4);
+        let _ = w.at(2);
+    }
+
+    #[test]
+    fn release_never_passes_cursor() {
+        let mut w = mk(10);
+        for _ in 0..3 {
+            w.fetch();
+        }
+        w.release_below(8); // clamped to cursor (3)
+        assert_eq!(w.fetch().unwrap().seq, 3);
+    }
+}

@@ -1,0 +1,418 @@
+//! MiBench-like kernels: `adpcm`, `basicmath`, `bitcount`, `blowfish`,
+//! `crc32`.
+
+use crate::{emit_output, Suite, Workload};
+use helios_isa::{Asm, Reg};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// ADPCM-style delta encoder: per-sample table-driven step adaptation.
+/// Mirrors MiBench `adpcm`: short loads, a small index table, data-dependent
+/// branches.
+pub fn adpcm() -> Workload {
+    let mut rng = StdRng::seed_from_u64(0xadcc);
+    let n = 12_000usize;
+    let samples: Vec<u16> = (0..n).map(|_| rng.gen::<u16>() & 0x7fff).collect();
+    let index_table: Vec<u64> = vec![1, 2, 4, 6, 8, 12, 16, 24];
+
+    // Reference: running predictor with step table.
+    let reference = {
+        let mut pred = 0u64;
+        let mut step = 7u64;
+        let mut acc = 0u64;
+        for &s in &samples {
+            let s = s as u64;
+            let diff = if s >= pred { s - pred } else { pred - s };
+            let code = if diff >= step { 4u64 } else { 0 } + (diff & 3);
+            step = index_table[(code & 7) as usize].wrapping_mul(step) / 4 + 1;
+            pred = s;
+            acc = acc.wrapping_add(code).wrapping_add(step);
+        }
+        acc
+    };
+
+    let mut a = Asm::new();
+    let sample_addr = {
+        let bytes: Vec<u8> = samples.iter().flat_map(|s| s.to_le_bytes()).collect();
+        a.bytes_aligned(bytes, 8)
+    };
+    let table_addr = a.words64(&index_table);
+
+    a.la(Reg::S0, sample_addr);
+    a.la(Reg::S1, table_addr);
+    a.li(Reg::S2, n as i64);
+    a.li(Reg::S3, 0); // pred
+    a.li(Reg::S4, 7); // step
+    a.li(Reg::S5, 0); // acc
+    let top = a.here();
+    let ge = a.new_label();
+    let join = a.new_label();
+    let big = a.new_label();
+    let small = a.new_label();
+    a.lhu(Reg::T0, 0, Reg::S0); // sample
+    a.bgeu(Reg::T0, Reg::S3, ge);
+    a.sub(Reg::T1, Reg::S3, Reg::T0); // diff = pred - s
+    a.j(join);
+    a.bind(ge);
+    a.sub(Reg::T1, Reg::T0, Reg::S3); // diff = s - pred
+    a.bind(join);
+    a.bgeu(Reg::T1, Reg::S4, big);
+    a.li(Reg::T2, 0);
+    a.j(small);
+    a.bind(big);
+    a.li(Reg::T2, 4);
+    a.bind(small);
+    a.andi(Reg::T3, Reg::T1, 3);
+    a.add(Reg::T2, Reg::T2, Reg::T3); // code
+    a.andi(Reg::T3, Reg::T2, 7);
+    a.slli(Reg::T3, Reg::T3, 3);
+    a.addi(Reg::S0, Reg::S0, 2) /* advance sample ptr in the gap */;
+    a.add(Reg::T3, Reg::S1, Reg::T3); // &index_table[code&7]
+    a.ld(Reg::T4, 0, Reg::T3);
+    a.mul(Reg::T4, Reg::T4, Reg::S4);
+    a.srli(Reg::T4, Reg::T4, 2);
+    a.addi(Reg::S4, Reg::T4, 1); // step
+    a.mv(Reg::S3, Reg::T0); // pred = s
+    a.add(Reg::S5, Reg::S5, Reg::T2);
+    a.add(Reg::S5, Reg::S5, Reg::S4);
+    a.addi(Reg::S2, Reg::S2, -1);
+    a.bnez(Reg::S2, top);
+    emit_output(&mut a, Reg::S5);
+    a.halt();
+
+    Workload {
+        name: "adpcm",
+        suite: Suite::MiBenchLike,
+        program: a.assemble().expect("adpcm assembles"),
+        expected: vec![reference],
+        fuel: 3_000_000,
+    }
+}
+
+/// basicmath-style kernel: integer square roots and GCDs — divide-heavy
+/// ALU code with very few memory operations.
+pub fn basicmath() -> Workload {
+    let mut rng = StdRng::seed_from_u64(0xba51c);
+    let n = 3_000usize;
+    let values: Vec<u64> = (0..n).map(|_| rng.gen::<u32>() as u64 + 1).collect();
+
+    let isqrt = |v: u64| -> u64 {
+        let mut x = v;
+        let mut y = (x + 1) / 2;
+        while y < x {
+            x = y;
+            y = (x + v / x) / 2;
+        }
+        x
+    };
+    let gcd = |mut a: u64, mut b: u64| -> u64 {
+        while b != 0 {
+            let t = a % b;
+            a = b;
+            b = t;
+        }
+        a
+    };
+    let reference = {
+        let mut acc = 0u64;
+        for i in 0..n {
+            let v = values[i];
+            acc = acc.wrapping_add(isqrt(v));
+            acc = acc.wrapping_add(gcd(v, values[(i + 1) % n]));
+        }
+        acc
+    };
+
+    let mut a = Asm::new();
+    let vals = a.words64(&values);
+    a.la(Reg::S0, vals);
+    a.li(Reg::S1, n as i64);
+    a.li(Reg::S2, 0); // acc
+    a.li(Reg::S5, 0); // index i
+    let top = a.here();
+
+    // v = values[i]
+    a.slli(Reg::T0, Reg::S5, 3);
+    a.add(Reg::T0, Reg::S0, Reg::T0); // slli+add LEA idiom
+    a.ld(Reg::S3, 0, Reg::T0);
+
+    // isqrt(v): x = v; y = (x+1)/2; while y < x { x = y; y = (x + v/x)/2 }
+    a.mv(Reg::T1, Reg::S3); // x
+    a.addi(Reg::T2, Reg::T1, 1);
+    a.srli(Reg::T2, Reg::T2, 1); // y
+    let sq_top = a.here();
+    let sq_done = a.new_label();
+    a.bgeu(Reg::T2, Reg::T1, sq_done);
+    a.mv(Reg::T1, Reg::T2);
+    a.divu(Reg::T3, Reg::S3, Reg::T1);
+    a.add(Reg::T2, Reg::T1, Reg::T3);
+    a.srli(Reg::T2, Reg::T2, 1);
+    a.j(sq_top);
+    a.bind(sq_done);
+    a.add(Reg::S2, Reg::S2, Reg::T1);
+
+    // gcd(v, values[(i+1) % n])
+    a.addi(Reg::T0, Reg::S5, 1);
+    a.li(Reg::T4, n as i64);
+    a.remu(Reg::T0, Reg::T0, Reg::T4);
+    a.slli(Reg::T0, Reg::T0, 3);
+    a.add(Reg::T0, Reg::S0, Reg::T0);
+    a.ld(Reg::T2, 0, Reg::T0); // b
+    a.mv(Reg::T1, Reg::S3); // a
+    let gcd_top = a.here();
+    let gcd_done = a.new_label();
+    a.beqz(Reg::T2, gcd_done);
+    a.remu(Reg::T3, Reg::T1, Reg::T2);
+    a.mv(Reg::T1, Reg::T2);
+    a.mv(Reg::T2, Reg::T3);
+    a.j(gcd_top);
+    a.bind(gcd_done);
+    a.add(Reg::S2, Reg::S2, Reg::T1);
+
+    a.addi(Reg::S5, Reg::S5, 1);
+    a.addi(Reg::S1, Reg::S1, -1);
+    a.bnez(Reg::S1, top);
+    emit_output(&mut a, Reg::S2);
+    a.halt();
+
+    Workload {
+        name: "basicmath",
+        suite: Suite::MiBenchLike,
+        program: a.assemble().expect("basicmath assembles"),
+        expected: vec![reference],
+        fuel: 5_000_000,
+    }
+}
+
+/// bitcount-style kernel: several bit-twiddling population counts — almost
+/// no memory traffic, dense shift/mask idioms (`slli+srli`, `lui+addi`).
+/// One of the paper's "Others idioms prevalent" applications (Fig. 2).
+pub fn bitcount() -> Workload {
+    let mut rng = StdRng::seed_from_u64(0xb17c);
+    let n = 8_000usize;
+    let values: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
+
+    let reference = {
+        let mut acc = 0u64;
+        for &v in &values {
+            // SWAR popcount on the low 32 bits, then the high 32.
+            let pop32 = |x: u64| -> u64 {
+                let x = x & 0xffff_ffff;
+                let x = x - ((x >> 1) & 0x5555_5555);
+                let x = (x & 0x3333_3333) + ((x >> 2) & 0x3333_3333);
+                let x = (x + (x >> 4)) & 0x0f0f_0f0f;
+                x.wrapping_mul(0x0101_0101) >> 24 & 0xff
+            };
+            acc = acc.wrapping_add(pop32(v)).wrapping_add(pop32(v >> 32));
+        }
+        acc
+    };
+
+    let mut a = Asm::new();
+    let vals = a.words64(&values);
+    a.la(Reg::S0, vals);
+    a.li(Reg::S1, n as i64);
+    a.li(Reg::S2, 0); // acc
+    // SWAR constants (lui+addi load-immediate idioms).
+    a.li(Reg::S3, 0x5555_5555);
+    a.li(Reg::S4, 0x3333_3333);
+    a.li(Reg::S5, 0x0f0f_0f0f);
+    a.li(Reg::S6, 0x0101_0101);
+    let top = a.here();
+    a.ld(Reg::T0, 0, Reg::S0);
+
+    for half in 0..2 {
+        if half == 0 {
+            // Low word: clear upper (slli+srli idiom).
+            a.slli(Reg::T1, Reg::T0, 32);
+            a.srli(Reg::T1, Reg::T1, 32);
+        } else {
+            a.srli(Reg::T1, Reg::T0, 32);
+        }
+        a.srli(Reg::T2, Reg::T1, 1);
+        a.and(Reg::T2, Reg::T2, Reg::S3);
+        a.sub(Reg::T1, Reg::T1, Reg::T2);
+        a.srli(Reg::T2, Reg::T1, 2);
+        a.and(Reg::T2, Reg::T2, Reg::S4);
+        a.and(Reg::T1, Reg::T1, Reg::S4);
+        a.add(Reg::T1, Reg::T1, Reg::T2);
+        a.srli(Reg::T2, Reg::T1, 4);
+        a.add(Reg::T1, Reg::T1, Reg::T2);
+        a.and(Reg::T1, Reg::T1, Reg::S5);
+        a.mul(Reg::T1, Reg::T1, Reg::S6);
+        a.srli(Reg::T1, Reg::T1, 24);
+        a.andi(Reg::T1, Reg::T1, 0xff);
+        a.add(Reg::S2, Reg::S2, Reg::T1);
+    }
+
+    a.addi(Reg::S0, Reg::S0, 8);
+    a.addi(Reg::S1, Reg::S1, -1);
+    a.bnez(Reg::S1, top);
+    emit_output(&mut a, Reg::S2);
+    a.halt();
+
+    Workload {
+        name: "bitcount",
+        suite: Suite::MiBenchLike,
+        program: a.assemble().expect("bitcount assembles"),
+        expected: vec![reference],
+        fuel: 3_000_000,
+    }
+}
+
+/// blowfish-style Feistel kernel: four 256-entry S-boxes, byte extraction,
+/// xor/add mixing — `slli+add` address idioms plus scattered word loads.
+pub fn blowfish() -> Workload {
+    let mut rng = StdRng::seed_from_u64(0xb10f);
+    let sboxes: Vec<Vec<u64>> = (0..4)
+        .map(|_| (0..256).map(|_| rng.gen::<u32>() as u64).collect())
+        .collect();
+    let blocks = 5_000usize;
+    let data: Vec<u64> = (0..blocks).map(|_| rng.gen()).collect();
+
+    let f = |s: &[Vec<u64>], x: u64| -> u64 {
+        let a = (x >> 24) & 0xff;
+        let b = (x >> 16) & 0xff;
+        let c = (x >> 8) & 0xff;
+        let d = x & 0xff;
+        let h = s[0][a as usize].wrapping_add(s[1][b as usize]);
+        (h ^ s[2][c as usize]).wrapping_add(s[3][d as usize]) & 0xffff_ffff
+    };
+    let reference = {
+        let mut acc = 0u64;
+        for &blk in &data {
+            let mut l = blk >> 32;
+            let mut r = blk & 0xffff_ffff;
+            for _ in 0..4 {
+                l ^= f(&sboxes, r);
+                l &= 0xffff_ffff;
+                std::mem::swap(&mut l, &mut r);
+            }
+            acc = acc.wrapping_add((l << 32) | r);
+        }
+        acc
+    };
+
+    let mut a = Asm::new();
+    let sb: Vec<u64> = (0..4).map(|i| a.words64(&sboxes[i])).collect();
+    let blocks_addr = a.words64(&data);
+    a.la(Reg::S0, blocks_addr);
+    a.li(Reg::S1, blocks as i64);
+    a.li(Reg::S2, 0); // acc
+    a.la(Reg::S3, sb[0]);
+    a.la(Reg::S4, sb[1]);
+    a.la(Reg::S5, sb[2]);
+    a.la(Reg::S6, sb[3]);
+    a.li(Reg::S7, 0xffff_ffff);
+    let top = a.here();
+    a.ld(Reg::T0, 0, Reg::S0);
+    a.srli(Reg::A2, Reg::T0, 32); // l
+    a.and(Reg::A3, Reg::T0, Reg::S7); // r
+    for _ in 0..4 {
+        // F(r): four byte lookups, software-pipelined so the address shifts
+        // and adds of different lookups interleave (as a scheduler would).
+        a.srli(Reg::T1, Reg::A3, 24);
+        a.srli(Reg::T2, Reg::A3, 16);
+        a.andi(Reg::T1, Reg::T1, 0xff);
+        a.andi(Reg::T2, Reg::T2, 0xff);
+        a.slli(Reg::T1, Reg::T1, 3);
+        a.slli(Reg::T2, Reg::T2, 3);
+        a.add(Reg::T1, Reg::S3, Reg::T1);
+        a.add(Reg::T2, Reg::S4, Reg::T2);
+        a.ld(Reg::T1, 0, Reg::T1);
+        a.ld(Reg::T2, 0, Reg::T2);
+        a.srli(Reg::T4, Reg::A3, 8);
+        a.andi(Reg::T5, Reg::A3, 0xff);
+        a.andi(Reg::T4, Reg::T4, 0xff);
+        a.slli(Reg::T5, Reg::T5, 3);
+        a.slli(Reg::T4, Reg::T4, 3);
+        a.add(Reg::T5, Reg::S6, Reg::T5);
+        a.add(Reg::T4, Reg::S5, Reg::T4);
+        a.add(Reg::T1, Reg::T1, Reg::T2);
+        a.ld(Reg::T4, 0, Reg::T4);
+        a.ld(Reg::T5, 0, Reg::T5);
+        a.xor(Reg::T1, Reg::T1, Reg::T4);
+        a.add(Reg::T1, Reg::T1, Reg::T5);
+        a.and(Reg::T1, Reg::T1, Reg::S7); // F & mask
+        a.xor(Reg::A2, Reg::A2, Reg::T1);
+        a.and(Reg::A2, Reg::A2, Reg::S7);
+        // swap(l, r)
+        a.mv(Reg::T3, Reg::A2);
+        a.mv(Reg::A2, Reg::A3);
+        a.mv(Reg::A3, Reg::T3);
+    }
+    a.slli(Reg::T0, Reg::A2, 32);
+    a.or(Reg::T0, Reg::T0, Reg::A3);
+    a.add(Reg::S2, Reg::S2, Reg::T0);
+    a.addi(Reg::S0, Reg::S0, 8);
+    a.addi(Reg::S1, Reg::S1, -1);
+    a.bnez(Reg::S1, top);
+    emit_output(&mut a, Reg::S2);
+    a.halt();
+
+    Workload {
+        name: "blowfish",
+        suite: Suite::MiBenchLike,
+        program: a.assemble().expect("blowfish assembles"),
+        expected: vec![reference],
+        fuel: 3_000_000,
+    }
+}
+
+/// Table-driven CRC-32 over a byte buffer (MiBench `crc32`): byte loads,
+/// a 256-entry table, and shift/xor chains.
+pub fn crc32() -> Workload {
+    let mut rng = StdRng::seed_from_u64(0xc3c);
+    let n = 16_000usize;
+    let buf: Vec<u8> = (0..n).map(|_| rng.gen()).collect();
+
+    let table: Vec<u32> = (0..256u32)
+        .map(|i| {
+            let mut c = i;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xedb8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            c
+        })
+        .collect();
+    let reference = {
+        let mut crc = 0xffff_ffffu32;
+        for &b in &buf {
+            crc = table[((crc ^ b as u32) & 0xff) as usize] ^ (crc >> 8);
+        }
+        (crc ^ 0xffff_ffff) as u64
+    };
+
+    let mut a = Asm::new();
+    let table_addr = a.words32(&table);
+    let buf_addr = a.bytes_aligned(buf, 8);
+    a.la(Reg::S0, table_addr);
+    a.la(Reg::S1, buf_addr);
+    a.li(Reg::S2, n as i64);
+    a.li(Reg::A0, 0xffff_ffff); // crc, zero-extended
+    let top = a.here();
+    a.lbu(Reg::T0, 0, Reg::S1);
+    a.xor(Reg::T0, Reg::A0, Reg::T0);
+    a.andi(Reg::T0, Reg::T0, 0xff);
+    a.slli(Reg::T0, Reg::T0, 2);
+    a.srli(Reg::T2, Reg::A0, 8); // scheduled between shift and add
+    a.add(Reg::T0, Reg::S0, Reg::T0);
+    a.addi(Reg::S1, Reg::S1, 1);
+    a.lwu(Reg::T1, 0, Reg::T0);
+    a.xor(Reg::A0, Reg::T2, Reg::T1);
+    a.addi(Reg::S2, Reg::S2, -1);
+    a.bnez(Reg::S2, top);
+    a.not(Reg::A0, Reg::A0);
+    a.slli(Reg::A0, Reg::A0, 32); // clear-upper idiom
+    a.srli(Reg::A0, Reg::A0, 32);
+    emit_output(&mut a, Reg::A0);
+    a.halt();
+
+    Workload {
+        name: "crc32",
+        suite: Suite::MiBenchLike,
+        program: a.assemble().expect("crc32 assembles"),
+        expected: vec![reference],
+        fuel: 3_000_000,
+    }
+}

@@ -1,0 +1,511 @@
+//! MiBench-like kernels: `dijkstra`, `fft`, `gsm_toast`, `gsm_untoast`,
+//! `jpeg`.
+
+use crate::{emit_output, Suite, Workload};
+use helios_isa::{Asm, Reg};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const INF: u64 = 0x3fff_ffff;
+
+/// Dijkstra over a dense adjacency matrix (MiBench `dijkstra`). Node records
+/// are 32-byte `{dist, _, visited, _}` structs: the min-scan's field loads
+/// are same-line but neither contiguous nor consecutive — fusible only by
+/// NCTF/NCSF-capable hardware (Helios); relaxation mixes loads, compares,
+/// and stores.
+pub fn dijkstra() -> Workload {
+    let mut rng = StdRng::seed_from_u64(0xd13);
+    let v = 72usize;
+    let adj: Vec<u32> = (0..v * v).map(|_| rng.gen_range(1..100u32)).collect();
+
+    let reference = {
+        let mut dist = vec![INF; v];
+        let mut visited = vec![false; v];
+        dist[0] = 0;
+        for _ in 0..v {
+            let mut best = INF + 1;
+            let mut bi = 0usize;
+            for i in 0..v {
+                if !visited[i] && dist[i] < best {
+                    best = dist[i];
+                    bi = i;
+                }
+            }
+            visited[bi] = true;
+            for j in 0..v {
+                let cand = dist[bi] + adj[bi * v + j] as u64;
+                if cand < dist[j] {
+                    dist[j] = cand;
+                }
+            }
+        }
+        dist.iter().fold(0u64, |a, &d| a.wrapping_add(d))
+    };
+
+    let mut a = Asm::new();
+    // Node records: {dist, pad, visited, pad} × v (32 B, so dist and
+    // visited sit at offsets 0 and 16 of one line: same-line, not
+    // contiguous — fusible only by NCTF-capable hardware).
+    let mut nodes = Vec::with_capacity(4 * v);
+    for i in 0..v {
+        nodes.push(if i == 0 { 0 } else { INF });
+        nodes.push(0);
+        nodes.push(0);
+        nodes.push(0);
+    }
+    let nodes_addr = a.words64(&nodes);
+    let adj_addr = a.words32(&adj);
+
+    a.la(Reg::S0, nodes_addr);
+    a.la(Reg::S1, adj_addr);
+    a.li(Reg::S2, v as i64);
+    a.li(Reg::S3, v as i64); // outer counter
+    let outer = a.here();
+
+    // --- find unvisited minimum ---
+    a.li(Reg::T0, (INF + 1) as i64); // best
+    a.li(Reg::T1, 0); // best index
+    a.li(Reg::T2, 0); // i
+    a.mv(Reg::T3, Reg::S0); // &node[0]
+    let scan = a.here();
+    let skip = a.new_label();
+    a.ld(Reg::T4, 0, Reg::T3); // dist — head nucleus
+    a.addi(Reg::T2, Reg::T2, 1); // catalyst work
+    a.ld(Reg::T5, 16, Reg::T3); // visited — same-line NCSF tail
+    a.bnez(Reg::T5, skip);
+    a.bgeu(Reg::T4, Reg::T0, skip);
+    a.mv(Reg::T0, Reg::T4);
+    a.addi(Reg::T1, Reg::T2, -1);
+    a.bind(skip);
+    a.addi(Reg::T3, Reg::T3, 32);
+    a.blt(Reg::T2, Reg::S2, scan);
+
+    // --- visit best ---
+    a.slli(Reg::T3, Reg::T1, 5);
+    a.add(Reg::T3, Reg::S0, Reg::T3);
+    a.li(Reg::T6, 1);
+    a.sd(Reg::T6, 16, Reg::T3);
+    a.ld(Reg::A4, 0, Reg::T3); // dist[best]
+
+    // --- relax row ---
+    a.mul(Reg::T4, Reg::T1, Reg::S2);
+    a.slli(Reg::T4, Reg::T4, 2);
+    a.add(Reg::T4, Reg::S1, Reg::T4); // &adj[best][0]
+    a.li(Reg::T2, 0);
+    a.mv(Reg::T3, Reg::S0);
+    let relax = a.here();
+    let no_update = a.new_label();
+    a.lwu(Reg::T5, 0, Reg::T4);
+    a.add(Reg::T5, Reg::A4, Reg::T5); // cand
+    a.ld(Reg::T6, 0, Reg::T3); // dist[j]
+    a.bgeu(Reg::T5, Reg::T6, no_update);
+    a.sd(Reg::T5, 0, Reg::T3);
+    a.bind(no_update);
+    a.addi(Reg::T4, Reg::T4, 4);
+    a.addi(Reg::T3, Reg::T3, 32);
+    a.addi(Reg::T2, Reg::T2, 1);
+    a.blt(Reg::T2, Reg::S2, relax);
+
+    a.addi(Reg::S3, Reg::S3, -1);
+    a.bnez(Reg::S3, outer);
+
+    // --- checksum = sum of distances ---
+    a.li(Reg::A0, 0);
+    a.li(Reg::T2, 0);
+    a.mv(Reg::T3, Reg::S0);
+    let sum = a.here();
+    a.ld(Reg::T4, 0, Reg::T3);
+    a.add(Reg::A0, Reg::A0, Reg::T4);
+    a.addi(Reg::T3, Reg::T3, 32);
+    a.addi(Reg::T2, Reg::T2, 1);
+    a.blt(Reg::T2, Reg::S2, sum);
+    emit_output(&mut a, Reg::A0);
+    a.halt();
+
+    Workload {
+        name: "dijkstra",
+        suite: Suite::MiBenchLike,
+        program: a.assemble().expect("dijkstra assembles"),
+        expected: vec![reference],
+        fuel: 3_000_000,
+    }
+}
+
+/// Fixed-point butterfly transform over complex records (MiBench `fft`
+/// stand-in): every butterfly loads two `{re, im}` pairs and stores two —
+/// the densest load-pair/store-pair kernel in the suite.
+pub fn fft() -> Workload {
+    let mut rng = StdRng::seed_from_u64(0xff7);
+    let n = 512usize;
+    let stages = 9usize; // log2(n)
+    let init: Vec<i64> = (0..2 * n).map(|_| rng.gen_range(-1000..1000i64)).collect();
+    let twiddle: Vec<i64> = (0..64).map(|_| rng.gen_range(-256..256i64)).collect();
+
+    let reference = {
+        let mut x = init.clone();
+        for pass in 0..2 {
+            for s in 0..stages {
+                let half = 1usize << s;
+                let mut i = 0;
+                while i < n {
+                    for j in 0..half {
+                        let p = i + j;
+                        let q = p + half;
+                        let w = twiddle[(s * 7 + j + pass) & 63];
+                        let (ar, ai) = (x[2 * p], x[2 * p + 1]);
+                        let (br, bi) = (x[2 * q], x[2 * q + 1]);
+                        let tr = br.wrapping_mul(w) >> 8;
+                        let ti = bi.wrapping_mul(w) >> 8;
+                        x[2 * p] = ar.wrapping_add(tr);
+                        x[2 * p + 1] = ai.wrapping_add(ti);
+                        x[2 * q] = ar.wrapping_sub(tr);
+                        x[2 * q + 1] = ai.wrapping_sub(ti);
+                    }
+                    i += 2 * half;
+                }
+            }
+        }
+        x.iter().fold(0u64, |a, &v| a.wrapping_add(v as u64))
+    };
+
+    let mut a = Asm::new();
+    let x_addr = {
+        let bytes: Vec<u8> = init.iter().flat_map(|v| v.to_le_bytes()).collect();
+        a.bytes_aligned(bytes, 64)
+    };
+    let tw_addr = a.words64(&twiddle.iter().map(|&v| v as u64).collect::<Vec<_>>());
+
+    a.la(Reg::S0, x_addr);
+    a.la(Reg::S1, tw_addr);
+    a.li(Reg::S2, n as i64);
+    a.li(Reg::S11, 0); // pass
+    let pass_top = a.here();
+    a.li(Reg::S3, 0); // s (stage)
+    let stage_top = a.here();
+    a.li(Reg::T0, 1);
+    a.sll(Reg::S4, Reg::T0, Reg::S3); // half
+    a.li(Reg::S5, 0); // i
+    let block_top = a.here();
+    a.li(Reg::S6, 0); // j
+    let bf_top = a.here();
+    // p = i + j; q = p + half
+    a.add(Reg::T0, Reg::S5, Reg::S6);
+    a.slli(Reg::T1, Reg::T0, 4);
+    a.add(Reg::T2, Reg::T0, Reg::S4);
+    a.add(Reg::T1, Reg::S0, Reg::T1); // &x[p] record
+    a.slli(Reg::T2, Reg::T2, 4);
+    a.add(Reg::T2, Reg::S0, Reg::T2); // &x[q] record
+    // w = twiddle[(s*7 + j + pass) & 63]
+    a.slli(Reg::T3, Reg::S3, 3);
+    a.sub(Reg::T3, Reg::T3, Reg::S3); // s*7
+    a.add(Reg::T3, Reg::T3, Reg::S6);
+    a.add(Reg::T3, Reg::T3, Reg::S11);
+    a.andi(Reg::T3, Reg::T3, 63);
+    a.slli(Reg::T3, Reg::T3, 3);
+    a.addi(Reg::S6, Reg::S6, 0) /* gap */;
+    a.add(Reg::T3, Reg::S1, Reg::T3);
+    a.ld(Reg::T3, 0, Reg::T3);
+    // load both complex records (load pairs)
+    a.ld(Reg::A2, 0, Reg::T1); // ar
+    a.ld(Reg::A3, 8, Reg::T1); // ai
+    a.ld(Reg::A4, 0, Reg::T2); // br
+    a.ld(Reg::A5, 8, Reg::T2); // bi
+    a.mul(Reg::A4, Reg::A4, Reg::T3);
+    a.srai(Reg::A4, Reg::A4, 8); // tr
+    a.mul(Reg::A5, Reg::A5, Reg::T3);
+    a.srai(Reg::A5, Reg::A5, 8); // ti
+    a.add(Reg::T4, Reg::A2, Reg::A4);
+    a.add(Reg::T5, Reg::A3, Reg::A5);
+    a.sd(Reg::T4, 0, Reg::T1); // store pair
+    a.sd(Reg::T5, 8, Reg::T1);
+    a.sub(Reg::T4, Reg::A2, Reg::A4);
+    a.sub(Reg::T5, Reg::A3, Reg::A5);
+    a.sd(Reg::T4, 0, Reg::T2); // store pair
+    a.sd(Reg::T5, 8, Reg::T2);
+    a.addi(Reg::S6, Reg::S6, 1);
+    a.blt(Reg::S6, Reg::S4, bf_top);
+    a.slli(Reg::T0, Reg::S4, 1);
+    a.add(Reg::S5, Reg::S5, Reg::T0);
+    a.blt(Reg::S5, Reg::S2, block_top);
+    a.addi(Reg::S3, Reg::S3, 1);
+    a.li(Reg::T0, stages as i64);
+    a.blt(Reg::S3, Reg::T0, stage_top);
+    a.addi(Reg::S11, Reg::S11, 1);
+    a.li(Reg::T0, 2);
+    a.blt(Reg::S11, Reg::T0, pass_top);
+
+    // checksum
+    a.li(Reg::A0, 0);
+    a.li(Reg::T2, 0);
+    a.li(Reg::T6, 2 * n as i64);
+    a.mv(Reg::T3, Reg::S0);
+    let sum = a.here();
+    a.ld(Reg::T4, 0, Reg::T3);
+    a.add(Reg::A0, Reg::A0, Reg::T4);
+    a.addi(Reg::T3, Reg::T3, 8);
+    a.addi(Reg::T2, Reg::T2, 1);
+    a.blt(Reg::T2, Reg::T6, sum);
+    emit_output(&mut a, Reg::A0);
+    a.halt();
+
+    Workload {
+        name: "fft",
+        suite: Suite::MiBenchLike,
+        program: a.assemble().expect("fft assembles"),
+        expected: vec![reference],
+        fuel: 5_000_000,
+    }
+}
+
+/// GSM encode-side kernel: windowed dot products over 16-bit samples —
+/// contiguous short loads with multiply-accumulate chains.
+pub fn gsm_toast() -> Workload {
+    let mut rng = StdRng::seed_from_u64(0x95a);
+    let frames = 240usize;
+    let frame_len = 160usize;
+    let samples: Vec<i16> = (0..frames * frame_len)
+        .map(|_| rng.gen_range(-4096..4096i16))
+        .collect();
+    let coeffs: Vec<i16> = (0..8).map(|_| rng.gen_range(-128..128i16)).collect();
+
+    let reference = {
+        let mut acc = 0u64;
+        for f in 0..frames {
+            let mut e = 0i64;
+            for i in 0..frame_len {
+                let s = samples[f * frame_len + i] as i64;
+                let c = coeffs[i & 7] as i64;
+                e = e.wrapping_add(s.wrapping_mul(c)) >> 1;
+            }
+            acc = acc.wrapping_add(e as u64);
+        }
+        acc
+    };
+
+    let mut a = Asm::new();
+    let s_addr = {
+        let bytes: Vec<u8> = samples.iter().flat_map(|v| v.to_le_bytes()).collect();
+        a.bytes_aligned(bytes, 8)
+    };
+    let c_addr = {
+        let bytes: Vec<u8> = coeffs.iter().flat_map(|v| v.to_le_bytes()).collect();
+        a.bytes_aligned(bytes, 8)
+    };
+    a.la(Reg::S0, s_addr);
+    a.la(Reg::S1, c_addr);
+    a.li(Reg::S2, frames as i64);
+    a.li(Reg::S5, 0); // acc
+    let frame = a.here();
+    a.li(Reg::T0, frame_len as i64);
+    a.li(Reg::T1, 0); // e
+    a.li(Reg::T2, 0); // i
+    let inner = a.here();
+    a.lh(Reg::T3, 0, Reg::S0);
+    a.andi(Reg::T4, Reg::T2, 7);
+    a.slli(Reg::T4, Reg::T4, 1);
+    a.addi(Reg::S0, Reg::S0, 2); // scheduled between shift and add
+    a.add(Reg::T4, Reg::S1, Reg::T4);
+    a.addi(Reg::T2, Reg::T2, 1);
+    a.lh(Reg::T4, 0, Reg::T4);
+    a.mul(Reg::T3, Reg::T3, Reg::T4);
+    a.add(Reg::T1, Reg::T1, Reg::T3);
+    a.srai(Reg::T1, Reg::T1, 1);
+    a.blt(Reg::T2, Reg::T0, inner);
+    a.add(Reg::S5, Reg::S5, Reg::T1);
+    a.addi(Reg::S2, Reg::S2, -1);
+    a.bnez(Reg::S2, frame);
+    emit_output(&mut a, Reg::S5);
+    a.halt();
+
+    Workload {
+        name: "gsm_toast",
+        suite: Suite::MiBenchLike,
+        program: a.assemble().expect("gsm_toast assembles"),
+        expected: vec![reference],
+        fuel: 5_000_000,
+    }
+}
+
+/// GSM decode-side kernel: short-term synthesis writing reconstructed
+/// samples — a balanced load/compute/store stream.
+pub fn gsm_untoast() -> Workload {
+    let mut rng = StdRng::seed_from_u64(0x95b);
+    let n = 24_000usize;
+    let codes: Vec<i16> = (0..n).map(|_| rng.gen_range(-512..512i16)).collect();
+
+    let reference = {
+        let mut prev = 0i64;
+        let mut acc = 0u64;
+        for &c in &codes {
+            let c = c as i64;
+            let v = prev.wrapping_mul(3) / 4 + c * 16;
+            prev = v;
+            acc = acc.wrapping_add(v as u64);
+        }
+        acc
+    };
+
+    let mut a = Asm::new();
+    let c_addr = {
+        let bytes: Vec<u8> = codes.iter().flat_map(|v| v.to_le_bytes()).collect();
+        a.bytes_aligned(bytes, 8)
+    };
+    let out_addr = a.zeros((n * 8) as u64, 64);
+    a.la(Reg::S0, c_addr);
+    a.la(Reg::S1, out_addr);
+    a.li(Reg::S2, n as i64);
+    a.li(Reg::S3, 0); // prev
+    a.li(Reg::S4, 0); // acc
+    let top = a.here();
+    a.lh(Reg::T0, 0, Reg::S0);
+    a.slli(Reg::T1, Reg::S3, 1);
+    a.li(Reg::T2, 4);
+    a.add(Reg::T1, Reg::T1, Reg::S3); // prev*3
+    a.div(Reg::T1, Reg::T1, Reg::T2); // /4 (signed, like the reference)
+    a.slli(Reg::T0, Reg::T0, 4);
+    a.add(Reg::T1, Reg::T1, Reg::T0); // v
+    a.mv(Reg::S3, Reg::T1);
+    a.sd(Reg::T1, 0, Reg::S1);
+    a.add(Reg::S4, Reg::S4, Reg::T1);
+    a.addi(Reg::S0, Reg::S0, 2);
+    a.addi(Reg::S1, Reg::S1, 8);
+    a.addi(Reg::S2, Reg::S2, -1);
+    a.bnez(Reg::S2, top);
+    emit_output(&mut a, Reg::S4);
+    a.halt();
+
+    Workload {
+        name: "gsm_untoast",
+        suite: Suite::MiBenchLike,
+        program: a.assemble().expect("gsm_untoast assembles"),
+        expected: vec![reference],
+        fuel: 3_000_000,
+    }
+}
+
+/// 8×8 integer DCT-like row transform over many blocks (MiBench `jpeg`
+/// stand-in): eight contiguous word loads per row (four load-pair idioms),
+/// butterfly arithmetic, eight contiguous stores.
+pub fn jpeg() -> Workload {
+    let mut rng = StdRng::seed_from_u64(0x19e9);
+    let blocks = 700usize;
+    let data: Vec<i32> = (0..blocks * 64).map(|_| rng.gen_range(-128..128i32)).collect();
+
+    let reference = {
+        let mut acc = 0u64;
+        for b in 0..blocks {
+            let mut blk: Vec<i64> = data[b * 64..(b + 1) * 64].iter().map(|&v| v as i64).collect();
+            for r in 0..8 {
+                let row = &mut blk[r * 8..(r + 1) * 8];
+                let mut s = [0i64; 8];
+                for k in 0..4 {
+                    s[k] = row[k] + row[7 - k];
+                    s[k + 4] = row[k] - row[7 - k];
+                }
+                row[0] = s[0] + s[3];
+                row[1] = s[1] + s[2];
+                row[2] = (s[0] - s[3]).wrapping_mul(181) >> 7;
+                row[3] = (s[1] - s[2]).wrapping_mul(181) >> 7;
+                row[4] = s[4].wrapping_mul(98) >> 7;
+                row[5] = s[5].wrapping_mul(139) >> 7;
+                row[6] = s[6].wrapping_mul(181) >> 7;
+                row[7] = s[7].wrapping_mul(251) >> 7;
+            }
+            for &v in blk.iter() {
+                acc = acc.wrapping_add(v as u64);
+            }
+        }
+        acc
+    };
+
+    let mut a = Asm::new();
+    let d_addr = {
+        let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
+        a.bytes_aligned(bytes, 64)
+    };
+    a.la(Reg::S0, d_addr);
+    a.li(Reg::S1, (blocks * 8) as i64); // total rows
+    a.li(Reg::S2, 0); // acc
+    let row_top = a.here();
+    // Load the row: 8 contiguous lw (four pair idioms).
+    a.lw(Reg::A0, 0, Reg::S0);
+    a.lw(Reg::A1, 4, Reg::S0);
+    a.lw(Reg::A2, 8, Reg::S0);
+    a.lw(Reg::A3, 12, Reg::S0);
+    a.lw(Reg::A4, 16, Reg::S0);
+    a.lw(Reg::A5, 20, Reg::S0);
+    a.lw(Reg::A6, 24, Reg::S0);
+    a.lw(Reg::A7, 28, Reg::S0);
+    // s0..s3 = v[k] + v[7-k]; s4..s7 = v[k] - v[7-k]
+    a.add(Reg::T0, Reg::A0, Reg::A7);
+    a.add(Reg::T1, Reg::A1, Reg::A6);
+    a.add(Reg::T2, Reg::A2, Reg::A5);
+    a.add(Reg::T3, Reg::A3, Reg::A4);
+    a.sub(Reg::T4, Reg::A0, Reg::A7);
+    a.sub(Reg::T5, Reg::A1, Reg::A6);
+    a.sub(Reg::T6, Reg::A2, Reg::A5);
+    a.sub(Reg::A0, Reg::A3, Reg::A4); // s7 in A0
+    // Outputs.
+    a.add(Reg::A1, Reg::T0, Reg::T3); // r0
+    a.add(Reg::A2, Reg::T1, Reg::T2); // r1
+    a.sub(Reg::A3, Reg::T0, Reg::T3);
+    a.li(Reg::A4, 181);
+    a.mul(Reg::A3, Reg::A3, Reg::A4);
+    a.srai(Reg::A3, Reg::A3, 7); // r2
+    a.sub(Reg::A5, Reg::T1, Reg::T2);
+    a.mul(Reg::A5, Reg::A5, Reg::A4);
+    a.srai(Reg::A5, Reg::A5, 7); // r3
+    a.li(Reg::A6, 98);
+    a.mul(Reg::T4, Reg::T4, Reg::A6);
+    a.srai(Reg::T4, Reg::T4, 7); // r4
+    a.li(Reg::A6, 139);
+    a.mul(Reg::T5, Reg::T5, Reg::A6);
+    a.srai(Reg::T5, Reg::T5, 7); // r5
+    a.mul(Reg::T6, Reg::T6, Reg::A4);
+    a.srai(Reg::T6, Reg::T6, 7); // r6
+    a.li(Reg::A6, 251);
+    a.mul(Reg::A0, Reg::A0, Reg::A6);
+    a.srai(Reg::A0, Reg::A0, 7); // r7
+    // Store the row back (contiguous sw runs).
+    a.sw(Reg::A1, 0, Reg::S0);
+    a.sw(Reg::A2, 4, Reg::S0);
+    a.sw(Reg::A3, 8, Reg::S0);
+    a.sw(Reg::A5, 12, Reg::S0);
+    a.sw(Reg::T4, 16, Reg::S0);
+    a.sw(Reg::T5, 20, Reg::S0);
+    a.sw(Reg::T6, 24, Reg::S0);
+    a.sw(Reg::A0, 28, Reg::S0);
+    // Accumulate the transformed row (sign-extended words).
+    for (i, r) in [
+        Reg::A1,
+        Reg::A2,
+        Reg::A3,
+        Reg::A5,
+        Reg::T4,
+        Reg::T5,
+        Reg::T6,
+        Reg::A0,
+    ]
+    .iter()
+    .enumerate()
+    {
+        let _ = i;
+        // The in-memory values are truncated to 32 bits; accumulate the
+        // sign-extended 32-bit value to match the reference exactly.
+        a.addiw(Reg::T0, *r, 0);
+        a.add(Reg::S2, Reg::S2, Reg::T0);
+    }
+    a.addi(Reg::S0, Reg::S0, 32);
+    a.addi(Reg::S1, Reg::S1, -1);
+    a.bnez(Reg::S1, row_top);
+    emit_output(&mut a, Reg::S2);
+    a.halt();
+
+    Workload {
+        name: "jpeg",
+        suite: Suite::MiBenchLike,
+        program: a.assemble().expect("jpeg assembles"),
+        expected: vec![reference],
+        fuel: 5_000_000,
+    }
+}

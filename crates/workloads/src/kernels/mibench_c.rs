@@ -1,0 +1,429 @@
+//! MiBench-like kernels: `patricia`, `qsort`, `rijndael`, `rsynth`.
+
+use crate::{emit_output, Suite, Workload};
+use helios_isa::{Asm, Reg};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Radix-trie walk (MiBench `patricia`): 32-byte nodes `{bit, left, right,
+/// key}` — one lookup touches three fields of the same cache line through
+/// the same base register at non-consecutive positions, the canonical NCSF
+/// opportunity.
+pub fn patricia() -> Workload {
+    let mut rng = StdRng::seed_from_u64(0xbada);
+    let depth = 11usize;
+    let n_nodes = (1usize << (depth + 1)) - 1; // complete binary tree
+    let lookups = 3_000usize;
+    let keys: Vec<u64> = (0..lookups).map(|_| rng.gen::<u64>() >> 32).collect();
+    let leaf_vals: Vec<u64> = (0..1usize << depth).map(|_| rng.gen::<u32>() as u64).collect();
+
+    // Node i children: 2i+1, 2i+2; levels 0..depth-1 internal, level depth
+    // leaves. Lookup: at level l test key bit l.
+    let reference = {
+        let mut acc = 0u64;
+        for &k in &keys {
+            let mut idx = 0usize;
+            for l in 0..depth {
+                let bit = (k >> l) & 1;
+                idx = 2 * idx + 1 + bit as usize;
+            }
+            acc = acc.wrapping_add(leaf_vals[idx - ((1 << depth) - 1)]);
+        }
+        acc
+    };
+
+    let mut a = Asm::new();
+    let base = a.zeros(0, 64);
+    let mut nodes = Vec::with_capacity(n_nodes * 4);
+    for i in 0..n_nodes {
+        let level = (usize::BITS - (i + 1).leading_zeros() - 1) as usize;
+        if level < depth {
+            nodes.push(level as u64); // bit index to test
+            nodes.push(base + (2 * i + 1) as u64 * 32); // left
+            nodes.push(base + (2 * i + 2) as u64 * 32); // right
+            nodes.push(0); // key (unused for internal)
+        } else {
+            nodes.push(u64::MAX); // leaf marker
+            nodes.push(0);
+            nodes.push(0);
+            nodes.push(leaf_vals[i - ((1 << depth) - 1)]);
+        }
+    }
+    let actual = a.words64(&nodes);
+    assert_eq!(actual, base, "trie base address pinned");
+    let keys_addr = a.words64(&keys);
+
+    a.la(Reg::S0, keys_addr);
+    a.li(Reg::S1, lookups as i64);
+    a.li(Reg::S2, 0); // acc
+    a.li(Reg::S4, base as i64); // root
+    let top = a.here();
+    a.ld(Reg::A1, 0, Reg::S0); // key
+    a.mv(Reg::T0, Reg::S4); // node
+    let walk = a.here();
+    let leaf = a.new_label();
+    let right = a.new_label();
+    let next = a.new_label();
+    a.ld(Reg::T1, 0, Reg::T0); // bit  — same-line field loads
+    a.bltz(Reg::T1, leaf); // u64::MAX marker is negative
+    a.srl(Reg::T2, Reg::A1, Reg::T1);
+    a.andi(Reg::T2, Reg::T2, 1);
+    a.bnez(Reg::T2, right);
+    a.ld(Reg::T0, 8, Reg::T0); // left
+    a.j(next);
+    a.bind(right);
+    a.ld(Reg::T0, 16, Reg::T0); // right
+    a.bind(next);
+    a.j(walk);
+    a.bind(leaf);
+    a.ld(Reg::T3, 24, Reg::T0); // leaf key
+    a.add(Reg::S2, Reg::S2, Reg::T3);
+    a.addi(Reg::S0, Reg::S0, 8);
+    a.addi(Reg::S1, Reg::S1, -1);
+    a.bnez(Reg::S1, top);
+    emit_output(&mut a, Reg::S2);
+    a.halt();
+
+    Workload {
+        name: "patricia",
+        suite: Suite::MiBenchLike,
+        program: a.assemble().expect("patricia assembles"),
+        expected: vec![reference],
+        fuel: 5_000_000,
+    }
+}
+
+/// Iterative Hoare quicksort over u64 (MiBench `qsort`): swap-heavy
+/// partitioning plus an explicit range stack whose pushes and pops are
+/// store-pair/load-pair idioms.
+pub fn qsort() -> Workload {
+    let mut rng = StdRng::seed_from_u64(0x9507);
+    let n = 3_000usize;
+    let data: Vec<u64> = (0..n).map(|_| rng.gen::<u32>() as u64).collect();
+
+    let reference = {
+        let mut v = data.clone();
+        v.sort_unstable();
+        v.iter()
+            .enumerate()
+            .fold(0u64, |a, (i, &x)| a.wrapping_add(x.wrapping_mul(i as u64 + 1)))
+    };
+
+    let mut a = Asm::new();
+    let arr = a.words64(&data);
+    let stack = a.zeros(4096 * 16, 16);
+    a.la(Reg::S0, arr);
+    a.la(Reg::S1, stack); // stack pointer (grows up, 16B frames)
+    // push (lo=0, hi=n-1)
+    a.li(Reg::T0, 0);
+    a.li(Reg::T1, (n - 1) as i64);
+    a.sd(Reg::T0, 0, Reg::S1); // store pair
+    a.sd(Reg::T1, 8, Reg::S1);
+    a.addi(Reg::S1, Reg::S1, 16);
+    a.la(Reg::S2, stack); // stack base
+
+    let pop = a.here();
+    let done = a.new_label();
+    a.bgeu(Reg::S2, Reg::S1, done); // empty?
+    a.addi(Reg::S1, Reg::S1, -16);
+    a.ld(Reg::S3, 0, Reg::S1); // lo   (load pair)
+    a.ld(Reg::S4, 8, Reg::S1); // hi
+    a.bgeu(Reg::S3, Reg::S4, pop);
+
+    // pivot = arr[(lo+hi)/2]
+    a.add(Reg::T0, Reg::S3, Reg::S4);
+    a.srli(Reg::T0, Reg::T0, 1);
+    a.slli(Reg::T0, Reg::T0, 3);
+    a.add(Reg::T0, Reg::S0, Reg::T0);
+    a.ld(Reg::S5, 0, Reg::T0); // pivot
+    // i = lo - 1; j = hi + 1 (kept as byte pointers)
+    a.slli(Reg::S6, Reg::S3, 3);
+    a.add(Reg::S6, Reg::S0, Reg::S6);
+    a.addi(Reg::S6, Reg::S6, -8); // &arr[lo-1]
+    a.slli(Reg::S7, Reg::S4, 3);
+    a.add(Reg::S7, Reg::S0, Reg::S7);
+    a.addi(Reg::S7, Reg::S7, 8); // &arr[hi+1]
+
+    let part = a.here();
+    // do i++ while arr[i] < pivot
+    let i_scan = a.here();
+    a.addi(Reg::S6, Reg::S6, 8);
+    a.ld(Reg::T1, 0, Reg::S6);
+    a.bltu(Reg::T1, Reg::S5, i_scan);
+    // do j-- while arr[j] > pivot
+    let j_scan = a.here();
+    a.addi(Reg::S7, Reg::S7, -8);
+    a.ld(Reg::T2, 0, Reg::S7);
+    a.bltu(Reg::S5, Reg::T2, j_scan);
+    let part_done = a.new_label();
+    a.bgeu(Reg::S6, Reg::S7, part_done);
+    // swap
+    a.sd(Reg::T2, 0, Reg::S6);
+    a.sd(Reg::T1, 0, Reg::S7);
+    a.j(part);
+    a.bind(part_done);
+
+    // j index = (S7 - S0) / 8
+    a.sub(Reg::T3, Reg::S7, Reg::S0);
+    a.srli(Reg::T3, Reg::T3, 3);
+    // push (lo, j) and (j+1, hi)
+    a.sd(Reg::S3, 0, Reg::S1);
+    a.sd(Reg::T3, 8, Reg::S1);
+    a.addi(Reg::S1, Reg::S1, 16);
+    a.addi(Reg::T3, Reg::T3, 1);
+    a.sd(Reg::T3, 0, Reg::S1);
+    a.sd(Reg::S4, 8, Reg::S1);
+    a.addi(Reg::S1, Reg::S1, 16);
+    a.j(pop);
+    a.bind(done);
+
+    // checksum = sum arr[i] * (i+1)
+    a.li(Reg::A0, 0);
+    a.li(Reg::T0, 1);
+    a.li(Reg::T1, n as i64);
+    a.mv(Reg::T2, Reg::S0);
+    let sum = a.here();
+    a.ld(Reg::T3, 0, Reg::T2);
+    a.mul(Reg::T3, Reg::T3, Reg::T0);
+    a.add(Reg::A0, Reg::A0, Reg::T3);
+    a.addi(Reg::T2, Reg::T2, 8);
+    a.addi(Reg::T0, Reg::T0, 1);
+    a.addi(Reg::T1, Reg::T1, -1);
+    a.bnez(Reg::T1, sum);
+    emit_output(&mut a, Reg::A0);
+    a.halt();
+
+    Workload {
+        name: "qsort",
+        suite: Suite::MiBenchLike,
+        program: a.assemble().expect("qsort assembles"),
+        expected: vec![reference],
+        fuel: 8_000_000,
+    }
+}
+
+/// AES-style T-table rounds (MiBench `rijndael`): four 1 KiB tables, byte
+/// extraction with `slli+add` addressing, xor mixing across a 4-word state.
+pub fn rijndael() -> Workload {
+    let mut rng = StdRng::seed_from_u64(0xae5);
+    let tables: Vec<Vec<u32>> = (0..4)
+        .map(|_| (0..256).map(|_| rng.gen()).collect())
+        .collect();
+    let blocks = 900usize;
+    let data: Vec<u64> = (0..blocks * 2).map(|_| rng.gen()).collect();
+    let round_keys: Vec<u32> = (0..40).map(|_| rng.gen()).collect();
+
+    let reference = {
+        let mut acc = 0u64;
+        for b in 0..blocks {
+            let mut s = [
+                (data[2 * b] & 0xffff_ffff) as u32,
+                (data[2 * b] >> 32) as u32,
+                (data[2 * b + 1] & 0xffff_ffff) as u32,
+                (data[2 * b + 1] >> 32) as u32,
+            ];
+            for r in 0..10 {
+                let mut t = [0u32; 4];
+                for i in 0..4 {
+                    t[i] = tables[0][(s[i] & 0xff) as usize]
+                        ^ tables[1][((s[(i + 1) & 3] >> 8) & 0xff) as usize]
+                        ^ tables[2][((s[(i + 2) & 3] >> 16) & 0xff) as usize]
+                        ^ tables[3][((s[(i + 3) & 3] >> 24) & 0xff) as usize]
+                        ^ round_keys[r * 4 + i];
+                }
+                s = t;
+            }
+            acc = acc.wrapping_add(s[0] as u64)
+                .wrapping_add((s[1] as u64) << 16)
+                .wrapping_add((s[2] as u64) << 32)
+                .wrapping_add((s[3] as u64) << 48);
+        }
+        acc
+    };
+
+    let mut a = Asm::new();
+    let t_addr: Vec<u64> = (0..4).map(|i| a.words32(&tables[i])).collect();
+    let rk_addr = a.words32(&round_keys);
+    let d_addr = a.words64(&data);
+    let out_addr = a.zeros((blocks * 16 + 64) as u64, 64);
+    a.la(Reg::S10, out_addr);
+
+    a.la(Reg::S0, d_addr);
+    a.li(Reg::S1, blocks as i64);
+    a.li(Reg::S2, 0); // acc
+    a.la(Reg::S3, t_addr[0]);
+    a.la(Reg::S4, t_addr[1]);
+    a.la(Reg::S5, t_addr[2]);
+    a.la(Reg::S6, t_addr[3]);
+    a.la(Reg::S7, rk_addr);
+    let top = a.here();
+    // Load state words: s0..s3 in A0..A3 (two contiguous ld = pair idiom,
+    // then unpack).
+    a.ld(Reg::T0, 0, Reg::S0);
+    a.ld(Reg::T1, 8, Reg::S0);
+    a.slli(Reg::A0, Reg::T0, 32);
+    a.srli(Reg::A0, Reg::A0, 32);
+    a.srli(Reg::A1, Reg::T0, 32);
+    a.slli(Reg::A2, Reg::T1, 32);
+    a.srli(Reg::A2, Reg::A2, 32);
+    a.srli(Reg::A3, Reg::T1, 32);
+    a.mv(Reg::S8, Reg::S7); // round key cursor
+    a.li(Reg::S9, 10); // rounds
+    let round = a.here();
+    let state = [Reg::A0, Reg::A1, Reg::A2, Reg::A3];
+    let out = [Reg::A4, Reg::A5, Reg::A6, Reg::A7];
+    for i in 0..4 {
+        // t[i] = T0[s[i]&ff] ^ T1[(s[i+1]>>8)&ff] ^ T2[(s[i+2]>>16)&ff]
+        //        ^ T3[(s[i+3]>>24)&ff] ^ rk — address arithmetic for the
+        // four lookups interleaved (scheduler-style; breaks back-to-back
+        // slli+add idiom pairs like real compiled AES).
+        a.andi(Reg::T0, state[i], 0xff);
+        a.srli(Reg::T1, state[(i + 1) & 3], 8);
+        a.slli(Reg::T0, Reg::T0, 2);
+        a.andi(Reg::T1, Reg::T1, 0xff);
+        a.add(Reg::T0, Reg::S3, Reg::T0);
+        a.slli(Reg::T1, Reg::T1, 2);
+        a.lwu(Reg::T2, 0, Reg::T0);
+        a.add(Reg::T1, Reg::S4, Reg::T1);
+        a.srli(Reg::T0, state[(i + 2) & 3], 16);
+        a.lwu(Reg::T3, 0, Reg::T1);
+        a.andi(Reg::T0, Reg::T0, 0xff);
+        a.srli(Reg::T1, state[(i + 3) & 3], 24);
+        a.slli(Reg::T0, Reg::T0, 2);
+        a.andi(Reg::T1, Reg::T1, 0xff);
+        a.add(Reg::T0, Reg::S5, Reg::T0);
+        a.slli(Reg::T1, Reg::T1, 2);
+        a.xor(Reg::T2, Reg::T2, Reg::T3);
+        a.add(Reg::T1, Reg::S6, Reg::T1);
+        a.lwu(Reg::T4, 0, Reg::T0);
+        a.lwu(Reg::T5, 0, Reg::T1);
+        a.xor(Reg::T2, Reg::T2, Reg::T4);
+        a.lwu(Reg::T3, (i * 4) as i32, Reg::S8);
+        a.xor(Reg::T2, Reg::T2, Reg::T5);
+        a.xor(out[i], Reg::T2, Reg::T3);
+    }
+    for i in 0..4 {
+        a.mv(state[i], out[i]);
+    }
+    a.addi(Reg::S8, Reg::S8, 16);
+    a.addi(Reg::S9, Reg::S9, -1);
+    a.bnez(Reg::S9, round);
+    // Write the encrypted block to the output stream (interleaved with the
+    // checksum accumulation: non-consecutive same-line store pairs).
+    a.sw(Reg::A0, 0, Reg::S10);
+    a.add(Reg::S2, Reg::S2, Reg::A0);
+    a.sw(Reg::A1, 4, Reg::S10);
+    a.slli(Reg::T0, Reg::A1, 16);
+    a.add(Reg::S2, Reg::S2, Reg::T0);
+    a.sw(Reg::A2, 8, Reg::S10);
+    a.slli(Reg::T0, Reg::A2, 32);
+    a.add(Reg::S2, Reg::S2, Reg::T0);
+    a.sw(Reg::A3, 12, Reg::S10);
+    a.slli(Reg::T0, Reg::A3, 48);
+    a.add(Reg::S2, Reg::S2, Reg::T0);
+    a.addi(Reg::S10, Reg::S10, 16);
+    a.addi(Reg::S0, Reg::S0, 16);
+    a.addi(Reg::S1, Reg::S1, -1);
+    a.bnez(Reg::S1, top);
+    emit_output(&mut a, Reg::S2);
+    a.halt();
+
+    Workload {
+        name: "rijndael",
+        suite: Suite::MiBenchLike,
+        program: a.assemble().expect("rijndael assembles"),
+        expected: vec![reference],
+        fuel: 5_000_000,
+    }
+}
+
+/// Cascaded integer biquad filter bank (MiBench `rsynth` stand-in): per
+/// section, a 5-coefficient record and a `{z1, z2}` state record — the
+/// state update is a natural store-pair, the coefficient fetch a load-pair
+/// cluster.
+pub fn rsynth() -> Workload {
+    let mut rng = StdRng::seed_from_u64(0x5219);
+    let sections = 8usize;
+    let n = 2_000usize;
+    let coef: Vec<i64> = (0..sections * 5).map(|_| rng.gen_range(-512..512i64)).collect();
+    let input: Vec<i64> = (0..n).map(|_| rng.gen_range(-2048..2048i64)).collect();
+
+    let reference = {
+        let mut z = vec![0i64; sections * 2];
+        let mut acc = 0u64;
+        for &x0 in &input {
+            let mut x = x0;
+            for s in 0..sections {
+                let (b0, b1, b2, a1, a2) = (
+                    coef[s * 5],
+                    coef[s * 5 + 1],
+                    coef[s * 5 + 2],
+                    coef[s * 5 + 3],
+                    coef[s * 5 + 4],
+                );
+                let y = (b0.wrapping_mul(x).wrapping_add(z[s * 2])) >> 10;
+                z[s * 2] = b1
+                    .wrapping_mul(x)
+                    .wrapping_sub(a1.wrapping_mul(y))
+                    .wrapping_add(z[s * 2 + 1]);
+                z[s * 2 + 1] = b2.wrapping_mul(x).wrapping_sub(a2.wrapping_mul(y));
+                x = y;
+            }
+            acc = acc.wrapping_add(x as u64);
+        }
+        acc
+    };
+
+    let mut a = Asm::new();
+    let coef_addr = a.words64(&coef.iter().map(|&v| v as u64).collect::<Vec<_>>());
+    let state_addr = a.zeros((sections * 16) as u64, 64);
+    let in_addr = a.words64(&input.iter().map(|&v| v as u64).collect::<Vec<_>>());
+
+    a.la(Reg::S0, in_addr);
+    a.li(Reg::S1, n as i64);
+    a.li(Reg::S2, 0); // acc
+    let top = a.here();
+    a.ld(Reg::A0, 0, Reg::S0); // x
+    a.la(Reg::S3, coef_addr);
+    a.la(Reg::S4, state_addr);
+    a.li(Reg::S5, sections as i64);
+    let sec = a.here();
+    a.ld(Reg::T0, 0, Reg::S3); // b0  — coefficient run (pairs)
+    a.ld(Reg::T1, 8, Reg::S3); // b1
+    a.ld(Reg::T2, 16, Reg::S3); // b2
+    a.ld(Reg::T3, 24, Reg::S3); // a1
+    a.ld(Reg::T4, 32, Reg::S3); // a2
+    a.ld(Reg::A2, 0, Reg::S4); // z1  (load pair)
+    a.ld(Reg::A3, 8, Reg::S4); // z2
+    a.mul(Reg::T5, Reg::T0, Reg::A0);
+    a.add(Reg::T5, Reg::T5, Reg::A2);
+    a.srai(Reg::T5, Reg::T5, 10); // y
+    a.mul(Reg::T6, Reg::T1, Reg::A0);
+    a.mul(Reg::A4, Reg::T3, Reg::T5);
+    a.sub(Reg::T6, Reg::T6, Reg::A4);
+    a.add(Reg::T6, Reg::T6, Reg::A3); // z1'
+    a.mul(Reg::A5, Reg::T2, Reg::A0);
+    a.mul(Reg::A4, Reg::T4, Reg::T5);
+    a.sub(Reg::A5, Reg::A5, Reg::A4); // z2'
+    a.sd(Reg::T6, 0, Reg::S4); // store pair
+    a.sd(Reg::A5, 8, Reg::S4);
+    a.mv(Reg::A0, Reg::T5); // x = y
+    a.addi(Reg::S3, Reg::S3, 40);
+    a.addi(Reg::S4, Reg::S4, 16);
+    a.addi(Reg::S5, Reg::S5, -1);
+    a.bnez(Reg::S5, sec);
+    a.add(Reg::S2, Reg::S2, Reg::A0);
+    a.addi(Reg::S0, Reg::S0, 8);
+    a.addi(Reg::S1, Reg::S1, -1);
+    a.bnez(Reg::S1, top);
+    emit_output(&mut a, Reg::S2);
+    a.halt();
+
+    Workload {
+        name: "rsynth",
+        suite: Suite::MiBenchLike,
+        program: a.assemble().expect("rsynth assembles"),
+        expected: vec![reference],
+        fuel: 3_000_000,
+    }
+}

@@ -1,0 +1,488 @@
+//! MiBench-like kernels: `sha`, `stringsearch`, `susan`, `typeset`.
+
+use crate::{emit_output, Suite, Workload};
+use helios_isa::{Asm, Reg};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// SHA-1-style compression (MiBench `sha`): message-schedule expansion
+/// (contiguous word loads + rotate idioms) followed by 80 mixing rounds
+/// built from `slli`/`srli`/`or` rotates — memory-light, shift-idiom-dense.
+pub fn sha() -> Workload {
+    let mut rng = StdRng::seed_from_u64(0x5a1);
+    let blocks = 110usize;
+    let msg: Vec<u32> = (0..blocks * 16).map(|_| rng.gen()).collect();
+
+    let rotl = |x: u32, k: u32| x.rotate_left(k);
+    let reference = {
+        let mut h = [0x6745_2301u32, 0xefcd_ab89, 0x98ba_dcfe, 0x1032_5476, 0xc3d2_e1f0];
+        for b in 0..blocks {
+            let mut w = [0u32; 80];
+            w[..16].copy_from_slice(&msg[b * 16..(b + 1) * 16]);
+            for i in 16..80 {
+                w[i] = rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+            }
+            let (mut a, mut bb, mut c, mut d, mut e) = (h[0], h[1], h[2], h[3], h[4]);
+            for i in 0..80 {
+                let (f, k) = match i / 20 {
+                    0 => ((bb & c) | (!bb & d), 0x5a82_7999u32),
+                    1 => (bb ^ c ^ d, 0x6ed9_eba1),
+                    2 => ((bb & c) | (bb & d) | (c & d), 0x8f1b_bcdc),
+                    _ => (bb ^ c ^ d, 0xca62_c1d6),
+                };
+                let t = rotl(a, 5)
+                    .wrapping_add(f)
+                    .wrapping_add(e)
+                    .wrapping_add(k)
+                    .wrapping_add(w[i]);
+                e = d;
+                d = c;
+                c = rotl(bb, 30);
+                bb = a;
+                a = t;
+            }
+            h[0] = h[0].wrapping_add(a);
+            h[1] = h[1].wrapping_add(bb);
+            h[2] = h[2].wrapping_add(c);
+            h[3] = h[3].wrapping_add(d);
+            h[4] = h[4].wrapping_add(e);
+        }
+        h.iter().fold(0u64, |acc, &x| acc.wrapping_add(x as u64))
+    };
+
+    let mut a = Asm::new();
+    let msg_addr = a.words32(&msg);
+    let w_addr = a.zeros(80 * 4, 64);
+    // h state kept in S2..S6 (32-bit, zero-extended).
+    a.la(Reg::S0, msg_addr);
+    a.li(Reg::S1, blocks as i64);
+    a.li(Reg::S2, 0x6745_2301);
+    a.slli(Reg::S2, Reg::S2, 32);
+    a.srli(Reg::S2, Reg::S2, 32); // clear-upper idiom, h0 zero-extended
+    a.li(Reg::S3, 0xefcd_ab89);
+    a.li(Reg::S4, 0x98ba_dcfe);
+    a.li(Reg::S5, 0x1032_5476);
+    a.li(Reg::S6, 0xc3d2_e1f0);
+    a.la(Reg::S7, w_addr);
+
+    // rotl(x, k) on zero-extended u32 in `reg` using t6 as scratch.
+    // (emitted inline; clobbers T6)
+    let block = a.here();
+    // w[0..16] = msg words.
+    a.li(Reg::T0, 0);
+    let copy = a.here();
+    a.slli(Reg::T1, Reg::T0, 2);
+    a.add(Reg::T2, Reg::S0, Reg::T1);
+    a.lwu(Reg::T3, 0, Reg::T2);
+    a.add(Reg::T2, Reg::S7, Reg::T1);
+    a.sw(Reg::T3, 0, Reg::T2);
+    a.addi(Reg::T0, Reg::T0, 1);
+    a.li(Reg::T1, 16);
+    a.blt(Reg::T0, Reg::T1, copy);
+    // schedule expansion.
+    let expand = a.here();
+    a.slli(Reg::T1, Reg::T0, 2);
+    a.add(Reg::T1, Reg::S7, Reg::T1); // &w[i]
+    a.lwu(Reg::T2, -12, Reg::T1);
+    a.lwu(Reg::T3, -32, Reg::T1);
+    a.xor(Reg::T2, Reg::T2, Reg::T3);
+    a.lwu(Reg::T3, -56, Reg::T1);
+    a.xor(Reg::T2, Reg::T2, Reg::T3);
+    a.lwu(Reg::T3, -64, Reg::T1);
+    a.xor(Reg::T2, Reg::T2, Reg::T3);
+    // rotl1
+    a.slli(Reg::T3, Reg::T2, 1);
+    a.srli(Reg::T2, Reg::T2, 31);
+    a.or(Reg::T2, Reg::T2, Reg::T3);
+    a.slli(Reg::T2, Reg::T2, 32);
+    a.srli(Reg::T2, Reg::T2, 32);
+    a.sw(Reg::T2, 0, Reg::T1);
+    a.addi(Reg::T0, Reg::T0, 1);
+    a.li(Reg::T1, 80);
+    a.blt(Reg::T0, Reg::T1, expand);
+
+    // rounds: a=A0 b=A1 c=A2 d=A3 e=A4
+    a.mv(Reg::A0, Reg::S2);
+    a.mv(Reg::A1, Reg::S3);
+    a.mv(Reg::A2, Reg::S4);
+    a.mv(Reg::A3, Reg::S5);
+    a.mv(Reg::A4, Reg::S6);
+    for phase in 0..4 {
+        a.li(Reg::T0, 20); // per-phase counter
+        a.li(Reg::A6, (phase * 20 * 4) as i64);
+        a.add(Reg::A6, Reg::S7, Reg::A6); // &w[phase*20]
+        let k: i64 = match phase {
+            0 => 0x5a82_7999,
+            1 => 0x6ed9_eba1,
+            2 => 0x8f1b_bcdc_u32 as i64,
+            _ => 0xca62_c1d6_u32 as i64,
+        };
+        a.li(Reg::A7, k);
+        let round = a.here();
+        // f per phase
+        match phase {
+            0 => {
+                a.and(Reg::T1, Reg::A1, Reg::A2);
+                a.not(Reg::T2, Reg::A1);
+                a.and(Reg::T2, Reg::T2, Reg::A3);
+                a.or(Reg::T1, Reg::T1, Reg::T2);
+                // mask to 32 bits (not() set high bits)
+                a.slli(Reg::T1, Reg::T1, 32);
+                a.srli(Reg::T1, Reg::T1, 32);
+            }
+            2 => {
+                a.and(Reg::T1, Reg::A1, Reg::A2);
+                a.and(Reg::T2, Reg::A1, Reg::A3);
+                a.or(Reg::T1, Reg::T1, Reg::T2);
+                a.and(Reg::T2, Reg::A2, Reg::A3);
+                a.or(Reg::T1, Reg::T1, Reg::T2);
+            }
+            _ => {
+                a.xor(Reg::T1, Reg::A1, Reg::A2);
+                a.xor(Reg::T1, Reg::T1, Reg::A3);
+            }
+        }
+        // t = rotl(a,5) + f + e + k + w[i]
+        a.slli(Reg::T2, Reg::A0, 5);
+        a.srli(Reg::T3, Reg::A0, 27);
+        a.or(Reg::T2, Reg::T2, Reg::T3);
+        a.add(Reg::T2, Reg::T2, Reg::T1);
+        a.add(Reg::T2, Reg::T2, Reg::A4);
+        a.add(Reg::T2, Reg::T2, Reg::A7);
+        a.lwu(Reg::T3, 0, Reg::A6);
+        a.add(Reg::T2, Reg::T2, Reg::T3);
+        a.slli(Reg::T2, Reg::T2, 32); // truncate to u32
+        a.mv(Reg::A4, Reg::A3); // scheduled between the shift halves
+        a.srli(Reg::T2, Reg::T2, 32);
+        // e=d d=c c=rotl(b,30) b=a a=t
+        a.mv(Reg::A3, Reg::A2);
+        a.slli(Reg::T3, Reg::A1, 30);
+        a.srli(Reg::A2, Reg::A1, 2);
+        a.or(Reg::A2, Reg::A2, Reg::T3);
+        a.slli(Reg::A2, Reg::A2, 32);
+        a.addi(Reg::A6, Reg::A6, 4); // advance w pointer in the gap
+        a.srli(Reg::A2, Reg::A2, 32);
+        a.mv(Reg::A1, Reg::A0);
+        a.mv(Reg::A0, Reg::T2);
+        a.addi(Reg::T0, Reg::T0, -1);
+        a.bnez(Reg::T0, round);
+    }
+    // h += state, truncated to 32 bits.
+    for (h, v) in [
+        (Reg::S2, Reg::A0),
+        (Reg::S3, Reg::A1),
+        (Reg::S4, Reg::A2),
+        (Reg::S5, Reg::A3),
+        (Reg::S6, Reg::A4),
+    ] {
+        a.add(h, h, v);
+        a.slli(h, h, 32);
+        a.srli(h, h, 32);
+    }
+    a.addi(Reg::S0, Reg::S0, 64);
+    a.addi(Reg::S1, Reg::S1, -1);
+    a.bnez(Reg::S1, block);
+
+    a.add(Reg::A0, Reg::S2, Reg::S3);
+    a.add(Reg::A0, Reg::A0, Reg::S4);
+    a.add(Reg::A0, Reg::A0, Reg::S5);
+    a.add(Reg::A0, Reg::A0, Reg::S6);
+    emit_output(&mut a, Reg::A0);
+    a.halt();
+
+    Workload {
+        name: "sha",
+        suite: Suite::MiBenchLike,
+        program: a.assemble().expect("sha assembles"),
+        expected: vec![reference],
+        fuel: 5_000_000,
+    }
+}
+
+/// Horspool substring search (MiBench `stringsearch`): a 256-entry skip
+/// table, byte loads, and a compare loop with data-dependent branches.
+pub fn stringsearch() -> Workload {
+    let mut rng = StdRng::seed_from_u64(0x57a);
+    let n = 30_000usize;
+    let pattern: Vec<u8> = b"helios!!".to_vec();
+    let m = pattern.len();
+    let mut text: Vec<u8> = (0..n).map(|_| rng.gen_range(b'a'..=b'z')).collect();
+    // Plant occurrences.
+    let mut i = 1500usize;
+    while i + m < n {
+        text[i..i + m].copy_from_slice(&pattern);
+        i += rng.gen_range(1800..2600);
+    }
+
+    let reference = {
+        let mut skip = [m as u64; 256];
+        for (i, &b) in pattern.iter().enumerate().take(m - 1) {
+            skip[b as usize] = (m - 1 - i) as u64;
+        }
+        let mut count = 0u64;
+        let mut pos = 0usize;
+        while pos + m <= n {
+            let mut k = m;
+            while k > 0 && text[pos + k - 1] == pattern[k - 1] {
+                k -= 1;
+            }
+            if k == 0 {
+                count += 1;
+                pos += 1;
+            } else {
+                pos += skip[text[pos + m - 1] as usize] as usize;
+            }
+        }
+        count
+    };
+
+    let mut a = Asm::new();
+    let mut skip = vec![m as u64; 256];
+    for (i, &b) in pattern.iter().enumerate().take(m - 1) {
+        skip[b as usize] = (m - 1 - i) as u64;
+    }
+    let skip_addr = a.words64(&skip);
+    let text_addr = a.bytes_aligned(text, 8);
+    let pat_addr = a.bytes_aligned(pattern.clone(), 8);
+
+    a.la(Reg::S0, text_addr);
+    a.la(Reg::S1, pat_addr);
+    a.la(Reg::S2, skip_addr);
+    a.li(Reg::S3, 0); // pos
+    a.li(Reg::S4, (n - m) as i64); // last valid pos
+    a.li(Reg::S5, 0); // count
+    a.li(Reg::S6, m as i64);
+    let outer = a.here();
+    let done = a.new_label();
+    a.blt(Reg::S4, Reg::S3, done);
+    // compare from the right: k = m
+    a.mv(Reg::T0, Reg::S6); // k
+    let cmp = a.here();
+    let mismatch = a.new_label();
+    let matched = a.new_label();
+    a.beqz(Reg::T0, matched);
+    a.add(Reg::T1, Reg::S3, Reg::T0);
+    a.add(Reg::T1, Reg::S0, Reg::T1);
+    a.lbu(Reg::T2, -1, Reg::T1); // text[pos+k-1]
+    a.add(Reg::T3, Reg::S1, Reg::T0);
+    a.lbu(Reg::T4, -1, Reg::T3); // pattern[k-1]
+    a.bne(Reg::T2, Reg::T4, mismatch);
+    a.addi(Reg::T0, Reg::T0, -1);
+    a.j(cmp);
+    a.bind(matched);
+    a.addi(Reg::S5, Reg::S5, 1);
+    a.addi(Reg::S3, Reg::S3, 1);
+    a.j(outer);
+    a.bind(mismatch);
+    a.add(Reg::T1, Reg::S3, Reg::S6);
+    a.add(Reg::T1, Reg::S0, Reg::T1);
+    a.lbu(Reg::T2, -1, Reg::T1); // text[pos+m-1]
+    a.slli(Reg::T2, Reg::T2, 3);
+    a.mv(Reg::T0, Reg::S6) /* gap */;
+    a.add(Reg::T2, Reg::S2, Reg::T2);
+    a.ld(Reg::T3, 0, Reg::T2);
+    a.add(Reg::S3, Reg::S3, Reg::T3);
+    a.j(outer);
+    a.bind(done);
+    emit_output(&mut a, Reg::S5);
+    a.halt();
+
+    Workload {
+        name: "stringsearch",
+        suite: Suite::MiBenchLike,
+        program: a.assemble().expect("stringsearch assembles"),
+        expected: vec![reference],
+        fuel: 3_000_000,
+    }
+}
+
+/// SUSAN-style corner response (MiBench `susan`): per-pixel absolute
+/// differences against eight neighbours through a 256-byte LUT — byte loads
+/// plus a dense mask/shift ALU core (one of Fig. 2's "Others prevalent"
+/// applications).
+pub fn susan() -> Workload {
+    let mut rng = StdRng::seed_from_u64(0x5a5a);
+    let w = 80usize;
+    let h = 80usize;
+    let img: Vec<u8> = (0..w * h).map(|_| rng.gen()).collect();
+    let lut: Vec<u8> = (0..256).map(|d| if d < 24 { 100u8 } else { 0 }).collect();
+
+    let reference = {
+        let mut corners = 0u64;
+        let mut acc = 0u64;
+        for y in 1..h - 1 {
+            for x in 1..w - 1 {
+                let c = img[y * w + x] as i64;
+                let mut usan = 0u64;
+                for (dy, dx) in [
+                    (-1i64, -1i64),
+                    (-1, 0),
+                    (-1, 1),
+                    (0, -1),
+                    (0, 1),
+                    (1, -1),
+                    (1, 0),
+                    (1, 1),
+                ] {
+                    let nb = img[((y as i64 + dy) as usize) * w + (x as i64 + dx) as usize] as i64;
+                    let d = c - nb;
+                    let ad = if d < 0 { -d } else { d } as usize;
+                    usan += lut[ad] as u64;
+                }
+                acc = acc.wrapping_add(usan);
+                if usan < 300 {
+                    corners += 1;
+                }
+            }
+        }
+        acc.wrapping_add(corners << 32)
+    };
+
+    let mut a = Asm::new();
+    let img_addr = a.bytes_aligned(img, 64);
+    let lut_addr = a.bytes_aligned(lut, 64);
+    a.la(Reg::S0, img_addr);
+    a.la(Reg::S1, lut_addr);
+    a.li(Reg::S2, 0); // acc
+    a.li(Reg::S3, 0); // corners
+    a.li(Reg::S4, 1); // y
+    let row = a.here();
+    a.li(Reg::S5, 1); // x
+    let col = a.here();
+    // center pointer = img + y*w + x
+    a.li(Reg::T0, w as i64);
+    a.mul(Reg::T0, Reg::S4, Reg::T0);
+    a.add(Reg::T0, Reg::T0, Reg::S5);
+    a.add(Reg::T0, Reg::S0, Reg::T0);
+    a.lbu(Reg::T1, 0, Reg::T0); // center
+    a.li(Reg::A4, 0); // usan
+    for off in [
+        -(w as i32) - 1,
+        -(w as i32),
+        -(w as i32) + 1,
+        -1,
+        1,
+        w as i32 - 1,
+        w as i32,
+        w as i32 + 1,
+    ] {
+        a.lbu(Reg::T2, off, Reg::T0);
+        a.sub(Reg::T3, Reg::T1, Reg::T2);
+        // |d| branch-free: mask = d >> 63; |d| = (d ^ mask) - mask
+        a.srai(Reg::T4, Reg::T3, 63);
+        a.xor(Reg::T3, Reg::T3, Reg::T4);
+        a.sub(Reg::T3, Reg::T3, Reg::T4);
+        a.add(Reg::T3, Reg::S1, Reg::T3);
+        a.lbu(Reg::T3, 0, Reg::T3);
+        a.add(Reg::A4, Reg::A4, Reg::T3);
+    }
+    a.add(Reg::S2, Reg::S2, Reg::A4);
+    let no_corner = a.new_label();
+    a.li(Reg::T2, 300);
+    a.bgeu(Reg::A4, Reg::T2, no_corner);
+    a.addi(Reg::S3, Reg::S3, 1);
+    a.bind(no_corner);
+    a.addi(Reg::S5, Reg::S5, 1);
+    a.li(Reg::T2, (w - 1) as i64);
+    a.blt(Reg::S5, Reg::T2, col);
+    a.addi(Reg::S4, Reg::S4, 1);
+    a.li(Reg::T2, (h - 1) as i64);
+    a.blt(Reg::S4, Reg::T2, row);
+    a.slli(Reg::S3, Reg::S3, 32);
+    a.add(Reg::A0, Reg::S2, Reg::S3);
+    emit_output(&mut a, Reg::A0);
+    a.halt();
+
+    Workload {
+        name: "susan",
+        suite: Suite::MiBenchLike,
+        program: a.assemble().expect("susan assembles"),
+        expected: vec![reference],
+        fuel: 5_000_000,
+    }
+}
+
+/// Greedy line-breaking (MiBench-era `typeset` stand-in): 16-byte item
+/// records `{width, penalty}` (load pairs) accumulated into emitted line
+/// records `{total, count}` (store pairs) — store-side pressure plus
+/// branchy control.
+pub fn typeset() -> Workload {
+    let mut rng = StdRng::seed_from_u64(0x7e7e);
+    let n = 12_000usize;
+    let items: Vec<(u64, u64)> = (0..n)
+        .map(|_| (rng.gen_range(1..12u64), rng.gen_range(0..5u64)))
+        .collect();
+    let line_width = 60u64;
+
+    let reference = {
+        let mut acc = 0u64;
+        let mut lines = 0u64;
+        let (mut total, mut count) = (0u64, 0u64);
+        for &(w, p) in &items {
+            if total + w > line_width {
+                acc = acc.wrapping_add(total.wrapping_mul(count)).wrapping_add(p);
+                lines += 1;
+                total = 0;
+                count = 0;
+            }
+            total += w;
+            count += 1;
+            // The typesetter journals per-item layout state (galley record).
+        }
+        acc.wrapping_add(lines << 32)
+    };
+
+    let mut a = Asm::new();
+    let mut flat = Vec::with_capacity(n * 2);
+    for &(w, p) in &items {
+        flat.push(w);
+        flat.push(p);
+    }
+    let items_addr = a.words64(&flat);
+    let out_addr = a.zeros((n * 16) as u64, 64);
+
+    a.la(Reg::S0, items_addr);
+    a.li(Reg::S1, n as i64);
+    a.li(Reg::S2, 0); // acc
+    a.li(Reg::S3, 0); // lines
+    a.li(Reg::S4, 0); // total
+    a.li(Reg::S5, 0); // count
+    a.la(Reg::S6, out_addr);
+    a.li(Reg::S7, line_width as i64);
+    let top = a.here();
+    let fits = a.new_label();
+    a.ld(Reg::T0, 0, Reg::S0); // item width — head nucleus
+    a.add(Reg::T2, Reg::S4, Reg::T0); // catalyst
+    a.ld(Reg::T1, 8, Reg::S0); // item penalty — contiguous NCSF tail
+    a.bgeu(Reg::S7, Reg::T2, fits);
+    // emit: fold the finished line into the checksum
+    a.mul(Reg::T3, Reg::S4, Reg::S5);
+    a.add(Reg::S2, Reg::S2, Reg::T3);
+    a.add(Reg::S2, Reg::S2, Reg::T1);
+    a.addi(Reg::S3, Reg::S3, 1);
+    a.li(Reg::S4, 0);
+    a.li(Reg::S5, 0);
+    a.bind(fits);
+    a.add(Reg::S4, Reg::S4, Reg::T0);
+    a.addi(Reg::S5, Reg::S5, 1);
+    // Journal the per-item galley record {running total, item count}:
+    // a store pair per item into a streaming output region.
+    a.sd(Reg::S4, 0, Reg::S6);
+    a.addi(Reg::S0, Reg::S0, 16);
+    a.sd(Reg::S5, 8, Reg::S6); // non-consecutive same-line store (NCSF)
+    a.addi(Reg::S6, Reg::S6, 16);
+    a.addi(Reg::S1, Reg::S1, -1);
+    a.bnez(Reg::S1, top);
+    a.slli(Reg::S3, Reg::S3, 32);
+    a.add(Reg::A0, Reg::S2, Reg::S3);
+    emit_output(&mut a, Reg::A0);
+    a.halt();
+
+    Workload {
+        name: "typeset",
+        suite: Suite::MiBenchLike,
+        program: a.assemble().expect("typeset assembles"),
+        expected: vec![reference],
+        fuel: 3_000_000,
+    }
+}

@@ -1,0 +1,54 @@
+//! Kernel registry: one constructor per paper benchmark.
+
+mod mibench_a;
+mod mibench_b;
+mod mibench_c;
+mod mibench_d;
+mod spec_a;
+mod spec_b;
+
+use crate::Workload;
+
+/// Builds every workload of the evaluation, in the paper's table order
+/// (SPEC rows first, then MiBench).
+pub fn all_workloads() -> Vec<Workload> {
+    vec![
+        spec_a::perlbench_1(),
+        spec_a::perlbench_2(),
+        spec_a::perlbench_3(),
+        spec_a::gcc_1(),
+        spec_a::gcc_2(),
+        spec_a::gcc_3(),
+        spec_b::mcf(),
+        spec_b::omnetpp(),
+        spec_b::xalancbmk(),
+        spec_b::deepsjeng(),
+        spec_b::leela(),
+        spec_b::exchange2(),
+        spec_b::xz_1(),
+        spec_b::xz_2(),
+        mibench_a::adpcm(),
+        mibench_a::basicmath(),
+        mibench_a::bitcount(),
+        mibench_a::blowfish(),
+        mibench_a::crc32(),
+        mibench_b::dijkstra(),
+        mibench_b::fft(),
+        mibench_b::gsm_toast(),
+        mibench_b::gsm_untoast(),
+        mibench_b::jpeg(),
+        mibench_c::patricia(),
+        mibench_c::qsort(),
+        mibench_c::rijndael(),
+        mibench_c::rsynth(),
+        mibench_d::sha(),
+        mibench_d::stringsearch(),
+        mibench_d::susan(),
+        mibench_d::typeset(),
+    ]
+}
+
+/// Builds a single workload by its paper name.
+pub fn workload(name: &str) -> Option<Workload> {
+    all_workloads().into_iter().find(|w| w.name == name)
+}

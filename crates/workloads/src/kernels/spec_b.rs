@@ -1,0 +1,828 @@
+//! SPEC-like kernels: `605.mcf`, `620.omnetpp`, `623.xalancbmk`,
+//! `631.deepsjeng`, `641.leela`, `648.exchange2`, `657.xz_{1,2}`.
+
+use crate::{emit_output, epilogue, prologue, Suite, Workload};
+use helios_isa::{Asm, Reg};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Pointer-chasing arc walk (mcf's network simplex inner loop): a ~1 MiB
+/// footprint of 16-byte `{cost, next}` arcs visited in a random permutation
+/// — cache-hostile, dependent loads, little fusion opportunity and noisy
+/// distances (the paper's one IPC-regression case).
+pub fn mcf() -> Workload {
+    let mut rng = StdRng::seed_from_u64(0xc0f);
+    let n = 1usize << 16; // 65 536 arcs × 16 B = 1 MiB
+    let steps = 120_000usize;
+    let mut perm: Vec<usize> = (0..n).collect();
+    perm.shuffle(&mut rng);
+    // next[i] = perm successor (single cycle through all arcs).
+    let mut next = vec![0usize; n];
+    for i in 0..n {
+        next[perm[i]] = perm[(i + 1) % n];
+    }
+    let costs: Vec<u64> = (0..n).map(|_| rng.gen_range(1..1000u64)).collect();
+
+    let reference = {
+        let mut acc = 0u64;
+        let mut cur = perm[0];
+        for _ in 0..steps {
+            acc = acc.wrapping_add(costs[cur]);
+            cur = next[cur];
+        }
+        acc
+    };
+
+    let mut a = Asm::new();
+    let base = a.zeros(0, 64);
+    let mut words = Vec::with_capacity(n * 2);
+    for i in 0..n {
+        words.push(costs[i]);
+        words.push(base + (next[i] as u64) * 16);
+    }
+    let actual = a.words64(&words);
+    assert_eq!(actual, base);
+
+    a.li(Reg::S0, (base + perm[0] as u64 * 16) as i64);
+    a.li(Reg::S1, steps as i64);
+    a.li(Reg::S2, 0);
+    let top = a.here();
+    a.ld(Reg::T0, 0, Reg::S0); // cost
+    a.ld(Reg::S0, 8, Reg::S0); // next (dependent load)
+    a.add(Reg::S2, Reg::S2, Reg::T0);
+    a.addi(Reg::S1, Reg::S1, -1);
+    a.bnez(Reg::S1, top);
+    emit_output(&mut a, Reg::S2);
+    a.halt();
+
+    Workload {
+        name: "605.mcf",
+        suite: Suite::SpecLike,
+        program: a.assemble().expect("mcf assembles"),
+        expected: vec![reference],
+        fuel: 3_000_000,
+    }
+}
+
+/// Discrete-event queue (omnetpp): a binary min-heap of 16-byte
+/// `{time, id}` event records. Pop-min then push a derived event; sift
+/// operations load/store whole records (pair idioms) with unpredictable
+/// comparisons.
+pub fn omnetpp() -> Workload {
+    let mut rng = StdRng::seed_from_u64(0x0e7);
+    let initial = 256usize;
+    let ops = 12_000usize;
+    let seeds: Vec<u64> = (0..initial).map(|_| rng.gen_range(1..1_000_000u64)).collect();
+    let deltas: Vec<u64> = (0..64).map(|_| rng.gen_range(1..5_000u64)).collect();
+
+    let reference = {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut heap: BinaryHeap<Reverse<u64>> = seeds.iter().map(|&t| Reverse(t)).collect();
+        let mut acc = 0u64;
+        for i in 0..ops {
+            let Reverse(t) = heap.pop().unwrap();
+            acc = acc.wrapping_add(t);
+            heap.push(Reverse(t + deltas[i & 63]));
+        }
+        acc
+    };
+
+    let mut a = Asm::new();
+    // Heap storage: 1-indexed records of {time, id}; id unused by checksum
+    // but loaded/stored to keep record semantics.
+    let mut init_words = vec![0u64; 2]; // slot 0 unused
+    let mut heap_vec: Vec<u64> = Vec::new();
+    for &t in &seeds {
+        heap_vec.push(t);
+        // standard push into vec-heap (build in Rust for the initial state)
+        let mut i = heap_vec.len() - 1;
+        while i > 0 {
+            let p = (i - 1) / 2;
+            if heap_vec[p] <= heap_vec[i] {
+                break;
+            }
+            heap_vec.swap(p, i);
+            i = p;
+        }
+    }
+    for (k, &t) in heap_vec.iter().enumerate() {
+        init_words.push(t);
+        init_words.push(k as u64);
+    }
+    let heap_addr = a.words64(&init_words);
+    let deltas_addr = a.words64(&deltas);
+
+    // Registers: S0 heap base (1-indexed records at base+16*i), S1 size,
+    // S2 acc, S3 op counter, S4 deltas base.
+    a.la(Reg::S0, heap_addr);
+    a.li(Reg::S1, initial as i64);
+    a.li(Reg::S2, 0);
+    a.li(Reg::S3, 0);
+    a.la(Reg::S4, deltas_addr);
+    let top = a.here();
+    // --- pop min: root at index 1 ---
+    a.ld(Reg::A2, 16, Reg::S0); // min time
+    a.add(Reg::S2, Reg::S2, Reg::A2);
+    // new event time = t + deltas[i & 63]
+    a.andi(Reg::T0, Reg::S3, 63);
+    a.slli(Reg::T0, Reg::T0, 3);
+    a.addi(Reg::S3, Reg::S3, 0); // scheduling gap
+    a.add(Reg::T0, Reg::S4, Reg::T0);
+    a.ld(Reg::T0, 0, Reg::T0);
+    a.add(Reg::A3, Reg::A2, Reg::T0); // replacement key
+    // Replace root with the new event and sift down (classic replace-top).
+    a.sd(Reg::A3, 16, Reg::S0);
+    a.sd(Reg::S3, 24, Reg::S0); // id := op index
+    a.li(Reg::T0, 1); // i
+    let sift = a.here();
+    let sift_done = a.new_label();
+    // l = 2i, r = 2i+1
+    a.slli(Reg::T1, Reg::T0, 1);
+    a.bltu(Reg::S1, Reg::T1, sift_done); // l > size?
+    // smallest child: load both child records (adjacent = same line often)
+    a.slli(Reg::T2, Reg::T1, 4);
+    a.add(Reg::T2, Reg::S0, Reg::T2); // &heap[l]
+    a.ld(Reg::T3, 0, Reg::T2); // time[l]
+    a.mv(Reg::T4, Reg::T1); // child index
+    let no_right = a.new_label();
+    a.beq(Reg::T1, Reg::S1, no_right);
+    a.ld(Reg::T5, 16, Reg::T2); // time[r] (same-line pair)
+    a.bgeu(Reg::T5, Reg::T3, no_right);
+    a.mv(Reg::T3, Reg::T5);
+    a.addi(Reg::T4, Reg::T1, 1);
+    a.bind(no_right);
+    // if child time >= parent time, done
+    a.slli(Reg::T5, Reg::T0, 4);
+    a.add(Reg::T5, Reg::S0, Reg::T5); // &heap[i]
+    a.ld(Reg::T6, 0, Reg::T5);
+    a.bgeu(Reg::T3, Reg::T6, sift_done);
+    // swap records i <-> child
+    a.slli(Reg::A4, Reg::T4, 4);
+    a.add(Reg::A4, Reg::S0, Reg::A4); // &heap[child]
+    a.ld(Reg::A5, 0, Reg::A4); // load pair
+    a.ld(Reg::A6, 8, Reg::A4);
+    a.ld(Reg::A7, 8, Reg::T5);
+    a.sd(Reg::T6, 0, Reg::A4); // store pair
+    a.sd(Reg::A7, 8, Reg::A4);
+    a.sd(Reg::A5, 0, Reg::T5); // store pair
+    a.sd(Reg::A6, 8, Reg::T5);
+    a.mv(Reg::T0, Reg::T4);
+    a.j(sift);
+    a.bind(sift_done);
+    a.addi(Reg::S3, Reg::S3, 1);
+    a.li(Reg::T0, ops as i64);
+    a.blt(Reg::S3, Reg::T0, top);
+    emit_output(&mut a, Reg::S2);
+    a.halt();
+
+    Workload {
+        name: "620.omnetpp",
+        suite: Suite::SpecLike,
+        program: a.assemble().expect("omnetpp assembles"),
+        expected: vec![reference],
+        fuel: 5_000_000,
+    }
+}
+
+/// Recursive tree reduction (xalancbmk's DOM walks): 32-byte nodes
+/// `{val, left, right, pad}` visited by a real call-stack recursion whose
+/// prologues/epilogues are the canonical store-pair/load-pair source.
+pub fn xalancbmk() -> Workload {
+    let mut rng = StdRng::seed_from_u64(0xa1a);
+    let depth = 13usize;
+    let n_nodes = (1usize << (depth + 1)) - 1;
+    let vals: Vec<u64> = (0..n_nodes).map(|_| rng.gen::<u32>() as u64).collect();
+
+    let reference = {
+        // result(i) = val[i] + rotl(result(left), 1) ^ result(right)
+        fn walk(vals: &[u64], i: usize) -> u64 {
+            let l = 2 * i + 1;
+            if l >= vals.len() {
+                return vals[i];
+            }
+            let lv = walk(vals, l);
+            let rv = walk(vals, l + 1);
+            vals[i].wrapping_add(lv.rotate_left(1)) ^ rv
+        }
+        walk(&vals, 0)
+    };
+
+    let mut a = Asm::new();
+    let base = a.zeros(0, 64);
+    let mut words = Vec::with_capacity(n_nodes * 4);
+    for i in 0..n_nodes {
+        let l = 2 * i + 1;
+        words.push(vals[i]);
+        if l < n_nodes {
+            words.push(base + (l as u64) * 32);
+            words.push(base + ((l + 1) as u64) * 32);
+        } else {
+            words.push(0);
+            words.push(0);
+        }
+        words.push(0);
+    }
+    let actual = a.words64(&words);
+    assert_eq!(actual, base);
+
+    let walk_fn = a.new_label();
+    let done = a.new_label();
+    // main: a0 = walk(root)
+    a.li(Reg::A0, base as i64);
+    a.call(walk_fn);
+    a.j(done);
+
+    // fn walk(a0 = node) -> a0
+    a.bind(walk_fn);
+    let leaf = a.new_label();
+    // Peek left pointer first to avoid a frame for leaves.
+    a.ld(Reg::T0, 8, Reg::A0);
+    a.beqz(Reg::T0, leaf);
+    let frame = prologue(&mut a, &[Reg::S0, Reg::S1]);
+    a.mv(Reg::S0, Reg::A0); // node
+    a.mv(Reg::A0, Reg::T0);
+    a.call(walk_fn); // lv
+    a.mv(Reg::S1, Reg::A0);
+    a.ld(Reg::A0, 16, Reg::S0); // right
+    a.call(walk_fn); // rv
+    // result = (val + rotl(lv,1)) ^ rv
+    a.slli(Reg::T1, Reg::S1, 1);
+    a.srli(Reg::T2, Reg::S1, 63);
+    a.or(Reg::T1, Reg::T1, Reg::T2);
+    a.ld(Reg::T3, 0, Reg::S0); // val
+    a.add(Reg::T1, Reg::T3, Reg::T1);
+    a.xor(Reg::A0, Reg::T1, Reg::A0);
+    epilogue(&mut a, &[Reg::S0, Reg::S1], frame);
+    a.bind(leaf);
+    a.ld(Reg::A0, 0, Reg::A0); // val
+    a.ret();
+
+    a.bind(done);
+    emit_output(&mut a, Reg::A0);
+    a.halt();
+
+    Workload {
+        name: "623.xalancbmk",
+        suite: Suite::SpecLike,
+        program: a.assemble().expect("xalancbmk assembles"),
+        expected: vec![reference],
+        fuel: 5_000_000,
+    }
+}
+
+/// Bitboard kernel (deepsjeng): LSB-extraction loops over 64-bit boards
+/// with attack-table lookups — bit tricks plus scattered table loads.
+pub fn deepsjeng() -> Workload {
+    let mut rng = StdRng::seed_from_u64(0xd5e);
+    let n = 6_000usize;
+    let boards: Vec<u64> = (0..n).map(|_| rng.gen::<u64>() & rng.gen::<u64>()).collect();
+    let attacks: Vec<u64> = (0..64).map(|_| rng.gen()).collect();
+
+    let reference = {
+        let mut acc = 0u64;
+        for &b0 in &boards {
+            let mut b = b0;
+            while b != 0 {
+                let sq = b.trailing_zeros() as usize;
+                acc = acc.wrapping_add(attacks[sq]).rotate_left(3);
+                b &= b - 1;
+            }
+        }
+        acc
+    };
+
+    let mut a = Asm::new();
+    let boards_addr = a.words64(&boards);
+    let attacks_addr = a.words64(&attacks);
+    // De Bruijn trailing-zero table (multiply + shift + byte lookup).
+    let debruijn: u64 = 0x03f7_9d71_b4ca_8b09;
+    let mut tz_table = vec![0u8; 64];
+    for i in 0..64u64 {
+        tz_table[((debruijn << i) >> 58) as usize] = i as u8;
+    }
+    let tz_addr = a.bytes_aligned(tz_table, 64);
+
+    a.la(Reg::S0, boards_addr);
+    a.li(Reg::S1, n as i64);
+    a.li(Reg::S2, 0); // acc
+    a.la(Reg::S3, attacks_addr);
+    a.la(Reg::S4, tz_addr);
+    a.li(Reg::S5, debruijn as i64);
+    let top = a.here();
+    a.ld(Reg::T0, 0, Reg::S0); // board
+    let bits = a.here();
+    let board_done = a.new_label();
+    a.beqz(Reg::T0, board_done);
+    // sq = tz_table[((b & -b) * debruijn) >> 58]
+    a.neg(Reg::T1, Reg::T0);
+    a.addi(Reg::T3, Reg::T0, -1); // b-1 computed early (b &= b-1 later)
+    a.and(Reg::T1, Reg::T1, Reg::T0);
+    a.and(Reg::T0, Reg::T0, Reg::T3);
+    a.mul(Reg::T1, Reg::T1, Reg::S5);
+    a.srli(Reg::T1, Reg::T1, 58);
+    a.add(Reg::T1, Reg::S4, Reg::T1);
+    a.slli(Reg::T4, Reg::S2, 3); // start the rotate early
+    a.lbu(Reg::T1, 0, Reg::T1); // sq
+    a.slli(Reg::T1, Reg::T1, 3);
+    a.srli(Reg::T5, Reg::S2, 61);
+    a.add(Reg::T1, Reg::S3, Reg::T1);
+    a.ld(Reg::T2, 0, Reg::T1); // attacks[sq]
+    a.add(Reg::S2, Reg::S2, Reg::T2);
+    // rotate_left(3)
+    a.slli(Reg::T2, Reg::S2, 3);
+    a.srli(Reg::S2, Reg::S2, 61);
+    a.or(Reg::S2, Reg::S2, Reg::T2);
+    let _ = (Reg::T4, Reg::T5);
+    a.j(bits);
+    a.bind(board_done);
+    a.addi(Reg::S0, Reg::S0, 8);
+    a.addi(Reg::S1, Reg::S1, -1);
+    a.bnez(Reg::S1, top);
+    emit_output(&mut a, Reg::S2);
+    a.halt();
+
+    Workload {
+        name: "631.deepsjeng",
+        suite: Suite::SpecLike,
+        program: a.assemble().expect("deepsjeng assembles"),
+        expected: vec![reference],
+        fuel: 5_000_000,
+    }
+}
+
+/// Go-board liberty scan (leela): a byte board with neighbour checks — byte
+/// loads with short unpredictable branches.
+pub fn leela() -> Workload {
+    let mut rng = StdRng::seed_from_u64(0x1ee1a);
+    let size = 19usize;
+    let w = size + 2; // padded border
+    let mut board = vec![3u8; w * w]; // 3 = border
+    for y in 1..=size {
+        for x in 1..=size {
+            board[y * w + x] = match rng.gen_range(0..3u8) {
+                0 => 0, // empty
+                1 => 1, // black
+                _ => 2, // white
+            };
+        }
+    }
+    let passes = 400usize;
+
+    let reference = {
+        let mut acc = 0u64;
+        for p in 0..passes {
+            for y in 1..=size {
+                for x in 1..=size {
+                    let s = board[y * w + x];
+                    if s == 0 || s == 3 {
+                        continue;
+                    }
+                    let mut libs = 0u64;
+                    for off in [-(w as i64), -1, 1, w as i64] {
+                        let ni = (y * w + x) as i64 + off;
+                        if board[ni as usize] == 0 {
+                            libs += 1;
+                        }
+                    }
+                    acc = acc.wrapping_add(libs.wrapping_mul((s as u64) + p as u64));
+                }
+            }
+        }
+        acc
+    };
+
+    let mut a = Asm::new();
+    let board_addr = a.bytes_aligned(board, 64);
+    let wdim = w as i64;
+    a.la(Reg::S0, board_addr);
+    a.li(Reg::S2, 0); // acc
+    a.li(Reg::S6, 0); // pass index
+    let pass_top = a.here();
+    a.li(Reg::S3, 1); // y
+    let row = a.here();
+    // row pointer = board + y*w
+    a.li(Reg::T0, wdim);
+    a.mul(Reg::T0, Reg::S3, Reg::T0);
+    a.add(Reg::S5, Reg::S0, Reg::T0);
+    a.li(Reg::S4, 1); // x
+    let col = a.here();
+    let skip = a.new_label();
+    a.add(Reg::T0, Reg::S5, Reg::S4); // &board[y][x]
+    a.lbu(Reg::T1, 0, Reg::T0); // stone
+    a.beqz(Reg::T1, skip);
+    a.li(Reg::T2, 3);
+    a.beq(Reg::T1, Reg::T2, skip);
+    // count empty neighbours
+    a.li(Reg::T3, 0);
+    for off in [-(w as i32), -1, 1, w as i32] {
+        let occupied = a.new_label();
+        a.lbu(Reg::T4, off, Reg::T0);
+        a.bnez(Reg::T4, occupied);
+        a.addi(Reg::T3, Reg::T3, 1);
+        a.bind(occupied);
+    }
+    // acc += libs * (stone + pass)
+    a.add(Reg::T4, Reg::T1, Reg::S6);
+    a.mul(Reg::T4, Reg::T3, Reg::T4);
+    a.add(Reg::S2, Reg::S2, Reg::T4);
+    a.bind(skip);
+    a.addi(Reg::S4, Reg::S4, 1);
+    a.li(Reg::T5, size as i64 + 1);
+    a.blt(Reg::S4, Reg::T5, col);
+    a.addi(Reg::S3, Reg::S3, 1);
+    a.blt(Reg::S3, Reg::T5, row);
+    a.addi(Reg::S6, Reg::S6, 1);
+    a.li(Reg::T5, passes as i64);
+    a.blt(Reg::S6, Reg::T5, pass_top);
+    emit_output(&mut a, Reg::S2);
+    a.halt();
+
+    Workload {
+        name: "641.leela",
+        suite: Suite::SpecLike,
+        program: a.assemble().expect("leela assembles"),
+        expected: vec![reference],
+        fuel: 5_000_000,
+    }
+}
+
+/// Recursive digit-permutation search (exchange2): swap-based permutation
+/// of a small byte array with real recursion — call/return dense, byte
+/// loads/stores, prologue/epilogue pair idioms.
+pub fn exchange2() -> Workload {
+    let digits = 7usize;
+    let reference = {
+        // Count permutations whose alternating sum is non-negative, and
+        // accumulate a positional checksum.
+        fn recurse(d: &mut [u8], k: usize, acc: &mut u64, count: &mut u64) {
+            if k == d.len() {
+                let mut alt = 0i64;
+                let mut pos = 0u64;
+                for (i, &v) in d.iter().enumerate() {
+                    if i % 2 == 0 {
+                        alt += v as i64;
+                    } else {
+                        alt -= v as i64;
+                    }
+                    pos = pos.wrapping_add((v as u64) << (i * 3 % 48));
+                }
+                if alt >= 0 {
+                    *count += 1;
+                    *acc = acc.wrapping_add(pos);
+                }
+                return;
+            }
+            for i in k..d.len() {
+                d.swap(k, i);
+                recurse(d, k + 1, acc, count);
+                d.swap(k, i);
+            }
+        }
+        let mut d: Vec<u8> = (1..=digits as u8).collect();
+        let mut acc = 0u64;
+        let mut count = 0u64;
+        recurse(&mut d, 0, &mut acc, &mut count);
+        acc.wrapping_add(count << 48)
+    };
+
+    let mut a = Asm::new();
+    let arr = {
+        let d: Vec<u8> = (1..=digits as u8).collect();
+        a.bytes_aligned(d, 8)
+    };
+    // Globals in registers: S8 acc, S9 count, S10 &digits.
+    let recurse_fn = a.new_label();
+    let done = a.new_label();
+    a.li(Reg::S8, 0);
+    a.li(Reg::S9, 0);
+    a.la(Reg::S10, arr);
+    a.li(Reg::A0, 0); // k
+    a.call(recurse_fn);
+    a.j(done);
+
+    // fn recurse(a0 = k)
+    a.bind(recurse_fn);
+    let is_leaf = a.new_label();
+    a.li(Reg::T0, digits as i64);
+    a.beq(Reg::A0, Reg::T0, is_leaf);
+    let frame = prologue(&mut a, &[Reg::S0, Reg::S1]);
+    a.mv(Reg::S0, Reg::A0); // k
+    a.mv(Reg::S1, Reg::A0); // i
+    let loop_top = a.here();
+    // swap d[k], d[i]
+    a.add(Reg::T1, Reg::S10, Reg::S0);
+    a.add(Reg::T2, Reg::S10, Reg::S1);
+    a.lbu(Reg::T3, 0, Reg::T1);
+    a.lbu(Reg::T4, 0, Reg::T2);
+    a.sb(Reg::T4, 0, Reg::T1);
+    a.sb(Reg::T3, 0, Reg::T2);
+    a.addi(Reg::A0, Reg::S0, 1);
+    a.call(recurse_fn);
+    // swap back
+    a.add(Reg::T1, Reg::S10, Reg::S0);
+    a.add(Reg::T2, Reg::S10, Reg::S1);
+    a.lbu(Reg::T3, 0, Reg::T1);
+    a.lbu(Reg::T4, 0, Reg::T2);
+    a.sb(Reg::T4, 0, Reg::T1);
+    a.sb(Reg::T3, 0, Reg::T2);
+    a.addi(Reg::S1, Reg::S1, 1);
+    a.li(Reg::T0, digits as i64);
+    a.blt(Reg::S1, Reg::T0, loop_top);
+    epilogue(&mut a, &[Reg::S0, Reg::S1], frame);
+
+    // leaf: evaluate permutation
+    a.bind(is_leaf);
+    a.li(Reg::T0, 0); // i
+    a.li(Reg::T1, 0); // alt
+    a.li(Reg::T2, 0); // pos
+    let scan = a.here();
+    let odd = a.new_label();
+    let next = a.new_label();
+    a.add(Reg::T3, Reg::S10, Reg::T0);
+    a.lbu(Reg::T3, 0, Reg::T3);
+    a.andi(Reg::T4, Reg::T0, 1);
+    a.bnez(Reg::T4, odd);
+    a.add(Reg::T1, Reg::T1, Reg::T3);
+    a.j(next);
+    a.bind(odd);
+    a.sub(Reg::T1, Reg::T1, Reg::T3);
+    a.bind(next);
+    // pos += v << (i*3 % 48)  (i <= 6 so i*3 <= 18, no mod needed)
+    a.slli(Reg::T4, Reg::T0, 1);
+    a.addi(Reg::T0, Reg::T0, 0) /* gap */;
+    a.add(Reg::T4, Reg::T4, Reg::T0); // i*3
+    a.sll(Reg::T3, Reg::T3, Reg::T4);
+    a.add(Reg::T2, Reg::T2, Reg::T3);
+    a.addi(Reg::T0, Reg::T0, 1);
+    a.li(Reg::T4, digits as i64);
+    a.blt(Reg::T0, Reg::T4, scan);
+    let rejected = a.new_label();
+    a.bltz(Reg::T1, rejected);
+    a.addi(Reg::S9, Reg::S9, 1);
+    a.add(Reg::S8, Reg::S8, Reg::T2);
+    a.bind(rejected);
+    a.ret();
+
+    a.bind(done);
+    a.slli(Reg::S9, Reg::S9, 48);
+    a.add(Reg::A0, Reg::S8, Reg::S9);
+    emit_output(&mut a, Reg::A0);
+    a.halt();
+
+    Workload {
+        name: "648.exchange2",
+        suite: Suite::SpecLike,
+        program: a.assemble().expect("exchange2 assembles"),
+        expected: vec![reference],
+        fuel: 5_000_000,
+    }
+}
+
+/// LZ-style match-find-and-copy (xz compression path): word-granular match
+/// detection against a hash table, then 32-byte match copies (plus token
+/// records) into a cold output stream, software-scheduled so the same-line
+/// store pairs are non-consecutive. The structural-stall monster of Fig. 9
+/// (the paper's baseline spends 88% of its cycles in dispatch stalls and
+/// Helios gains 70%; here the baseline spends ~75% and Helios is the
+/// suite's largest winner).
+pub fn xz_1() -> Workload {
+    let mut rng = StdRng::seed_from_u64(0x717);
+    let n = 32_768usize; // input words
+    // Compressible input: runs of a repeated phrase with noise bursts.
+    let phrase: Vec<u64> = (0..8).map(|_| rng.gen()).collect();
+    let mut input: Vec<u64> = Vec::with_capacity(n);
+    while input.len() < n {
+        if rng.gen_bool(0.93) {
+            for k in 0..rng.gen_range(24..64usize) {
+                input.push(phrase[k & 7]);
+            }
+        } else {
+            for _ in 0..rng.gen_range(2..4usize) {
+                input.push(rng.gen());
+            }
+        }
+    }
+    input.truncate(n);
+
+    const HASH_BITS: u32 = 14;
+    let hash8 = |w: u64| -> usize {
+        (w.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> (64 - HASH_BITS)) as usize
+    };
+    let reference = {
+        let mut head = vec![u64::MAX; 1 << HASH_BITS];
+        let mut matches = 0u64;
+        let mut literals = 0u64;
+        let mut out_words = 0u64;
+        let mut pos = 0usize;
+        while pos + 4 <= n {
+            let w = input[pos];
+            let h = hash8(w);
+            let cand = head[h];
+            head[h] = pos as u64;
+            if cand != u64::MAX && input[cand as usize] == w {
+                // Match: copy four words + a two-word token record.
+                matches += 1;
+                out_words += 6;
+                pos += 4;
+            } else {
+                literals += 1;
+                out_words += 2; // literal word + token word
+                pos += 1;
+            }
+        }
+        out_words.wrapping_add(matches << 24).wrapping_add(literals << 44)
+    };
+
+    let mut a = Asm::new();
+    let in_addr = a.words64(&input);
+    let head_addr = {
+        let heads = vec![u64::MAX; 1 << HASH_BITS];
+        a.words64(&heads)
+    };
+    let out_addr = a.zeros(8 * (6 * n as u64 + 64), 64);
+
+    a.la(Reg::S0, in_addr);
+    a.la(Reg::S1, head_addr);
+    a.la(Reg::S2, out_addr); // output cursor
+    a.li(Reg::S3, 0); // pos (word index)
+    a.li(Reg::S4, (n - 4) as i64);
+    a.li(Reg::S5, 0); // literals
+    a.li(Reg::S6, 0); // matches
+    a.li(Reg::S7, 0); // out_words
+    a.li(Reg::S8, 0x9e37_79b9_7f4a_7c15u64 as i64);
+    let top = a.here();
+    let finish = a.new_label();
+    a.blt(Reg::S4, Reg::S3, finish);
+    // w = input[pos]; h = (w * C) >> (64 - 10)
+    a.slli(Reg::T0, Reg::S3, 3);
+    a.li(Reg::T6, 0); // token scratch reset (separates the LEA idiom)
+    a.add(Reg::T0, Reg::S0, Reg::T0);
+    a.ld(Reg::T1, 0, Reg::T0); // w
+    a.mul(Reg::T2, Reg::T1, Reg::S8);
+    a.srli(Reg::T2, Reg::T2, 64 - 14);
+    a.slli(Reg::T2, Reg::T2, 3);
+    a.ori(Reg::T6, Reg::T6, 1);
+    a.add(Reg::T2, Reg::S1, Reg::T2);
+    a.ld(Reg::T3, 0, Reg::T2); // cand
+    a.sd(Reg::S3, 0, Reg::T2); // head[h] = pos
+    let literal = a.new_label();
+    let advance = a.new_label();
+    a.bltz(Reg::T3, literal); // empty slot
+    a.slli(Reg::T4, Reg::T3, 3);
+    a.xori(Reg::T6, Reg::T6, 2);
+    a.add(Reg::T4, Reg::S0, Reg::T4);
+    a.ld(Reg::T4, 0, Reg::T4); // input[cand]
+    a.bne(Reg::T4, Reg::T1, literal);
+    // --- match: copy input[pos..pos+4] + token record {pos, cand} ---
+    // The copy is software-scheduled the way a compiler would emit it:
+    // same-line loads and stores are separated by independent token
+    // arithmetic, so most pairs are *non-consecutive* (Helios NCSF
+    // territory) while remaining same-line (NCTF).
+    a.addi(Reg::S6, Reg::S6, 1);
+    a.ld(Reg::A2, 0, Reg::T0);
+    a.sub(Reg::A6, Reg::S3, Reg::T3); // token distance
+    a.ld(Reg::A3, 8, Reg::T0);
+    a.sd(Reg::A2, 0, Reg::S2);
+    a.slli(Reg::A7, Reg::A6, 4);
+    a.ld(Reg::A4, 16, Reg::T0);
+    a.sd(Reg::A3, 8, Reg::S2);
+    a.or(Reg::A7, Reg::A7, Reg::S6);
+    a.ld(Reg::A5, 24, Reg::T0);
+    a.sd(Reg::A4, 16, Reg::S2);
+    a.andi(Reg::A6, Reg::A6, 255);
+    a.sd(Reg::A5, 24, Reg::S2);
+    a.add(Reg::A7, Reg::A7, Reg::A6);
+    a.sd(Reg::A7, 32, Reg::S2); // token record
+    a.addi(Reg::S7, Reg::S7, 6);
+    a.sd(Reg::T3, 40, Reg::S2);
+    a.addi(Reg::S2, Reg::S2, 48);
+    a.addi(Reg::S3, Reg::S3, 4);
+    a.j(advance);
+    // --- literal: word + token ---
+    a.bind(literal);
+    a.addi(Reg::S5, Reg::S5, 1);
+    a.sd(Reg::T1, 0, Reg::S2); // literal word ...
+    a.addi(Reg::S7, Reg::S7, 2);
+    a.addi(Reg::S3, Reg::S3, 1);
+    a.sd(Reg::S3, 8, Reg::S2); // ... then the token, 2 µ-ops later (NCSF)
+    a.addi(Reg::S2, Reg::S2, 16);
+    a.bind(advance);
+    a.j(top);
+    a.bind(finish);
+    a.slli(Reg::S6, Reg::S6, 24);
+    a.slli(Reg::S5, Reg::S5, 44);
+    a.add(Reg::A0, Reg::S7, Reg::S6);
+    a.add(Reg::A0, Reg::A0, Reg::S5);
+    emit_output(&mut a, Reg::A0);
+    a.halt();
+
+    Workload {
+        name: "657.xz_1",
+        suite: Suite::SpecLike,
+        program: a.assemble().expect("xz_1 assembles"),
+        expected: vec![reference],
+        fuel: 5_000_000,
+    }
+}
+
+/// Range-coder-style bit modeling (xz's entropy stage): adaptive
+/// probability updates with shift/mask chains — ALU-idiom heavy, light on
+/// memory (the paper's other "Others prevalent" case).
+pub fn xz_2() -> Workload {
+    let mut rng = StdRng::seed_from_u64(0x718);
+    let n_bits = 60_000usize;
+    let bits: Vec<u8> = (0..n_bits).map(|_| rng.gen_range(0..2u8)).collect();
+
+    let reference = {
+        let mut prob = vec![1024u64; 64]; // 11-bit probabilities
+        let mut range = 0xffff_ffffu64;
+        let mut low = 0u64;
+        let mut ctx = 0usize;
+        let mut acc = 0u64;
+        for &b in &bits {
+            let p = prob[ctx];
+            let bound = (range >> 11).wrapping_mul(p);
+            if b == 0 {
+                range = bound;
+                prob[ctx] = p + ((2048 - p) >> 5);
+            } else {
+                low = low.wrapping_add(bound);
+                range = range.wrapping_sub(bound);
+                prob[ctx] = p - (p >> 5);
+            }
+            if range < (1 << 24) {
+                range <<= 8;
+                low = (low << 8) & 0xffff_ffff_ffff_ffff;
+                acc = acc.wrapping_add(low ^ range);
+            }
+            ctx = ((ctx << 1) | b as usize) & 63;
+        }
+        acc.wrapping_add(low).wrapping_add(range)
+    };
+
+    let mut a = Asm::new();
+    let bits_addr = a.bytes_aligned(bits, 64);
+    let prob_addr = a.words64(&vec![1024u64; 64]);
+
+    a.la(Reg::S0, bits_addr);
+    a.li(Reg::S1, n_bits as i64);
+    a.la(Reg::S2, prob_addr);
+    a.li(Reg::S3, 0xffff_ffff); // range
+    a.li(Reg::S4, 0); // low
+    a.li(Reg::S5, 0); // ctx
+    a.li(Reg::S6, 0); // acc
+    a.li(Reg::S7, 1 << 24);
+    let top = a.here();
+    a.lbu(Reg::T0, 0, Reg::S0); // bit
+    a.slli(Reg::T1, Reg::S5, 3);
+    a.add(Reg::T1, Reg::S2, Reg::T1); // &prob[ctx]
+    a.ld(Reg::T2, 0, Reg::T1); // p
+    a.srli(Reg::T3, Reg::S3, 11);
+    a.mul(Reg::T3, Reg::T3, Reg::T2); // bound
+    let one = a.new_label();
+    let norm = a.new_label();
+    a.bnez(Reg::T0, one);
+    // bit 0
+    a.mv(Reg::S3, Reg::T3);
+    a.li(Reg::T4, 2048);
+    a.sub(Reg::T4, Reg::T4, Reg::T2);
+    a.srli(Reg::T4, Reg::T4, 5);
+    a.add(Reg::T2, Reg::T2, Reg::T4);
+    a.sd(Reg::T2, 0, Reg::T1);
+    a.j(norm);
+    a.bind(one);
+    a.add(Reg::S4, Reg::S4, Reg::T3);
+    a.sub(Reg::S3, Reg::S3, Reg::T3);
+    a.srli(Reg::T4, Reg::T2, 5);
+    a.sub(Reg::T2, Reg::T2, Reg::T4);
+    a.sd(Reg::T2, 0, Reg::T1);
+    a.bind(norm);
+    let no_norm = a.new_label();
+    a.bgeu(Reg::S3, Reg::S7, no_norm);
+    a.slli(Reg::S3, Reg::S3, 8);
+    a.slli(Reg::S4, Reg::S4, 8);
+    a.xor(Reg::T4, Reg::S4, Reg::S3);
+    a.add(Reg::S6, Reg::S6, Reg::T4);
+    a.bind(no_norm);
+    // ctx = ((ctx << 1) | bit) & 63
+    a.slli(Reg::S5, Reg::S5, 1);
+    a.or(Reg::S5, Reg::S5, Reg::T0);
+    a.andi(Reg::S5, Reg::S5, 63);
+    a.addi(Reg::S0, Reg::S0, 1);
+    a.addi(Reg::S1, Reg::S1, -1);
+    a.bnez(Reg::S1, top);
+    a.add(Reg::A0, Reg::S6, Reg::S4);
+    a.add(Reg::A0, Reg::A0, Reg::S3);
+    emit_output(&mut a, Reg::A0);
+    a.halt();
+
+    Workload {
+        name: "657.xz_2",
+        suite: Suite::SpecLike,
+        program: a.assemble().expect("xz_2 assembles"),
+        expected: vec![reference],
+        fuel: 3_000_000,
+    }
+}

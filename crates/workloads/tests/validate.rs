@@ -1,0 +1,28 @@
+//! Functional validation: every kernel's emitted checksum must match its
+//! Rust reference implementation, proving the assembly is algorithmically
+//! correct before any timing simulation trusts it.
+
+use helios_workloads::all_workloads;
+
+#[test]
+fn every_workload_validates_against_its_reference() {
+    let mut failures = Vec::new();
+    for w in all_workloads() {
+        if let Err(e) = w.validate() {
+            failures.push(e);
+        }
+    }
+    assert!(failures.is_empty(), "failures:\n{}", failures.join("\n"));
+}
+
+#[test]
+fn dynamic_lengths_are_simulation_sized() {
+    for w in all_workloads() {
+        let len = w.dynamic_length();
+        assert!(
+            (40_000..3_000_000).contains(&len),
+            "{}: dynamic length {len} out of the intended range",
+            w.name
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! Fusion-opportunity explorer: reproduces the paper's §III motivation
+//! study on a workload of your choice — which idioms appear, how contiguous
+//! the memory pairs are, and how much non-consecutive potential exists.
+//!
+//! ```text
+//! cargo run --release --example fusion_explorer [workload-name]
+//! ```
+
+use helios_core::{classify_contiguity, match_idiom, Contiguity, ALL_IDIOMS};
+use helios_emu::Retired;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "fft".to_string());
+    let Some(w) = helios::workload(&name) else {
+        eprintln!("unknown workload `{name}`; available:");
+        for w in helios::all_workloads() {
+            eprintln!("  {}", w.name);
+        }
+        std::process::exit(1);
+    };
+
+    let trace: Vec<Retired> = w.stream().collect();
+    println!("{}: {} dynamic µ-ops", w.name, trace.len());
+
+    // Idiom census (consecutive pairs, greedy).
+    let mut counts = [0u64; 8];
+    let mut i = 0;
+    while i + 1 < trace.len() {
+        if let Some(idm) = match_idiom(&trace[i].inst, &trace[i + 1].inst, true, true) {
+            counts[ALL_IDIOMS.iter().position(|&x| x == idm).unwrap()] += 1;
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    println!("\nconsecutive Table I idioms:");
+    for (idm, &n) in ALL_IDIOMS.iter().zip(&counts) {
+        if n > 0 {
+            println!(
+                "  {:<28} {:>8}  ({:.2}% of µ-ops)",
+                idm.name(),
+                n,
+                100.0 * 2.0 * n as f64 / trace.len() as f64
+            );
+        }
+    }
+
+    // Same-line pair distance histogram: how far apart are fusible memory
+    // pairs in the dynamic stream? (the paper's catalyst averages 10.5)
+    let mut dist_hist = [0u64; 9]; // 1, 2, 3, 4, 5-8, 9-16, 17-32, 33-64, none
+    let mut sum = 0u64;
+    let mut pairs = 0u64;
+    for h in 0..trace.len() {
+        let Some(hm) = trace[h].mem else { continue };
+        let mut found = false;
+        for t in h + 1..trace.len().min(h + 65) {
+            let Some(tm) = trace[t].mem else { continue };
+            if tm.is_store != hm.is_store {
+                continue;
+            }
+            if classify_contiguity(&hm, &tm, 64).fusible() {
+                let d = (t - h) as u64;
+                let bucket = match d {
+                    1 => 0,
+                    2 => 1,
+                    3 => 2,
+                    4 => 3,
+                    5..=8 => 4,
+                    9..=16 => 5,
+                    17..=32 => 6,
+                    _ => 7,
+                };
+                dist_hist[bucket] += 1;
+                sum += d;
+                pairs += 1;
+                found = true;
+                break;
+            }
+        }
+        if !found {
+            dist_hist[8] += 1;
+        }
+    }
+    println!("\nnearest same-64B-line partner distance (per memory µ-op):");
+    for (label, &n) in ["1", "2", "3", "4", "5-8", "9-16", "17-32", "33-64", "none"]
+        .iter()
+        .zip(&dist_hist)
+    {
+        println!("  {label:>6}: {n}");
+    }
+    if pairs > 0 {
+        println!(
+            "  mean distance {:.1} µ-ops (paper's committed NCSF mean: 10.5)",
+            sum as f64 / pairs as f64
+        );
+    }
+
+    // Contiguity classes for adjacent memory pairs (Fig. 4's view).
+    let mut classes = [0u64; 5];
+    for win in trace.windows(2) {
+        if let (Some(a), Some(b)) = (win[0].mem, win[1].mem) {
+            if a.is_store == b.is_store {
+                let c = classify_contiguity(&a, &b, 64);
+                let idx = match c {
+                    Contiguity::Contiguous => 0,
+                    Contiguity::Overlapping => 1,
+                    Contiguity::SameLine => 2,
+                    Contiguity::NextLine => 3,
+                    Contiguity::TooFar => 4,
+                };
+                classes[idx] += 1;
+            }
+        }
+    }
+    println!("\nadjacent same-kind memory pairs by contiguity:");
+    for (label, &n) in ["contiguous", "overlapping", "same line", "next line", "too far"]
+        .iter()
+        .zip(&classes)
+    {
+        println!("  {label:>12}: {n}");
+    }
+}

@@ -1,0 +1,66 @@
+//! Helios vs the oracle upper bound on one workload: pair capture, predictor
+//! quality, and where the remaining gap comes from (Fig. 8 / Table III in
+//! miniature).
+//!
+//! ```text
+//! cargo run --release --example helios_vs_oracle [workload-name]
+//! ```
+
+use helios::{run_workload, FusionMode};
+use helios_core::RepairCase;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "657.xz_1".to_string());
+    let Some(w) = helios::workload(&name) else {
+        eprintln!("unknown workload `{name}`");
+        std::process::exit(1);
+    };
+
+    println!("simulating {} under Helios and OracleFusion…", w.name);
+    let h = run_workload(&w, FusionMode::Helios);
+    let o = run_workload(&w, FusionMode::OracleFusion);
+    let b = run_workload(&w, FusionMode::NoFusion);
+
+    println!("\n                     {:>12} {:>12}", "Helios", "Oracle");
+    println!(
+        "IPC (vs base {:.3}) {:>12.3} {:>12.3}",
+        b.ipc(),
+        h.ipc(),
+        o.ipc()
+    );
+    println!(
+        "CSF pairs           {:>12} {:>12}",
+        h.fusion.csf_pairs, o.fusion.csf_pairs
+    );
+    println!(
+        "NCSF pairs          {:>12} {:>12}",
+        h.fusion.ncsf_pairs, o.fusion.ncsf_pairs
+    );
+    println!(
+        "DBR pairs           {:>12} {:>12}",
+        h.fusion.dbr_pairs, o.fusion.dbr_pairs
+    );
+    println!(
+        "mean NCSF distance  {:>12.1} {:>12.1}   (paper: 10.5)",
+        h.fusion.mean_ncsf_distance(),
+        o.fusion.mean_ncsf_distance()
+    );
+
+    println!("\nHelios predictor:");
+    println!("  predictions        {}", h.fusion.predictions);
+    println!("  correct            {}", h.fusion.predictions_correct);
+    println!("  accuracy           {:.2}%  (paper avg: 99.7%)", h.fusion.accuracy_pct());
+    println!("  fusion MPKI        {:.4}  (paper avg: 0.142)", h.fusion_mpki());
+    println!("  nest aborts        {}", h.ncsf_nest_aborts);
+
+    println!("\nHelios repairs (§IV-C):");
+    for case in RepairCase::ALL {
+        let n = h.fusion.repair_count(case);
+        if n > 0 {
+            println!("  {case:?}: {n}");
+        }
+    }
+    if h.fusion.repairs.iter().all(|&r| r == 0) {
+        println!("  (none)");
+    }
+}

@@ -1,0 +1,39 @@
+//! Stall breakdown for one workload across all fusion configurations —
+//! the Fig. 9 view, with the full resource attribution.
+//!
+//! ```text
+//! cargo run --release --example stall_analysis [workload-name]
+//! ```
+
+use helios::{run_workload, FusionMode};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "657.xz_1".to_string());
+    let Some(w) = helios::workload(&name) else {
+        eprintln!("unknown workload `{name}`");
+        std::process::exit(1);
+    };
+
+    println!("{}: stall cycles by cause (% of total cycles)", w.name);
+    println!(
+        "{:<14} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>9} {:>7}",
+        "config", "IPC", "rename", "ROB", "IQ", "LQ", "SQ", "redirect", "Fig9%"
+    );
+    for mode in FusionMode::ALL {
+        let s = run_workload(&w, mode);
+        let pct = |n: u64| 100.0 * n as f64 / s.cycles.max(1) as f64;
+        println!(
+            "{:<14} {:>7.3} {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>8.1}% {:>6.1}%",
+            mode.name(),
+            s.ipc(),
+            pct(s.rename_stall_cycles),
+            pct(s.dispatch_stall_rob),
+            pct(s.dispatch_stall_iq),
+            pct(s.dispatch_stall_lq),
+            pct(s.dispatch_stall_sq),
+            pct(s.fetch_stall_redirect),
+            s.stall_pct(),
+        );
+    }
+    println!("\n(the paper's Fig. 9 metric is the rename+dispatch structural column)");
+}

@@ -1,0 +1,115 @@
+//! Running (workload × configuration) simulations.
+
+use helios_core::FusionMode;
+use helios_uarch::{PipeConfig, Pipeline, SimStats};
+use helios_workloads::Workload;
+use std::collections::BTreeMap;
+
+/// One simulation outcome.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Benchmark name.
+    pub workload: &'static str,
+    /// Fusion configuration simulated.
+    pub mode: FusionMode,
+    /// Collected statistics.
+    pub stats: SimStats,
+}
+
+/// Simulates `w` under fusion mode `mode` with the default Table II core.
+pub fn run_workload(w: &Workload, mode: FusionMode) -> SimStats {
+    run_workload_with(w, PipeConfig::with_fusion(mode))
+}
+
+/// Simulates `w` under an explicit pipeline configuration.
+pub fn run_workload_with(w: &Workload, cfg: PipeConfig) -> SimStats {
+    let mut pipe = Pipeline::new(cfg, w.stream());
+    pipe.run(w.fuel * 20);
+    pipe.stats().clone()
+}
+
+/// Results of a full (workloads × modes) sweep, indexable by both axes.
+#[derive(Clone, Debug, Default)]
+pub struct Sweep {
+    results: Vec<RunResult>,
+}
+
+impl Sweep {
+    /// All results, in execution order (workload-major).
+    pub fn results(&self) -> &[RunResult] {
+        &self.results
+    }
+
+    /// The result for one (workload, mode) cell.
+    pub fn get(&self, workload: &str, mode: FusionMode) -> Option<&SimStats> {
+        self.results
+            .iter()
+            .find(|r| r.workload == workload && r.mode == mode)
+            .map(|r| &r.stats)
+    }
+
+    /// Workload names, in sweep order.
+    pub fn workloads(&self) -> Vec<&'static str> {
+        let mut seen = Vec::new();
+        for r in &self.results {
+            if !seen.contains(&r.workload) {
+                seen.push(r.workload);
+            }
+        }
+        seen
+    }
+
+    /// Per-workload IPC of `mode` normalized to `baseline`, plus the
+    /// geometric mean, in sweep order.
+    pub fn normalized_ipc(&self, mode: FusionMode, baseline: FusionMode) -> (BTreeMap<&'static str, f64>, f64) {
+        let mut out = BTreeMap::new();
+        let mut vals = Vec::new();
+        for w in self.workloads() {
+            if let (Some(m), Some(b)) = (self.get(w, mode), self.get(w, baseline)) {
+                let r = m.ipc() / b.ipc();
+                out.insert(w, r);
+                vals.push(r);
+            }
+        }
+        (out, crate::metrics::geomean(&vals))
+    }
+}
+
+/// Runs every (workload × mode) combination, reporting progress on stderr.
+pub fn run_sweep(workloads: &[Workload], modes: &[FusionMode]) -> Sweep {
+    let mut sweep = Sweep::default();
+    let total = workloads.len() * modes.len();
+    let mut done = 0usize;
+    for w in workloads {
+        for &mode in modes {
+            let stats = run_workload(w, mode);
+            sweep.results.push(RunResult {
+                workload: w.name,
+                mode,
+                stats,
+            });
+            done += 1;
+            eprint!("\r[{done}/{total}] {:<18} {:<14}", w.name, mode.name());
+        }
+    }
+    eprintln!();
+    sweep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_indexing() {
+        let ws = vec![helios_workloads::workload("crc32").unwrap()];
+        let modes = [FusionMode::NoFusion, FusionMode::CsfSbr];
+        let s = run_sweep(&ws, &modes);
+        assert_eq!(s.results().len(), 2);
+        assert!(s.get("crc32", FusionMode::NoFusion).is_some());
+        assert!(s.get("crc32", FusionMode::Helios).is_none());
+        let (per, geo) = s.normalized_ipc(FusionMode::CsfSbr, FusionMode::NoFusion);
+        assert_eq!(per.len(), 1);
+        assert!(geo > 0.5 && geo < 2.0);
+    }
+}

@@ -1,0 +1,31 @@
+//! # helios — experiment harness for the Helios fusion reproduction
+//!
+//! Ties the stack together: assemble a workload (`helios-workloads`), execute
+//! it functionally (`helios-emu`), replay it through the cycle-level
+//! out-of-order model (`helios-uarch`) under one of the paper's five fusion
+//! configurations (`helios-core`), and report the statistics behind every
+//! table and figure of *"Exploring Instruction Fusion Opportunities in
+//! General Purpose Processors"* (MICRO 2022).
+//!
+//! # Examples
+//!
+//! ```
+//! use helios::{run_workload, FusionMode};
+//!
+//! let w = helios_workloads::workload("crc32").expect("registered");
+//! let base = run_workload(&w, FusionMode::NoFusion);
+//! let fused = run_workload(&w, FusionMode::CsfSbr);
+//! assert_eq!(base.instructions, fused.instructions);
+//! ```
+
+mod experiment;
+mod metrics;
+mod report;
+
+pub use experiment::{run_sweep, run_workload, run_workload_with, RunResult, Sweep};
+pub use metrics::{geomean, normalized_ipc, speedup_pct};
+pub use report::{format_row, Table};
+
+pub use helios_core::{FusionMode, HeliosParams};
+pub use helios_uarch::{PipeConfig, SimStats};
+pub use helios_workloads::{all_workloads, workload, Workload};

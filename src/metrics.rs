@@ -1,0 +1,53 @@
+//! Aggregation helpers used by the paper's figures.
+
+/// Geometric mean (the paper's average for IPC improvements).
+///
+/// Returns 0.0 for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// assert!((helios::geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+/// ```
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// IPC of `x` normalized to `baseline`.
+pub fn normalized_ipc(x: f64, baseline: f64) -> f64 {
+    if baseline == 0.0 {
+        0.0
+    } else {
+        x / baseline
+    }
+}
+
+/// Speedup of `x` over `baseline`, in percent (paper-style "+14.2%").
+pub fn speedup_pct(x: f64, baseline: f64) -> f64 {
+    (normalized_ipc(x, baseline) - 1.0) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_properties() {
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        // Order-invariant.
+        assert!((geomean(&[1.5, 0.5, 2.0]) - geomean(&[2.0, 1.5, 0.5])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedups() {
+        assert!((speedup_pct(1.142, 1.0) - 14.2).abs() < 1e-9);
+        assert_eq!(speedup_pct(1.0, 0.0), -100.0);
+        assert!((normalized_ipc(3.0, 2.0) - 1.5).abs() < 1e-12);
+    }
+}

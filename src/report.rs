@@ -1,0 +1,122 @@
+//! Plain-text table formatting for the figure/table regeneration binaries.
+
+use std::fmt;
+
+/// A fixed-width text table.
+///
+/// # Examples
+///
+/// ```
+/// use helios::Table;
+/// let mut t = Table::new(vec!["bench".into(), "IPC".into()]);
+/// t.row(vec!["crc32".into(), "2.31".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("crc32"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<String>) -> Table {
+        Table {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (shorter rows are right-padded with blanks).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Table {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let print_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for i in 0..cols {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                if i == 0 {
+                    write!(f, "{cell:<w$}", w = widths[i])?;
+                } else {
+                    write!(f, "  {cell:>w$}", w = widths[i])?;
+                }
+            }
+            writeln!(f)
+        };
+        print_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for r in &self.rows {
+            print_row(f, r)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a numeric row: name followed by fixed-precision values.
+pub fn format_row(name: &str, values: &[f64], precision: usize) -> Vec<String> {
+    let mut row = vec![name.to_string()];
+    row.extend(values.iter().map(|v| format!("{v:.precision$}")));
+    row
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(vec!["name".into(), "v".into()]);
+        t.row(vec!["a-long-name".into(), "1.00".into()]);
+        t.row(vec!["b".into(), "12.34".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].starts_with("a-long-name"));
+        assert!(lines[1].starts_with('-'));
+    }
+
+    #[test]
+    fn format_row_precision() {
+        let r = format_row("x", &[1.23456, 2.0], 2);
+        assert_eq!(r, vec!["x", "1.23", "2.00"]);
+    }
+
+    #[test]
+    fn ragged_rows_padded() {
+        let mut t = Table::new(vec!["a".into(), "b".into(), "c".into()]);
+        t.row(vec!["only".into()]);
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 1);
+        let s = t.to_string();
+        assert!(s.contains("only"));
+    }
+}

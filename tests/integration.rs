@@ -1,0 +1,106 @@
+//! Cross-crate integration tests: the full stack (assembler → emulator →
+//! pipeline under every fusion configuration) must agree on architectural
+//! behaviour, and the fusion configurations must satisfy their mutual
+//! invariants on the real benchmark suite.
+
+use helios::{run_workload, FusionMode};
+
+/// A small but diverse subset (kept fast for CI-style runs).
+const SUBSET: [&str; 6] = [
+    "crc32",
+    "dijkstra",
+    "fft",
+    "657.xz_1",
+    "623.xalancbmk",
+    "648.exchange2",
+];
+
+#[test]
+fn all_configs_commit_identical_instruction_streams() {
+    for name in SUBSET {
+        let w = helios::workload(name).unwrap();
+        let expected = w.dynamic_length();
+        for mode in FusionMode::ALL {
+            let s = run_workload(&w, mode);
+            assert_eq!(
+                s.instructions, expected,
+                "{name}/{mode}: committed instructions must equal the trace length"
+            );
+        }
+    }
+}
+
+#[test]
+fn fusion_never_loses_memory_operations() {
+    for name in SUBSET {
+        let w = helios::workload(name).unwrap();
+        let base = run_workload(&w, FusionMode::NoFusion);
+        for mode in [FusionMode::CsfSbr, FusionMode::Helios, FusionMode::OracleFusion] {
+            let s = run_workload(&w, mode);
+            assert_eq!(
+                s.mem_instructions, base.mem_instructions,
+                "{name}/{mode}: memory instruction count is architectural"
+            );
+            assert_eq!(s.loads, base.loads, "{name}/{mode}");
+            assert_eq!(s.stores, base.stores, "{name}/{mode}");
+        }
+    }
+}
+
+#[test]
+fn uop_accounting_is_consistent() {
+    for name in SUBSET {
+        let w = helios::workload(name).unwrap();
+        for mode in FusionMode::ALL {
+            let s = run_workload(&w, mode);
+            assert_eq!(
+                s.uops + s.fusion.fused_pairs(),
+                s.instructions,
+                "{name}/{mode}: each fused pair replaces exactly two instructions with one µ-op"
+            );
+        }
+    }
+}
+
+#[test]
+fn helios_predictor_quality_bounds() {
+    for name in SUBSET {
+        let w = helios::workload(name).unwrap();
+        let s = run_workload(&w, FusionMode::Helios);
+        let resolved = s.fusion.predictions_correct + s.fusion.mispredictions;
+        assert!(
+            resolved <= s.fusion.predictions + s.ncsf_nest_aborts,
+            "{name}: resolutions cannot exceed predictions"
+        );
+        if s.fusion.predictions > 100 {
+            assert!(
+                s.fusion.accuracy_pct() > 80.0,
+                "{name}: confidence gating should keep accuracy high, got {:.1}%",
+                s.fusion.accuracy_pct()
+            );
+        }
+    }
+}
+
+#[test]
+fn storage_budget_matches_paper() {
+    use helios_core::{helios_storage, FpConfig};
+    let cfg = helios::PipeConfig::default();
+    let total = helios_storage(&cfg.sizes(), &FpConfig::default(), true).total_bits();
+    let kbit = total as f64 / 1024.0;
+    assert!(
+        (82.0..86.0).contains(&kbit),
+        "paper reports ≈83 Kbit, model computes {kbit:.2}"
+    );
+}
+
+#[test]
+fn workload_checksums_hold_after_simulation_setup() {
+    // The registry builds fresh programs each call; simulating must not
+    // perturb functional behaviour (programs are immutable).
+    for name in SUBSET {
+        let w = helios::workload(name).unwrap();
+        let _ = run_workload(&w, FusionMode::Helios);
+        w.validate().expect("functional checksum still matches");
+    }
+}
