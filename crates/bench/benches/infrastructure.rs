@@ -1,14 +1,47 @@
-//! Criterion microbenchmarks for the simulation infrastructure: decoder,
-//! assembler, emulator, predictors, and caches. These measure *our* code,
-//! while the `figNN`/`tableN` binaries regenerate the *paper's* results.
+//! Microbenchmarks for the simulation infrastructure: decoder, assembler,
+//! emulator, predictors, caches, and the pipeline itself. These measure
+//! *our* code, while the `figNN`/`tableN` binaries regenerate the *paper's*
+//! results.
+//!
+//! Uses a small std-only timing harness (`harness = false`; no external
+//! benchmark framework is available offline): each benchmark runs a warmup,
+//! then reports the best-of-N mean time per iteration, which is stable
+//! enough for the coarse regression tracking these serve.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use helios_core::{FpConfig, FusionPredictor, Uch, UchConfig};
 use helios_emu::{Cpu, RetireStream};
 use helios_isa::{decode, encode, parse_asm, Asm, Reg};
 use helios_uarch::{Cache, CacheParams, StoreSets, Tage};
+use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_isa(c: &mut Criterion) {
+/// Times `f` over `iters` iterations, repeated over `samples` rounds, and
+/// prints the fastest round's per-iteration mean.
+fn bench<T>(name: &str, iters: u64, samples: u32, mut f: impl FnMut() -> T) {
+    // Warmup round.
+    for _ in 0..iters.min(1000) {
+        black_box(f());
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let per_iter = t0.elapsed().as_secs_f64() / iters as f64;
+        best = best.min(per_iter);
+    }
+    let (scaled, unit) = if best >= 1e-3 {
+        (best * 1e3, "ms")
+    } else if best >= 1e-6 {
+        (best * 1e6, "µs")
+    } else {
+        (best * 1e9, "ns")
+    };
+    println!("{name:<32} {scaled:>10.2} {unit}/iter  ({iters} iters × {samples} samples)");
+}
+
+fn bench_isa() {
     let mut a = Asm::new();
     let buf = a.zeros(4096, 64);
     a.la(Reg::S0, buf);
@@ -21,37 +54,30 @@ fn bench_isa(c: &mut Criterion) {
     let prog = a.assemble().unwrap();
     let words = prog.words();
 
-    let mut g = c.benchmark_group("isa");
-    g.throughput(Throughput::Elements(words.len() as u64));
-    g.bench_function("decode", |b| {
-        b.iter(|| {
-            let mut n = 0usize;
-            for &w in &words {
-                n += decode(w).is_ok() as usize;
-            }
-            n
-        })
+    bench("isa/decode_194_words", 10_000, 5, || {
+        let mut n = 0usize;
+        for &w in &words {
+            n += decode(w).is_ok() as usize;
+        }
+        n
     });
-    g.bench_function("encode", |b| {
-        b.iter(|| prog.insts.iter().map(encode).fold(0u64, |a, w| a ^ w as u64))
+    bench("isa/encode_program", 10_000, 5, || {
+        prog.insts.iter().map(encode).fold(0u64, |a, w| a ^ w as u64)
     });
-    g.bench_function("assemble_text", |b| {
-        let src = r#"
-            li a0, 1000
-        top:
-            ld t0, 0(s0)
-            add a1, a1, t0
-            sd a1, 8(s0)
-            addi a0, a0, -1
-            bnez a0, top
-            ebreak
-        "#;
-        b.iter(|| parse_asm(src).unwrap().len())
-    });
-    g.finish();
+    let src = r#"
+        li a0, 1000
+    top:
+        ld t0, 0(s0)
+        add a1, a1, t0
+        sd a1, 8(s0)
+        addi a0, a0, -1
+        bnez a0, top
+        ebreak
+    "#;
+    bench("isa/assemble_text", 5_000, 5, || parse_asm(src).unwrap().len());
 }
 
-fn bench_emulator(c: &mut Criterion) {
+fn bench_emulator() {
     let prog = parse_asm(
         r#"
         li a0, 10000
@@ -66,33 +92,26 @@ fn bench_emulator(c: &mut Criterion) {
     "#,
     )
     .unwrap();
-    let mut g = c.benchmark_group("emulator");
-    g.throughput(Throughput::Elements(50_002));
-    g.bench_function("retire_rate", |b| {
-        b.iter_batched(
-            || Cpu::new(prog.clone()),
-            |mut cpu| cpu.run(1_000_000).unwrap(),
-            BatchSize::SmallInput,
-        )
+    bench("emu/retire_50k_uops", 50, 5, || {
+        let mut cpu = Cpu::new(prog.clone());
+        cpu.run(1_000_000).unwrap()
     });
-    g.finish();
 }
 
-fn bench_predictors(c: &mut Criterion) {
-    let mut g = c.benchmark_group("predictors");
-    g.bench_function("tage_predict_update", |b| {
+fn bench_predictors() {
+    {
         let mut t = Tage::new();
         let mut hist = 0u64;
         let mut pc = 0x1000u64;
-        b.iter(|| {
+        bench("pred/tage_predict_update", 500_000, 5, move || {
             let taken = (pc >> 3) & 1 == 0;
             let ok = t.update(pc, hist, taken);
             hist = (hist << 1) | taken as u64;
             pc = pc.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407) & 0xffff;
             ok
-        })
-    });
-    g.bench_function("fusion_predictor_lookup", |b| {
+        });
+    }
+    {
         let mut fp = FusionPredictor::new(FpConfig::default());
         for pc in (0..4096u64).step_by(4) {
             for _ in 0..3 {
@@ -100,54 +119,49 @@ fn bench_predictors(c: &mut Criterion) {
             }
         }
         let mut pc = 0u64;
-        b.iter(|| {
+        bench("pred/fusion_predictor_lookup", 500_000, 5, move || {
             pc = (pc + 4) & 0xfff;
             fp.predict(pc, 0)
-        })
-    });
-    g.bench_function("uch_observe", |b| {
+        });
+    }
+    {
         let mut uch = Uch::new(UchConfig::default());
         let mut line = 0u64;
-        b.iter(|| {
+        bench("pred/uch_observe", 500_000, 5, move || {
             uch.tick();
             line = (line + 0x40) & 0xffff;
             uch.observe(false, line)
-        })
-    });
-    g.bench_function("store_sets", |b| {
+        });
+    }
+    {
         let mut ss = StoreSets::new();
         ss.train_violation(0x200, 0x100);
         let mut seq = 0u64;
-        b.iter(|| {
+        bench("pred/store_sets", 500_000, 5, move || {
             seq += 1;
             ss.store_dispatched(0x100, seq);
             let d = ss.load_dependency(0x200);
             ss.store_executed(0x100, seq);
             d
-        })
-    });
-    g.finish();
-}
-
-fn bench_cache(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cache");
-    g.bench_function("l1_access", |b| {
-        let mut cache = Cache::new(&CacheParams {
-            size: 48 * 1024,
-            ways: 12,
-            line: 64,
-            latency: 5,
         });
-        let mut addr = 0u64;
-        b.iter(|| {
-            addr = (addr + 64) & 0xf_ffff;
-            cache.access(addr, false)
-        })
-    });
-    g.finish();
+    }
 }
 
-fn bench_pipeline(c: &mut Criterion) {
+fn bench_cache() {
+    let mut cache = Cache::new(&CacheParams {
+        size: 48 * 1024,
+        ways: 12,
+        line: 64,
+        latency: 5,
+    });
+    let mut addr = 0u64;
+    bench("cache/l1_access", 1_000_000, 5, move || {
+        addr = (addr + 64) & 0xf_ffff;
+        cache.access(addr, false)
+    });
+}
+
+fn bench_pipeline() {
     use helios::FusionMode;
     use helios_uarch::{PipeConfig, Pipeline};
     let prog = parse_asm(
@@ -166,35 +180,29 @@ fn bench_pipeline(c: &mut Criterion) {
     "#,
     )
     .unwrap();
-    let mut g = c.benchmark_group("pipeline");
-    g.sample_size(20);
     for mode in [FusionMode::NoFusion, FusionMode::Helios, FusionMode::OracleFusion] {
-        g.bench_function(format!("simulate_{}", mode.name()), |b| {
-            b.iter_batched(
-                || {
-                    (
-                        PipeConfig::with_fusion(mode),
-                        RetireStream::new(prog.clone(), 1_000_000),
-                    )
-                },
-                |(cfg, stream)| {
-                    let mut p = Pipeline::new(cfg, stream);
-                    p.run(10_000_000);
-                    p.stats().instructions
-                },
-                BatchSize::SmallInput,
-            )
+        let prog = prog.clone();
+        bench(&format!("pipeline/simulate_{}", mode.name()), 10, 3, move || {
+            let mut p = Pipeline::new(
+                PipeConfig::with_fusion(mode),
+                RetireStream::new(prog.clone(), 1_000_000),
+            );
+            p.run(10_000_000);
+            p.stats().instructions
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_isa,
-    bench_emulator,
-    bench_predictors,
-    bench_cache,
-    bench_pipeline
-);
-criterion_main!(benches);
+fn main() {
+    // `cargo test` builds and runs bench targets with `--test` style args;
+    // only actually measure when invoked via `cargo bench` (or directly).
+    if std::env::args().any(|a| a == "--test") {
+        println!("infrastructure benches: skipped under test harness");
+        return;
+    }
+    bench_isa();
+    bench_emulator();
+    bench_predictors();
+    bench_cache();
+    bench_pipeline();
+}

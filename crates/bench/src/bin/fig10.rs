@@ -20,7 +20,7 @@ fn main() {
         modes
             .iter()
             .skip(1)
-            .map(|m| format!("{}", m.name())),
+            .map(|m| m.name().to_string()),
     );
     let mut table = Table::new(headers);
 

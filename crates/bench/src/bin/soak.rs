@@ -1,0 +1,120 @@
+//! soak — fault-injection soak harness for the Helios repair paths.
+//!
+//! For every selected workload (all 32 by default; `--quick` / `--only`
+//! as usual), runs the Helios pipeline with the lockstep oracle checker
+//! attached:
+//!
+//! * **baseline** — no faults; establishes the reference IPC;
+//! * **suppress / corrupt / evict / flush / chaos** — the deterministic
+//!   fault modes of `FaultConfig::modes`, each forcing a different family
+//!   of repair paths (§IV-C) to fire;
+//! * **starve** — chaos faults on a starvation-sized core (ROB 8, IQ 4,
+//!   LQ 4, SQ 2), where forward progress leans on the resource-deadlock
+//!   breaker.
+//!
+//! Every run must complete: `try_run` returning `Ok` proves no hang, no
+//! panic, and zero lockstep/invariant violations. Faulted IPC must also
+//! stay inside a sanity envelope of the baseline — faults may slow the
+//! machine down, but a "fault" that speeds it up or grinds it to a halt
+//! means the model leaked architectural state. Exits non-zero on any
+//! failure, printing a reproducible (seeded) description.
+
+use helios::Workload;
+use helios_core::FusionMode;
+use helios_uarch::{FaultConfig, PipeConfig, Pipeline};
+
+/// PRNG seed for every injector (reruns reproduce exactly).
+const SEED: u64 = 0x50a7;
+
+/// Faulted IPC must stay within `[LO, HI] × baseline`.
+const ENVELOPE: (f64, f64) = (0.05, 1.25);
+
+fn starved(mut cfg: PipeConfig) -> PipeConfig {
+    cfg.rob_size = 8;
+    cfg.iq_size = 4;
+    cfg.lq_size = 4;
+    cfg.sq_size = 2;
+    cfg.aq_size = 16;
+    cfg.prf_size = 48;
+    cfg.watchdog_cycles = 50_000;
+    cfg
+}
+
+/// One oracle-checked run. `Ok((ipc, injected))` only if the pipeline
+/// drained with zero invariant violations.
+fn soak_run(w: &Workload, cfg: PipeConfig, fault: Option<FaultConfig>) -> Result<(f64, u64), String> {
+    let mut pipe = Pipeline::new(cfg, w.stream());
+    pipe.attach_checker(w.stream());
+    if let Some(f) = fault {
+        pipe.attach_faults(f);
+    }
+    match pipe.try_run(w.fuel * 40) {
+        Ok(s) => Ok((s.ipc(), s.injected_faults)),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+fn main() {
+    let workloads = helios_bench::select_workloads();
+    if workloads.is_empty() {
+        // A soak that runs nothing must not report success.
+        eprintln!("error: no workloads selected (check --only names)");
+        std::process::exit(2);
+    }
+    let modes = FaultConfig::modes(SEED);
+    let cfg = PipeConfig::with_fusion(FusionMode::Helios);
+    let mut failures: Vec<String> = Vec::new();
+    let mut runs = 0u64;
+
+    println!(
+        "soak: {} workloads x (baseline + {} fault modes + starve), seed {SEED:#x}",
+        workloads.len(),
+        modes.len()
+    );
+    for w in &workloads {
+        let base = match soak_run(w, cfg, None) {
+            Ok((ipc, _)) => {
+                runs += 1;
+                ipc
+            }
+            Err(e) => {
+                failures.push(format!("{} baseline: {e}", w.name));
+                continue;
+            }
+        };
+        let mut cells: Vec<String> = vec![format!("base {base:.3}")];
+        for (name, fc) in &modes {
+            runs += 1;
+            match soak_run(w, cfg, Some(*fc)) {
+                Ok((ipc, injected)) => {
+                    if ipc < base * ENVELOPE.0 || ipc > base * ENVELOPE.1 {
+                        failures.push(format!(
+                            "{} {name}: IPC {ipc:.3} outside [{:.3}, {:.3}] envelope of baseline {base:.3}",
+                            w.name,
+                            base * ENVELOPE.0,
+                            base * ENVELOPE.1,
+                        ));
+                    }
+                    cells.push(format!("{name} {ipc:.3}/{injected}"));
+                }
+                Err(e) => failures.push(format!("{} {name}: {e}", w.name)),
+            }
+        }
+        runs += 1;
+        match soak_run(w, starved(cfg), Some(FaultConfig::chaos(SEED))) {
+            Ok((ipc, injected)) => cells.push(format!("starve {ipc:.3}/{injected}")),
+            Err(e) => failures.push(format!("{} starve: {e}", w.name)),
+        }
+        println!("  {:<18} {}", w.name, cells.join("  "));
+    }
+
+    if failures.is_empty() {
+        println!("soak: all {runs} runs completed, zero violations");
+    } else {
+        println!("soak: {} FAILURES over {runs} runs:", failures.len());
+        for f in &failures {
+            println!("  FAIL {f}");
+        }
+        std::process::exit(1);
+    }
+}

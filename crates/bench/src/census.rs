@@ -90,7 +90,10 @@ pub fn census(w: &Workload) -> Census {
                 paired[i + 1] = true;
                 if idiom.is_memory_pair() {
                     c.csf_mem_pairs += 1;
-                    let (ma, mb) = (a.mem.unwrap(), b.mem.unwrap());
+                    // The emulator records an access for every memory inst.
+                    let (Some(ma), Some(mb)) = (a.mem, b.mem) else {
+                        continue;
+                    };
                     match classify_contiguity(&ma, &mb, LINE) {
                         Contiguity::Contiguous => c.csf_contiguous += 1,
                         Contiguity::Overlapping => c.csf_overlapping += 1,
@@ -125,7 +128,7 @@ pub fn census(w: &Workload) -> Census {
             continue;
         }
         let h = &trace[head];
-        let hm = h.mem.unwrap();
+        let Some(hm) = h.mem else { continue };
         let is_store = h.inst.is_store();
         let mut tainted = [false; 32];
         if let Some(rd) = h.inst.rd() {
@@ -145,7 +148,7 @@ pub fn census(w: &Workload) -> Census {
                 break;
             }
             if !paired[tail] && t.inst.is_mem() && t.inst.is_store() == is_store {
-                let tm = t.mem.unwrap();
+                let Some(tm) = t.mem else { continue };
                 let deadlock = t.inst.sources().any(|s| tainted[s.index()]);
                 let valid_dests = match (h.inst.rd(), t.inst.rd()) {
                     (Some(a), Some(b)) => a != b,

@@ -33,7 +33,10 @@ pub fn select_workloads() -> Vec<Workload> {
             "--quick" => quick = true,
             "--only" => {
                 i += 1;
-                let list = args.get(i).expect("--only requires a list");
+                let Some(list) = args.get(i) else {
+                    eprintln!("error: --only requires a comma-separated list of workload names");
+                    std::process::exit(2);
+                };
                 only = Some(list.split(',').map(str::to_string).collect());
             }
             other => {

@@ -42,6 +42,20 @@ pub const ALL_IDIOMS: [Idiom; 8] = [
 ];
 
 impl Idiom {
+    /// This idiom's position in [`ALL_IDIOMS`] (total — no panic path).
+    pub const fn index(self) -> usize {
+        match self {
+            Idiom::LoadPair => 0,
+            Idiom::StorePair => 1,
+            Idiom::LuiAddi => 2,
+            Idiom::AuipcAddi => 3,
+            Idiom::SlliAdd => 4,
+            Idiom::SlliSrli => 5,
+            Idiom::IndexedLoad => 6,
+            Idiom::LoadGlobal => 7,
+        }
+    }
+
     /// Whether this is one of the bold memory-pairing idioms of Table I.
     ///
     /// Memory pairs save LQ/SQ entries in addition to ROB/IQ entries, and can

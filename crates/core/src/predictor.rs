@@ -455,8 +455,10 @@ mod tests {
 
     #[test]
     fn probabilistic_confidence_slows_saturation() {
-        let mut cfg = FpConfig::default();
-        cfg.probabilistic_confidence = true;
+        let cfg = FpConfig {
+            probabilistic_confidence: true,
+            ..Default::default()
+        };
         let mut p = FusionPredictor::new(cfg);
         let (pc, ghr) = (0x3_0000, 0);
         // Three trainings are no longer guaranteed to saturate…

@@ -1,7 +1,7 @@
 //! Fusion statistics collected by the pipeline and reported by the
 //! experiment harness (the raw material of Figs. 2, 4, 5, 8 and Table III).
 
-use crate::{Contiguity, FusionClass, Idiom, ALL_IDIOMS};
+use crate::{Contiguity, FusionClass, Idiom};
 
 /// Why a fused µ-op had to be repaired (paper §IV-C cases).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -40,6 +40,19 @@ impl RepairCase {
             self,
             RepairCase::SpanMismatch | RepairCase::TailFault | RepairCase::CatalystFlush
         )
+    }
+
+    /// This case's position in [`RepairCase::ALL`] (total — no panic path).
+    pub const fn index(self) -> usize {
+        match self {
+            RepairCase::RawSourceFix => 0,
+            RepairCase::Deadlock => 1,
+            RepairCase::StoreInCatalyst => 2,
+            RepairCase::Serializing => 3,
+            RepairCase::SpanMismatch => 4,
+            RepairCase::TailFault => 5,
+            RepairCase::CatalystFlush => 6,
+        }
     }
 }
 
@@ -93,8 +106,7 @@ impl FusionStats {
 
     /// Count for one idiom.
     pub fn idiom_count(&self, idiom: Idiom) -> u64 {
-        let idx = ALL_IDIOMS.iter().position(|&i| i == idiom).unwrap();
-        self.by_idiom[idx]
+        self.by_idiom[idiom.index()]
     }
 
     /// Records a committed fused pair.
@@ -114,8 +126,7 @@ impl FusionStats {
                 self.ncsf_distance_sum += distance;
             }
         }
-        let idx = ALL_IDIOMS.iter().position(|&i| i == idiom).unwrap();
-        self.by_idiom[idx] += 1;
+        self.by_idiom[idiom.index()] += 1;
         if let Some(c) = contiguity {
             match c {
                 Contiguity::Contiguous => self.contiguous += 1,
@@ -138,8 +149,7 @@ impl FusionStats {
     /// Case 1 (RaW source fix) keeps the pair fused, so it is *not* a fusion
     /// misprediction; every other case unfuses or flushes and counts as one.
     pub fn record_repair(&mut self, case: RepairCase) {
-        let idx = RepairCase::ALL.iter().position(|&c| c == case).unwrap();
-        self.repairs[idx] += 1;
+        self.repairs[case.index()] += 1;
         if case != RepairCase::RawSourceFix {
             self.mispredictions += 1;
         }
@@ -147,8 +157,7 @@ impl FusionStats {
 
     /// Count for one repair case.
     pub fn repair_count(&self, case: RepairCase) -> u64 {
-        let idx = RepairCase::ALL.iter().position(|&c| c == case).unwrap();
-        self.repairs[idx]
+        self.repairs[case.index()]
     }
 
     /// Mean catalyst distance of committed NCSF pairs.
@@ -238,10 +247,22 @@ mod tests {
     }
 
     #[test]
+    fn index_matches_canonical_order() {
+        for (i, &c) in RepairCase::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i, "{c:?} out of ALL order");
+        }
+        for (i, &d) in crate::ALL_IDIOMS.iter().enumerate() {
+            assert_eq!(d.index(), i, "{d:?} out of ALL_IDIOMS order");
+        }
+    }
+
+    #[test]
     fn accuracy_and_mpki() {
-        let mut s = FusionStats::default();
-        s.predictions = 100;
-        s.predictions_correct = 99;
+        let mut s = FusionStats {
+            predictions: 100,
+            predictions_correct: 99,
+            ..Default::default()
+        };
         s.record_repair(RepairCase::SpanMismatch);
         assert!((s.accuracy_pct() - 99.0).abs() < 1e-9);
         assert!((s.mpki(1_000_000) - 0.001).abs() < 1e-12);

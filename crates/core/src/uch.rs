@@ -271,15 +271,10 @@ mod tests {
     #[test]
     fn cn_wraparound_is_safe() {
         let mut u = uch();
-        // Near wrap: insert at large CN, match after wrap.
-        for _ in 0..u32::MAX - 3 {
-            // Fast-forward without the loop: set via ticks would be too slow;
-            // emulate by wrapping_add on the counter through public API only
-            // for a small window instead.
-            break;
-        }
-        // Practical check: distances still correct across 2^32 wrap is
-        // guaranteed by wrapping_sub; simulate a short window.
+        // Distances stay correct across the 2^32 CN wrap because the
+        // comparison uses `wrapping_sub`; exercising the wrap itself would
+        // take 2^32 ticks, so check the distance arithmetic on a short
+        // window instead.
         u.observe(false, 0x500);
         u.tick();
         u.tick();

@@ -1,94 +1,129 @@
-//! Property tests for the fusion machinery: contiguity-classification
+//! Randomized tests for the fusion machinery: contiguity-classification
 //! algebra, UCH distance reporting, and fusion-predictor invariants.
+//! Driven by a seeded deterministic generator (helios-prng).
 
 use helios_core::{
     classify_contiguity, Contiguity, FpConfig, FusionPredictor, Uch, UchConfig, UchOutcome,
 };
 use helios_emu::MemAccess;
-use proptest::prelude::*;
+use helios_prng::{Rng, SeedableRng, StdRng};
 
-fn access() -> impl Strategy<Value = MemAccess> {
-    (0u64..0x1_0000, prop_oneof![Just(1u8), Just(2), Just(4), Just(8)]).prop_map(|(addr, size)| {
-        MemAccess {
-            addr,
-            size,
-            is_store: false,
-        }
-    })
+fn access(rng: &mut StdRng) -> MemAccess {
+    MemAccess {
+        addr: rng.gen_range(0..0x1_0000u64),
+        size: [1u8, 2, 4, 8][rng.gen_range(0..4usize)],
+        is_store: false,
+    }
 }
 
-proptest! {
-    /// Classification is symmetric in its two accesses.
-    #[test]
-    fn contiguity_symmetric(a in access(), b in access()) {
-        prop_assert_eq!(
+/// Classification is symmetric in its two accesses.
+#[test]
+fn contiguity_symmetric() {
+    let mut rng = StdRng::seed_from_u64(0xc0e_0001);
+    for _ in 0..5_000 {
+        let (a, b) = (access(&mut rng), access(&mut rng));
+        assert_eq!(
             classify_contiguity(&a, &b, 64),
-            classify_contiguity(&b, &a, 64)
+            classify_contiguity(&b, &a, 64),
+            "asymmetric for {a:?} / {b:?}"
         );
     }
+}
 
-    /// Fusible ⇔ the union span fits within the 64-byte region.
-    #[test]
-    fn fusible_iff_span_fits(a in access(), b in access()) {
+/// Fusible ⇔ the union span fits within the 64-byte region.
+#[test]
+fn fusible_iff_span_fits() {
+    let mut rng = StdRng::seed_from_u64(0xc0e_0002);
+    for _ in 0..5_000 {
+        let (a, b) = (access(&mut rng), access(&mut rng));
         let lo = a.addr.min(b.addr);
         let hi = a.last_byte().max(b.last_byte());
-        let fits = hi - lo + 1 <= 64;
-        prop_assert_eq!(classify_contiguity(&a, &b, 64).fusible(), fits);
+        let fits = hi - lo < 64;
+        assert_eq!(
+            classify_contiguity(&a, &b, 64).fusible(),
+            fits,
+            "span rule broken for {a:?} / {b:?}"
+        );
     }
+}
 
-    /// The four fusible classes are mutually exclusive and well-defined:
-    /// overlap ⇒ Overlapping; adjacency without overlap ⇒ Contiguous or
-    /// NextLine; single_access ⇒ the pair sits within one line.
-    #[test]
-    fn class_definitions(a in access(), b in access()) {
+/// The four fusible classes are mutually exclusive and well-defined:
+/// overlap ⇒ Overlapping; adjacency without overlap ⇒ Contiguous or
+/// NextLine; single_access ⇒ the pair sits within one line.
+#[test]
+fn class_definitions() {
+    let mut rng = StdRng::seed_from_u64(0xc0e_0003);
+    for _ in 0..5_000 {
+        let (a, b) = (access(&mut rng), access(&mut rng));
         let c = classify_contiguity(&a, &b, 64);
         let overlap = a.overlaps(&b);
         match c {
-            Contiguity::Overlapping => prop_assert!(overlap),
+            Contiguity::Overlapping => assert!(overlap, "{a:?} / {b:?}"),
             Contiguity::Contiguous | Contiguity::SameLine => {
-                prop_assert!(!overlap || c == Contiguity::Overlapping);
+                assert!(!overlap || c == Contiguity::Overlapping);
                 // Single access ⇒ same 64B line for both.
-                prop_assert_eq!(a.line(64).max(b.line(64)),
-                                a.line(64).min(b.line(64)));
+                assert_eq!(
+                    a.line(64).max(b.line(64)),
+                    a.line(64).min(b.line(64)),
+                    "{a:?} / {b:?}"
+                );
             }
             Contiguity::NextLine => {
-                let same_line = a.line(64) == b.line(64)
-                    && !a.crosses_line(64) && !b.crosses_line(64);
-                prop_assert!(!same_line, "NextLine must actually cross a boundary");
+                let same_line =
+                    a.line(64) == b.line(64) && !a.crosses_line(64) && !b.crosses_line(64);
+                assert!(!same_line, "NextLine must actually cross a boundary");
             }
             Contiguity::TooFar => {}
         }
     }
+}
 
-    /// UCH reports exactly the inserted gap for same-line re-references
-    /// within range, for any gap and line.
-    #[test]
-    fn uch_distance_exact(gap in 1u32..=64, line in (0u64..1000).prop_map(|l| l * 64)) {
+/// UCH reports exactly the inserted gap for same-line re-references
+/// within range, for any gap and line.
+#[test]
+fn uch_distance_exact() {
+    let mut rng = StdRng::seed_from_u64(0xc0e_0004);
+    for _ in 0..500 {
+        let gap = rng.gen_range(1..=64u32);
+        let line = rng.gen_range(0..1000u64) * 64;
         let mut u = Uch::new(UchConfig::default());
-        prop_assert_eq!(u.observe(false, line), UchOutcome::Inserted);
+        assert_eq!(u.observe(false, line), UchOutcome::Inserted);
         for _ in 0..gap {
             u.tick();
         }
-        prop_assert_eq!(u.observe(false, line), UchOutcome::Pair { distance: gap });
+        assert_eq!(
+            u.observe(false, line),
+            UchOutcome::Pair { distance: gap },
+            "gap {gap} line {line:#x}"
+        );
     }
+}
 
-    /// Distances beyond the maximum never produce pairs.
-    #[test]
-    fn uch_never_pairs_beyond_max(extra in 1u32..1000) {
+/// Distances beyond the maximum never produce pairs.
+#[test]
+fn uch_never_pairs_beyond_max() {
+    let mut rng = StdRng::seed_from_u64(0xc0e_0005);
+    for _ in 0..200 {
+        let extra = rng.gen_range(1..1000u32);
         let mut u = Uch::new(UchConfig::default());
         u.observe(false, 0x1c0);
         for _ in 0..(64 + extra) {
             u.tick();
         }
-        prop_assert_eq!(u.observe(false, 0x1c0), UchOutcome::Inserted);
+        assert_eq!(u.observe(false, 0x1c0), UchOutcome::Inserted, "extra {extra}");
     }
+}
 
-    /// The predictor only ever returns distances it was trained with, in
-    /// the valid 1..=64 range, and only after confidence saturates.
-    #[test]
-    fn fp_predicts_only_trained_distances(
-        pcs in proptest::collection::vec((0u64..1u64 << 20, 1u32..=64), 1..32)
-    ) {
+/// The predictor only ever returns distances it was trained with, in
+/// the valid 1..=64 range, and only after confidence saturates.
+#[test]
+fn fp_predicts_only_trained_distances() {
+    let mut rng = StdRng::seed_from_u64(0xc0e_0006);
+    for _ in 0..100 {
+        let n = rng.gen_range(1..32usize);
+        let pcs: Vec<(u64, u32)> = (0..n)
+            .map(|_| (rng.gen_range(0..1u64 << 20), rng.gen_range(1..=64u32)))
+            .collect();
         let mut fp = FusionPredictor::new(FpConfig::default());
         for &(pc, d) in &pcs {
             for _ in 0..3 {
@@ -97,27 +132,29 @@ proptest! {
         }
         for &(pc, _) in &pcs {
             if let Some(meta) = fp.predict(pc * 4, 0) {
-                prop_assert!((1..=64).contains(&meta.distance));
+                assert!((1..=64).contains(&meta.distance));
                 // The distance must be one that was trained for a PC mapping
                 // to the same entry (aliasing may substitute another trained
                 // distance, but never an untrained value).
-                prop_assert!(pcs.iter().any(|&(_, d)| d == meta.distance));
+                assert!(pcs.iter().any(|&(_, d)| d == meta.distance));
             }
         }
     }
+}
 
-    /// A misprediction silences the entry until retrained.
-    #[test]
-    fn fp_misprediction_resets(pc in 0u64..1u64 << 30, d in 1u32..=64) {
-        let pc = pc * 4;
+/// A misprediction silences the entry until retrained.
+#[test]
+fn fp_misprediction_resets() {
+    let mut rng = StdRng::seed_from_u64(0xc0e_0007);
+    for _ in 0..500 {
+        let pc = rng.gen_range(0..1u64 << 30) * 4;
+        let d = rng.gen_range(1..=64u32);
         let mut fp = FusionPredictor::new(FpConfig::default());
         for _ in 0..3 {
             fp.train(pc, 0, d);
         }
-        let Some(meta) = fp.predict(pc, 0) else {
-            return Err(TestCaseError::fail("trained entry must predict"));
-        };
+        let meta = fp.predict(pc, 0).expect("trained entry must predict");
         fp.resolve(&meta, false);
-        prop_assert!(fp.predict(pc, 0).is_none());
+        assert!(fp.predict(pc, 0).is_none(), "pc {pc:#x} d {d}");
     }
 }

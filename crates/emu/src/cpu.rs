@@ -264,7 +264,10 @@ impl Cpu {
 
 /// Streaming iterator adapter over a [`Cpu`]: yields retired µ-ops until the
 /// program halts, faults, or the fuel budget runs out.
-#[derive(Debug)]
+///
+/// `Clone` snapshots the full CPU state, giving an independent replay of the
+/// remaining trace — e.g. the oracle for a lockstep commit checker.
+#[derive(Clone, Debug)]
 pub struct RetireStream {
     cpu: Cpu,
     fuel: u64,

@@ -33,7 +33,7 @@ impl Program {
     /// The instruction at `pc`, if `pc` is in range and 4-byte aligned.
     #[inline]
     pub fn fetch(&self, pc: u64) -> Option<&Inst> {
-        if pc < self.base || pc % 4 != 0 {
+        if pc < self.base || !pc.is_multiple_of(4) {
             return None;
         }
         self.insts.get(((pc - self.base) / 4) as usize)

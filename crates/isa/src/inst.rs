@@ -303,13 +303,7 @@ impl AluOp {
                     ((a as i64) / (b as i64)) as u64
                 }
             }
-            AluOp::Divu => {
-                if b == 0 {
-                    u64::MAX
-                } else {
-                    a / b
-                }
-            }
+            AluOp::Divu => a.checked_div(b).unwrap_or(u64::MAX),
             AluOp::Rem => {
                 if b == 0 {
                     a
@@ -339,10 +333,9 @@ impl AluOp {
             }
             AluOp::Divuw => {
                 let (a, b) = (a as u32, b as u32);
-                if b == 0 {
-                    u64::MAX
-                } else {
-                    (a / b) as i32 as i64 as u64
+                match a.checked_div(b) {
+                    Some(q) => q as i32 as i64 as u64,
+                    None => u64::MAX,
                 }
             }
             AluOp::Remw => {

@@ -1,0 +1,315 @@
+//! # helios-prng — deterministic pseudo-random numbers, no dependencies
+//!
+//! A minimal, self-contained PRNG used everywhere the workspace needs
+//! reproducible randomness: workload data generation, randomized tests, and
+//! the fault-injection harness. The API mirrors the subset of the `rand`
+//! crate the workspace uses (`StdRng::seed_from_u64`, `Rng::gen`,
+//! `Rng::gen_range`, `Rng::gen_bool`, `SliceRandom::shuffle`) so call sites
+//! read identically, but the implementation is ~150 lines of std-only code:
+//! xoshiro256** seeded through splitmix64.
+//!
+//! Determinism is a hard requirement here — every workload embeds data
+//! generated at build time *and* a checksum computed from the same data, and
+//! the fault-injection soak harness must replay failures exactly — so the
+//! generator is fully specified by its seed and will never change behaviour
+//! behind a version bump.
+//!
+//! # Examples
+//!
+//! ```
+//! use helios_prng::{Rng, SeedableRng, SliceRandom, StdRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let x: u64 = rng.gen();
+//! let d = rng.gen_range(1..7u64);
+//! assert!((1..7).contains(&d));
+//! let mut v = vec![1, 2, 3, 4];
+//! v.shuffle(&mut rng);
+//! let _ = x;
+//! // Same seed, same stream.
+//! let mut rng2 = StdRng::seed_from_u64(42);
+//! assert_eq!(rng2.gen::<u64>(), x);
+//! ```
+
+use std::ops::{Range, RangeInclusive};
+
+/// xoshiro256** state (<https://prng.di.unimi.it/>), seeded via splitmix64.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+/// Seeding constructor, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> StdRng {
+        // splitmix64 expansion, as recommended by the xoshiro authors.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl StdRng {
+    /// The next 64 raw bits of the stream.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// A type a generator can produce uniformly over its full domain.
+pub trait RandValue {
+    fn from_rng(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_rand_value {
+    ($($t:ty),*) => {$(
+        impl RandValue for $t {
+            #[inline]
+            fn from_rng(rng: &mut StdRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_rand_value!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl RandValue for bool {
+    #[inline]
+    fn from_rng(rng: &mut StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// A range a generator can sample uniformly, mirroring
+/// `rand::distributions::uniform::SampleRange`.
+pub trait RandRange {
+    type Output;
+    fn sample(self, rng: &mut StdRng) -> Self::Output;
+}
+
+macro_rules! impl_rand_range_uint {
+    ($($t:ty),*) => {$(
+        impl RandRange for Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "gen_range on an empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl RandRange for RangeInclusive<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample(self, rng: &mut StdRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range on an empty range");
+                let span = (hi - lo) as u64 + 1;
+                if span == 0 {
+                    // Full-domain u64 inclusive range.
+                    return rng.next_u64() as $t;
+                }
+                lo + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+impl_rand_range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_rand_range_int {
+    ($($t:ty),*) => {$(
+        impl RandRange for Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "gen_range on an empty range");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                (self.start as i64).wrapping_add((rng.next_u64() % span) as i64) as $t
+            }
+        }
+        impl RandRange for RangeInclusive<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample(self, rng: &mut StdRng) -> $t {
+                let (lo, hi) = (*self.start() as i64, *self.end() as i64);
+                assert!(lo <= hi, "gen_range on an empty range");
+                let span = hi.wrapping_sub(lo) as u64 + 1;
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add((rng.next_u64() % span) as i64) as $t
+            }
+        }
+    )*};
+}
+impl_rand_range_int!(i8, i16, i32, i64, isize);
+
+/// The generator interface, mirroring the used subset of `rand::Rng`.
+pub trait Rng {
+    fn raw(&mut self) -> &mut StdRng;
+
+    /// A uniform value over the type's full domain.
+    #[inline]
+    fn gen<T: RandValue>(&mut self) -> T {
+        T::from_rng(self.raw())
+    }
+
+    /// A uniform value in `range` (half-open or inclusive).
+    #[inline]
+    fn gen_range<R: RandRange>(&mut self, range: R) -> R::Output {
+        range.sample(self.raw())
+    }
+
+    /// `true` with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        // 53-bit mantissa comparison: exact for the p values in use.
+        ((self.raw().next_u64() >> 11) as f64) < p * (1u64 << 53) as f64
+    }
+}
+
+impl Rng for StdRng {
+    #[inline]
+    fn raw(&mut self) -> &mut StdRng {
+        self
+    }
+}
+
+/// Slice helpers, mirroring the used subset of `rand::seq::SliceRandom`.
+pub trait SliceRandom {
+    type Item;
+    /// Uniform Fisher–Yates shuffle in place.
+    fn shuffle(&mut self, rng: &mut StdRng);
+    /// A uniformly chosen element, `None` when empty.
+    fn choose<'a>(&'a self, rng: &mut StdRng) -> Option<&'a Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle(&mut self, rng: &mut StdRng) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<'a>(&'a self, rng: &mut StdRng) -> Option<&'a T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64(), "different seeds diverge");
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!((1..1000u64).contains(&rng.gen_range(1..1000u64)));
+            assert!((-128..128i16).contains(&rng.gen_range(-128..128i16)));
+            assert!((0..3u8).contains(&rng.gen_range(0..3u8)));
+            assert!(rng.gen_range(b'a'..=b'z').is_ascii_lowercase());
+            assert!((2..4usize).contains(&rng.gen_range(2..4usize)));
+            assert!((-4096..4096i64).contains(&rng.gen_range(-4096i64..4096)));
+        }
+    }
+
+    #[test]
+    fn range_endpoints_reachable() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (mut lo_seen, mut hi_seen) = (false, false);
+        for _ in 0..1000 {
+            match rng.gen_range(0..4u8) {
+                0 => lo_seen = true,
+                3 => hi_seen = true,
+                _ => {}
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.93)).count();
+        assert!((9000..9600).contains(&hits), "got {hits}");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..64).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "64 elements virtually never shuffle to identity");
+    }
+
+    #[test]
+    fn choose_covers_and_handles_empty() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let v = [10, 20, 30];
+        for _ in 0..10 {
+            assert!(v.contains(v.as_slice().choose(&mut rng).unwrap()));
+        }
+        let empty: [u32; 0] = [];
+        assert!(empty.as_slice().choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn full_domain_values_vary() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let vals: Vec<u64> = (0..32).map(|_| rng.gen()).collect();
+        let mut uniq = vals.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), vals.len(), "64-bit collisions are ~impossible");
+        // Small types hit both halves of their domain.
+        let bytes: Vec<u8> = (0..256).map(|_| rng.gen()).collect();
+        assert!(bytes.iter().any(|&b| b < 64) && bytes.iter().any(|&b| b >= 192));
+    }
+}

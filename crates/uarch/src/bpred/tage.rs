@@ -19,6 +19,9 @@ const BIMODAL_BITS: usize = 15;
 /// Tag width.
 const TAG_BITS: u32 = 11;
 
+/// A tagged-table hit: (component, index).
+type Hit = (usize, usize);
+
 #[derive(Clone, Copy, Debug, Default)]
 struct TaggedEntry {
     tag: u16,
@@ -78,7 +81,7 @@ impl Tage {
     }
 
     /// (provider component+index, alternate component+index) hits.
-    fn find(&self, pc: u64, hist: u64) -> (Option<(usize, usize)>, Option<(usize, usize)>) {
+    fn find(&self, pc: u64, hist: u64) -> (Option<Hit>, Option<Hit>) {
         let mut provider = None;
         let mut alt = None;
         for c in (0..COMPONENTS).rev() {
@@ -139,7 +142,7 @@ impl Tage {
         }
 
         // Periodic useful-counter decay (L-TAGE uses a global reset).
-        if self.tick % (1 << 18) == 0 {
+        if self.tick.is_multiple_of(1 << 18) {
             for t in &mut self.tagged {
                 for e in t.iter_mut() {
                     e.useful >>= 1;

@@ -1,7 +1,7 @@
 //! Data-cache models.
 
-mod cache;
 mod hierarchy;
+mod level;
 
-pub use cache::Cache;
+pub use level::Cache;
 pub use hierarchy::{Hierarchy, MemResult};

@@ -39,9 +39,23 @@ impl<I: Iterator<Item = Retired>> Pipeline<I> {
                 }
             }
 
-            let e = self.rob.pop_front().unwrap();
+            // `front` above proved the ROB is non-empty.
+            let Some(e) = self.rob.pop_front() else { break };
             budget -= 1;
             let u = e.uop;
+            // The absorbed tail retires with its head; no later flush may
+            // restart at or below it (it would re-fetch a retired µ-op).
+            if let Some(f) = &u.fused {
+                self.atomic_commit_floor = self.atomic_commit_floor.max(f.tail_seq + 1);
+            }
+            if self.checking() {
+                self.commit_log.push(crate::check::CommitRecord {
+                    seq: u.seq,
+                    pc: u.pc,
+                    inst: u.inst,
+                    tail: u.fused.map(|f| (f.tail_seq, f.tail_pc, f.tail_inst)),
+                });
+            }
 
             // --- Instruction counts. ---
             self.stats.uops += 1;

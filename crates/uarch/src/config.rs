@@ -60,6 +60,11 @@ pub struct PipeConfig {
     pub l2: CacheParams,
     pub l3: CacheParams,
     pub mem_latency: u64,
+
+    /// Commit-progress watchdog: cycles without a single commit before
+    /// `Pipeline::try_run` gives up with `SimError::Deadlock`. Must exceed
+    /// the worst legitimate commit gap (a full-ROB chain of memory misses).
+    pub watchdog_cycles: u64,
 }
 
 impl Default for PipeConfig {
@@ -105,6 +110,7 @@ impl Default for PipeConfig {
                 latency: 40,
             },
             mem_latency: 200,
+            watchdog_cycles: 100_000,
         }
     }
 }

@@ -1,0 +1,171 @@
+//! Structured simulation errors.
+//!
+//! A cycle model that `panic!`s in its main loop cannot back a long-running
+//! service, and one that silently truncates on a cycle budget hides bugs.
+//! `Pipeline::try_run` reports every abnormal outcome through [`SimError`]:
+//! a watchdog-detected deadlock (with a pipeline snapshot), an exhausted
+//! cycle budget, or a violated internal invariant caught by the lockstep
+//! oracle checker. All variants are plain data — `std`-only, cloneable, and
+//! printable — so callers can log, retry, or fail a whole batch gracefully.
+
+use std::fmt;
+
+/// Why a simulation run could not complete normally.
+#[derive(Clone, Debug)]
+pub enum SimError {
+    /// Commit made no progress for the configured watchdog window
+    /// (`PipeConfig::watchdog_cycles`). Always a simulator bug, never a
+    /// workload property: the report carries the stuck pipeline state.
+    /// Boxed so the `Ok` path of `try_run` is not taxed by a fat variant.
+    Deadlock(Box<DeadlockReport>),
+    /// The trace did not drain within the caller's cycle budget.
+    CycleLimit {
+        /// The budget that was exhausted.
+        max_cycles: u64,
+        /// Instructions committed before giving up.
+        committed: u64,
+    },
+    /// An internal invariant failed (lockstep oracle mismatch, resource
+    /// accounting drift, occupancy overflow, …).
+    InvariantViolation(Box<InvariantReport>),
+}
+
+/// Snapshot of a deadlocked pipeline, taken when the commit-progress
+/// watchdog fires.
+#[derive(Clone, Debug)]
+pub struct DeadlockReport {
+    /// Cycle at which the watchdog fired.
+    pub cycle: u64,
+    /// Instructions committed so far.
+    pub committed: u64,
+    /// Cycle of the last successful commit.
+    pub last_commit_cycle: u64,
+    /// Occupancies at the time of the report.
+    pub rob: usize,
+    pub aq: usize,
+    pub iq: usize,
+    /// Pending (not yet validated) NCSF pairs in flight.
+    pub pending_ncsf: usize,
+    /// Human-readable description of the ROB head, if any.
+    pub rob_front: Option<String>,
+    /// Human-readable descriptions of the oldest IQ entries.
+    pub iq_head: Vec<String>,
+    /// Scheduled-but-unapplied flushes, formatted.
+    pub flushes: String,
+}
+
+/// Diagnostic for a failed internal invariant.
+#[derive(Clone, Debug)]
+pub struct InvariantReport {
+    /// Cycle at which the violation was detected.
+    pub cycle: u64,
+    /// Instructions committed so far.
+    pub committed: u64,
+    /// Which invariant failed.
+    pub what: String,
+    /// State snapshot relevant to the violation.
+    pub snapshot: String,
+}
+
+impl fmt::Display for DeadlockReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "pipeline deadlock at cycle {} (committed {}, last commit at cycle {}, \
+             rob {}, aq {}, iq {}, pending_ncsf {}, flushes {})",
+            self.cycle,
+            self.committed,
+            self.last_commit_cycle,
+            self.rob,
+            self.aq,
+            self.iq,
+            self.pending_ncsf,
+            self.flushes,
+        )?;
+        match &self.rob_front {
+            Some(front) => writeln!(f, "rob front: {front}")?,
+            None => writeln!(f, "rob front: <empty>")?,
+        }
+        write!(f, "iq head:")?;
+        if self.iq_head.is_empty() {
+            write!(f, " <empty>")?;
+        }
+        for e in &self.iq_head {
+            write!(f, "\n  {e}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for InvariantReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invariant violated at cycle {} (committed {}): {}\n{}",
+            self.cycle, self.committed, self.what, self.snapshot
+        )
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock(r) => r.fmt(f),
+            SimError::CycleLimit {
+                max_cycles,
+                committed,
+            } => write!(
+                f,
+                "cycle limit exhausted: {committed} instructions committed \
+                 within {max_cycles} cycles"
+            ),
+            SimError::InvariantViolation(r) => r.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let d = SimError::Deadlock(Box::new(DeadlockReport {
+            cycle: 123_456,
+            committed: 99,
+            last_commit_cycle: 23_456,
+            rob: 352,
+            aq: 140,
+            iq: 160,
+            pending_ncsf: 2,
+            rob_front: Some("seq 100 ld complete_at None".into()),
+            iq_head: vec!["seq 101 waiting".into()],
+            flushes: "[]".into(),
+        }));
+        let s = d.to_string();
+        assert!(s.contains("deadlock at cycle 123456"));
+        assert!(s.contains("rob front: seq 100"));
+        assert!(s.contains("seq 101 waiting"));
+
+        let c = SimError::CycleLimit {
+            max_cycles: 10,
+            committed: 3,
+        };
+        assert!(c.to_string().contains("3 instructions"));
+
+        let i = SimError::InvariantViolation(Box::new(InvariantReport {
+            cycle: 7,
+            committed: 5,
+            what: "free list drift".into(),
+            snapshot: "free 10 allocated 3 expected 248".into(),
+        }));
+        let s = i.to_string();
+        assert!(s.contains("cycle 7") && s.contains("free list drift"));
+
+        // The error type is usable behind `dyn Error`.
+        let e: Box<dyn std::error::Error> = Box::new(c);
+        assert!(!e.to_string().is_empty());
+    }
+}

@@ -84,7 +84,7 @@ impl<I: Iterator<Item = Retired>> Pipeline<I> {
                 }
                 _ => alu -= 1,
             }
-            self.board.set(seq, complete);
+            self.board.set(seq, complete, self.committed_upto);
             if let Some(ri) = self.rob_index(seq) {
                 self.rob[ri].issued = true;
                 self.rob[ri].complete_at = Some(complete);

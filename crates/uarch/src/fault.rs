@@ -1,0 +1,264 @@
+//! Deterministic fault injection for the Helios repair paths.
+//!
+//! The fusion machinery's correctness story rests on its repair cases
+//! (§IV-C): whatever the predictor or the catalyst scan got wrong, the
+//! pipeline must recover to the architectural instruction stream. Those
+//! paths are rare under normal workloads, so this module manufactures the
+//! conditions that exercise them:
+//!
+//! * **Prediction suppression** (`suppress_prediction`) — randomly drops
+//!   fusion-predictor hits, modelling a flipped predictor decision. The
+//!   affected pairs execute unfused; downstream training/repair bookkeeping
+//!   must stay consistent.
+//! * **Hazard corruption** (`corrupt_hazards`) — randomly sets catalyst
+//!   hazard bits on freshly-marked pairs, forcing the in-place repairs
+//!   (RawSourceFix / Deadlock / Serializing / StoreInCatalyst) to fire for
+//!   pairs that did not need them.
+//! * **UCH eviction** (`uch_evict_period`) — periodically clears the UCH
+//!   mid-flight, modelling capacity pressure on the contiguity history.
+//! * **Spurious flushes** (`spurious_flush_period`) — periodically squashes
+//!   from a random in-flight sequence number, driving the flush repairs
+//!   (CatalystFlush) and the atomic-commit-floor clamping.
+//!
+//! Injection is fully deterministic from [`FaultConfig::seed`], so a failing
+//! soak run reproduces exactly. Faults only perturb *microarchitectural*
+//! decisions — the trace-driven model still consumes the emulator's
+//! architectural stream — so a lockstep [`crate::OracleChecker`] remains
+//! valid (and is the point: faults + checker = repair-path verification).
+
+use crate::pipeline::{FlushKind, Pipeline};
+use crate::uop::CatalystHazards;
+use helios_emu::Retired;
+use helios_prng::{Rng, SeedableRng, StdRng};
+
+/// What to inject, and how often. All mechanisms default to *off*; enable
+/// them individually or use the presets.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct FaultConfig {
+    /// PRNG seed; identical configs replay identical fault sequences.
+    pub seed: u64,
+    /// Probability that a fusion-predictor hit is dropped.
+    pub suppress_prediction: f64,
+    /// Probability that a freshly-marked pair gets a random catalyst hazard
+    /// bit forced on.
+    pub corrupt_hazards: f64,
+    /// Clear the UCH every this many cycles (0 = off).
+    pub uch_evict_period: u64,
+    /// Flush from a random in-flight sequence number every this many cycles
+    /// (0 = off).
+    pub spurious_flush_period: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            seed: 0,
+            suppress_prediction: 0.0,
+            corrupt_hazards: 0.0,
+            uch_evict_period: 0,
+            spurious_flush_period: 0,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// Drop half of all fusion predictions.
+    pub fn suppress(seed: u64) -> FaultConfig {
+        FaultConfig {
+            seed,
+            suppress_prediction: 0.5,
+            ..FaultConfig::default()
+        }
+    }
+
+    /// Force a random hazard bit on half of all predicted pairs.
+    pub fn corrupt(seed: u64) -> FaultConfig {
+        FaultConfig {
+            seed,
+            corrupt_hazards: 0.5,
+            ..FaultConfig::default()
+        }
+    }
+
+    /// Clear the UCH every 1024 cycles.
+    pub fn evict(seed: u64) -> FaultConfig {
+        FaultConfig {
+            seed,
+            uch_evict_period: 1024,
+            ..FaultConfig::default()
+        }
+    }
+
+    /// Flush from a random in-flight µ-op every 2048 cycles.
+    pub fn flush(seed: u64) -> FaultConfig {
+        FaultConfig {
+            seed,
+            spurious_flush_period: 2048,
+            ..FaultConfig::default()
+        }
+    }
+
+    /// Everything at once.
+    pub fn chaos(seed: u64) -> FaultConfig {
+        FaultConfig {
+            seed,
+            suppress_prediction: 0.25,
+            corrupt_hazards: 0.25,
+            uch_evict_period: 1024,
+            spurious_flush_period: 2048,
+        }
+    }
+
+    /// The named fault modes exercised by the soak harness.
+    pub fn modes(seed: u64) -> Vec<(&'static str, FaultConfig)> {
+        vec![
+            ("suppress", FaultConfig::suppress(seed)),
+            ("corrupt", FaultConfig::corrupt(seed)),
+            ("evict", FaultConfig::evict(seed)),
+            ("flush", FaultConfig::flush(seed)),
+            ("chaos", FaultConfig::chaos(seed)),
+        ]
+    }
+}
+
+/// Seeded injector attached to a [`Pipeline`] via
+/// [`Pipeline::attach_faults`].
+pub struct FaultInjector {
+    cfg: FaultConfig,
+    rng: StdRng,
+}
+
+impl FaultInjector {
+    pub fn new(cfg: FaultConfig) -> FaultInjector {
+        FaultInjector {
+            rng: StdRng::seed_from_u64(cfg.seed ^ 0xfa_017_1a1),
+            cfg,
+        }
+    }
+
+    /// Whether to drop this fusion-predictor hit.
+    pub(crate) fn suppress_prediction(&mut self) -> bool {
+        self.cfg.suppress_prediction > 0.0 && self.rng.gen_bool(self.cfg.suppress_prediction)
+    }
+
+    /// Maybe force a random catalyst hazard bit on. Returns whether a fault
+    /// was injected.
+    pub(crate) fn corrupt_hazards(&mut self, hz: &mut CatalystHazards) -> bool {
+        if self.cfg.corrupt_hazards <= 0.0 || !self.rng.gen_bool(self.cfg.corrupt_hazards) {
+            return false;
+        }
+        // `call` stays honest: it aborts marking entirely rather than
+        // driving a repair, so corrupting it would test nothing.
+        match self.rng.gen_range(0..4u32) {
+            0 => hz.deadlock = true,
+            1 => hz.serializing = true,
+            2 => hz.store_in_catalyst = true,
+            _ => hz.raw_dep = true,
+        }
+        true
+    }
+
+    fn period_due(period: u64, now: u64) -> bool {
+        period != 0 && now.is_multiple_of(period)
+    }
+
+    pub(crate) fn uch_evict_due(&self, now: u64) -> bool {
+        Self::period_due(self.cfg.uch_evict_period, now)
+    }
+
+    pub(crate) fn spurious_flush_due(&self, now: u64) -> bool {
+        Self::period_due(self.cfg.spurious_flush_period, now)
+    }
+
+    /// A random restart point in `[lo, hi)`.
+    pub(crate) fn pick_restart(&mut self, lo: u64, hi: u64) -> u64 {
+        self.rng.gen_range(lo..hi)
+    }
+}
+
+impl<I: Iterator<Item = Retired>> Pipeline<I> {
+    /// Attaches a deterministic fault injector. Faults perturb only
+    /// microarchitectural decisions (fusion marking, UCH contents, flush
+    /// timing); the committed instruction stream must remain identical, so
+    /// an attached [`crate::OracleChecker`] stays valid under injection.
+    pub fn attach_faults(&mut self, cfg: FaultConfig) {
+        self.fault = Some(FaultInjector::new(cfg));
+    }
+
+    /// End-of-cycle fault hook: periodic UCH eviction and spurious flushes.
+    pub(crate) fn apply_cycle_faults(&mut self) {
+        let Some(mut inj) = self.fault.take() else {
+            return;
+        };
+        if inj.uch_evict_due(self.now) {
+            self.uch.clear();
+            self.stats.injected_faults += 1;
+        }
+        if inj.spurious_flush_due(self.now) {
+            let lo = self.committed_upto.max(self.atomic_commit_floor);
+            let hi = self.window.cursor();
+            if lo < hi {
+                let restart = inj.pick_restart(lo, hi);
+                if self.flush_from(restart, FlushKind::MemOrder) {
+                    self.stats.injected_faults += 1;
+                }
+            }
+        }
+        self.fault = Some(inj);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injector_is_deterministic() {
+        let mut a = FaultInjector::new(FaultConfig::chaos(7));
+        let mut b = FaultInjector::new(FaultConfig::chaos(7));
+        for _ in 0..256 {
+            assert_eq!(a.suppress_prediction(), b.suppress_prediction());
+            let mut ha = CatalystHazards::default();
+            let mut hb = CatalystHazards::default();
+            assert_eq!(a.corrupt_hazards(&mut ha), b.corrupt_hazards(&mut hb));
+            assert_eq!(ha, hb);
+        }
+        assert_eq!(a.pick_restart(10, 1000), b.pick_restart(10, 1000));
+    }
+
+    #[test]
+    fn corruption_never_touches_call() {
+        let mut inj = FaultInjector::new(FaultConfig::corrupt(3));
+        let mut flipped = 0;
+        for _ in 0..512 {
+            let mut hz = CatalystHazards::default();
+            if inj.corrupt_hazards(&mut hz) {
+                flipped += 1;
+                assert!(!hz.call);
+                assert!(hz.deadlock || hz.serializing || hz.store_in_catalyst || hz.raw_dep);
+            }
+        }
+        assert!(flipped > 100, "p=0.5 over 512 trials flipped only {flipped}");
+    }
+
+    #[test]
+    fn periods_fire_on_schedule() {
+        let inj = FaultInjector::new(FaultConfig::evict(0));
+        assert!(inj.uch_evict_due(1024));
+        assert!(inj.uch_evict_due(2048));
+        assert!(!inj.uch_evict_due(1025));
+        assert!(!inj.spurious_flush_due(2048), "flush mode is off");
+        let off = FaultInjector::new(FaultConfig::default());
+        assert!(!off.uch_evict_due(0) || off.cfg.uch_evict_period != 0);
+    }
+
+    #[test]
+    fn modes_cover_every_mechanism() {
+        let modes = FaultConfig::modes(1);
+        assert!(modes.len() >= 4, "soak needs at least 4 fault modes");
+        assert!(modes.iter().any(|(_, c)| c.suppress_prediction > 0.0));
+        assert!(modes.iter().any(|(_, c)| c.corrupt_hazards > 0.0));
+        assert!(modes.iter().any(|(_, c)| c.uch_evict_period > 0));
+        assert!(modes.iter().any(|(_, c)| c.spurious_flush_period > 0));
+    }
+}

@@ -127,6 +127,14 @@ impl<I: Iterator<Item = Retired>> Pipeline<I> {
         let Some(meta) = self.fp.predict(r.pc, self.bp.ghr()) else {
             return false;
         };
+        // Fault injection: a suppressed hit models a flipped predictor
+        // decision — the pair proceeds unfused.
+        if let Some(inj) = self.fault.as_mut() {
+            if inj.suppress_prediction() {
+                self.stats.injected_faults += 1;
+                return false;
+            }
+        }
         let Some(head_seq) = r.seq.checked_sub(meta.distance as u64) else {
             return false;
         };
@@ -159,7 +167,14 @@ impl<I: Iterator<Item = Retired>> Pipeline<I> {
             _ => return false,
         };
 
-        let hazards = self.scan_catalyst(head_idx, &r.inst, idiom == Idiom::StorePair);
+        let mut hazards = self.scan_catalyst(head_idx, &r.inst, idiom == Idiom::StorePair);
+        // Fault injection: forced hazard bits drive the in-place repairs
+        // (cases 1–4) for pairs that did not need them.
+        if let Some(inj) = self.fault.as_mut() {
+            if inj.corrupt_hazards(&mut hazards) {
+                self.stats.injected_faults += 1;
+            }
+        }
         if hazards.call {
             return false;
         }
@@ -202,7 +217,9 @@ impl<I: Iterator<Item = Retired>> Pipeline<I> {
     /// Oracle pairing: scan the AQ backward for the closest eligible head.
     /// Returns `true` if `r` was absorbed into a fused head.
     fn try_oracle_pair(&mut self, r: &Retired) -> bool {
-        let r_mem = r.mem.expect("memory µ-op has an access");
+        // The emulator records an access for every memory inst; a missing
+        // one just means no pairing opportunity.
+        let Some(r_mem) = r.mem else { return false };
         let line = self.cfg.helios.line_bytes;
         let max_d = self.cfg.helios.uch.max_distance as u64;
         let is_store = r.inst.is_store();

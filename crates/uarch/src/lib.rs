@@ -40,9 +40,12 @@
 
 mod bpred;
 mod cache;
+mod check;
 mod commit;
 mod config;
+mod error;
 mod execute;
+mod fault;
 mod frontend;
 mod memdep;
 mod pipeline;
@@ -53,7 +56,10 @@ mod window;
 
 pub use bpred::{BranchOutcome, BranchPredictor, Tage};
 pub use cache::{Cache, Hierarchy, MemResult};
+pub use check::OracleChecker;
 pub use config::{CacheParams, PipeConfig};
+pub use error::{DeadlockReport, InvariantReport, SimError};
+pub use fault::{FaultConfig, FaultInjector};
 pub use memdep::StoreSets;
 pub use pipeline::Pipeline;
 pub use stats::{DispatchStall, SimStats};

@@ -10,6 +10,9 @@
 //! `execute`, `commit`); this module owns the state, the main loop, and
 //! flush/repair handling.
 
+use crate::check::{CommitRecord, OracleChecker};
+use crate::error::{DeadlockReport, SimError};
+use crate::fault::FaultInjector;
 use crate::{
     AqEntry, BranchPredictor, DynUop, Hierarchy, PipeConfig, SimStats, StoreSets, TraceWindow,
 };
@@ -35,9 +38,21 @@ impl CompletionBoard {
         }
     }
 
+    /// Records `seq` as completing at `cycle`. `live_floor` is the oldest
+    /// sequence number still in flight (`committed_upto`): a slot holding a
+    /// *younger* seq is live, and silently overwriting it would corrupt a
+    /// different µ-op's wakeup — that means BOARD_SLOTS is too small for the
+    /// in-flight window.
     #[inline]
-    pub(crate) fn set(&mut self, seq: u64, cycle: u64) {
-        self.ring[(seq as usize) % BOARD_SLOTS] = (seq + 1, cycle);
+    pub(crate) fn set(&mut self, seq: u64, cycle: u64, live_floor: u64) {
+        let slot = &mut self.ring[(seq as usize) % BOARD_SLOTS];
+        debug_assert!(
+            slot.0 == 0 || slot.0 == seq + 1 || slot.0 - 1 < live_floor,
+            "completion board collision: seq {seq} would overwrite live seq {} \
+             (live floor {live_floor}); BOARD_SLOTS too small",
+            slot.0 - 1,
+        );
+        *slot = (seq + 1, cycle);
     }
 
     #[inline]
@@ -188,6 +203,9 @@ pub struct Pipeline<I> {
     pub(crate) sq: VecDeque<SqEntry>,
     pub(crate) board: CompletionBoard,
     pub(crate) committed_upto: u64,
+    /// One past the youngest absorbed tail whose extended commit group has
+    /// retired; flush restarts never reach below this (§IV-B3 atomicity).
+    pub(crate) atomic_commit_floor: u64,
     pub(crate) div_busy_until: u64,
     pub(crate) store_sets: StoreSets,
     pub(crate) mem: Hierarchy,
@@ -195,6 +213,14 @@ pub struct Pipeline<I> {
     pub(crate) store_checks: Vec<StoreCheck>,
     /// Last cycle Rename/Dispatch moved at least one µ-op (deadlock watchdog).
     pub(crate) last_dispatch_progress: u64,
+
+    // Hardening (opt-in; `None` costs one branch per cycle).
+    /// Lockstep oracle checker (`attach_checker`).
+    pub(crate) checker: Option<OracleChecker>,
+    /// Commit records collected this cycle for the checker.
+    pub(crate) commit_log: Vec<CommitRecord>,
+    /// Deterministic fault injector (`attach_faults`).
+    pub(crate) fault: Option<FaultInjector>,
 
     pub(crate) stats: SimStats,
 }
@@ -224,12 +250,16 @@ impl<I: Iterator<Item = Retired>> Pipeline<I> {
             sq: VecDeque::with_capacity(cfg.sq_size),
             board: CompletionBoard::new(),
             committed_upto: 0,
+            atomic_commit_floor: 0,
             div_busy_until: 0,
             store_sets: StoreSets::new(),
             mem: Hierarchy::new(&cfg),
             pending_flushes: Vec::new(),
             store_checks: Vec::new(),
             last_dispatch_progress: 0,
+            checker: None,
+            commit_log: Vec::new(),
+            fault: None,
             stats: SimStats::default(),
             cfg,
         }
@@ -278,6 +308,9 @@ impl<I: Iterator<Item = Retired>> Pipeline<I> {
         self.stage_rename_dispatch();
         self.stage_fetch_decode();
         self.break_resource_deadlock();
+        if self.fault.is_some() {
+            self.apply_cycle_faults();
+        }
     }
 
     /// Deadlock breaker: a *pending* NCSF'd µ-op cannot issue until its tail
@@ -308,59 +341,114 @@ impl<I: Iterator<Item = Retired>> Pipeline<I> {
             }
             self.active_pending_ncsf = self.active_pending_ncsf.saturating_sub(1);
             self.last_dispatch_progress = self.now;
+            self.stats.deadlock_breaks += 1;
         }
     }
 
+    /// Runs until the trace drains or `max_cycles` elapse, reporting every
+    /// abnormal outcome as a structured [`SimError`]:
+    ///
+    /// * [`SimError::Deadlock`] — commit made no progress for
+    ///   [`PipeConfig::watchdog_cycles`] consecutive cycles (a simulator
+    ///   bug, never a workload property); carries a pipeline snapshot.
+    /// * [`SimError::CycleLimit`] — the trace did not drain in budget.
+    /// * [`SimError::InvariantViolation`] — a lockstep check failed (only
+    ///   with a checker attached via [`Pipeline::attach_checker`]).
+    ///
+    /// Statistics are finalized on every exit path, so partial results
+    /// remain readable from [`Pipeline::stats`] after an error.
+    pub fn try_run(&mut self, max_cycles: u64) -> Result<&SimStats, SimError> {
+        let mut last_commit = (self.now, self.stats.instructions);
+        while !self.finished() && self.now < max_cycles {
+            self.cycle();
+            if let Some(err) = self.verify_cycle() {
+                self.finalize_stats();
+                return Err(err);
+            }
+            if self.stats.instructions != last_commit.1 {
+                last_commit = (self.now, self.stats.instructions);
+            } else if self.now - last_commit.0 >= self.cfg.watchdog_cycles {
+                self.finalize_stats();
+                return Err(SimError::Deadlock(Box::new(
+                    self.deadlock_report(last_commit.0),
+                )));
+            }
+        }
+        self.finalize_stats();
+        if !self.finished() {
+            return Err(SimError::CycleLimit {
+                max_cycles,
+                committed: self.stats.instructions,
+            });
+        }
+        if let Some(err) = self.verify_finish() {
+            return Err(err);
+        }
+        Ok(&self.stats)
+    }
+
     /// Runs until the trace drains or `max_cycles` elapse. Returns the final
-    /// statistics.
+    /// statistics (partial if the budget ran out). Compatibility wrapper
+    /// over [`Pipeline::try_run`].
     ///
     /// # Panics
     ///
-    /// Panics if the pipeline deadlocks (no commit progress for a long
-    /// window) — that would be a simulator bug, not a workload property.
+    /// Panics on [`SimError::Deadlock`] and
+    /// [`SimError::InvariantViolation`] — both are simulator bugs, not
+    /// workload properties. Use `try_run` to handle them gracefully.
     pub fn run(&mut self, max_cycles: u64) -> &SimStats {
-        let mut last_commit = (0u64, 0u64); // (cycle, instructions)
-        while !self.finished() && self.now < max_cycles {
-            self.cycle();
-            if self.stats.instructions != last_commit.1 {
-                last_commit = (self.now, self.stats.instructions);
-            } else if self.now - last_commit.0 >= 100_000 {
-                let front = self.rob.front().map(|e| {
-                    (
-                        e.uop.seq,
-                        e.uop.inst,
-                        e.complete_at,
-                        e.uop.fused.map(|f| (f.tail_seq, f.pending)),
-                    )
-                });
-                let blocked: Vec<String> = self
-                    .iq
-                    .iter()
-                    .take(4)
-                    .map(|e| {
-                        let srcs: Vec<(u64, bool)> = e
-                            .srcs
-                            .iter()
-                            .map(|&p| (p, self.producer_ready(p, self.now)))
-                            .collect();
-                        format!(
-                            "seq {} fu {:?} ncs_ready {} srcs {:?} memdep {:?}",
-                            e.seq, e.fu, e.ncs_ready, srcs, e.memdep_wait
-                        )
-                    })
-                    .collect();
-                panic!(
-                    "pipeline deadlock at cycle {} (committed {}, rob {}, aq {}, iq {}, pending_ncsf {}, flushes {:?})\nrob front: {front:?}\niq: {blocked:#?}",
-                    self.now,
-                    self.stats.instructions,
-                    self.rob.len(),
-                    self.aq.len(),
-                    self.iq.len(),
-                    self.active_pending_ncsf,
-                    self.pending_flushes,
-                );
+        if let Err(e) = self.try_run(max_cycles) {
+            if !matches!(e, SimError::CycleLimit { .. }) {
+                panic!("{e}");
             }
         }
+        &self.stats
+    }
+
+    /// Snapshot of the stuck pipeline for the watchdog report.
+    fn deadlock_report(&self, last_commit_cycle: u64) -> DeadlockReport {
+        let rob_front = self.rob.front().map(|e| {
+            format!(
+                "seq {} inst {:?} complete_at {:?} fused {:?}",
+                e.uop.seq,
+                e.uop.inst,
+                e.complete_at,
+                e.uop.fused.map(|f| (f.tail_seq, f.pending)),
+            )
+        });
+        let iq_head: Vec<String> = self
+            .iq
+            .iter()
+            .take(4)
+            .map(|e| {
+                let srcs: Vec<(u64, bool)> = e
+                    .srcs
+                    .iter()
+                    .map(|&p| (p, self.producer_ready(p, self.now)))
+                    .collect();
+                format!(
+                    "seq {} fu {:?} ncs_ready {} srcs {:?} memdep {:?}",
+                    e.seq, e.fu, e.ncs_ready, srcs, e.memdep_wait
+                )
+            })
+            .collect();
+        DeadlockReport {
+            cycle: self.now,
+            committed: self.stats.instructions,
+            last_commit_cycle,
+            rob: self.rob.len(),
+            aq: self.aq.len(),
+            iq: self.iq.len(),
+            pending_ncsf: self.active_pending_ncsf,
+            rob_front,
+            iq_head,
+            flushes: format!("{:?}", self.pending_flushes),
+        }
+    }
+
+    /// Folds end-of-run counters (cycles, UCH queue, cache misses) into
+    /// `stats`. Idempotent; called on every `try_run` exit path.
+    fn finalize_stats(&mut self) {
         self.stats.cycles = self.now;
         self.stats.uch_queue_dropped = self.uch_queue.dropped;
         self.stats.uch_queue_drained = self.uch_queue.drained;
@@ -369,7 +457,6 @@ impl<I: Iterator<Item = Retired>> Pipeline<I> {
         self.stats.l1d_misses = l1m;
         self.stats.l2_misses = l2m;
         self.stats.l3_misses = l3m;
-        &self.stats
     }
 
     // ---- shared helpers -------------------------------------------------
@@ -420,11 +507,13 @@ impl<I: Iterator<Item = Retired>> Pipeline<I> {
             if f.restart >= self.window.cursor() {
                 continue;
             }
+            if !self.flush_from(f.restart, f.kind) {
+                continue;
+            }
             match f.kind {
                 FlushKind::MemOrder => self.stats.memdep_flushes += 1,
                 FlushKind::FusionSpan => self.stats.fusion_flushes += 1,
             }
-            self.flush_from(f.restart, f.kind);
         }
     }
 
@@ -462,10 +551,10 @@ impl<I: Iterator<Item = Retired>> Pipeline<I> {
             let overlaps = |a: &MemAccess| {
                 a.overlaps(&s_acc) || s_acc2.as_ref().is_some_and(|b| a.overlaps(b))
             };
-            if overlaps(&l.acc) || l.acc2.as_ref().is_some_and(|a| overlaps(a)) {
-                if victim.map_or(true, |(vs, _)| l.seq < vs) {
-                    victim = Some((l.seq, l.pc));
-                }
+            if (overlaps(&l.acc) || l.acc2.as_ref().is_some_and(overlaps))
+                && victim.is_none_or(|(vs, _)| l.seq < vs)
+            {
+                victim = Some((l.seq, l.pc));
             }
         }
         if let Some((load_seq, load_pc)) = victim {
@@ -476,24 +565,33 @@ impl<I: Iterator<Item = Retired>> Pipeline<I> {
                 .map(|s| s.pc)
                 .unwrap_or(0);
             self.store_sets.train_violation(load_pc, store_pc);
-            self.stats.memdep_flushes += 1;
-            self.flush_from(load_seq, FlushKind::MemOrder);
+            if self.flush_from(load_seq, FlushKind::MemOrder) {
+                self.stats.memdep_flushes += 1;
+            }
         }
     }
 
     /// Squashes everything with `seq >= restart` and restarts fetch there.
-    pub(crate) fn flush_from(&mut self, restart: u64, kind: FlushKind) {
+    ///
+    /// Returns `false` when the flush was vacuous: extended commit groups
+    /// retire atomically (§IV-B3), so once a fused head has committed, its
+    /// absorbed tail is architecturally retired even though `committed_upto`
+    /// has not yet passed the intervening µ-ops. A restart at or below such
+    /// a tail would re-fetch — and double-commit — it, so the restart is
+    /// clamped past the youngest committed group first.
+    pub(crate) fn flush_from(&mut self, restart: u64, kind: FlushKind) -> bool {
+        let restart = restart.max(self.atomic_commit_floor);
+        if restart >= self.window.cursor() {
+            return false; // nothing at or past the clamped restart in flight
+        }
         debug_assert!(restart >= self.committed_upto);
 
         // Collect rename-undo records from squashed ROB entries and from
         // tail-nucleus RAT updates, then apply them youngest-first.
         let mut undos: Vec<(u64, Reg, Option<u64>)> = Vec::new();
 
-        while let Some(back) = self.rob.back() {
-            if back.uop.seq < restart {
-                break;
-            }
-            let e = self.rob.pop_back().unwrap();
+        while self.rob.back().is_some_and(|e| e.uop.seq >= restart) {
+            let Some(e) = self.rob.pop_back() else { break };
             // Reverse within the entry so that same-register double
             // destinations (e.g. lui+addi pairs) unwind correctly under the
             // stable sort below.
@@ -558,16 +656,15 @@ impl<I: Iterator<Item = Retired>> Pipeline<I> {
             }
         }
 
+        // Recompute the nesting census. Only renamed (in-ROB) pending heads
+        // count: an AQ head that survived the flush has not incremented the
+        // counter yet and will do so at its own Rename — including it here
+        // would double-count and falsely saturate the Max Active NCS limit.
         self.active_pending_ncsf = self
             .rob
             .iter()
             .filter(|e| e.uop.is_pending_ncsf())
-            .count()
-            + self
-                .aq
-                .iter()
-                .filter(|e| matches!(e, AqEntry::Uop(u) if u.is_pending_ncsf()))
-                .count();
+            .count();
 
         self.store_sets.flush_inflight();
         self.store_checks.retain(|c| c.store_seq < restart);
@@ -578,6 +675,7 @@ impl<I: Iterator<Item = Retired>> Pipeline<I> {
         if self.redirect_wait.is_some_and(|s| s >= restart) {
             self.redirect_wait = None;
         }
+        true
     }
 
     /// Unfuses the ROB entry at `i` (in-place repair): reverts it to the
@@ -613,5 +711,45 @@ impl<I: Iterator<Item = Retired>> Pipeline<I> {
             s.acc2 = None;
         }
         self.stats.fusion.record_repair(case);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completion_board_roundtrip_and_clear() {
+        let mut b = CompletionBoard::new();
+        b.set(5, 100, 0);
+        assert_eq!(b.get(5), Some(100));
+        assert_eq!(b.get(6), None);
+        b.clear(5);
+        assert_eq!(b.get(5), None);
+        // Re-setting the same seq is always fine.
+        b.set(5, 100, 0);
+        b.set(5, 120, 0);
+        assert_eq!(b.get(5), Some(120));
+    }
+
+    #[test]
+    fn completion_board_allows_retired_overwrite() {
+        let mut b = CompletionBoard::new();
+        b.set(3, 10, 0);
+        // Same ring slot, but seq 3 has retired (live floor above it): the
+        // slot is dead and may be recycled.
+        b.set(3 + BOARD_SLOTS as u64, 999, 4);
+        assert_eq!(b.get(3 + BOARD_SLOTS as u64), Some(999));
+        assert_eq!(b.get(3), None, "old seq no longer matches the slot");
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "debug_assert only")]
+    #[should_panic(expected = "completion board collision")]
+    fn completion_board_rejects_live_overwrite() {
+        let mut b = CompletionBoard::new();
+        b.set(3, 10, 0);
+        // Same slot, different seq, and seq 3 is still in flight.
+        b.set(3 + BOARD_SLOTS as u64, 999, 0);
     }
 }

@@ -71,11 +71,14 @@ impl<I: Iterator<Item = Retired>> Pipeline<I> {
                     if u.is_pending_ncsf()
                         && self.active_pending_ncsf >= self.cfg.helios.max_nest
                     {
-                        let f = u.unfuse().unwrap();
-                        self.revive_tail_marker(&f);
-                        self.stats.ncsf_nest_aborts += 1;
-                        if let Some(AqEntry::Uop(front)) = self.aq.front_mut() {
-                            front.fused = None;
+                        // is_pending_ncsf() implies `fused` is Some, so the
+                        // unfuse always yields the pair metadata.
+                        if let Some(f) = u.unfuse() {
+                            self.revive_tail_marker(&f);
+                            self.stats.ncsf_nest_aborts += 1;
+                            if let Some(AqEntry::Uop(front)) = self.aq.front_mut() {
+                                front.fused = None;
+                            }
                         }
                     }
                     if let Err(b) = self.check_capacity(&u) {

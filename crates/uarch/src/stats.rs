@@ -65,6 +65,14 @@ pub struct SimStats {
     pub uch_queue_dropped: u64,
     pub uch_queue_drained: u64,
 
+    /// Pending NCSF pairs unfused by the resource-deadlock breaker
+    /// (repair case 2 machinery) — also counted in `fusion` repairs.
+    pub deadlock_breaks: u64,
+    /// Faults injected by an attached `FaultInjector`.
+    pub injected_faults: u64,
+    /// Commit records verified by an attached lockstep `OracleChecker`.
+    pub oracle_checked: u64,
+
     /// Fusion statistics.
     pub fusion: FusionStats,
 }

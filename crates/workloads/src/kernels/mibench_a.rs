@@ -3,8 +3,7 @@
 
 use crate::{emit_output, Suite, Workload};
 use helios_isa::{Asm, Reg};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use helios_prng::{Rng, SeedableRng, StdRng};
 
 /// ADPCM-style delta encoder: per-sample table-driven step adaptation.
 /// Mirrors MiBench `adpcm`: short loads, a small index table, data-dependent
@@ -22,7 +21,7 @@ pub fn adpcm() -> Workload {
         let mut acc = 0u64;
         for &s in &samples {
             let s = s as u64;
-            let diff = if s >= pred { s - pred } else { pred - s };
+            let diff = s.abs_diff(pred);
             let code = if diff >= step { 4u64 } else { 0 } + (diff & 3);
             step = index_table[(code & 7) as usize].wrapping_mul(step) / 4 + 1;
             pred = s;
@@ -98,7 +97,7 @@ pub fn basicmath() -> Workload {
 
     let isqrt = |v: u64| -> u64 {
         let mut x = v;
-        let mut y = (x + 1) / 2;
+        let mut y = x.div_ceil(2);
         while y < x {
             x = y;
             y = (x + v / x) / 2;

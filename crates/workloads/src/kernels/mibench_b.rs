@@ -3,8 +3,7 @@
 
 use crate::{emit_output, Suite, Workload};
 use helios_isa::{Asm, Reg};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use helios_prng::{Rng, SeedableRng, StdRng};
 
 const INF: u64 = 0x3fff_ffff;
 

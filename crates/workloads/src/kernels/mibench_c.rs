@@ -2,8 +2,7 @@
 
 use crate::{emit_output, Suite, Workload};
 use helios_isa::{Asm, Reg};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use helios_prng::{Rng, SeedableRng, StdRng};
 
 /// Radix-trie walk (MiBench `patricia`): 32-byte nodes `{bit, left, right,
 /// key}` — one lookup touches three fields of the same cache line through

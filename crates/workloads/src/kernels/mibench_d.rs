@@ -2,8 +2,7 @@
 
 use crate::{emit_output, Suite, Workload};
 use helios_isa::{Asm, Reg};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use helios_prng::{Rng, SeedableRng, StdRng};
 
 /// SHA-1-style compression (MiBench `sha`): message-schedule expansion
 /// (contiguous word loads + rotate idioms) followed by 80 mixing rounds
@@ -23,7 +22,7 @@ pub fn sha() -> Workload {
                 w[i] = rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
             }
             let (mut a, mut bb, mut c, mut d, mut e) = (h[0], h[1], h[2], h[3], h[4]);
-            for i in 0..80 {
+            for (i, &wi) in w.iter().enumerate() {
                 let (f, k) = match i / 20 {
                     0 => ((bb & c) | (!bb & d), 0x5a82_7999u32),
                     1 => (bb ^ c ^ d, 0x6ed9_eba1),
@@ -34,7 +33,7 @@ pub fn sha() -> Workload {
                     .wrapping_add(f)
                     .wrapping_add(e)
                     .wrapping_add(k)
-                    .wrapping_add(w[i]);
+                    .wrapping_add(wi);
                 e = d;
                 d = c;
                 c = rotl(bb, 30);
@@ -211,7 +210,7 @@ pub fn stringsearch() -> Workload {
     let mut i = 1500usize;
     while i + m < n {
         text[i..i + m].copy_from_slice(&pattern);
-        i += rng.gen_range(1800..2600);
+        i += rng.gen_range(1800..2600usize);
     }
 
     let reference = {

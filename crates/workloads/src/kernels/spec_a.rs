@@ -3,8 +3,7 @@
 
 use crate::{emit_output, Suite, Workload};
 use helios_isa::{Asm, Reg};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use helios_prng::{Rng, SeedableRng, StdRng};
 
 /// Multiplicative 64-bit hash shared by the asm kernel and the reference.
 fn hash64(key: u64) -> u64 {

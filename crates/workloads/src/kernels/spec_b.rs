@@ -3,9 +3,8 @@
 
 use crate::{emit_output, epilogue, prologue, Suite, Workload};
 use helios_isa::{Asm, Reg};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use helios_prng::{Rng, SeedableRng, StdRng};
+use helios_prng::SliceRandom;
 
 /// Pointer-chasing arc walk (mcf's network simplex inner loop): a ~1 MiB
 /// footprint of 16-byte `{cost, next}` arcs visited in a random permutation
@@ -212,9 +211,9 @@ pub fn xalancbmk() -> Workload {
     let mut a = Asm::new();
     let base = a.zeros(0, 64);
     let mut words = Vec::with_capacity(n_nodes * 4);
-    for i in 0..n_nodes {
+    for (i, &v) in vals.iter().enumerate() {
         let l = 2 * i + 1;
-        words.push(vals[i]);
+        words.push(v);
         if l < n_nodes {
             words.push(base + (l as u64) * 32);
             words.push(base + ((l + 1) as u64) * 32);
@@ -754,7 +753,7 @@ pub fn xz_2() -> Workload {
             }
             if range < (1 << 24) {
                 range <<= 8;
-                low = (low << 8) & 0xffff_ffff_ffff_ffff;
+                low <<= 8;
                 acc = acc.wrapping_add(low ^ range);
             }
             ctx = ((ctx << 1) | b as usize) & 63;

@@ -82,7 +82,7 @@ impl Workload {
     /// Dynamic instruction count (runs the emulator once).
     pub fn dynamic_length(&self) -> u64 {
         let mut cpu = Cpu::new(self.program.clone());
-        cpu.run(self.fuel).map(|n| n).unwrap_or(self.fuel)
+        cpu.run(self.fuel).unwrap_or(self.fuel)
     }
 }
 

@@ -53,13 +53,13 @@ fn main() {
     for h in 0..trace.len() {
         let Some(hm) = trace[h].mem else { continue };
         let mut found = false;
-        for t in h + 1..trace.len().min(h + 65) {
-            let Some(tm) = trace[t].mem else { continue };
+        for (off, r) in trace[h + 1..trace.len().min(h + 65)].iter().enumerate() {
+            let Some(tm) = r.mem else { continue };
             if tm.is_store != hm.is_store {
                 continue;
             }
             if classify_contiguity(&hm, &tm, 64).fusible() {
-                let d = (t - h) as u64;
+                let d = off as u64 + 1;
                 let bucket = match d {
                     1 => 0,
                     2 => 1,

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build, test, lint. Run from anywhere; exits non-zero on the
+# first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "ci: all green"

@@ -24,7 +24,12 @@ pub fn run_workload(w: &Workload, mode: FusionMode) -> SimStats {
 /// Simulates `w` under an explicit pipeline configuration.
 pub fn run_workload_with(w: &Workload, cfg: PipeConfig) -> SimStats {
     let mut pipe = Pipeline::new(cfg, w.stream());
-    pipe.run(w.fuel * 20);
+    if let Err(e) = pipe.try_run(w.fuel * 20) {
+        // Any abnormal outcome — deadlock, blown cycle budget, violated
+        // invariant — would silently corrupt the figure this run feeds, so
+        // abort with the structured report instead.
+        panic!("{}/{}: {e}", w.name, pipe.config().fusion.name());
+    }
     pipe.stats().clone()
 }
 

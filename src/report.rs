@@ -61,12 +61,12 @@ impl fmt::Display for Table {
             }
         }
         let print_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
-            for i in 0..cols {
+            for (i, &w) in widths.iter().enumerate() {
                 let cell = cells.get(i).map(String::as_str).unwrap_or("");
                 if i == 0 {
-                    write!(f, "{cell:<w$}", w = widths[i])?;
+                    write!(f, "{cell:<w$}")?;
                 } else {
-                    write!(f, "  {cell:>w$}", w = widths[i])?;
+                    write!(f, "  {cell:>w$}")?;
                 }
             }
             writeln!(f)

@@ -1,0 +1,204 @@
+//! Hardening property tests: `try_run` under starvation-sized cores, the
+//! lockstep oracle checker over real workloads, and the structured-error
+//! surface. Seeded deterministic generation (helios-prng) so failures
+//! replay exactly.
+
+use helios_core::FusionMode;
+use helios_emu::RetireStream;
+use helios_isa::{Asm, Reg};
+use helios_prng::{Rng, SeedableRng, StdRng};
+use helios_uarch::{FaultConfig, PipeConfig, Pipeline, SimError};
+
+/// One generated operation of the random program body (mirrors the
+/// differential-test generator: ALU traffic, bounded loads/stores, and
+/// forward skips for branchy control flow).
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Alu(u8, u8, u8, u8),
+    Load(u8, u16),
+    Store(u8, u16),
+    SkipIfOdd(u8),
+}
+
+fn op(rng: &mut StdRng) -> Op {
+    match rng.gen_range(0..4u8) {
+        0 => Op::Alu(
+            rng.gen_range(0..6u8),
+            rng.gen_range(0..6u8),
+            rng.gen_range(0..6u8),
+            rng.gen_range(0..5u8),
+        ),
+        1 => Op::Load(rng.gen_range(0..6u8), rng.gen_range(0..480u16)),
+        2 => Op::Store(rng.gen_range(0..6u8), rng.gen_range(0..480u16)),
+        _ => Op::SkipIfOdd(rng.gen_range(0..6u8)),
+    }
+}
+
+const WORK: [Reg; 6] = [Reg::A0, Reg::A1, Reg::A2, Reg::A3, Reg::A4, Reg::A5];
+
+fn build(ops: &[Op], iters: i64) -> helios_isa::Program {
+    let mut a = Asm::new();
+    let buf = a.zeros(512, 64);
+    a.la(Reg::S0, buf);
+    a.li(Reg::S1, iters);
+    for (i, r) in WORK.iter().enumerate() {
+        a.li(*r, (i as i64 + 1) * 7);
+    }
+    let top = a.here();
+    for &o in ops {
+        match o {
+            Op::Alu(d, x, y, k) => {
+                let (d, x, y) = (WORK[d as usize], WORK[x as usize], WORK[y as usize]);
+                match k {
+                    0 => a.add(d, x, y),
+                    1 => a.sub(d, x, y),
+                    2 => a.xor(d, x, y),
+                    3 => a.and(d, x, y),
+                    _ => a.or(d, x, y),
+                };
+            }
+            Op::Load(d, off) => {
+                a.ld(WORK[d as usize], (off & !7) as i32, Reg::S0);
+            }
+            Op::Store(s, off) => {
+                a.sd(WORK[s as usize], (off & !7) as i32, Reg::S0);
+            }
+            Op::SkipIfOdd(r) => {
+                let skip = a.new_label();
+                a.andi(Reg::T0, WORK[r as usize], 1);
+                a.bnez(Reg::T0, skip);
+                a.addi(WORK[(r as usize + 1) % 6], WORK[(r as usize + 1) % 6], 3);
+                a.bind(skip);
+            }
+        }
+    }
+    a.addi(Reg::S1, Reg::S1, -1);
+    a.bnez(Reg::S1, top);
+    a.halt();
+    a.assemble().expect("generated program assembles")
+}
+
+/// A starvation-sized core: every structure at (or near) its minimum, so
+/// forward progress leans on the repair machinery — pending-NCSF unfusing,
+/// the resource-deadlock breaker, and flush recovery.
+fn starved(fusion: FusionMode) -> PipeConfig {
+    let mut cfg = PipeConfig::with_fusion(fusion);
+    cfg.rob_size = 8;
+    cfg.iq_size = 4;
+    cfg.lq_size = 4;
+    cfg.sq_size = 2;
+    cfg.aq_size = 16;
+    cfg.prf_size = 48;
+    cfg.watchdog_cycles = 20_000; // tight: any commit gap this long is a hang
+    cfg
+}
+
+/// Random programs on starvation configs must complete with `Ok` under
+/// every fusion mode, with the lockstep checker attached throughout.
+#[test]
+fn random_programs_complete_under_starvation() {
+    let mut rng = StdRng::seed_from_u64(0x57a2_0001);
+    let cases = if cfg!(debug_assertions) { 8 } else { 20 };
+    for case in 0..cases {
+        let n_ops = rng.gen_range(4..32usize);
+        let ops: Vec<Op> = (0..n_ops).map(|_| op(&mut rng)).collect();
+        let iters = rng.gen_range(2..24i64);
+        let prog = build(&ops, iters);
+
+        for mode in FusionMode::ALL {
+            let stream = RetireStream::new(prog.clone(), 5_000_000);
+            let mut pipe = Pipeline::new(starved(mode), stream);
+            pipe.attach_checker(RetireStream::new(prog.clone(), 5_000_000));
+            match pipe.try_run(500_000_000) {
+                Ok(stats) => assert!(stats.instructions > 0),
+                Err(e) => panic!(
+                    "case {case} {}: starved run failed: {e} (ops {ops:?}, iters {iters})",
+                    mode.name()
+                ),
+            }
+        }
+    }
+}
+
+/// Starvation plus chaos fault injection: still `Ok`, still lockstep-clean.
+#[test]
+fn faulted_starved_runs_stay_architecturally_clean() {
+    let mut rng = StdRng::seed_from_u64(0x57a2_0002);
+    let cases = if cfg!(debug_assertions) { 6 } else { 16 };
+    for case in 0..cases {
+        let n_ops = rng.gen_range(4..32usize);
+        let ops: Vec<Op> = (0..n_ops).map(|_| op(&mut rng)).collect();
+        let iters = rng.gen_range(2..24i64);
+        let prog = build(&ops, iters);
+
+        let stream = RetireStream::new(prog.clone(), 5_000_000);
+        let mut pipe = Pipeline::new(starved(FusionMode::Helios), stream);
+        pipe.attach_checker(RetireStream::new(prog.clone(), 5_000_000));
+        pipe.attach_faults(FaultConfig::chaos(case as u64));
+        match pipe.try_run(500_000_000) {
+            Ok(_) => {}
+            Err(e) => panic!("case {case}: faulted starved run failed: {e}"),
+        }
+    }
+}
+
+/// An exhausted budget is a `CycleLimit` error — with readable partial
+/// statistics — never a panic.
+#[test]
+fn cycle_limit_is_reported_not_panicked() {
+    let ops: Vec<Op> = {
+        let mut rng = StdRng::seed_from_u64(0x57a2_0003);
+        (0..16).map(|_| op(&mut rng)).collect()
+    };
+    let prog = build(&ops, 1000);
+    let stream = RetireStream::new(prog.clone(), 5_000_000);
+    let mut pipe = Pipeline::new(PipeConfig::with_fusion(FusionMode::Helios), stream);
+    match pipe.try_run(50) {
+        Err(SimError::CycleLimit { max_cycles, .. }) => {
+            assert_eq!(max_cycles, 50);
+            assert_eq!(pipe.stats().cycles, 50, "partial stats finalized");
+        }
+        other => panic!("expected CycleLimit, got {other:?}"),
+    }
+    // The compat wrapper preserves the old partial-stats behaviour.
+    let mut pipe2 = Pipeline::new(
+        PipeConfig::with_fusion(FusionMode::Helios),
+        RetireStream::new(prog, 5_000_000),
+    );
+    let stats = pipe2.run(50);
+    assert_eq!(stats.cycles, 50);
+}
+
+/// Oracle-checked workload runs pass with zero violations, and attaching
+/// the checker does not perturb timing: cycles and IPC match an unchecked
+/// run exactly.
+#[test]
+fn workloads_pass_the_lockstep_oracle() {
+    let names: &[&str] = if cfg!(debug_assertions) {
+        &["bitcount", "fft"]
+    } else {
+        &["bitcount", "fft", "dijkstra", "657.xz_1", "605.mcf"]
+    };
+    let all = helios::all_workloads();
+    for name in names {
+        let w = all
+            .iter()
+            .find(|w| &w.name == name)
+            .unwrap_or_else(|| panic!("workload {name} not registered"));
+
+        let mut plain = Pipeline::new(PipeConfig::with_fusion(FusionMode::Helios), w.stream());
+        let base = plain.run(w.fuel * 20).clone();
+
+        let mut checked = Pipeline::new(PipeConfig::with_fusion(FusionMode::Helios), w.stream());
+        checked.attach_checker(w.stream());
+        let stats = checked
+            .try_run(w.fuel * 20)
+            .unwrap_or_else(|e| panic!("{name}: oracle-checked run failed: {e}"));
+        assert!(stats.oracle_checked > 0, "{name}: checker saw no commits");
+        assert_eq!(
+            (stats.cycles, stats.instructions),
+            (base.cycles, base.instructions),
+            "{name}: the checker must not perturb timing"
+        );
+    }
+}
