@@ -4,16 +4,17 @@
 //! "All idioms" is RISCVFusion++; "memory only" is CSF-SBR plus the Helios
 //! machinery disabled — i.e. the CSF-SBR configuration.
 
-use helios::{format_row, run_sweep, FusionMode, Table};
+use helios::{format_row, run_sweep_jobs, FusionMode, Table};
 
 fn main() {
-    let workloads = helios_bench::select_workloads();
+    let opts = helios_bench::parse_opts();
+    let workloads = opts.workloads;
     let modes = [
         FusionMode::NoFusion,
         FusionMode::RiscvFusionPlusPlus,
         FusionMode::CsfSbr,
     ];
-    let sweep = run_sweep(&workloads, &modes);
+    let sweep = run_sweep_jobs(&workloads, &modes, opts.jobs);
     let mut t = Table::new(vec![
         "benchmark".into(),
         "all idioms".into(),

@@ -1,12 +1,13 @@
 //! Figure 8 — committed CSF and NCSF pairs in Helios and OracleFusion,
 //! relative to total dynamic memory instructions.
 
-use helios::{format_row, run_sweep, FusionMode, Table};
+use helios::{format_row, run_sweep_jobs, FusionMode, Table};
 
 fn main() {
-    let workloads = helios_bench::select_workloads();
+    let opts = helios_bench::parse_opts();
+    let workloads = opts.workloads;
     let modes = [FusionMode::Helios, FusionMode::OracleFusion];
-    let sweep = run_sweep(&workloads, &modes);
+    let sweep = run_sweep_jobs(&workloads, &modes, opts.jobs);
     let mut t = Table::new(vec![
         "benchmark".into(),
         "Helios CSF %".into(),

@@ -1,16 +1,17 @@
 //! Figure 9 — Rename and Dispatch structural stalls as a percentage of
 //! execution cycles, for the no-fusion baseline, Helios, and OracleFusion.
 
-use helios::{format_row, run_sweep, FusionMode, Table};
+use helios::{format_row, run_sweep_jobs, FusionMode, Table};
 
 fn main() {
-    let workloads = helios_bench::select_workloads();
+    let opts = helios_bench::parse_opts();
+    let workloads = opts.workloads;
     let modes = [
         FusionMode::NoFusion,
         FusionMode::Helios,
         FusionMode::OracleFusion,
     ];
-    let sweep = run_sweep(&workloads, &modes);
+    let sweep = run_sweep_jobs(&workloads, &modes, opts.jobs);
     let mut t = Table::new(vec![
         "benchmark".into(),
         "base %".into(),

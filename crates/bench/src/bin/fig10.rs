@@ -5,15 +5,24 @@
 //! CSF-SBR, and OracleFusion vs NoFusion.
 //!
 //! ```text
-//! cargo run --release -p helios-bench --bin fig10 [--quick|--only a,b]
+//! cargo run --release -p helios-bench --bin fig10 [--quick|--only a,b] [--jobs N]
 //! ```
+//!
+//! Also writes `BENCH_sweep.json` (wall-clock, cells/sec, simulated
+//! Mcycles/sec, jobs used) to the working directory so the simulator's own
+//! performance trajectory is tracked alongside its outputs.
 
-use helios::{format_row, run_sweep, FusionMode, Table};
+use helios::{format_row, run_sweep_jobs, FusionMode, Table};
+use std::time::Instant;
 
 fn main() {
-    let workloads = helios_bench::select_workloads();
+    let opts = helios_bench::parse_opts();
+    let workloads = opts.workloads;
     let modes = FusionMode::ALL;
-    let sweep = run_sweep(&workloads, &modes);
+    let start = Instant::now();
+    let sweep = run_sweep_jobs(&workloads, &modes, opts.jobs);
+    let wall = start.elapsed().as_secs_f64();
+    write_bench_json(&sweep, wall, opts.jobs);
 
     let mut headers = vec!["benchmark".to_string(), "IPC(base)".to_string()];
     headers.extend(
@@ -76,4 +85,25 @@ fn main() {
         "  OracleFusion  vs NoFusion : {:+.1}%   (paper: +16.3%)",
         pct(FusionMode::OracleFusion, FusionMode::NoFusion)
     );
+}
+
+/// Records the sweep's own throughput in `BENCH_sweep.json`.
+fn write_bench_json(sweep: &helios::Sweep, wall_seconds: f64, jobs: usize) {
+    let cells = sweep.results().len();
+    let sim_cycles: u64 = sweep.results().iter().map(|r| r.stats.cycles).sum();
+    let json = format!(
+        "{{\n  \"benchmark\": \"fig10_sweep\",\n  \"workloads\": {},\n  \"modes\": {},\n  \"cells\": {},\n  \"jobs\": {},\n  \"wall_seconds\": {:.3},\n  \"cells_per_sec\": {:.3},\n  \"simulated_cycles\": {},\n  \"simulated_mcycles_per_sec\": {:.3}\n}}\n",
+        sweep.workloads().len(),
+        FusionMode::ALL.len(),
+        cells,
+        jobs,
+        wall_seconds,
+        cells as f64 / wall_seconds,
+        sim_cycles,
+        sim_cycles as f64 / wall_seconds / 1e6,
+    );
+    match std::fs::write("BENCH_sweep.json", &json) {
+        Ok(()) => eprintln!("wrote BENCH_sweep.json ({cells} cells, {wall_seconds:.1}s, {jobs} jobs)"),
+        Err(e) => eprintln!("warning: could not write BENCH_sweep.json: {e}"),
+    }
 }

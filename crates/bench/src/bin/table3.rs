@@ -5,12 +5,13 @@
 //! with different base registers), measured against the OracleFusion
 //! equivalent as the denominator.
 
-use helios::{run_sweep, FusionMode, Table};
+use helios::{run_sweep_jobs, FusionMode, Table};
 
 fn main() {
-    let workloads = helios_bench::select_workloads();
+    let opts = helios_bench::parse_opts();
+    let workloads = opts.workloads;
     let modes = [FusionMode::Helios, FusionMode::OracleFusion];
-    let sweep = run_sweep(&workloads, &modes);
+    let sweep = run_sweep_jobs(&workloads, &modes, opts.jobs);
     let mut t = Table::new(vec![
         "benchmark".into(),
         "coverage %".into(),

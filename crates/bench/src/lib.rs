@@ -2,7 +2,8 @@
 //!
 //! Every binary accepts:
 //! * `--quick` — run a representative 8-workload subset instead of all 32;
-//! * `--only <name>[,<name>...]` — run specific workloads.
+//! * `--only <name>[,<name>...]` — run specific workloads;
+//! * `--jobs <N>` — sweep worker threads (default: all cores).
 
 pub mod census;
 
@@ -22,11 +23,24 @@ pub const QUICK_SET: [&str; 8] = [
     "susan",
 ];
 
-/// Parses the common CLI arguments and returns the selected workloads.
-pub fn select_workloads() -> Vec<Workload> {
+/// Parsed common CLI options.
+pub struct SweepOpts {
+    /// Workloads selected by `--quick` / `--only` (default: all 32).
+    pub workloads: Vec<Workload>,
+    /// Sweep worker threads (`--jobs`, default: all cores).
+    pub jobs: usize,
+}
+
+/// Parses the common CLI arguments.
+///
+/// Exits with an error (status 2) on malformed flags or unrecognized
+/// `--only` names — a typo'd name silently filtering the sweep to nothing
+/// would make every figure print NaN geomeans.
+pub fn parse_opts() -> SweepOpts {
     let args: Vec<String> = std::env::args().collect();
     let mut only: Option<Vec<String>> = None;
     let mut quick = false;
+    let mut jobs = helios::default_jobs();
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -39,6 +53,16 @@ pub fn select_workloads() -> Vec<Workload> {
                 };
                 only = Some(list.split(',').map(str::to_string).collect());
             }
+            "--jobs" => {
+                i += 1;
+                jobs = match args.get(i).map(|s| s.parse::<usize>()) {
+                    Some(Ok(n)) if n >= 1 => n,
+                    _ => {
+                        eprintln!("error: --jobs requires a positive integer");
+                        std::process::exit(2);
+                    }
+                };
+            }
             other => {
                 eprintln!("warning: ignoring unknown argument `{other}`");
             }
@@ -46,7 +70,26 @@ pub fn select_workloads() -> Vec<Workload> {
         i += 1;
     }
     let all = helios::all_workloads();
-    match (only, quick) {
+    if let Some(names) = &only {
+        let unknown: Vec<&String> = names
+            .iter()
+            .filter(|n| !all.iter().any(|w| &w.name == n))
+            .collect();
+        if !unknown.is_empty() {
+            let valid: Vec<&str> = all.iter().map(|w| w.name).collect();
+            eprintln!(
+                "error: unrecognized workload name(s): {}",
+                unknown
+                    .iter()
+                    .map(|s| s.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            eprintln!("valid workloads: {}", valid.join(", "));
+            std::process::exit(2);
+        }
+    }
+    let workloads = match (only, quick) {
         (Some(names), _) => all
             .into_iter()
             .filter(|w| names.iter().any(|n| n == w.name))
@@ -56,7 +99,14 @@ pub fn select_workloads() -> Vec<Workload> {
             .filter(|w| QUICK_SET.contains(&w.name))
             .collect(),
         (None, false) => all,
-    }
+    };
+    SweepOpts { workloads, jobs }
+}
+
+/// Parses the common CLI arguments and returns the selected workloads.
+/// (Use [`parse_opts`] when the binary also needs `--jobs`.)
+pub fn select_workloads() -> Vec<Workload> {
+    parse_opts().workloads
 }
 
 #[cfg(test)]

@@ -21,8 +21,10 @@
 
 mod cpu;
 mod mem;
+mod record;
 mod trace;
 
 pub use cpu::{Cpu, EmuError, RetireStream};
 pub use mem::Memory;
-pub use trace::{MemAccess, Retired};
+pub use record::{RecordedTrace, TraceReplay};
+pub use trace::{MemAccess, Retired, UopSource};

@@ -1,0 +1,158 @@
+//! Record-once/replay-many traces.
+//!
+//! A full fusion sweep simulates every workload under six configurations,
+//! but the functional execution is identical in all of them — only the
+//! timing model changes. [`RecordedTrace`] runs the emulator once and keeps
+//! the retired-µ-op sequence in an `Arc<[Retired]>`, so every configuration
+//! (and every worker thread) replays the same shared recording instead of
+//! re-executing the program.
+//!
+//! Recording is strict about fuel: a program that fails to halt within its
+//! budget yields [`EmuError::OutOfFuel`], never a silently truncated trace.
+//! (A live `RetireStream` simply stops at the budget; a recording that did
+//! the same would make every downstream figure quietly wrong.)
+
+use crate::{Cpu, EmuError, Retired};
+use helios_isa::Program;
+use std::sync::Arc;
+
+/// An immutable, shareable recording of a program's retired-µ-op trace.
+///
+/// Cloning is cheap (two `Arc` bumps); [`RecordedTrace::replay`] hands out
+/// any number of independent iterators over the same buffer, each usable as
+/// a pipeline [`UopSource`](crate::UopSource). The recording owns
+/// `size_of::<Retired>()` (~90) bytes per dynamic µ-op — tens of MiB for a
+/// ~1 M µ-op kernel — so sweep drivers should record on demand and drop each
+/// trace once its last consumer finishes rather than holding a whole suite's
+/// recordings alive at once.
+#[derive(Clone, Debug)]
+pub struct RecordedTrace {
+    uops: Arc<[Retired]>,
+    output: Arc<[u64]>,
+}
+
+impl RecordedTrace {
+    /// Executes `program` to completion and records every retired µ-op.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fetch faults, and returns [`EmuError::OutOfFuel`] if the
+    /// program does not halt within `fuel` µ-ops — a starved recording is an
+    /// error, never a truncated trace.
+    pub fn record(program: Program, fuel: u64) -> Result<RecordedTrace, EmuError> {
+        let mut cpu = Cpu::new(program);
+        let mut uops = Vec::new();
+        while !cpu.halted() {
+            if cpu.retired() >= fuel {
+                return Err(EmuError::OutOfFuel {
+                    executed: cpu.retired(),
+                });
+            }
+            match cpu.step()? {
+                Some(r) => uops.push(r),
+                None => break,
+            }
+        }
+        Ok(RecordedTrace {
+            uops: uops.into(),
+            output: cpu.output().to_vec().into(),
+        })
+    }
+
+    /// Number of retired µ-ops in the recording.
+    pub fn len(&self) -> usize {
+        self.uops.len()
+    }
+
+    /// Whether the recording is empty.
+    pub fn is_empty(&self) -> bool {
+        self.uops.is_empty()
+    }
+
+    /// The recorded µ-ops, in program order.
+    pub fn uops(&self) -> &[Retired] {
+        &self.uops
+    }
+
+    /// Values the program reported through the `write` ecall, in order
+    /// (workload checksums).
+    pub fn output(&self) -> &[u64] {
+        &self.output
+    }
+
+    /// A fresh replay iterator over the shared buffer.
+    pub fn replay(&self) -> TraceReplay {
+        TraceReplay {
+            uops: Arc::clone(&self.uops),
+            pos: 0,
+        }
+    }
+}
+
+/// An independent cursor over a [`RecordedTrace`]'s shared buffer.
+#[derive(Clone, Debug)]
+pub struct TraceReplay {
+    uops: Arc<[Retired]>,
+    pos: usize,
+}
+
+impl Iterator for TraceReplay {
+    type Item = Retired;
+
+    #[inline]
+    fn next(&mut self) -> Option<Retired> {
+        let r = self.uops.get(self.pos).copied()?;
+        self.pos += 1;
+        Some(r)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.uops.len() - self.pos;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for TraceReplay {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RetireStream;
+    use helios_isa::parse_asm;
+
+    const LOOP: &str = "li a0, 3\ntop: addi a0, a0, -1\nbnez a0, top\nebreak";
+
+    #[test]
+    fn recording_matches_live_stream() {
+        let prog = parse_asm(LOOP).unwrap();
+        let rec = RecordedTrace::record(prog.clone(), 1000).unwrap();
+        let live: Vec<_> = RetireStream::new(prog, 1000).collect();
+        assert_eq!(rec.uops(), live.as_slice());
+    }
+
+    #[test]
+    fn replays_are_independent() {
+        let prog = parse_asm(LOOP).unwrap();
+        let rec = RecordedTrace::record(prog, 1000).unwrap();
+        let mut a = rec.replay();
+        let b = rec.replay();
+        a.next();
+        a.next();
+        assert_eq!(b.len(), rec.len(), "b unaffected by a's progress");
+        assert_eq!(a.next().unwrap().seq, 2);
+    }
+
+    #[test]
+    fn starved_fuel_fails_loudly() {
+        let prog = parse_asm("top: j top").unwrap();
+        let err = RecordedTrace::record(prog, 100).unwrap_err();
+        assert!(matches!(err, EmuError::OutOfFuel { .. }));
+    }
+
+    #[test]
+    fn output_is_captured() {
+        let prog = parse_asm("li a0, 42\nli a7, 64\necall\nebreak").unwrap();
+        let rec = RecordedTrace::record(prog, 100).unwrap();
+        assert_eq!(rec.output(), &[42]);
+    }
+}

@@ -9,6 +9,31 @@
 
 use helios_isa::Inst;
 
+/// A source of retired µ-ops driving the timing model.
+///
+/// The pipeline is generic over this trait rather than over a concrete
+/// emulator type, so the same model can be fed by a live [`Cpu`]
+/// execution (`RetireStream`), a shared in-memory recording
+/// ([`RecordedTrace`](crate::RecordedTrace) — record once, replay under
+/// every fusion configuration), or a synthetic test generator.
+///
+/// Implementations must yield µ-ops in program order with dense `seq`
+/// numbers starting at 0, and must be fused (return `None` forever once
+/// exhausted).
+///
+/// Every `Iterator<Item = Retired>` is a `UopSource` via the blanket impl.
+pub trait UopSource {
+    /// The next retired µ-op in program order, or `None` at end of trace.
+    fn next_uop(&mut self) -> Option<Retired>;
+}
+
+impl<I: Iterator<Item = Retired>> UopSource for I {
+    #[inline]
+    fn next_uop(&mut self) -> Option<Retired> {
+        self.next()
+    }
+}
+
 /// A memory access performed by a retired µ-op.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct MemAccess {

@@ -25,7 +25,7 @@
 
 use crate::error::{InvariantReport, SimError};
 use crate::pipeline::Pipeline;
-use helios_emu::Retired;
+use helios_emu::{Retired, UopSource};
 use helios_isa::Inst;
 use std::collections::HashMap;
 
@@ -177,7 +177,7 @@ impl OracleChecker {
     }
 }
 
-impl<I: Iterator<Item = Retired>> Pipeline<I> {
+impl<I: UopSource> Pipeline<I> {
     /// Attaches a lockstep oracle checker that replays `oracle` — an
     /// independent iteration of the same retired trace the pipeline
     /// consumes — and validates every commit against it. Violations surface

@@ -4,9 +4,9 @@
 
 use crate::pipeline::Pipeline;
 use helios_core::UchTrainRecord;
-use helios_emu::Retired;
+use helios_emu::UopSource;
 
-impl<I: Iterator<Item = Retired>> Pipeline<I> {
+impl<I: UopSource> Pipeline<I> {
     /// One cycle of Commit.
     pub(crate) fn stage_commit(&mut self) {
         let mut budget = self.cfg.commit_width;

@@ -5,9 +5,9 @@
 use crate::pipeline::{FlushKind, PendingFlush, Pipeline, StoreCheck};
 use crate::FuClass;
 use helios_core::{classify_contiguity, Contiguity, Idiom, RepairCase};
-use helios_emu::{MemAccess, Retired};
+use helios_emu::{MemAccess, UopSource};
 
-impl<I: Iterator<Item = Retired>> Pipeline<I> {
+impl<I: UopSource> Pipeline<I> {
     /// One cycle of Issue/Execute: select ready µ-ops oldest-first within
     /// port constraints and start their execution.
     pub(crate) fn stage_issue(&mut self) {
@@ -15,7 +15,10 @@ impl<I: Iterator<Item = Retired>> Pipeline<I> {
         let mut loads = self.cfg.load_ports;
         let mut stores = self.cfg.store_ports;
         let now = self.now;
-        let mut issued: Vec<u64> = Vec::new();
+        // Reused across cycles: stage_issue runs every cycle and must not
+        // allocate in steady state.
+        let mut issued = std::mem::take(&mut self.scratch_issued);
+        issued.clear();
 
         for i in 0..self.iq.len() {
             if alu == 0 && loads == 0 && stores == 0 {
@@ -95,6 +98,7 @@ impl<I: Iterator<Item = Retired>> Pipeline<I> {
         if !issued.is_empty() {
             self.iq.retain(|e| !issued.contains(&e.seq));
         }
+        self.scratch_issued = issued;
     }
 
     /// Computes the execution latency of µ-op `seq` and performs its memory

@@ -28,7 +28,7 @@
 
 use crate::pipeline::{FlushKind, Pipeline};
 use crate::uop::CatalystHazards;
-use helios_emu::Retired;
+use helios_emu::UopSource;
 use helios_prng::{Rng, SeedableRng, StdRng};
 
 /// What to inject, and how often. All mechanisms default to *off*; enable
@@ -176,7 +176,7 @@ impl FaultInjector {
     }
 }
 
-impl<I: Iterator<Item = Retired>> Pipeline<I> {
+impl<I: UopSource> Pipeline<I> {
     /// Attaches a deterministic fault injector. Faults perturb only
     /// microarchitectural decisions (fusion marking, UCH contents, flush
     /// timing); the committed instruction stream must remain identical, so

@@ -4,10 +4,10 @@
 use crate::pipeline::Pipeline;
 use crate::uop::{AqEntry, CatalystHazards, DynUop, Fused};
 use helios_core::{classify_contiguity, is_asymmetric, match_idiom, FusionClass, Idiom};
-use helios_emu::Retired;
+use helios_emu::{Retired, UopSource};
 use helios_isa::Inst;
 
-impl<I: Iterator<Item = Retired>> Pipeline<I> {
+impl<I: UopSource> Pipeline<I> {
     /// One cycle of the frontend: fetch up to `fetch_width` µ-ops from the
     /// trace window, predict control flow, fuse/mark, and insert into the AQ.
     pub(crate) fn stage_fetch_decode(&mut self) {

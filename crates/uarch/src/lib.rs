@@ -65,3 +65,5 @@ pub use pipeline::Pipeline;
 pub use stats::{DispatchStall, SimStats};
 pub use uop::{AqEntry, CatalystHazards, DynUop, FuClass, Fused};
 pub use window::TraceWindow;
+
+pub use helios_emu::UopSource;

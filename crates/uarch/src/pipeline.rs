@@ -17,7 +17,7 @@ use crate::{
     AqEntry, BranchPredictor, DynUop, Hierarchy, PipeConfig, SimStats, StoreSets, TraceWindow,
 };
 use helios_core::{FusionPredictor, RepairCase, Uch, UchQueue};
-use helios_emu::{MemAccess, Retired};
+use helios_emu::{MemAccess, UopSource};
 use helios_isa::Reg;
 use std::collections::VecDeque;
 
@@ -222,10 +222,17 @@ pub struct Pipeline<I> {
     /// Deterministic fault injector (`attach_faults`).
     pub(crate) fault: Option<FaultInjector>,
 
+    // Scratch buffers reused across cycles so the per-cycle and per-flush
+    // paths stay allocation-free in steady state.
+    pub(crate) scratch_issued: Vec<u64>,
+    pub(crate) scratch_checks: Vec<StoreCheck>,
+    pub(crate) scratch_undos: Vec<(u64, Reg, Option<u64>)>,
+    pub(crate) scratch_repairs: Vec<(usize, RepairCase, Option<helios_core::PredMeta>)>,
+
     pub(crate) stats: SimStats,
 }
 
-impl<I: Iterator<Item = Retired>> Pipeline<I> {
+impl<I: UopSource> Pipeline<I> {
     /// Builds a pipeline over a retired-µ-op source.
     pub fn new(cfg: PipeConfig, source: I) -> Pipeline<I> {
         Pipeline {
@@ -260,6 +267,10 @@ impl<I: Iterator<Item = Retired>> Pipeline<I> {
             checker: None,
             commit_log: Vec::new(),
             fault: None,
+            scratch_issued: Vec::new(),
+            scratch_checks: Vec::new(),
+            scratch_undos: Vec::new(),
+            scratch_repairs: Vec::new(),
             stats: SimStats::default(),
             cfg,
         }
@@ -518,16 +529,27 @@ impl<I: Iterator<Item = Retired>> Pipeline<I> {
     }
 
     fn process_store_checks(&mut self) {
-        let due: Vec<StoreCheck> = {
-            let now = self.now;
-            let (due, rest): (Vec<_>, Vec<_>) =
-                self.store_checks.drain(..).partition(|c| c.at_cycle <= now);
-            self.store_checks = rest;
-            due
-        };
-        for c in due {
+        if self.store_checks.is_empty() {
+            return;
+        }
+        // Split due checks into the reusable scratch buffer (order-preserving,
+        // like the `partition` this replaces) instead of allocating two fresh
+        // vectors every cycle.
+        let now = self.now;
+        let mut due = std::mem::take(&mut self.scratch_checks);
+        due.clear();
+        self.store_checks.retain(|c| {
+            if c.at_cycle <= now {
+                due.push(*c);
+                false
+            } else {
+                true
+            }
+        });
+        for c in &due {
             self.check_violation(c.store_seq);
         }
+        self.scratch_checks = due;
     }
 
     /// Memory-order violation scan when store `store_seq` finishes address
@@ -588,7 +610,8 @@ impl<I: Iterator<Item = Retired>> Pipeline<I> {
 
         // Collect rename-undo records from squashed ROB entries and from
         // tail-nucleus RAT updates, then apply them youngest-first.
-        let mut undos: Vec<(u64, Reg, Option<u64>)> = Vec::new();
+        let mut undos = std::mem::take(&mut self.scratch_undos);
+        undos.clear();
 
         while self.rob.back().is_some_and(|e| e.uop.seq >= restart) {
             let Some(e) = self.rob.pop_back() else { break };
@@ -610,9 +633,10 @@ impl<I: Iterator<Item = Retired>> Pipeline<I> {
             }
         });
         undos.sort_by_key(|&(seq, _, _)| std::cmp::Reverse(seq));
-        for (_, reg, prev) in undos {
+        for &(_, reg, prev) in &undos {
             self.rat[reg.index()] = prev;
         }
+        self.scratch_undos = undos;
 
         self.iq.retain(|e| e.seq < restart);
         self.lq.retain(|e| e.seq < restart);
@@ -621,7 +645,8 @@ impl<I: Iterator<Item = Retired>> Pipeline<I> {
 
         // Unfuse any surviving fused head whose tail was squashed: the tail
         // will be re-fetched as a normal µ-op (§IV-C cases 5–7).
-        let mut repairs: Vec<(usize, RepairCase, Option<helios_core::PredMeta>)> = Vec::new();
+        let mut repairs = std::mem::take(&mut self.scratch_repairs);
+        repairs.clear();
         // (The span-mismatch head itself has seq >= restart and was popped
         // above; survivors losing their tail are catalyst-flush repairs.)
         let _ = kind;
@@ -632,14 +657,13 @@ impl<I: Iterator<Item = Retired>> Pipeline<I> {
                 }
             }
         }
-        for (i, case, pred) in repairs {
-            let seq = self.rob[i].uop.seq;
+        for &(i, case, pred) in &repairs {
             self.unfuse_rob_entry(i, case);
             if let Some(meta) = pred {
                 self.fp.resolve(&meta, false);
             }
-            let _ = seq;
         }
+        self.scratch_repairs = repairs;
         // Also unfuse AQ heads whose tail marker got squashed.
         for e in self.aq.iter_mut() {
             if let AqEntry::Uop(u) = e {

@@ -5,9 +5,9 @@ use crate::pipeline::{IqEntry, LqEntry, Pipeline, RobEntry, SqEntry, TailUndo};
 use crate::uop::{AqEntry, DynUop};
 use crate::DispatchStall;
 use helios_core::{Idiom, RepairCase};
-use helios_emu::Retired;
+use helios_emu::{Retired, UopSource};
 
-impl<I: Iterator<Item = Retired>> Pipeline<I> {
+impl<I: UopSource> Pipeline<I> {
     /// Converts the AQ tail marker of an aborted pair back into a normal
     /// µ-op (the paper's "marked as not fused in the AQ through the NCS
     /// Tag").
@@ -54,7 +54,7 @@ impl AllocBlock {
     }
 }
 
-impl<I: Iterator<Item = Retired>> Pipeline<I> {
+impl<I: UopSource> Pipeline<I> {
     /// One cycle of Rename + Dispatch over the AQ head.
     pub(crate) fn stage_rename_dispatch(&mut self) {
         let mut budget = self.cfg.rename_width as i64;

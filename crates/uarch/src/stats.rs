@@ -13,7 +13,7 @@ pub enum DispatchStall {
 }
 
 /// Aggregate statistics for one simulation run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, PartialEq, Debug, Default)]
 pub struct SimStats {
     /// Total simulated cycles.
     pub cycles: u64,

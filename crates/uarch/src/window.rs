@@ -7,7 +7,7 @@
 //! fetch cursor. It also supports bounded lookahead, which the OracleFusion
 //! configuration uses as its future knowledge.
 
-use helios_emu::Retired;
+use helios_emu::{Retired, UopSource};
 use std::collections::VecDeque;
 
 /// Rewindable, releasable trace window (see module docs).
@@ -22,7 +22,7 @@ pub struct TraceWindow<I> {
     exhausted: bool,
 }
 
-impl<I: Iterator<Item = Retired>> TraceWindow<I> {
+impl<I: UopSource> TraceWindow<I> {
     /// Wraps a retired-µ-op source.
     pub fn new(src: I) -> TraceWindow<I> {
         TraceWindow {
@@ -36,7 +36,7 @@ impl<I: Iterator<Item = Retired>> TraceWindow<I> {
 
     fn fill_to(&mut self, seq: u64) {
         while !self.exhausted && self.base + self.buf.len() as u64 <= seq {
-            match self.src.next() {
+            match self.src.next_uop() {
                 Some(r) => {
                     debug_assert_eq!(r.seq, self.base + self.buf.len() as u64);
                     self.buf.push_back(r);

@@ -25,7 +25,7 @@ mod kernels;
 
 pub use kernels::{all_workloads, workload};
 
-use helios_emu::{Cpu, RetireStream};
+use helios_emu::{Cpu, EmuError, RecordedTrace, RetireStream};
 use helios_isa::{Asm, Program, Reg};
 
 /// Which of the paper's suites a workload mirrors.
@@ -56,6 +56,17 @@ impl Workload {
     /// A retired-µ-op stream for feeding the pipeline model.
     pub fn stream(&self) -> RetireStream {
         RetireStream::new(self.program.clone(), self.fuel)
+    }
+
+    /// Records the kernel's retired-µ-op trace once, for replay under any
+    /// number of pipeline configurations (`trace.replay()` per run).
+    ///
+    /// # Errors
+    ///
+    /// Propagates emulation faults; a kernel that fails to halt within its
+    /// `fuel` budget is an error, never a silently truncated trace.
+    pub fn recorded(&self) -> Result<RecordedTrace, EmuError> {
+        RecordedTrace::record(self.program.clone(), self.fuel)
     }
 
     /// Runs the kernel functionally and checks its checksums against the

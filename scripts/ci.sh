@@ -13,4 +13,16 @@ cargo test -q
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> sweep smoke: fig10 --quick --jobs 2 (timed)"
+sweep_start=$(date +%s)
+cargo run --release -q -p helios-bench --bin fig10 -- --quick --jobs 2 > /dev/null
+sweep_end=$(date +%s)
+echo "sweep smoke: $((sweep_end - sweep_start))s wall"
+# Archive the throughput record so simulator-performance regressions show up
+# in the trajectory (results/BENCH_sweep_quick.json is the smoke run;
+# results/BENCH_sweep.json is the committed full-sweep record).
+mkdir -p results
+mv BENCH_sweep.json results/BENCH_sweep_quick.json
+cat results/BENCH_sweep_quick.json
+
 echo "ci: all green"

@@ -1,9 +1,26 @@
-//! Running (workload × configuration) simulations.
+//! Running (workload × configuration) simulations: the parallel,
+//! trace-reusing sweep engine.
+//!
+//! Every figure and table is driven by [`run_sweep`]. Two properties keep it
+//! fast without changing any result:
+//!
+//! * **Record once, replay many** — each workload's functional execution is
+//!   recorded once into a shared [`RecordedTrace`]; all fusion modes replay
+//!   the same buffer instead of re-running the emulator per cell.
+//! * **Parallel cells** — (workload × mode) cells are independent
+//!   simulations, executed by a `std::thread::scope` worker pool. Results
+//!   are stored by cell index, so the sweep order is workload-major and
+//!   byte-identical regardless of `jobs` or completion order.
 
 use helios_core::FusionMode;
+use helios_emu::RecordedTrace;
 use helios_uarch::{PipeConfig, Pipeline, SimStats};
 use helios_workloads::Workload;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
 /// One simulation outcome.
 #[derive(Clone, Debug)]
@@ -21,7 +38,9 @@ pub fn run_workload(w: &Workload, mode: FusionMode) -> SimStats {
     run_workload_with(w, PipeConfig::with_fusion(mode))
 }
 
-/// Simulates `w` under an explicit pipeline configuration.
+/// Simulates `w` under an explicit pipeline configuration, re-emulating the
+/// program live. For repeated runs of the same workload prefer
+/// [`Workload::recorded`] + [`run_recorded`], which replay a shared trace.
 pub fn run_workload_with(w: &Workload, cfg: PipeConfig) -> SimStats {
     let mut pipe = Pipeline::new(cfg, w.stream());
     if let Err(e) = pipe.try_run(w.fuel * 20) {
@@ -33,13 +52,47 @@ pub fn run_workload_with(w: &Workload, cfg: PipeConfig) -> SimStats {
     pipe.stats().clone()
 }
 
+/// Simulates `w`'s recorded trace under `mode`. Statistics are identical to
+/// [`run_workload`] — the pipeline consumes the same retired-µ-op sequence,
+/// just from a shared buffer instead of a live emulator.
+pub fn run_recorded(w: &Workload, trace: &RecordedTrace, mode: FusionMode) -> SimStats {
+    let cfg = PipeConfig::with_fusion(mode);
+    let mut pipe = Pipeline::new(cfg, trace.replay());
+    if let Err(e) = pipe.try_run(w.fuel * 20) {
+        panic!("{}/{}: {e}", w.name, pipe.config().fusion.name());
+    }
+    pipe.stats().clone()
+}
+
 /// Results of a full (workloads × modes) sweep, indexable by both axes.
 #[derive(Clone, Debug, Default)]
 pub struct Sweep {
     results: Vec<RunResult>,
+    /// (workload, mode) → index into `results`. `get` is called in nested
+    /// loops by every figure binary; the linear scan it replaces was O(n)
+    /// per lookup over 192 cells.
+    index: HashMap<(&'static str, FusionMode), usize>,
+    /// Workload names in sweep (workload-major execution) order.
+    order: Vec<&'static str>,
 }
 
 impl Sweep {
+    /// Builds the indexed sweep from results in execution order.
+    fn from_results(results: Vec<RunResult>) -> Sweep {
+        let mut index = HashMap::with_capacity(results.len());
+        let mut order = Vec::new();
+        for (i, r) in results.iter().enumerate() {
+            if index.insert((r.workload, r.mode), i).is_none() && !order.contains(&r.workload) {
+                order.push(r.workload);
+            }
+        }
+        Sweep {
+            results,
+            index,
+            order,
+        }
+    }
+
     /// All results, in execution order (workload-major).
     pub fn results(&self) -> &[RunResult] {
         &self.results
@@ -47,21 +100,14 @@ impl Sweep {
 
     /// The result for one (workload, mode) cell.
     pub fn get(&self, workload: &str, mode: FusionMode) -> Option<&SimStats> {
-        self.results
-            .iter()
-            .find(|r| r.workload == workload && r.mode == mode)
-            .map(|r| &r.stats)
+        self.index
+            .get(&(workload, mode))
+            .map(|&i| &self.results[i].stats)
     }
 
     /// Workload names, in sweep order.
     pub fn workloads(&self) -> Vec<&'static str> {
-        let mut seen = Vec::new();
-        for r in &self.results {
-            if !seen.contains(&r.workload) {
-                seen.push(r.workload);
-            }
-        }
-        seen
+        self.order.clone()
     }
 
     /// Per-workload IPC of `mode` normalized to `baseline`, plus the
@@ -80,25 +126,218 @@ impl Sweep {
     }
 }
 
-/// Runs every (workload × mode) combination, reporting progress on stderr.
-pub fn run_sweep(workloads: &[Workload], modes: &[FusionMode]) -> Sweep {
-    let mut sweep = Sweep::default();
-    let total = workloads.len() * modes.len();
-    let mut done = 0usize;
-    for w in workloads {
-        for &mode in modes {
-            let stats = run_workload(w, mode);
-            sweep.results.push(RunResult {
-                workload: w.name,
-                mode,
-                stats,
-            });
-            done += 1;
-            eprint!("\r[{done}/{total}] {:<18} {:<14}", w.name, mode.name());
+/// Worker count used when the caller does not specify one: every core.
+/// Results are independent of the worker count, so defaulting to full
+/// parallelism is safe.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Mutex-guarded progress reporter: a single writer keeps the `\r` status
+/// line coherent under concurrent workers, and completion prints elapsed
+/// wall-clock time.
+struct Reporter {
+    state: Mutex<(usize, Instant)>, // (cells done, sweep start)
+    total: usize,
+}
+
+impl Reporter {
+    fn new(total: usize) -> Reporter {
+        Reporter {
+            state: Mutex::new((0, Instant::now())),
+            total,
         }
     }
-    eprintln!();
-    sweep
+
+    fn cell_done(&self, workload: &str, mode: FusionMode) {
+        let mut s = self.state.lock().unwrap();
+        s.0 += 1;
+        eprint!(
+            "\r[{}/{}] {:<18} {:<14}",
+            s.0,
+            self.total,
+            workload,
+            mode.name()
+        );
+    }
+
+    fn finish(&self) {
+        let s = self.state.lock().unwrap();
+        eprintln!(
+            "\r[{}/{}] sweep complete in {:.1}s{:24}",
+            s.0,
+            self.total,
+            s.1.elapsed().as_secs_f64(),
+            ""
+        );
+    }
+}
+
+/// Extracts a readable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// First-failure slot shared by a worker pool: records one error message and
+/// tells the other workers to stop picking up new work.
+struct FailFast {
+    stop: AtomicBool,
+    message: Mutex<Option<String>>,
+}
+
+impl FailFast {
+    fn new() -> FailFast {
+        FailFast {
+            stop: AtomicBool::new(false),
+            message: Mutex::new(None),
+        }
+    }
+
+    fn record(&self, msg: String) {
+        let mut m = self.message.lock().unwrap();
+        if m.is_none() {
+            *m = Some(msg);
+        }
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+
+    /// Propagates the recorded failure, if any.
+    fn check(self) {
+        if let Some(msg) = self.message.into_inner().unwrap() {
+            panic!("{msg}");
+        }
+    }
+}
+
+/// Per-workload trace cache for one sweep. A workload's trace is recorded by
+/// the first worker that needs it, shared (`Arc` internals) by every
+/// concurrent cell of that workload, and dropped as soon as its last cell
+/// completes — so peak memory is O(jobs) traces, not O(workloads), while
+/// each workload is still emulated exactly once.
+struct TraceCache {
+    slots: Vec<Mutex<Option<RecordedTrace>>>,
+    /// Cells still outstanding per workload; reaching zero frees the slot.
+    remaining: Vec<AtomicUsize>,
+}
+
+impl TraceCache {
+    fn new(workloads: usize, modes: usize) -> TraceCache {
+        TraceCache {
+            slots: (0..workloads).map(|_| Mutex::new(None)).collect(),
+            remaining: (0..workloads).map(|_| AtomicUsize::new(modes)).collect(),
+        }
+    }
+
+    /// The trace for workload `wi`, recording it on first demand. Concurrent
+    /// requests for the same workload wait on its slot rather than
+    /// double-recording.
+    fn get(&self, wi: usize, w: &Workload) -> Result<RecordedTrace, helios_emu::EmuError> {
+        let mut slot = self.slots[wi].lock().unwrap();
+        if let Some(t) = &*slot {
+            return Ok(t.clone());
+        }
+        let t = w.recorded()?;
+        *slot = Some(t.clone());
+        Ok(t)
+    }
+
+    /// Marks one of workload `wi`'s cells finished, freeing the recording
+    /// after the last one.
+    fn cell_finished(&self, wi: usize) {
+        if self.remaining[wi].fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.slots[wi].lock().unwrap().take();
+        }
+    }
+}
+
+/// Runs every (workload × mode) combination on [`default_jobs`] worker
+/// threads, reporting progress on stderr. Results are deterministic and
+/// workload-major regardless of the worker count.
+pub fn run_sweep(workloads: &[Workload], modes: &[FusionMode]) -> Sweep {
+    run_sweep_jobs(workloads, modes, default_jobs())
+}
+
+/// [`run_sweep`] with an explicit worker count (the `--jobs` flag of the
+/// figure binaries). `jobs` is clamped to at least 1.
+///
+/// # Panics
+///
+/// If any cell's simulation fails, the panic names the failing
+/// (workload, mode) cell.
+pub fn run_sweep_jobs(workloads: &[Workload], modes: &[FusionMode], jobs: usize) -> Sweep {
+    let total = workloads.len() * modes.len();
+    let jobs = jobs.clamp(1, total.max(1));
+    let reporter = Reporter::new(total);
+
+    // Workers pull the next cell index from a shared counter and store the
+    // result by index, so the output order is workload-major no matter which
+    // worker finishes when. Each workload's trace is recorded by the first
+    // worker to reach it and freed after its last cell (see [`TraceCache`]).
+    let traces = TraceCache::new(workloads.len(), modes.len());
+    let cells: Vec<Mutex<Option<SimStats>>> = (0..total).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let fail = FailFast::new();
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| loop {
+                if fail.stopping() {
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                let (wi, w, mode) = (i / modes.len(), &workloads[i / modes.len()], modes[i % modes.len()]);
+                let trace = match traces.get(wi, w) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        fail.record(format!("recording {}: {e}", w.name));
+                        break;
+                    }
+                };
+                match catch_unwind(AssertUnwindSafe(|| run_recorded(w, &trace, mode))) {
+                    Ok(stats) => {
+                        *cells[i].lock().unwrap() = Some(stats);
+                        drop(trace);
+                        traces.cell_finished(wi);
+                        reporter.cell_done(w.name, mode);
+                    }
+                    Err(p) => {
+                        fail.record(format!(
+                            "sweep cell {}/{} failed: {}",
+                            w.name,
+                            mode.name(),
+                            panic_message(&*p)
+                        ));
+                        break;
+                    }
+                }
+            });
+        }
+    });
+    fail.check();
+    reporter.finish();
+
+    let results = cells
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| RunResult {
+            workload: workloads[i / modes.len()].name,
+            mode: modes[i % modes.len()],
+            stats: c.into_inner().unwrap().expect("all cells filled"),
+        })
+        .collect();
+    Sweep::from_results(results)
 }
 
 #[cfg(test)]
@@ -109,12 +348,49 @@ mod tests {
     fn sweep_indexing() {
         let ws = vec![helios_workloads::workload("crc32").unwrap()];
         let modes = [FusionMode::NoFusion, FusionMode::CsfSbr];
-        let s = run_sweep(&ws, &modes);
+        let s = run_sweep_jobs(&ws, &modes, 1);
         assert_eq!(s.results().len(), 2);
         assert!(s.get("crc32", FusionMode::NoFusion).is_some());
         assert!(s.get("crc32", FusionMode::Helios).is_none());
         let (per, geo) = s.normalized_ipc(FusionMode::CsfSbr, FusionMode::NoFusion);
         assert_eq!(per.len(), 1);
         assert!(geo > 0.5 && geo < 2.0);
+    }
+
+    #[test]
+    fn sweep_order_is_workload_major_input_order() {
+        // Deliberately not alphabetical: the sweep must preserve the caller's
+        // workload order, not sort it.
+        let ws = vec![
+            helios_workloads::workload("susan").unwrap(),
+            helios_workloads::workload("crc32").unwrap(),
+        ];
+        let modes = [FusionMode::NoFusion, FusionMode::CsfSbr];
+        let s = run_sweep_jobs(&ws, &modes, 2);
+        assert_eq!(s.workloads(), vec!["susan", "crc32"]);
+        let cells: Vec<(&str, FusionMode)> =
+            s.results().iter().map(|r| (r.workload, r.mode)).collect();
+        assert_eq!(
+            cells,
+            vec![
+                ("susan", FusionMode::NoFusion),
+                ("susan", FusionMode::CsfSbr),
+                ("crc32", FusionMode::NoFusion),
+                ("crc32", FusionMode::CsfSbr),
+            ]
+        );
+    }
+
+    #[test]
+    fn failing_cell_is_named() {
+        // A starved workload makes recording fail loudly with the name.
+        let mut w = helios_workloads::workload("crc32").unwrap();
+        w.fuel = 10;
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            run_sweep_jobs(&[w], &[FusionMode::NoFusion], 2)
+        }))
+        .unwrap_err();
+        let msg = panic_message(&*err);
+        assert!(msg.contains("crc32"), "panic names the workload: {msg}");
     }
 }

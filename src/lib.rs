@@ -22,10 +22,14 @@ mod experiment;
 mod metrics;
 mod report;
 
-pub use experiment::{run_sweep, run_workload, run_workload_with, RunResult, Sweep};
+pub use experiment::{
+    default_jobs, run_recorded, run_sweep, run_sweep_jobs, run_workload, run_workload_with,
+    RunResult, Sweep,
+};
 pub use metrics::{geomean, normalized_ipc, speedup_pct};
 pub use report::{format_row, Table};
 
 pub use helios_core::{FusionMode, HeliosParams};
+pub use helios_emu::{RecordedTrace, UopSource};
 pub use helios_uarch::{PipeConfig, SimStats};
 pub use helios_workloads::{all_workloads, workload, Workload};

@@ -1,0 +1,58 @@
+//! Sweep-engine integration tests: recorded-replay equivalence, parallel
+//! determinism, and loud failure on starved recordings.
+
+use helios::{run_recorded, run_sweep_jobs, run_workload, FusionMode};
+use helios_emu::EmuError;
+
+/// The pipeline consumes a retired-µ-op sequence; whether it comes from a
+/// live emulator (`RetireStream`) or a shared recording must be invisible in
+/// every statistic, for every workload, in both the baseline and the most
+/// machinery-heavy configuration.
+#[test]
+fn recorded_replay_matches_live_stream_for_every_workload() {
+    for w in helios::all_workloads() {
+        let trace = w.recorded().expect("workload halts within fuel");
+        for mode in [FusionMode::NoFusion, FusionMode::Helios] {
+            let live = run_workload(&w, mode);
+            let replay = run_recorded(&w, &trace, mode);
+            assert_eq!(
+                live,
+                replay,
+                "{} {}: replay stats differ from live-stream stats",
+                w.name,
+                mode.name()
+            );
+        }
+    }
+}
+
+/// `--jobs N` must not change a single bit of any result, nor the
+/// workload-major result ordering.
+#[test]
+fn parallel_sweep_is_deterministic() {
+    let ws: Vec<_> = ["crc32", "susan"]
+        .iter()
+        .map(|n| helios::workload(n).unwrap())
+        .collect();
+    let modes = [FusionMode::NoFusion, FusionMode::CsfSbr, FusionMode::Helios];
+    let serial = run_sweep_jobs(&ws, &modes, 1);
+    let parallel = run_sweep_jobs(&ws, &modes, 4);
+    assert_eq!(serial.results().len(), parallel.results().len());
+    for (a, b) in serial.results().iter().zip(parallel.results()) {
+        assert_eq!((a.workload, a.mode), (b.workload, b.mode), "ordering differs");
+        assert_eq!(a.stats, b.stats, "{}/{}: stats differ", a.workload, a.mode.name());
+    }
+    assert_eq!(serial.workloads(), parallel.workloads());
+}
+
+/// A recording whose program cannot halt within its fuel budget must be an
+/// error, never a silently truncated trace feeding wrong figures.
+#[test]
+fn starved_recording_fails_loudly() {
+    let mut w = helios::workload("crc32").unwrap();
+    w.fuel = 100;
+    assert!(matches!(
+        w.recorded().unwrap_err(),
+        EmuError::OutOfFuel { .. }
+    ));
+}
