@@ -187,7 +187,7 @@ fn bench_pipeline() {
                 PipeConfig::with_fusion(mode),
                 RetireStream::new(prog.clone(), 1_000_000),
             );
-            p.run(10_000_000);
+            p.try_run(10_000_000).expect("bench kernel simulates cleanly");
             p.stats().instructions
         });
     }

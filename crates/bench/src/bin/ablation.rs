@@ -7,91 +7,120 @@
 //! cargo run --release -p helios-bench --bin ablation [--quick|--only a,b]
 //! ```
 
-use helios::{geomean, run_workload_with, FusionMode, PipeConfig, Workload};
+use helios::{geomean, FusionMode, PipeConfig, Progress, Report, SimRequest, Table};
 
-fn helios_cfg() -> PipeConfig {
-    PipeConfig::with_fusion(FusionMode::Helios)
-}
+/// Every ablated configuration, built through the validating builder so a
+/// degenerate variant fails loudly here rather than hanging the sweep.
+fn variants() -> Vec<(String, PipeConfig)> {
+    let base = || PipeConfig::builder().fusion(FusionMode::Helios);
+    let built = |name: String, b: helios::PipeConfigBuilder| {
+        (name, b.build().expect("ablation variant validates"))
+    };
+    let mut v = vec![built("Helios (paper params)".into(), base())];
 
-fn geomean_ipc(workloads: &[Workload], cfg: PipeConfig, label: &str) -> f64 {
-    let vals: Vec<f64> = workloads
-        .iter()
-        .map(|w| {
-            let s = run_workload_with(w, cfg);
-            eprint!("\r{label:<28} {:<18}", w.name);
-            s.ipc()
-        })
-        .collect();
-    geomean(&vals)
+    // UCH load-history size (paper: 6 entries).
+    for entries in [1usize, 2, 12] {
+        v.push(built(
+            format!("UCH load entries = {entries}"),
+            base().tweak(|c| c.helios.uch.load_entries = entries),
+        ));
+    }
+    // NCSF nesting depth (paper: 2; "sufficient for most of the benefits").
+    for nest in [1usize, 4, 8] {
+        v.push(built(
+            format!("Max Active NCS (nesting) = {nest}"),
+            base().tweak(|c| c.helios.max_nest = nest),
+        ));
+    }
+    // Maximum head→tail distance (paper: 64 µ-ops / 7-bit CN).
+    for dist in [8u32, 16, 32] {
+        v.push(built(
+            format!("max fusion distance = {dist} µ-ops"),
+            base().tweak(|c| c.helios.uch.max_distance = dist),
+        ));
+    }
+    // Fusion-predictor capacity (paper: 512 sets × 4 ways per component).
+    for sets in [64usize, 128] {
+        v.push(built(
+            format!("FP sets per component = {sets}"),
+            base().tweak(|c| {
+                c.helios.fp.sets = sets;
+                c.helios.fp.selector_entries = sets * 4;
+            }),
+        ));
+    }
+    // Fusion region = cache access granularity (paper: 64 B; §III-C notes
+    // the granularity could be narrower or as wide as a line).
+    for line in [16u64, 32] {
+        v.push(built(
+            format!("fusion region = {line} B"),
+            base().tweak(|c| c.helios.line_bytes = line),
+        ));
+    }
+    // Post-commit UCH decoupling queue (paper: 8 entries / 1 port is lossless).
+    v.push(built(
+        "UCH queue = 1 entry".into(),
+        base().tweak(|c| c.helios.uch_queue.entries = Some(1)),
+    ));
+    v.push(built(
+        "UCH queue = ideal (unbounded, 8 ports)".into(),
+        base().tweak(|c| {
+            c.helios.uch_queue.entries = None;
+            c.helios.uch_queue.drain_per_cycle = 8;
+        }),
+    ));
+    // Probabilistic confidence counters (Riley & Zilles [20], §V-B2's
+    // accuracy-for-coverage trade).
+    v.push(built(
+        "probabilistic confidence".into(),
+        base().tweak(|c| c.helios.fp.probabilistic_confidence = true),
+    ));
+    v
 }
 
 fn main() {
     let workloads = helios_bench::select_workloads();
-    eprintln!("ablating over {} workloads…", workloads.len());
+    let vars = variants();
+    eprintln!(
+        "ablating {} variants over {} workloads…",
+        vars.len(),
+        workloads.len()
+    );
+    let progress = Progress::new(vars.len() * workloads.len());
+    let results: Vec<(String, f64)> = vars
+        .iter()
+        .map(|(name, cfg)| {
+            let vals: Vec<f64> = workloads
+                .iter()
+                .map(|w| {
+                    let ipc = SimRequest::new(w, *cfg).run().stats.ipc();
+                    progress.item_done(w.name, name);
+                    ipc
+                })
+                .collect();
+            (name.clone(), geomean(&vals))
+        })
+        .collect();
+    progress.finish("ablation");
 
-    let baseline = geomean_ipc(&workloads, helios_cfg(), "Helios (paper params)");
-    println!("\nHelios geomean IPC (paper parameters): {baseline:.4}");
-    println!("\n{:<44} {:>10} {:>8}", "variant", "geomean", "vs base");
-    let report = |name: &str, cfg: PipeConfig| {
-        let g = geomean_ipc(&workloads, cfg, name);
-        println!("{name:<44} {g:>10.4} {:>+7.2}%", (g / baseline - 1.0) * 100.0);
-    };
-
-    // UCH load-history size (paper: 6 entries).
-    for entries in [1usize, 2, 12] {
-        let mut cfg = helios_cfg();
-        cfg.helios.uch.load_entries = entries;
-        report(&format!("UCH load entries = {entries}"), cfg);
+    let base = results[0].1;
+    let mut t = Table::new(vec![
+        "variant".into(),
+        "geomean IPC".into(),
+        "vs base".into(),
+    ]);
+    for (name, g) in &results {
+        t.row(vec![
+            name.clone(),
+            format!("{g:.4}"),
+            format!("{:+.2}%", (g / base - 1.0) * 100.0),
+        ]);
     }
-
-    // NCSF nesting depth (paper: 2; "sufficient for most of the benefits").
-    for nest in [1usize, 4, 8] {
-        let mut cfg = helios_cfg();
-        cfg.helios.max_nest = nest;
-        report(&format!("Max Active NCS (nesting) = {nest}"), cfg);
-    }
-
-    // Maximum head→tail distance (paper: 64 µ-ops / 7-bit CN).
-    for dist in [8u32, 16, 32] {
-        let mut cfg = helios_cfg();
-        cfg.helios.uch.max_distance = dist;
-        report(&format!("max fusion distance = {dist} µ-ops"), cfg);
-    }
-
-    // Fusion-predictor capacity (paper: 512 sets × 4 ways per component).
-    for sets in [64usize, 128] {
-        let mut cfg = helios_cfg();
-        cfg.helios.fp.sets = sets;
-        cfg.helios.fp.selector_entries = sets * 4;
-        report(&format!("FP sets per component = {sets}"), cfg);
-    }
-
-    // Fusion region = cache access granularity (paper: 64 B; §III-C notes
-    // the granularity could be narrower or as wide as a line).
-    for line in [16u64, 32] {
-        let mut cfg = helios_cfg();
-        cfg.helios.line_bytes = line;
-        report(&format!("fusion region = {line} B"), cfg);
-    }
-
-    // Post-commit UCH decoupling queue (paper: 8 entries / 1 port is lossless).
-    {
-        let mut cfg = helios_cfg();
-        cfg.helios.uch_queue.entries = Some(1);
-        report("UCH queue = 1 entry", cfg);
-        let mut cfg = helios_cfg();
-        cfg.helios.uch_queue.entries = None;
-        cfg.helios.uch_queue.drain_per_cycle = 8;
-        report("UCH queue = ideal (unbounded, 8 ports)", cfg);
-    }
-
-    // Probabilistic confidence counters (Riley & Zilles [20], §V-B2's
-    // accuracy-for-coverage trade).
-    {
-        let mut cfg = helios_cfg();
-        cfg.helios.fp.probabilistic_confidence = true;
-        report("probabilistic confidence", cfg);
-    }
-
-    println!("\n(paper choices should be at or near the top of each group)");
+    let mut report = Report::new(
+        "ablation",
+        "Ablation: Helios design-choice sensitivity (geomean IPC over the suite)",
+        t,
+    );
+    report.note("(paper choices should be at or near the top of each group)");
+    report.print_and_emit();
 }

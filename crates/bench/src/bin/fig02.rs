@@ -1,7 +1,7 @@
 //! Figure 2 — percentage of fused µ-ops considering all idioms, split into
 //! Memory (bold Table I pairs) and Others, relative to total dynamic µ-ops.
 
-use helios::{format_row, Table};
+use helios::{format_row, Progress, Report, Table};
 use helios_bench::census::census;
 
 fn main() {
@@ -11,18 +11,23 @@ fn main() {
         "Memory %".into(),
         "Others %".into(),
     ]);
+    let progress = Progress::new(workloads.len());
     let (mut mem, mut oth) = (Vec::new(), Vec::new());
     for w in &workloads {
         let c = census(w);
         mem.push(c.mem_pct());
         oth.push(c.other_pct());
         t.row(format_row(w.name, &[c.mem_pct(), c.other_pct()], 2));
-        eprint!("\rcensus: {:<18}", w.name);
+        progress.item_done(w.name, "census");
     }
-    eprintln!();
+    progress.finish("census");
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     t.row(format_row("average", &[avg(&mem), avg(&oth)], 2));
-    println!("Figure 2: fused µ-ops (consecutive Table I idioms) as % of dynamic µ-ops");
-    println!("{t}");
-    println!("paper averages: Memory 5.6%, Others 1.1% (bitcount/susan/xz_2 Others-heavy)");
+    let mut report = Report::new(
+        "fig02",
+        "Figure 2: fused µ-ops (consecutive Table I idioms) as % of dynamic µ-ops",
+        t,
+    );
+    report.note("paper averages: Memory 5.6%, Others 1.1% (bitcount/susan/xz_2 Others-heavy)");
+    report.print_and_emit();
 }

@@ -4,7 +4,7 @@
 //! "All idioms" is RISCVFusion++; "memory only" is CSF-SBR plus the Helios
 //! machinery disabled — i.e. the CSF-SBR configuration.
 
-use helios::{format_row, run_sweep_jobs, FusionMode, Table};
+use helios::{format_row, run_sweep_jobs, FusionMode, Report, Table};
 
 fn main() {
     let opts = helios_bench::parse_opts();
@@ -29,10 +29,14 @@ fn main() {
     let (_, g_all) = sweep.normalized_ipc(FusionMode::RiscvFusionPlusPlus, FusionMode::NoFusion);
     let (_, g_mem) = sweep.normalized_ipc(FusionMode::CsfSbr, FusionMode::NoFusion);
     t.row(format_row("geomean", &[g_all, g_mem], 3));
-    println!("Figure 3: normalized IPC, all idioms vs memory-only fusion");
-    println!("{t}");
-    println!(
-        "paper: ~1 percentage point between the two on average; susan the\n\
-         notable exception (6.5 pp, non-memory idioms dominate there)"
+    let mut report = Report::new(
+        "fig03",
+        "Figure 3: normalized IPC, all idioms vs memory-only fusion",
+        t,
     );
+    report.note(
+        "paper: ~1 percentage point between the two on average; susan the\n\
+         notable exception (6.5 pp, non-memory idioms dominate there)",
+    );
+    report.print_and_emit();
 }

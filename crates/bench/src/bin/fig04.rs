@@ -1,7 +1,7 @@
 //! Figure 4 — consecutive memory pairs by contiguity class (contiguous /
 //! overlapping / same cache line / next line), relative to dynamic µ-ops.
 
-use helios::{format_row, Table};
+use helios::{format_row, Progress, Report, Table};
 use helios_bench::census::census;
 
 fn main() {
@@ -13,6 +13,7 @@ fn main() {
         "SameLine %".into(),
         "NextLine %".into(),
     ]);
+    let progress = Progress::new(workloads.len());
     let mut sums = [0.0f64; 4];
     for w in &workloads {
         let c = census(w);
@@ -29,19 +30,23 @@ fn main() {
             *s += v;
         }
         t.row(format_row(w.name, &row, 3));
-        eprint!("\rcensus: {:<18}", w.name);
+        progress.item_done(w.name, "census");
     }
-    eprintln!();
+    progress.finish("census");
     let n = workloads.len() as f64;
     t.row(format_row(
         "average",
         &[sums[0] / n, sums[1] / n, sums[2] / n, sums[3] / n],
         3,
     ));
-    println!("Figure 4: consecutive memory pairs by contiguity class (% of dynamic µ-ops)");
-    println!("{t}");
-    println!(
-        "paper: contiguous dominates, overlap is rare, SameLine+NextLine add ~1%\n\
-         (what architectural ldp/stp would leave on the table)"
+    let mut report = Report::new(
+        "fig04",
+        "Figure 4: consecutive memory pairs by contiguity class (% of dynamic µ-ops)",
+        t,
     );
+    report.note(
+        "paper: contiguous dominates, overlap is rare, SameLine+NextLine add ~1%\n\
+         (what architectural ldp/stp would leave on the table)",
+    );
+    report.print_and_emit();
 }

@@ -2,7 +2,7 @@
 //! (NCSF) and from different-base-register (DBR) pairs, plus the asymmetric
 //! share of NCSF pairs.
 
-use helios::{format_row, Table};
+use helios::{format_row, Progress, Report, Table};
 use helios_bench::census::census;
 
 fn main() {
@@ -14,6 +14,7 @@ fn main() {
         "DBR %".into(),
         "NCSF asym %".into(),
     ]);
+    let progress = Progress::new(workloads.len());
     let mut acc = [0.0f64; 4];
     for w in &workloads {
         let c = census(w);
@@ -27,12 +28,16 @@ fn main() {
             *a += v;
         }
         t.row(format_row(w.name, &row, 2));
-        eprint!("\rcensus: {:<18}", w.name);
+        progress.item_done(w.name, "census");
     }
-    eprintln!();
+    progress.finish("census");
     let n = workloads.len() as f64;
     t.row(format_row("average", &[acc[0] / n, acc[1] / n, acc[2] / n, acc[3] / n], 2));
-    println!("Figure 5: NCSF and DBR fusion potential (% of dynamic µ-ops)");
-    println!("{t}");
-    println!("paper: NCSF adds ~5%; 12.1% of NCSF pairs asymmetric; DBR ~1.5%");
+    let mut report = Report::new(
+        "fig05",
+        "Figure 5: NCSF and DBR fusion potential (% of dynamic µ-ops)",
+        t,
+    );
+    report.note("paper: NCSF adds ~5%; 12.1% of NCSF pairs asymmetric; DBR ~1.5%");
+    report.print_and_emit();
 }

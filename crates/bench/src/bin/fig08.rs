@@ -1,7 +1,7 @@
 //! Figure 8 — committed CSF and NCSF pairs in Helios and OracleFusion,
 //! relative to total dynamic memory instructions.
 
-use helios::{format_row, run_sweep_jobs, FusionMode, Table};
+use helios::{format_row, run_sweep_jobs, FusionMode, Report, Table};
 
 fn main() {
     let opts = helios_bench::parse_opts();
@@ -29,10 +29,14 @@ fn main() {
     }
     let n = sweep.workloads().len() as f64;
     t.row(format_row("average", &[acc[0] / n, acc[1] / n, acc[2] / n, acc[3] / n], 2));
-    println!("Figure 8: CSF / NCSF pairs as % of dynamic memory instructions");
-    println!("{t}");
-    println!(
-        "paper: Helios 6.7% CSF + 5.5% NCSF, Oracle 6.1% CSF (Helios favours\n\
-         CSF during training); overall Helios 12.2% vs Oracle 13.6% of µ-ops"
+    let mut report = Report::new(
+        "fig08",
+        "Figure 8: CSF / NCSF pairs as % of dynamic memory instructions",
+        t,
     );
+    report.note(
+        "paper: Helios 6.7% CSF + 5.5% NCSF, Oracle 6.1% CSF (Helios favours\n\
+         CSF during training); overall Helios 12.2% vs Oracle 13.6% of µ-ops",
+    );
+    report.print_and_emit();
 }

@@ -1,7 +1,7 @@
 //! Figure 9 — Rename and Dispatch structural stalls as a percentage of
 //! execution cycles, for the no-fusion baseline, Helios, and OracleFusion.
 
-use helios::{format_row, run_sweep_jobs, FusionMode, Table};
+use helios::{format_row, run_sweep_jobs, FusionMode, Report, Table};
 
 fn main() {
     let opts = helios_bench::parse_opts();
@@ -39,7 +39,11 @@ fn main() {
             1,
         ));
     }
-    println!("Figure 9: Rename+Dispatch structural stalls (% of cycles)");
-    println!("{t}");
-    println!("paper: e.g. 657.xz_1 baseline spends 88% of cycles waiting on an SQ entry");
+    let mut report = Report::new(
+        "fig09",
+        "Figure 9: Rename+Dispatch structural stalls (% of cycles)",
+        t,
+    );
+    report.note("paper: e.g. 657.xz_1 baseline spends 88% of cycles waiting on an SQ entry");
+    report.print_and_emit();
 }

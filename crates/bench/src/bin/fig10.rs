@@ -12,7 +12,7 @@
 //! Mcycles/sec, jobs used) to the working directory so the simulator's own
 //! performance trajectory is tracked alongside its outputs.
 
-use helios::{format_row, run_sweep_jobs, FusionMode, Table};
+use helios::{format_row, run_sweep_jobs, FusionMode, Report, Table};
 use std::time::Instant;
 
 fn main() {
@@ -49,9 +49,6 @@ fn main() {
     }
     table.row(format_row("geomean", &geo, 3));
 
-    println!("Figure 10: IPC normalized to NoFusion");
-    println!("{table}");
-
     let pct = |m: FusionMode, b: FusionMode| {
         let vals: Vec<f64> = sweep
             .workloads()
@@ -60,31 +57,33 @@ fn main() {
             .collect();
         (helios::geomean(&vals) - 1.0) * 100.0
     };
-    println!("§V-B headline (geomean speedups):");
-    println!(
+    let mut report = Report::new("fig10", "Figure 10: IPC normalized to NoFusion", table);
+    report.note("§V-B headline (geomean speedups):");
+    report.note(format!(
         "  RISCVFusion   vs NoFusion : {:+.1}%   (paper:  +0.8%)",
         pct(FusionMode::RiscvFusion, FusionMode::NoFusion)
-    );
-    println!(
+    ));
+    report.note(format!(
         "  CSF-SBR       vs NoFusion : {:+.1}%   (paper:  +6.0%)",
         pct(FusionMode::CsfSbr, FusionMode::NoFusion)
-    );
-    println!(
+    ));
+    report.note(format!(
         "  RISCVFusion++ vs NoFusion : {:+.1}%   (paper:  +7.0%)",
         pct(FusionMode::RiscvFusionPlusPlus, FusionMode::NoFusion)
-    );
-    println!(
+    ));
+    report.note(format!(
         "  Helios        vs NoFusion : {:+.1}%   (paper: +14.2%)",
         pct(FusionMode::Helios, FusionMode::NoFusion)
-    );
-    println!(
+    ));
+    report.note(format!(
         "  Helios        vs CSF-SBR  : {:+.1}%   (paper:  +8.2%)",
         pct(FusionMode::Helios, FusionMode::CsfSbr)
-    );
-    println!(
+    ));
+    report.note(format!(
         "  OracleFusion  vs NoFusion : {:+.1}%   (paper: +16.3%)",
         pct(FusionMode::OracleFusion, FusionMode::NoFusion)
-    );
+    ));
+    report.print_and_emit();
 }
 
 /// Records the sweep's own throughput in `BENCH_sweep.json`.

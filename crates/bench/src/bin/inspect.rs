@@ -3,16 +3,30 @@
 //!
 //! ```text
 //! cargo run --release -p helios-bench --bin inspect -- --only 605.mcf
+//! cargo run --release -p helios-bench --bin inspect -- --only 605.mcf --obs
 //! ```
+//!
+//! With `--obs`, each configuration additionally runs with the event
+//! observer attached and dumps the full self-describing stats registry
+//! (every counter with its unit and description, plus the observer's
+//! fetch-to-commit latency and occupancy histograms).
 
-use helios::{run_workload, FusionMode};
+use helios::{FusionMode, ObsOpts, SimRequest};
+use helios_bench::ExtraFlag;
 
 fn main() {
-    let workloads = helios_bench::select_workloads();
-    for w in &workloads {
+    let opts = helios_bench::parse_opts_with(&[ExtraFlag::Bool("--obs")]);
+    let dump_registry = opts.extra[0].is_some();
+    for w in &opts.workloads {
         println!("=== {} ===", w.name);
         for mode in FusionMode::ALL {
-            let s = run_workload(w, mode);
+            let obs = if dump_registry {
+                ObsOpts::metrics()
+            } else {
+                ObsOpts::off()
+            };
+            let run = SimRequest::mode(w, mode).observing(obs).run();
+            let s = &run.stats;
             println!(
                 "{:<14} ipc {:>6.3}  cyc {:>9}  inst {:>8}  uops {:>8}",
                 mode.name(),
@@ -66,6 +80,12 @@ fn main() {
                 s.indirect_mispredicts,
                 s.indirects,
             );
+            if dump_registry {
+                println!("   --- registry ---");
+                for line in run.registry().to_text().lines() {
+                    println!("   {line}");
+                }
+            }
         }
         println!();
     }

@@ -19,7 +19,7 @@
 //! means the model leaked architectural state. Exits non-zero on any
 //! failure, printing a reproducible (seeded) description.
 
-use helios::Workload;
+use helios::{Report, Table, Workload};
 use helios_core::FusionMode;
 use helios_uarch::{FaultConfig, PipeConfig, Pipeline};
 
@@ -29,15 +29,21 @@ const SEED: u64 = 0x50a7;
 /// Faulted IPC must stay within `[LO, HI] × baseline`.
 const ENVELOPE: (f64, f64) = (0.05, 1.25);
 
-fn starved(mut cfg: PipeConfig) -> PipeConfig {
-    cfg.rob_size = 8;
-    cfg.iq_size = 4;
-    cfg.lq_size = 4;
-    cfg.sq_size = 2;
-    cfg.aq_size = 16;
-    cfg.prf_size = 48;
-    cfg.watchdog_cycles = 50_000;
-    cfg
+/// The starvation-sized core, through the validating builder: every
+/// structure at (or near) its minimum, watchdog tight enough to catch a
+/// hang quickly.
+fn starved() -> PipeConfig {
+    PipeConfig::builder()
+        .fusion(FusionMode::Helios)
+        .rob_size(8)
+        .iq_size(4)
+        .lq_size(4)
+        .sq_size(2)
+        .aq_size(16)
+        .prf_size(48)
+        .watchdog_cycles(50_000)
+        .build()
+        .expect("starvation config is small but valid")
 }
 
 /// One oracle-checked run. `Ok((ipc, injected))` only if the pipeline
@@ -66,6 +72,11 @@ fn main() {
     let mut failures: Vec<String> = Vec::new();
     let mut runs = 0u64;
 
+    let mut headers = vec!["benchmark".to_string(), "base".to_string()];
+    headers.extend(modes.iter().map(|(n, _)| n.to_string()));
+    headers.push("starve".into());
+    let mut table = Table::new(headers);
+
     println!(
         "soak: {} workloads x (baseline + {} fault modes + starve), seed {SEED:#x}",
         workloads.len(),
@@ -83,6 +94,7 @@ fn main() {
             }
         };
         let mut cells: Vec<String> = vec![format!("base {base:.3}")];
+        let mut row: Vec<String> = vec![w.name.to_string(), format!("{base:.3}")];
         for (name, fc) in &modes {
             runs += 1;
             match soak_run(w, cfg, Some(*fc)) {
@@ -96,16 +108,39 @@ fn main() {
                         ));
                     }
                     cells.push(format!("{name} {ipc:.3}/{injected}"));
+                    row.push(format!("{ipc:.3}/{injected}"));
                 }
-                Err(e) => failures.push(format!("{} {name}: {e}", w.name)),
+                Err(e) => {
+                    failures.push(format!("{} {name}: {e}", w.name));
+                    row.push("FAIL".into());
+                }
             }
         }
         runs += 1;
-        match soak_run(w, starved(cfg), Some(FaultConfig::chaos(SEED))) {
-            Ok((ipc, injected)) => cells.push(format!("starve {ipc:.3}/{injected}")),
-            Err(e) => failures.push(format!("{} starve: {e}", w.name)),
+        match soak_run(w, starved(), Some(FaultConfig::chaos(SEED))) {
+            Ok((ipc, injected)) => {
+                cells.push(format!("starve {ipc:.3}/{injected}"));
+                row.push(format!("{ipc:.3}/{injected}"));
+            }
+            Err(e) => {
+                failures.push(format!("{} starve: {e}", w.name));
+                row.push("FAIL".into());
+            }
         }
+        table.row(row);
         println!("  {:<18} {}", w.name, cells.join("  "));
+    }
+
+    let mut report = Report::new(
+        "soak",
+        format!(
+            "soak: fault-injection IPC/injected-fault matrix (seed {SEED:#x})"
+        ),
+        table,
+    );
+    report.note(format!("failures: {}", failures.len()));
+    if let Err(e) = report.emit() {
+        eprintln!("warning: could not write soak artifacts: {e}");
     }
 
     if failures.is_empty() {

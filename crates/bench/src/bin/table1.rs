@@ -1,7 +1,7 @@
 //! Table I — the RISC-V fusion idioms (memory pairs in bold in the paper)
 //! with their dynamic consecutive-pair frequency over the workload suite.
 
-use helios::{Table};
+use helios::{Progress, Report, Table};
 use helios_core::{match_idiom, Idiom, ALL_IDIOMS};
 use helios_emu::Retired;
 
@@ -9,6 +9,7 @@ fn main() {
     let workloads = helios_bench::select_workloads();
     let mut counts = [0u64; 8];
     let mut total = 0u64;
+    let progress = Progress::new(workloads.len());
     for w in &workloads {
         let trace: Vec<Retired> = w.stream().collect();
         total += trace.len() as u64;
@@ -22,9 +23,9 @@ fn main() {
                 i += 1;
             }
         }
-        eprint!("\rscan: {:<18}", w.name);
+        progress.item_done(w.name, "scan");
     }
-    eprintln!();
+    progress.finish("scan");
     let mut t = Table::new(vec![
         "idiom".into(),
         "category".into(),
@@ -44,7 +45,11 @@ fn main() {
             format!("{:.3}", 100.0 * 2.0 * counts[i] as f64 / total as f64),
         ]);
     }
-    println!("Table I: RISC-V fusion idioms (after Celio et al. [7]) and dynamic frequency");
-    println!("{t}");
+    let report = Report::new(
+        "table1",
+        "Table I: RISC-V fusion idioms (after Celio et al. [7]) and dynamic frequency",
+        t,
+    );
+    report.print_and_emit();
     let _ = Idiom::LoadPair;
 }

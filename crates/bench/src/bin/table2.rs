@@ -2,43 +2,51 @@
 //! storage budget of §IV-B7/§IV-C (4.9 Kbit pipeline support, 72 Kbit
 //! predictor, ≈83 Kbit total with flush pointers).
 
-use helios::PipeConfig;
+use helios::{PipeConfig, Report, Table};
 use helios_core::{helios_storage, FpConfig};
 
 fn main() {
     let c = PipeConfig::default();
-    println!("Table II: processor configuration (Icelake-like, §V-A)");
-    println!("  Fetch/Decode width       : {} µ-ops/cycle (8-wide per §V-A)", c.fetch_width);
-    println!("  Rename/Dispatch width    : {} µ-ops/cycle", c.rename_width);
-    println!("  Commit width             : {} µ-ops/cycle", c.commit_width);
-    println!("  Allocation Queue         : {} entries (§IV-B1)", c.aq_size);
-    println!("  ROB / IQ                 : {} / {} entries", c.rob_size, c.iq_size);
-    println!("  LQ / SQ                  : {} / {} entries", c.lq_size, c.sq_size);
-    println!("  Physical int registers   : {}", c.prf_size);
-    println!("  Ports (ALU/load/store)   : {}/{}/{}", c.alu_ports, c.load_ports, c.store_ports);
-    println!("  Senior store drain       : {} /cycle", c.store_drain_per_cycle);
-    println!(
+    let mut report = Report::new(
+        "table2",
+        "Table II: processor configuration (Icelake-like, §V-A)",
+        Table::new(vec![]),
+    );
+    report.note(format!("  Fetch/Decode width       : {} µ-ops/cycle (8-wide per §V-A)", c.fetch_width));
+    report.note(format!("  Rename/Dispatch width    : {} µ-ops/cycle", c.rename_width));
+    report.note(format!("  Commit width             : {} µ-ops/cycle", c.commit_width));
+    report.note(format!("  Allocation Queue         : {} entries (§IV-B1)", c.aq_size));
+    report.note(format!("  ROB / IQ                 : {} / {} entries", c.rob_size, c.iq_size));
+    report.note(format!("  LQ / SQ                  : {} / {} entries", c.lq_size, c.sq_size));
+    report.note(format!("  Physical int registers   : {}", c.prf_size));
+    report.note(format!("  Ports (ALU/load/store)   : {}/{}/{}", c.alu_ports, c.load_ports, c.store_ports));
+    report.note(format!("  Senior store drain       : {} /cycle", c.store_drain_per_cycle));
+    report.note(format!(
         "  L1D                      : {} KiB, {}-way, {} B lines, {} cycles",
         c.l1d.size / 1024, c.l1d.ways, c.l1d.line, c.l1d.latency
-    );
-    println!(
+    ));
+    report.note(format!(
         "  L2 / L3                  : {} KiB {} cyc / {} KiB {} cyc",
         c.l2.size / 1024, c.l2.latency, c.l3.size / 1024, c.l3.latency
-    );
-    println!("  Memory latency           : {} cycles", c.mem_latency);
-    println!("  Branch predictor         : TAGE (L-TAGE stand-in) + RAS + BTB");
-    println!("  Memory dependence        : store sets");
-    println!("  Consistency              : TSO (senior stores drain in order)");
-    println!();
-    println!("Helios storage budget (§IV-B7, §IV-C):");
+    ));
+    report.note(format!("  Memory latency           : {} cycles", c.mem_latency));
+    report.note("  Branch predictor         : TAGE (L-TAGE stand-in) + RAS + BTB");
+    report.note("  Memory dependence        : store sets");
+    report.note("  Consistency              : TSO (senior stores drain in order)");
+    report.note("");
+    report.note("Helios storage budget (§IV-B7, §IV-C):");
     let b = helios_storage(&c.sizes(), &FpConfig::default(), true);
     for item in b.items() {
-        println!("  {:<28} {:<14} {:>6} bits", item.name, item.structure, item.bits);
+        report.note(format!(
+            "  {:<28} {:<14} {:>6} bits",
+            item.name, item.structure, item.bits
+        ));
     }
-    println!(
+    report.note(format!(
         "  total: {} bits = {:.2} Kbit = {:.2} KB (paper: ≈83 Kbit / 10.4 KB)",
         b.total_bits(),
         b.total_bits() as f64 / 1024.0,
         b.total_kib()
-    );
+    ));
+    report.print_and_emit();
 }

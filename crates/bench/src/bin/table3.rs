@@ -5,7 +5,7 @@
 //! with different base registers), measured against the OracleFusion
 //! equivalent as the denominator.
 
-use helios::{run_sweep_jobs, FusionMode, Table};
+use helios::{run_sweep_jobs, FusionMode, Report, Table};
 
 fn main() {
     let opts = helios_bench::parse_opts();
@@ -49,7 +49,11 @@ fn main() {
             format!("{:.4}", mpki_sum / n),
         ]);
     }
-    println!("Table III: Helios fusion predictor coverage / accuracy / MPKI");
-    println!("{t}");
-    println!("paper averages: coverage 68.2%, accuracy 99.7%, MPKI 0.142");
+    let mut report = Report::new(
+        "table3",
+        "Table III: Helios fusion predictor coverage / accuracy / MPKI",
+        t,
+    );
+    report.note("paper averages: coverage 68.2%, accuracy 99.7%, MPKI 0.142");
+    report.print_and_emit();
 }

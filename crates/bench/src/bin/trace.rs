@@ -1,23 +1,93 @@
 //! Trace dump: disassembled retired-µ-op stream of a workload, with
 //! effective addresses and branch outcomes — the debugging view of what the
-//! pipeline consumes.
+//! pipeline consumes. With `--konata`, additionally simulates the workload
+//! with the per-µ-op timeline observer and writes a pipeline trace loadable
+//! by the Konata viewer (<https://github.com/shioyadan/Konata>).
 //!
 //! ```text
 //! cargo run --release -p helios-bench --bin trace -- <workload> [skip] [count]
+//! cargo run --release -p helios-bench --bin trace -- <workload> \
+//!     --konata out.kanata [--mode Helios] [--limit N]
 //! ```
 
+use helios::{FusionMode, ObsOpts, SimRequest};
 use helios_isa::disassemble;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let name = args.get(1).map(String::as_str).unwrap_or("crc32");
-    let skip: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0);
-    let count: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(40);
+    let mut positional: Vec<String> = Vec::new();
+    let mut konata: Option<String> = None;
+    let mut mode = FusionMode::Helios;
+    let mut limit: Option<u64> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--konata" => {
+                i += 1;
+                let Some(path) = args.get(i) else {
+                    eprintln!("error: --konata requires an output path");
+                    std::process::exit(2);
+                };
+                konata = Some(path.clone());
+            }
+            "--mode" => {
+                i += 1;
+                let name = args.get(i).map(String::as_str).unwrap_or("");
+                let Some(m) = FusionMode::ALL.iter().find(|m| m.name() == name) else {
+                    let names: Vec<&str> = FusionMode::ALL.iter().map(|m| m.name()).collect();
+                    eprintln!("error: --mode must be one of: {}", names.join(", "));
+                    std::process::exit(2);
+                };
+                mode = *m;
+            }
+            "--limit" => {
+                i += 1;
+                limit = args.get(i).and_then(|s| s.parse().ok());
+                if limit.is_none() {
+                    eprintln!("error: --limit requires a µ-op count");
+                    std::process::exit(2);
+                }
+            }
+            other => positional.push(other.to_string()),
+        }
+        i += 1;
+    }
+
+    let name = positional.first().map(String::as_str).unwrap_or("crc32");
+    let skip: u64 = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(0);
+    let count: u64 = positional.get(2).and_then(|s| s.parse().ok()).unwrap_or(40);
 
     let Some(w) = helios::workload(name) else {
         eprintln!("unknown workload `{name}`; see `helios::all_workloads()`");
         std::process::exit(1);
     };
+
+    if let Some(path) = konata {
+        let mut obs = ObsOpts::timeline();
+        obs.timeline_limit = limit;
+        let run = SimRequest::mode(&w, mode).observing(obs).run();
+        let observer = run.observer.expect("timeline observer was attached");
+        let mut out = std::io::BufWriter::new(
+            std::fs::File::create(&path).unwrap_or_else(|e| {
+                eprintln!("error: cannot create {path}: {e}");
+                std::process::exit(1);
+            }),
+        );
+        observer.write_konata(&mut out).unwrap_or_else(|e| {
+            eprintln!("error: writing {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!(
+            "wrote {path}: {} µ-op records, {} commits, {} cycles ({}, {})",
+            observer.records().len(),
+            observer.commit_events(),
+            run.stats.cycles,
+            w.name,
+            mode.name(),
+        );
+        return;
+    }
+
     println!("{}: retired µ-ops {skip}..{}", w.name, skip + count);
     for r in w.stream().skip(skip as usize).take(count as usize) {
         let mem = match r.mem {

@@ -29,6 +29,19 @@ pub struct SweepOpts {
     pub workloads: Vec<Workload>,
     /// Sweep worker threads (`--jobs`, default: all cores).
     pub jobs: usize,
+    /// Binary-specific flags requested via [`parse_opts_with`], in
+    /// declaration order: `None` when absent, `Some("")` for a present
+    /// boolean flag, `Some(value)` for a present valued flag.
+    pub extra: Vec<Option<String>>,
+}
+
+/// A binary-specific flag [`parse_opts_with`] should accept on top of the
+/// common `--quick` / `--only` / `--jobs` set.
+pub enum ExtraFlag {
+    /// A boolean switch, e.g. `--obs`.
+    Bool(&'static str),
+    /// A flag taking one value, e.g. `--konata <path>`.
+    Value(&'static str),
 }
 
 /// Parses the common CLI arguments.
@@ -37,10 +50,17 @@ pub struct SweepOpts {
 /// `--only` names — a typo'd name silently filtering the sweep to nothing
 /// would make every figure print NaN geomeans.
 pub fn parse_opts() -> SweepOpts {
+    parse_opts_with(&[])
+}
+
+/// [`parse_opts`], additionally accepting the given binary-specific flags
+/// (reported back through [`SweepOpts::extra`]).
+pub fn parse_opts_with(known: &[ExtraFlag]) -> SweepOpts {
     let args: Vec<String> = std::env::args().collect();
     let mut only: Option<Vec<String>> = None;
     let mut quick = false;
     let mut jobs = helios::default_jobs();
+    let mut extra: Vec<Option<String>> = known.iter().map(|_| None).collect();
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -64,7 +84,21 @@ pub fn parse_opts() -> SweepOpts {
                 };
             }
             other => {
-                eprintln!("warning: ignoring unknown argument `{other}`");
+                let known_at = known.iter().position(|f| match f {
+                    ExtraFlag::Bool(n) | ExtraFlag::Value(n) => *n == other,
+                });
+                match known_at.map(|k| (&known[k], k)) {
+                    Some((ExtraFlag::Bool(_), k)) => extra[k] = Some(String::new()),
+                    Some((ExtraFlag::Value(name), k)) => {
+                        i += 1;
+                        let Some(v) = args.get(i) else {
+                            eprintln!("error: {name} requires a value");
+                            std::process::exit(2);
+                        };
+                        extra[k] = Some(v.clone());
+                    }
+                    None => eprintln!("warning: ignoring unknown argument `{other}`"),
+                }
             }
         }
         i += 1;
@@ -100,7 +134,11 @@ pub fn parse_opts() -> SweepOpts {
             .collect(),
         (None, false) => all,
     };
-    SweepOpts { workloads, jobs }
+    SweepOpts {
+        workloads,
+        jobs,
+        extra,
+    }
 }
 
 /// Parses the common CLI arguments and returns the selected workloads.

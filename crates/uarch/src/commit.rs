@@ -57,6 +57,13 @@ impl<I: UopSource> Pipeline<I> {
                 });
             }
 
+            if self.obs.is_some() {
+                let (now, tail) = (self.now, u.fused.map(|f| f.tail_seq));
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.committed(u.seq, tail, now);
+                }
+            }
+
             // --- Instruction counts. ---
             self.stats.uops += 1;
             self.stats.instructions += u.inst_count();

@@ -115,7 +115,181 @@ impl Default for PipeConfig {
     }
 }
 
+/// Why a [`PipeConfigBuilder`] rejected a configuration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ConfigError {
+    /// A structure capacity (AQ/ROB/IQ/LQ/SQ) is zero — the pipeline could
+    /// never dispatch a µ-op.
+    ZeroCapacity(&'static str),
+    /// A per-cycle width (fetch/rename/dispatch/commit) is zero — the
+    /// pipeline could never move a µ-op.
+    ZeroWidth(&'static str),
+    /// Too few physical registers to cover the 32 architectural mappings
+    /// plus at least one rename.
+    PrfTooSmall { prf_size: usize },
+    /// The commit-progress watchdog window is shorter than one commit
+    /// group — every run would be reported as deadlocked.
+    WatchdogTooSmall { watchdog_cycles: u64, commit_width: usize },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroCapacity(s) => write!(f, "{s} capacity must be at least 1"),
+            ConfigError::ZeroWidth(s) => write!(f, "{s} width must be at least 1"),
+            ConfigError::PrfTooSmall { prf_size } => write!(
+                f,
+                "prf_size {prf_size} leaves no physical registers beyond the 32 architectural mappings"
+            ),
+            ConfigError::WatchdogTooSmall {
+                watchdog_cycles,
+                commit_width,
+            } => write!(
+                f,
+                "watchdog_cycles {watchdog_cycles} is below the commit width {commit_width}: \
+                 every run would be reported as deadlocked"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Validating builder for [`PipeConfig`].
+///
+/// Starts from the Table II defaults; [`PipeConfigBuilder::build`] rejects
+/// configurations the pipeline cannot run (zero-capacity structures, zero
+/// widths, a starved PRF, or a watchdog window below the commit width)
+/// instead of letting them surface later as a watchdog "deadlock".
+///
+/// # Examples
+///
+/// ```
+/// use helios_core::FusionMode;
+/// use helios_uarch::PipeConfig;
+///
+/// let cfg = PipeConfig::builder()
+///     .fusion(FusionMode::Helios)
+///     .rob_size(64)
+///     .build()?;
+/// assert_eq!(cfg.rob_size, 64);
+/// assert!(PipeConfig::builder().sq_size(0).build().is_err());
+/// # Ok::<(), helios_uarch::ConfigError>(())
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PipeConfigBuilder {
+    cfg: PipeConfig,
+}
+
+impl PipeConfigBuilder {
+    /// Sets the fusion mode under evaluation.
+    pub fn fusion(mut self, fusion: FusionMode) -> Self {
+        self.cfg.fusion = fusion;
+        self
+    }
+
+    /// Sets the reorder-buffer capacity.
+    pub fn rob_size(mut self, n: usize) -> Self {
+        self.cfg.rob_size = n;
+        self
+    }
+
+    /// Sets the issue-queue capacity.
+    pub fn iq_size(mut self, n: usize) -> Self {
+        self.cfg.iq_size = n;
+        self
+    }
+
+    /// Sets the load-queue capacity.
+    pub fn lq_size(mut self, n: usize) -> Self {
+        self.cfg.lq_size = n;
+        self
+    }
+
+    /// Sets the store-queue capacity.
+    pub fn sq_size(mut self, n: usize) -> Self {
+        self.cfg.sq_size = n;
+        self
+    }
+
+    /// Sets the allocation-queue capacity.
+    pub fn aq_size(mut self, n: usize) -> Self {
+        self.cfg.aq_size = n;
+        self
+    }
+
+    /// Sets the physical integer register file size.
+    pub fn prf_size(mut self, n: usize) -> Self {
+        self.cfg.prf_size = n;
+        self
+    }
+
+    /// Sets the commit-progress watchdog window.
+    pub fn watchdog_cycles(mut self, n: u64) -> Self {
+        self.cfg.watchdog_cycles = n;
+        self
+    }
+
+    /// Escape hatch for fields without a dedicated setter (latencies, port
+    /// counts, cache geometry, `helios` sub-parameters). The closure edits
+    /// the draft in place; [`PipeConfigBuilder::build`] still validates the
+    /// result.
+    pub fn tweak(mut self, f: impl FnOnce(&mut PipeConfig)) -> Self {
+        f(&mut self.cfg);
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<PipeConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
 impl PipeConfig {
+    /// A validating builder starting from the Table II defaults.
+    pub fn builder() -> PipeConfigBuilder {
+        PipeConfigBuilder::default()
+    }
+
+    /// Checks the structural invariants the pipeline needs to make progress.
+    /// [`PipeConfigBuilder::build`] applies this automatically.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        for (n, what) in [
+            (self.aq_size, "AQ"),
+            (self.rob_size, "ROB"),
+            (self.iq_size, "IQ"),
+            (self.lq_size, "LQ"),
+            (self.sq_size, "SQ"),
+        ] {
+            if n == 0 {
+                return Err(ConfigError::ZeroCapacity(what));
+            }
+        }
+        for (n, what) in [
+            (self.fetch_width, "fetch"),
+            (self.rename_width, "rename"),
+            (self.dispatch_width, "dispatch"),
+            (self.commit_width, "commit"),
+        ] {
+            if n == 0 {
+                return Err(ConfigError::ZeroWidth(what));
+            }
+        }
+        if self.free_phys_regs() == 0 {
+            return Err(ConfigError::PrfTooSmall {
+                prf_size: self.prf_size,
+            });
+        }
+        if self.watchdog_cycles < self.commit_width as u64 {
+            return Err(ConfigError::WatchdogTooSmall {
+                watchdog_cycles: self.watchdog_cycles,
+                commit_width: self.commit_width,
+            });
+        }
+        Ok(())
+    }
+
     /// A configuration for the given fusion mode, otherwise default.
     pub fn with_fusion(fusion: FusionMode) -> PipeConfig {
         PipeConfig {
@@ -165,5 +339,58 @@ mod tests {
         let c = PipeConfig::with_fusion(FusionMode::Helios);
         assert_eq!(c.fusion, FusionMode::Helios);
         assert_eq!(c.rob_size, PipeConfig::default().rob_size);
+    }
+
+    #[test]
+    fn builder_accepts_valid_and_rejects_degenerate() {
+        let c = PipeConfig::builder()
+            .fusion(FusionMode::Helios)
+            .rob_size(64)
+            .iq_size(20)
+            .lq_size(16)
+            .sq_size(12)
+            .prf_size(48)
+            .build()
+            .unwrap();
+        assert_eq!(c.fusion, FusionMode::Helios);
+        assert_eq!(c.rob_size, 64);
+
+        assert_eq!(
+            PipeConfig::builder().rob_size(0).build(),
+            Err(ConfigError::ZeroCapacity("ROB"))
+        );
+        assert_eq!(
+            PipeConfig::builder().iq_size(0).build(),
+            Err(ConfigError::ZeroCapacity("IQ"))
+        );
+        assert_eq!(
+            PipeConfig::builder().lq_size(0).build(),
+            Err(ConfigError::ZeroCapacity("LQ"))
+        );
+        assert_eq!(
+            PipeConfig::builder().sq_size(0).build(),
+            Err(ConfigError::ZeroCapacity("SQ"))
+        );
+        assert!(matches!(
+            PipeConfig::builder().prf_size(32).build(),
+            Err(ConfigError::PrfTooSmall { prf_size: 32 })
+        ));
+        assert!(matches!(
+            PipeConfig::builder().watchdog_cycles(4).build(),
+            Err(ConfigError::WatchdogTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn builder_tweak_is_still_validated() {
+        let c = PipeConfig::builder()
+            .tweak(|c| c.alu_ports = 8)
+            .build()
+            .unwrap();
+        assert_eq!(c.alu_ports, 8);
+        assert!(PipeConfig::builder()
+            .tweak(|c| c.fetch_width = 0)
+            .build()
+            .is_err());
     }
 }

@@ -92,6 +92,9 @@ impl<I: UopSource> Pipeline<I> {
                 self.rob[ri].issued = true;
                 self.rob[ri].complete_at = Some(complete);
             }
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.issued(seq, now, complete);
+            }
             issued.push(seq);
         }
 

@@ -35,6 +35,12 @@ impl<I: UopSource> Pipeline<I> {
         while budget > 0 && self.aq.len() < self.cfg.aq_size {
             let Some(r) = self.window.fetch() else { break };
             budget -= 1;
+            if self.obs.is_some() {
+                let now = self.now;
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.fetched(r.seq, r.pc, r.inst, now);
+                }
+            }
 
             // Branch prediction against the oracle outcome.
             let taken = r.control_taken();
@@ -77,6 +83,7 @@ impl<I: UopSource> Pipeline<I> {
                         mode.other_idioms(),
                     ) {
                         let prev_mem = prev.mem;
+                        let head_seq = prev.seq;
                         let Some(AqEntry::Uop(prev)) = self.aq.back_mut() else {
                             unreachable!()
                         };
@@ -97,6 +104,9 @@ impl<I: UopSource> Pipeline<I> {
                             pending: false,
                             hazards: CatalystHazards::default(),
                         });
+                        if let Some(o) = self.obs.as_deref_mut() {
+                            o.fused(head_seq, r.seq);
+                        }
                         // The tail nucleus disappears from the pipeline.
                         return;
                     }
@@ -211,6 +221,9 @@ impl<I: UopSource> Pipeline<I> {
             head_seq,
         });
         self.stats.fusion.predictions += 1;
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.fused(head_seq, r.seq);
+        }
         true
     }
 
@@ -261,6 +274,7 @@ impl<I: UopSource> Pipeline<I> {
             if is_store && hazards.store_in_catalyst {
                 continue;
             }
+            let head_seq = head.seq;
             let distance = r.seq - head.seq;
             let class = if distance == 1 {
                 FusionClass::Consecutive
@@ -286,6 +300,9 @@ impl<I: UopSource> Pipeline<I> {
             });
             // Oracle absorbs the tail immediately (upper bound: no
             // validation latency, no Tail marker).
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.fused(head_seq, r.seq);
+            }
             return true;
         }
         false

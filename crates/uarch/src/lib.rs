@@ -33,7 +33,7 @@
 //! "#)?;
 //! let stream = RetireStream::new(prog, 1_000_000);
 //! let mut pipe = Pipeline::new(PipeConfig::with_fusion(FusionMode::NoFusion), stream);
-//! let stats = pipe.run(10_000_000);
+//! let stats = pipe.try_run(10_000_000)?;
 //! assert!(stats.ipc() > 0.5);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
@@ -48,6 +48,7 @@ mod execute;
 mod fault;
 mod frontend;
 mod memdep;
+pub mod obs;
 mod pipeline;
 mod rename;
 mod stats;
@@ -57,10 +58,11 @@ mod window;
 pub use bpred::{BranchOutcome, BranchPredictor, Tage};
 pub use cache::{Cache, Hierarchy, MemResult};
 pub use check::OracleChecker;
-pub use config::{CacheParams, PipeConfig};
+pub use config::{CacheParams, ConfigError, PipeConfig, PipeConfigBuilder};
 pub use error::{DeadlockReport, InvariantReport, SimError};
 pub use fault::{FaultConfig, FaultInjector};
 pub use memdep::StoreSets;
+pub use obs::{Histogram, ObsOpts, Observer, StatEntry, StatValue, StatsRegistry, Unit, UopRec};
 pub use pipeline::Pipeline;
 pub use stats::{DispatchStall, SimStats};
 pub use uop::{AqEntry, CatalystHazards, DynUop, FuClass, Fused};

@@ -1,0 +1,8 @@
+//! Observability: the self-describing stats registry and the opt-in
+//! per-µ-op event trace (DESIGN.md §12).
+
+pub mod registry;
+pub mod trace;
+
+pub use registry::{Histogram, StatEntry, StatValue, StatsRegistry, Unit};
+pub use trace::{ObsOpts, Observer, UopRec};

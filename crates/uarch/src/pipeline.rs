@@ -13,6 +13,7 @@
 use crate::check::{CommitRecord, OracleChecker};
 use crate::error::{DeadlockReport, SimError};
 use crate::fault::FaultInjector;
+use crate::obs::{ObsOpts, Observer, StatsRegistry};
 use crate::{
     AqEntry, BranchPredictor, DynUop, Hierarchy, PipeConfig, SimStats, StoreSets, TraceWindow,
 };
@@ -221,6 +222,9 @@ pub struct Pipeline<I> {
     pub(crate) commit_log: Vec<CommitRecord>,
     /// Deterministic fault injector (`attach_faults`).
     pub(crate) fault: Option<FaultInjector>,
+    /// Per-µ-op event observer (`attach_observer`). `None` costs one branch
+    /// per event site — the zero-cost-when-off contract.
+    pub(crate) obs: Option<Box<Observer>>,
 
     // Scratch buffers reused across cycles so the per-cycle and per-flush
     // paths stay allocation-free in steady state.
@@ -267,6 +271,7 @@ impl<I: UopSource> Pipeline<I> {
             checker: None,
             commit_log: Vec::new(),
             fault: None,
+            obs: None,
             scratch_issued: Vec::new(),
             scratch_checks: Vec::new(),
             scratch_undos: Vec::new(),
@@ -284,6 +289,32 @@ impl<I: UopSource> Pipeline<I> {
     /// Statistics collected so far.
     pub fn stats(&self) -> &SimStats {
         &self.stats
+    }
+
+    /// Attaches a per-µ-op event observer (no-op when `opts.enabled` is
+    /// false). Replaces any previously attached observer.
+    pub fn attach_observer(&mut self, opts: ObsOpts) {
+        self.obs = opts.enabled.then(|| Box::new(Observer::new(opts)));
+    }
+
+    /// The attached observer, if any.
+    pub fn observer(&self) -> Option<&Observer> {
+        self.obs.as_deref()
+    }
+
+    /// Detaches and returns the observer, if any.
+    pub fn take_observer(&mut self) -> Option<Box<Observer>> {
+        self.obs.take()
+    }
+
+    /// The self-describing registry view of the statistics collected so far,
+    /// including the attached observer's counters and histograms.
+    pub fn registry(&self) -> StatsRegistry {
+        let mut reg = self.stats.registry();
+        if let Some(o) = &self.obs {
+            o.export(&mut reg);
+        }
+        reg
     }
 
     /// Current cycle.
@@ -321,6 +352,12 @@ impl<I: UopSource> Pipeline<I> {
         self.break_resource_deadlock();
         if self.fault.is_some() {
             self.apply_cycle_faults();
+        }
+        if self.obs.is_some() {
+            let (rob, iq, lq, sq) = (self.rob.len(), self.iq.len(), self.lq.len(), self.sq.len());
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.sample_occupancy(rob, iq, lq, sq);
+            }
         }
     }
 
@@ -407,6 +444,7 @@ impl<I: UopSource> Pipeline<I> {
     /// Panics on [`SimError::Deadlock`] and
     /// [`SimError::InvariantViolation`] — both are simulator bugs, not
     /// workload properties. Use `try_run` to handle them gracefully.
+    #[deprecated(note = "use `try_run`, which reports abnormal outcomes as structured `SimError`s")]
     pub fn run(&mut self, max_cycles: u64) -> &SimStats {
         if let Err(e) = self.try_run(max_cycles) {
             if !matches!(e, SimError::CycleLimit { .. }) {
@@ -607,6 +645,12 @@ impl<I: UopSource> Pipeline<I> {
             return false; // nothing at or past the clamped restart in flight
         }
         debug_assert!(restart >= self.committed_upto);
+        if self.obs.is_some() {
+            let now = self.now;
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.squashed(restart, now);
+            }
+        }
 
         // Collect rename-undo records from squashed ROB entries and from
         // tail-nucleus RAT updates, then apply them youngest-first.
@@ -669,9 +713,12 @@ impl<I: UopSource> Pipeline<I> {
             if let AqEntry::Uop(u) = e {
                 if let Some(f) = &u.fused {
                     if f.tail_seq >= restart {
-                        let pred = f.pred;
+                        let (pred, tail_seq) = (f.pred, f.tail_seq);
                         u.unfuse();
                         self.stats.fusion.record_repair(RepairCase::CatalystFlush);
+                        if let Some(o) = self.obs.as_deref_mut() {
+                            o.unfused(u.seq, tail_seq);
+                        }
                         if let Some(meta) = pred {
                             self.fp.resolve(&meta, false);
                         }
@@ -712,6 +759,9 @@ impl<I: UopSource> Pipeline<I> {
         let Some(f) = self.rob[i].uop.unfuse() else {
             return;
         };
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.unfused(seq, f.tail_seq);
+        }
         // Free the tail's destination register if one was allocated.
         if f.tail_inst.rd().is_some() {
             // Head allocation counted head + tail dests.

@@ -1,7 +1,12 @@
 //! Simulation statistics: cycles, IPC, stall breakdowns (Fig. 9), branch and
 //! cache behaviour, and the fusion statistics from `helios-core`.
+//!
+//! `SimStats` stays a plain struct of `u64` fields — the hot path increments
+//! them directly — and [`SimStats::export`] projects it into the
+//! self-describing [`StatsRegistry`] view after the run.
 
-use helios_core::FusionStats;
+use crate::obs::{StatsRegistry, Unit};
+use helios_core::{FusionStats, Idiom, RepairCase, ALL_IDIOMS};
 
 /// Why Dispatch could not move a µ-op this cycle.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -146,6 +151,240 @@ impl SimStats {
             100.0 * (2 * self.fusion.csf_pairs) as f64 / denom,
             100.0 * (2 * self.fusion.ncsf_pairs) as f64 / denom,
         )
+    }
+
+    /// Exports every counter plus the derived metrics into `reg` as
+    /// self-describing entries. Entry names and units are stable — the
+    /// schema snapshot test pins them.
+    pub fn export(&self, reg: &mut StatsRegistry) {
+        reg.counter("cycles", "total simulated cycles", Unit::Cycles, self.cycles);
+        reg.counter(
+            "instructions",
+            "committed architectural instructions (a fused pair counts as 2)",
+            Unit::Instructions,
+            self.instructions,
+        );
+        reg.counter("uops", "committed µ-ops (a fused pair counts as 1)", Unit::Uops, self.uops);
+        reg.counter(
+            "mem_instructions",
+            "committed memory instructions (pre-fusion count)",
+            Unit::Instructions,
+            self.mem_instructions,
+        );
+        reg.counter("loads", "committed loads (pre-fusion count)", Unit::Instructions, self.loads);
+        reg.counter("stores", "committed stores (pre-fusion count)", Unit::Instructions, self.stores);
+
+        reg.counter(
+            "rename_stall_cycles",
+            "cycles Rename made zero progress for want of physical registers",
+            Unit::Cycles,
+            self.rename_stall_cycles,
+        );
+        reg.counter(
+            "dispatch_stall_rob",
+            "cycles Dispatch stalled on a full ROB",
+            Unit::Cycles,
+            self.dispatch_stall_rob,
+        );
+        reg.counter(
+            "dispatch_stall_iq",
+            "cycles Dispatch stalled on a full IQ",
+            Unit::Cycles,
+            self.dispatch_stall_iq,
+        );
+        reg.counter(
+            "dispatch_stall_lq",
+            "cycles Dispatch stalled on a full LQ",
+            Unit::Cycles,
+            self.dispatch_stall_lq,
+        );
+        reg.counter(
+            "dispatch_stall_sq",
+            "cycles Dispatch stalled on a full SQ",
+            Unit::Cycles,
+            self.dispatch_stall_sq,
+        );
+        reg.counter(
+            "fetch_stall_redirect",
+            "cycles the frontend waited on a mispredicted branch",
+            Unit::Cycles,
+            self.fetch_stall_redirect,
+        );
+
+        reg.counter("branches", "committed conditional branches", Unit::Instructions, self.branches);
+        reg.counter(
+            "branch_mispredicts",
+            "mispredicted conditional branches",
+            Unit::Events,
+            self.branch_mispredicts,
+        );
+        reg.counter("indirects", "committed indirect jumps", Unit::Instructions, self.indirects);
+        reg.counter(
+            "indirect_mispredicts",
+            "mispredicted indirect-jump targets",
+            Unit::Events,
+            self.indirect_mispredicts,
+        );
+
+        reg.counter(
+            "memdep_flushes",
+            "memory-order violation flushes",
+            Unit::Events,
+            self.memdep_flushes,
+        );
+        reg.counter(
+            "ncsf_nest_aborts",
+            "predicted pairs abandoned at the Max Active NCS limit",
+            Unit::Events,
+            self.ncsf_nest_aborts,
+        );
+        reg.counter(
+            "fusion_flushes",
+            "fusion-repair pipeline flushes (§IV-C cases 5/6)",
+            Unit::Events,
+            self.fusion_flushes,
+        );
+
+        reg.counter("l1d_accesses", "L1D accesses (demand loads + store drains)", Unit::Events, self.l1d_accesses);
+        reg.counter("l1d_misses", "L1D misses", Unit::Events, self.l1d_misses);
+        reg.counter("l2_misses", "L2 misses", Unit::Events, self.l2_misses);
+        reg.counter("l3_misses", "L3 misses", Unit::Events, self.l3_misses);
+        reg.counter("stlf_forwards", "store-to-load forwards", Unit::Events, self.stlf_forwards);
+        reg.counter(
+            "uch_queue_dropped",
+            "UCH decoupling-queue records dropped (queue full)",
+            Unit::Events,
+            self.uch_queue_dropped,
+        );
+        reg.counter(
+            "uch_queue_drained",
+            "UCH decoupling-queue records drained",
+            Unit::Events,
+            self.uch_queue_drained,
+        );
+
+        reg.counter(
+            "deadlock_breaks",
+            "pending pairs unfused by the resource-deadlock breaker",
+            Unit::Events,
+            self.deadlock_breaks,
+        );
+        reg.counter("injected_faults", "faults injected by an attached FaultInjector", Unit::Events, self.injected_faults);
+        reg.counter(
+            "oracle_checked",
+            "commit records verified by an attached OracleChecker",
+            Unit::Events,
+            self.oracle_checked,
+        );
+
+        // Fusion statistics (helios-core) under the `fusion.` prefix.
+        let f = &self.fusion;
+        reg.counter("fusion.csf_pairs", "committed consecutive fused pairs", Unit::Pairs, f.csf_pairs);
+        reg.counter("fusion.ncsf_pairs", "committed non-consecutive fused pairs", Unit::Pairs, f.ncsf_pairs);
+        for idiom in ALL_IDIOMS {
+            reg.counter(
+                idiom_stat_name(idiom),
+                idiom.name(),
+                Unit::Pairs,
+                f.by_idiom[idiom.index()],
+            );
+        }
+        reg.counter("fusion.contiguous", "committed memory pairs: contiguous accesses", Unit::Pairs, f.contiguous);
+        reg.counter("fusion.overlapping", "committed memory pairs: overlapping accesses", Unit::Pairs, f.overlapping);
+        reg.counter("fusion.same_line", "committed memory pairs: same cache line", Unit::Pairs, f.same_line);
+        reg.counter("fusion.next_line", "committed memory pairs: adjacent cache line", Unit::Pairs, f.next_line);
+        reg.counter("fusion.dbr_pairs", "committed pairs with different base registers", Unit::Pairs, f.dbr_pairs);
+        reg.counter("fusion.asymmetric_pairs", "committed pairs with different access sizes", Unit::Pairs, f.asymmetric_pairs);
+        reg.counter(
+            "fusion.ncsf_distance_sum",
+            "sum of head→tail distances of committed NCSF pairs",
+            Unit::Uops,
+            f.ncsf_distance_sum,
+        );
+        reg.counter("fusion.predictions", "fusion predictions issued", Unit::Events, f.predictions);
+        reg.counter(
+            "fusion.predictions_correct",
+            "predictions committed as fused pairs",
+            Unit::Events,
+            f.predictions_correct,
+        );
+        reg.counter("fusion.mispredictions", "predictions unfused or flushed", Unit::Events, f.mispredictions);
+        for case in RepairCase::ALL {
+            let (name, desc) = repair_stat_entry(case);
+            reg.counter(name, desc, Unit::Events, f.repairs[case.index()]);
+        }
+
+        // Derived metrics.
+        reg.gauge("ipc", "instructions per cycle", Unit::Ratio, self.ipc());
+        reg.gauge(
+            "stall_pct",
+            "rename + dispatch structural stalls as % of cycles",
+            Unit::Percent,
+            self.stall_pct(),
+        );
+        reg.gauge("branch_mpki", "branch mispredictions per kilo-instruction", Unit::Mpki, self.branch_mpki());
+        reg.gauge("fusion.mpki", "fusion mispredictions per kilo-instruction", Unit::Mpki, self.fusion_mpki());
+        reg.gauge(
+            "fusion.fused_pct_of_uops",
+            "fused nucleii as % of dynamic instructions",
+            Unit::Percent,
+            self.fused_pct_of_uops(),
+        );
+    }
+
+    /// The registry view of these statistics.
+    pub fn registry(&self) -> StatsRegistry {
+        let mut reg = StatsRegistry::new();
+        self.export(&mut reg);
+        reg
+    }
+}
+
+/// Stable registry name for an idiom's pair counter.
+fn idiom_stat_name(idiom: Idiom) -> &'static str {
+    match idiom {
+        Idiom::LoadPair => "fusion.idiom.load_pair",
+        Idiom::StorePair => "fusion.idiom.store_pair",
+        Idiom::LuiAddi => "fusion.idiom.lui_addi",
+        Idiom::AuipcAddi => "fusion.idiom.auipc_addi",
+        Idiom::SlliAdd => "fusion.idiom.slli_add",
+        Idiom::SlliSrli => "fusion.idiom.slli_srli",
+        Idiom::IndexedLoad => "fusion.idiom.indexed_load",
+        Idiom::LoadGlobal => "fusion.idiom.load_global",
+    }
+}
+
+/// Stable registry `(name, description)` for a repair case's counter.
+fn repair_stat_entry(case: RepairCase) -> (&'static str, &'static str) {
+    match case {
+        RepairCase::RawSourceFix => (
+            "fusion.repair.raw_source_fix",
+            "case 1: catalyst RaW source fixed in place",
+        ),
+        RepairCase::Deadlock => (
+            "fusion.repair.deadlock",
+            "case 2: dependency deadlock, unfused at Dispatch",
+        ),
+        RepairCase::StoreInCatalyst => (
+            "fusion.repair.store_in_catalyst",
+            "case 3: store inside a store pair's catalyst, unfused",
+        ),
+        RepairCase::Serializing => (
+            "fusion.repair.serializing",
+            "case 4: serializing instruction in the catalyst, unfused",
+        ),
+        RepairCase::SpanMismatch => (
+            "fusion.repair.span_mismatch",
+            "case 5: accesses span past the fusion region, flushed",
+        ),
+        RepairCase::TailFault => (
+            "fusion.repair.tail_fault",
+            "case 6: tail access faulted, flushed",
+        ),
+        RepairCase::CatalystFlush => (
+            "fusion.repair.catalyst_flush",
+            "case 7: catalyst squashed under the pair, unfused",
+        ),
     }
 }
 

@@ -10,7 +10,7 @@ use helios_uarch::{PipeConfig, Pipeline, SimStats};
 fn simulate(prog: Program, mode: FusionMode) -> SimStats {
     let stream = RetireStream::new(prog, 10_000_000);
     let mut pipe = Pipeline::new(PipeConfig::with_fusion(mode), stream);
-    pipe.run(50_000_000);
+    pipe.try_run(50_000_000).expect("kernel simulates cleanly");
     pipe.stats().clone()
 }
 

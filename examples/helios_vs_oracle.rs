@@ -6,7 +6,7 @@
 //! cargo run --release --example helios_vs_oracle [workload-name]
 //! ```
 
-use helios::{run_workload, FusionMode};
+use helios::{FusionMode, SimRequest};
 use helios_core::RepairCase;
 
 fn main() {
@@ -17,9 +17,9 @@ fn main() {
     };
 
     println!("simulating {} under Helios and OracleFusion…", w.name);
-    let h = run_workload(&w, FusionMode::Helios);
-    let o = run_workload(&w, FusionMode::OracleFusion);
-    let b = run_workload(&w, FusionMode::NoFusion);
+    let h = SimRequest::mode(&w, FusionMode::Helios).run().stats;
+    let o = SimRequest::mode(&w, FusionMode::OracleFusion).run().stats;
+    let b = SimRequest::mode(&w, FusionMode::NoFusion).run().stats;
 
     println!("\n                     {:>12} {:>12}", "Helios", "Oracle");
     println!(

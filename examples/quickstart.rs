@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use helios::{run_workload, FusionMode};
+use helios::{FusionMode, SimRequest};
 use helios_emu::{Cpu, RetireStream};
 use helios_isa::{parse_asm, Reg};
 use helios_uarch::{PipeConfig, Pipeline};
@@ -44,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for mode in [FusionMode::NoFusion, FusionMode::CsfSbr, FusionMode::Helios] {
         let stream = RetireStream::new(prog.clone(), 1_000_000);
         let mut pipe = Pipeline::new(PipeConfig::with_fusion(mode), stream);
-        let s = pipe.run(100_000_000);
+        let s = pipe.try_run(100_000_000)?;
         println!(
             "{:<10} IPC {:.3}  fused pairs: {} CSF + {} NCSF  (prediction accuracy {:.1}%)",
             mode.name(),
@@ -58,7 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 4. The registered benchmark suite works the same way:
     let w = helios::workload("dijkstra").expect("registered workload");
     w.validate().expect("kernel matches its Rust reference");
-    let s = run_workload(&w, FusionMode::Helios);
+    let s = SimRequest::mode(&w, FusionMode::Helios).run().stats;
     println!(
         "dijkstra under Helios: IPC {:.3}, {} NCSF pairs committed",
         s.ipc(),

@@ -5,7 +5,7 @@
 //! cargo run --release --example stall_analysis [workload-name]
 //! ```
 
-use helios::{run_workload, FusionMode};
+use helios::{FusionMode, SimRequest};
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "657.xz_1".to_string());
@@ -20,7 +20,7 @@ fn main() {
         "config", "IPC", "rename", "ROB", "IQ", "LQ", "SQ", "redirect", "Fig9%"
     );
     for mode in FusionMode::ALL {
-        let s = run_workload(&w, mode);
+        let s = SimRequest::mode(&w, mode).run().stats;
         let pct = |n: u64| 100.0 * n as f64 / s.cycles.max(1) as f64;
         println!(
             "{:<14} {:>7.3} {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>8.1}% {:>6.1}%",

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Tier-1 gate: build, test, lint. Run from anywhere; exits non-zero on the
-# first failure.
+# Tier-1 gate: build, test, lint, then a figure-pipeline smoke that checks
+# every per-figure JSON artifact parses and archives one Konata trace.
+# Run from anywhere; exits non-zero on the first failure.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,6 +15,12 @@ echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> sweep smoke: fig10 --quick --jobs 2 (timed)"
+# Quick-run artifacts go to a scratch dir so CI never clobbers the committed
+# full-suite artifacts under results/.
+scratch="results/ci-quick"
+rm -rf "$scratch"
+mkdir -p "$scratch"
+export HELIOS_RESULTS_DIR="$scratch"
 sweep_start=$(date +%s)
 cargo run --release -q -p helios-bench --bin fig10 -- --quick --jobs 2 > /dev/null
 sweep_end=$(date +%s)
@@ -24,5 +31,32 @@ echo "sweep smoke: $((sweep_end - sweep_start))s wall"
 mkdir -p results
 mv BENCH_sweep.json results/BENCH_sweep_quick.json
 cat results/BENCH_sweep_quick.json
+
+echo "==> figure smoke: every report binary on the --quick subset"
+for bin in fig02 fig03 fig04 fig05 fig08 fig09 table1 table2 table3 ablation; do
+    echo "  -> $bin"
+    cargo run --release -q -p helios-bench --bin "$bin" -- --quick --jobs 2 > /dev/null
+done
+
+echo "==> validating per-figure JSON artifacts"
+for id in fig02 fig03 fig04 fig05 fig08 fig09 fig10 table1 table2 table3 ablation; do
+    json="$scratch/$id.json"
+    if [ ! -f "$json" ]; then
+        echo "ci: FAIL — missing figure artifact $json" >&2
+        exit 1
+    fi
+    if ! python3 -m json.tool "$json" > /dev/null; then
+        echo "ci: FAIL — unparsable figure artifact $json" >&2
+        exit 1
+    fi
+done
+echo "all figure JSON artifacts parse"
+
+echo "==> Konata trace smoke"
+cargo run --release -q -p helios-bench --bin trace -- crc32 --konata "$scratch/crc32.kanata" --limit 20000
+head -c 7 "$scratch/crc32.kanata" | grep -q "Kanata" || {
+    echo "ci: FAIL — Konata trace missing header" >&2
+    exit 1
+}
 
 echo "ci: all green"

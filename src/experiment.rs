@@ -13,8 +13,8 @@
 //!   byte-identical regardless of `jobs` or completion order.
 
 use helios_core::FusionMode;
-use helios_emu::RecordedTrace;
-use helios_uarch::{PipeConfig, Pipeline, SimStats};
+use helios_emu::{RecordedTrace, UopSource};
+use helios_uarch::{ObsOpts, Observer, PipeConfig, Pipeline, SimStats, StatsRegistry};
 use helios_workloads::Workload;
 use std::collections::{BTreeMap, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -33,35 +33,143 @@ pub struct RunResult {
     pub stats: SimStats,
 }
 
+/// A fully-described single simulation: workload, pipeline configuration,
+/// optional pre-recorded trace to replay, and observability options — the
+/// one entrypoint behind every figure/table cell.
+///
+/// # Examples
+///
+/// ```
+/// use helios::{FusionMode, ObsOpts, SimRequest};
+///
+/// let w = helios_workloads::workload("crc32").expect("registered");
+/// let run = SimRequest::mode(&w, FusionMode::Helios)
+///     .observing(ObsOpts::metrics())
+///     .run();
+/// let obs = run.observer.as_ref().expect("observer was attached");
+/// assert_eq!(obs.commit_events(), run.stats.uops);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SimRequest<'a> {
+    /// The workload to simulate.
+    pub workload: &'a Workload,
+    /// The pipeline configuration (fusion mode, structure sizes, …).
+    pub cfg: PipeConfig,
+    /// Replay this recorded trace instead of re-emulating the program live.
+    /// Statistics are identical either way — the pipeline consumes the same
+    /// retired-µ-op sequence.
+    pub trace: Option<&'a RecordedTrace>,
+    /// Observability: [`ObsOpts::off`] (default, zero-cost),
+    /// [`ObsOpts::metrics`], or [`ObsOpts::timeline`].
+    pub obs: ObsOpts,
+}
+
+impl<'a> SimRequest<'a> {
+    /// A request with an explicit configuration, no trace, observability off.
+    pub fn new(workload: &'a Workload, cfg: PipeConfig) -> SimRequest<'a> {
+        SimRequest {
+            workload,
+            cfg,
+            trace: None,
+            obs: ObsOpts::off(),
+        }
+    }
+
+    /// A request for the default Table II core under fusion mode `mode`.
+    pub fn mode(workload: &'a Workload, mode: FusionMode) -> SimRequest<'a> {
+        SimRequest::new(workload, PipeConfig::with_fusion(mode))
+    }
+
+    /// Replays `trace` instead of re-emulating. For repeated runs of one
+    /// workload prefer [`Workload::recorded`] + this, which share a buffer.
+    pub fn replaying(mut self, trace: &'a RecordedTrace) -> SimRequest<'a> {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// Sets the observability options.
+    pub fn observing(mut self, obs: ObsOpts) -> SimRequest<'a> {
+        self.obs = obs;
+        self
+    }
+
+    /// Runs the simulation to completion.
+    ///
+    /// # Panics
+    ///
+    /// On any abnormal outcome — deadlock, blown cycle budget, violated
+    /// invariant — naming the (workload, mode) cell. An abnormal run would
+    /// silently corrupt the figure it feeds, so there is no partial result.
+    pub fn run(self) -> SimRun {
+        let fuel = self.workload.fuel * 20;
+        match self.trace {
+            Some(t) => drive(
+                Pipeline::new(self.cfg, t.replay()),
+                fuel,
+                self.workload.name,
+                self.obs,
+            ),
+            None => drive(
+                Pipeline::new(self.cfg, self.workload.stream()),
+                fuel,
+                self.workload.name,
+                self.obs,
+            ),
+        }
+    }
+}
+
+/// Drives one configured pipeline to completion (see [`SimRequest::run`]).
+fn drive<I: UopSource>(mut pipe: Pipeline<I>, fuel: u64, name: &str, obs: ObsOpts) -> SimRun {
+    pipe.attach_observer(obs);
+    if let Err(e) = pipe.try_run(fuel) {
+        panic!("{name}/{}: {e}", pipe.config().fusion.name());
+    }
+    SimRun {
+        stats: pipe.stats().clone(),
+        observer: pipe.take_observer(),
+    }
+}
+
+/// What a [`SimRequest`] produces: the statistics, plus the observer when
+/// one was attached.
+#[derive(Debug)]
+pub struct SimRun {
+    /// Collected statistics (always present).
+    pub stats: SimStats,
+    /// The event observer, when the request enabled observability.
+    pub observer: Option<Box<Observer>>,
+}
+
+impl SimRun {
+    /// The full self-describing stats registry: every [`SimStats`] counter
+    /// plus, when an observer ran, its event counters and histograms.
+    pub fn registry(&self) -> StatsRegistry {
+        let mut reg = self.stats.registry();
+        if let Some(o) = &self.observer {
+            o.export(&mut reg);
+        }
+        reg
+    }
+}
+
 /// Simulates `w` under fusion mode `mode` with the default Table II core.
+#[deprecated(note = "use `SimRequest::mode(w, mode).run().stats`")]
 pub fn run_workload(w: &Workload, mode: FusionMode) -> SimStats {
-    run_workload_with(w, PipeConfig::with_fusion(mode))
+    SimRequest::mode(w, mode).run().stats
 }
 
 /// Simulates `w` under an explicit pipeline configuration, re-emulating the
-/// program live. For repeated runs of the same workload prefer
-/// [`Workload::recorded`] + [`run_recorded`], which replay a shared trace.
+/// program live.
+#[deprecated(note = "use `SimRequest::new(w, cfg).run().stats`")]
 pub fn run_workload_with(w: &Workload, cfg: PipeConfig) -> SimStats {
-    let mut pipe = Pipeline::new(cfg, w.stream());
-    if let Err(e) = pipe.try_run(w.fuel * 20) {
-        // Any abnormal outcome — deadlock, blown cycle budget, violated
-        // invariant — would silently corrupt the figure this run feeds, so
-        // abort with the structured report instead.
-        panic!("{}/{}: {e}", w.name, pipe.config().fusion.name());
-    }
-    pipe.stats().clone()
+    SimRequest::new(w, cfg).run().stats
 }
 
-/// Simulates `w`'s recorded trace under `mode`. Statistics are identical to
-/// [`run_workload`] — the pipeline consumes the same retired-µ-op sequence,
-/// just from a shared buffer instead of a live emulator.
+/// Simulates `w`'s recorded trace under `mode`.
+#[deprecated(note = "use `SimRequest::mode(w, mode).replaying(trace).run().stats`")]
 pub fn run_recorded(w: &Workload, trace: &RecordedTrace, mode: FusionMode) -> SimStats {
-    let cfg = PipeConfig::with_fusion(mode);
-    let mut pipe = Pipeline::new(cfg, trace.replay());
-    if let Err(e) = pipe.try_run(w.fuel * 20) {
-        panic!("{}/{}: {e}", w.name, pipe.config().fusion.name());
-    }
-    pipe.stats().clone()
+    SimRequest::mode(w, mode).replaying(trace).run().stats
 }
 
 /// Results of a full (workloads × modes) sweep, indexable by both axes.
@@ -134,37 +242,37 @@ pub fn default_jobs() -> usize {
 }
 
 /// Mutex-guarded progress reporter: a single writer keeps the `\r` status
-/// line coherent under concurrent workers, and completion prints elapsed
-/// wall-clock time.
-struct Reporter {
-    state: Mutex<(usize, Instant)>, // (cells done, sweep start)
+/// line on stderr coherent under concurrent workers, and completion prints
+/// elapsed wall-clock time. Used by the sweep engine and by every census /
+/// scan loop in the figure binaries (raw `eprint!("\r…")` from concurrent
+/// contexts interleaves).
+pub struct Progress {
+    state: Mutex<(usize, Instant)>, // (items done, start)
     total: usize,
 }
 
-impl Reporter {
-    fn new(total: usize) -> Reporter {
-        Reporter {
+impl Progress {
+    /// A reporter expecting `total` items.
+    pub fn new(total: usize) -> Progress {
+        Progress {
             state: Mutex::new((0, Instant::now())),
             total,
         }
     }
 
-    fn cell_done(&self, workload: &str, mode: FusionMode) {
+    /// Marks one item finished and redraws the status line
+    /// (`[done/total] label detail`).
+    pub fn item_done(&self, label: &str, detail: &str) {
         let mut s = self.state.lock().unwrap();
         s.0 += 1;
-        eprint!(
-            "\r[{}/{}] {:<18} {:<14}",
-            s.0,
-            self.total,
-            workload,
-            mode.name()
-        );
+        eprint!("\r[{}/{}] {:<18} {:<14}", s.0, self.total, label, detail);
     }
 
-    fn finish(&self) {
+    /// Overwrites the status line with `<what> complete in <elapsed>s`.
+    pub fn finish(&self, what: &str) {
         let s = self.state.lock().unwrap();
         eprintln!(
-            "\r[{}/{}] sweep complete in {:.1}s{:24}",
+            "\r[{}/{}] {what} complete in {:.1}s{:24}",
             s.0,
             self.total,
             s.1.elapsed().as_secs_f64(),
@@ -277,7 +385,7 @@ pub fn run_sweep(workloads: &[Workload], modes: &[FusionMode]) -> Sweep {
 pub fn run_sweep_jobs(workloads: &[Workload], modes: &[FusionMode], jobs: usize) -> Sweep {
     let total = workloads.len() * modes.len();
     let jobs = jobs.clamp(1, total.max(1));
-    let reporter = Reporter::new(total);
+    let reporter = Progress::new(total);
 
     // Workers pull the next cell index from a shared counter and store the
     // result by index, so the output order is workload-major no matter which
@@ -305,12 +413,14 @@ pub fn run_sweep_jobs(workloads: &[Workload], modes: &[FusionMode], jobs: usize)
                         break;
                     }
                 };
-                match catch_unwind(AssertUnwindSafe(|| run_recorded(w, &trace, mode))) {
+                match catch_unwind(AssertUnwindSafe(|| {
+                    SimRequest::mode(w, mode).replaying(&trace).run().stats
+                })) {
                     Ok(stats) => {
                         *cells[i].lock().unwrap() = Some(stats);
                         drop(trace);
                         traces.cell_finished(wi);
-                        reporter.cell_done(w.name, mode);
+                        reporter.item_done(w.name, mode.name());
                     }
                     Err(p) => {
                         fail.record(format!(
@@ -326,7 +436,7 @@ pub fn run_sweep_jobs(workloads: &[Workload], modes: &[FusionMode], jobs: usize)
         }
     });
     fail.check();
-    reporter.finish();
+    reporter.finish("sweep");
 
     let results = cells
         .into_iter()
@@ -379,6 +489,33 @@ mod tests {
                 ("crc32", FusionMode::CsfSbr),
             ]
         );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_sim_request() {
+        // The thin wrappers survive one PR for downstream callers; they must
+        // produce exactly what the SimRequest path produces.
+        let w = helios_workloads::workload("crc32").unwrap();
+        let old = run_workload(&w, FusionMode::CsfSbr);
+        let new = SimRequest::mode(&w, FusionMode::CsfSbr).run();
+        assert_eq!((old.cycles, old.uops), (new.stats.cycles, new.stats.uops));
+        assert!(new.observer.is_none(), "observability defaults to off");
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved_timing() {
+        // Metrics-level observation must not perturb simulated timing.
+        let w = helios_workloads::workload("crc32").unwrap();
+        let plain = SimRequest::mode(&w, FusionMode::Helios).run();
+        let observed = SimRequest::mode(&w, FusionMode::Helios)
+            .observing(ObsOpts::metrics())
+            .run();
+        assert_eq!(plain.stats.cycles, observed.stats.cycles);
+        assert_eq!(plain.stats.uops, observed.stats.uops);
+        let reg = observed.registry();
+        assert!(reg.get("obs.commit_events").is_some(), "observer exported");
+        assert!(plain.registry().get("obs.commit_events").is_none());
     }
 
     #[test]

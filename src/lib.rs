@@ -10,26 +10,32 @@
 //! # Examples
 //!
 //! ```
-//! use helios::{run_workload, FusionMode};
+//! use helios::{FusionMode, SimRequest};
 //!
 //! let w = helios_workloads::workload("crc32").expect("registered");
-//! let base = run_workload(&w, FusionMode::NoFusion);
-//! let fused = run_workload(&w, FusionMode::CsfSbr);
+//! let base = SimRequest::mode(&w, FusionMode::NoFusion).run().stats;
+//! let fused = SimRequest::mode(&w, FusionMode::CsfSbr).run().stats;
 //! assert_eq!(base.instructions, fused.instructions);
 //! ```
 
 mod experiment;
+mod json;
 mod metrics;
 mod report;
 
+#[allow(deprecated)]
+pub use experiment::{run_recorded, run_workload, run_workload_with};
 pub use experiment::{
-    default_jobs, run_recorded, run_sweep, run_sweep_jobs, run_workload, run_workload_with,
-    RunResult, Sweep,
+    default_jobs, run_sweep, run_sweep_jobs, Progress, RunResult, SimRequest, SimRun, Sweep,
 };
+pub use json::{Json, JsonError};
 pub use metrics::{geomean, normalized_ipc, speedup_pct};
-pub use report::{format_row, Table};
+pub use report::{format_row, results_dir, Report, Table};
 
 pub use helios_core::{FusionMode, HeliosParams};
 pub use helios_emu::{RecordedTrace, UopSource};
-pub use helios_uarch::{PipeConfig, SimStats};
+pub use helios_uarch::{
+    ConfigError, Histogram, ObsOpts, Observer, PipeConfig, PipeConfigBuilder, SimStats,
+    StatEntry, StatValue, StatsRegistry, Unit, UopRec,
+};
 pub use helios_workloads::{all_workloads, workload, Workload};

@@ -1,6 +1,10 @@
-//! Plain-text table formatting for the figure/table regeneration binaries.
+//! Report description and rendering for the figure/table regeneration
+//! binaries: one [`Report`] yields the text the binary prints *and* the
+//! machine-readable JSON/CSV artifacts committed under `results/`.
 
 use std::fmt;
+use std::io;
+use std::path::PathBuf;
 
 /// A fixed-width text table.
 ///
@@ -88,6 +92,168 @@ pub fn format_row(name: &str, values: &[f64], precision: usize) -> Vec<String> {
     row
 }
 
+/// One figure/table's complete output: identifier, title, data table, and
+/// trailing notes (the "paper says" comparison lines). Every regeneration
+/// binary builds a `Report` and renders it three ways:
+///
+/// * [`print`](Report::print) — the human text on stdout (byte-identical to
+///   the historical hand-formatted output);
+/// * [`emit`](Report::emit) — `<id>.json` + `<id>.csv` under the results
+///   directory (`$HELIOS_RESULTS_DIR`, default `results/`).
+///
+/// # Examples
+///
+/// ```
+/// use helios::{Report, Table};
+/// let mut t = Table::new(vec!["bench".into(), "IPC".into()]);
+/// t.row(vec!["crc32".into(), "2.31".into()]);
+/// let mut r = Report::new("fig00", "Figure 0: demo", t);
+/// r.note("paper: n/a");
+/// assert!(r.to_text().starts_with("Figure 0: demo\nbench"));
+/// assert!(r.to_json().contains("\"helios-report-v1\""));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Report {
+    id: String,
+    title: String,
+    table: Table,
+    notes: Vec<String>,
+}
+
+impl Report {
+    /// Creates a report. `id` names the artifact files (`results/<id>.json`);
+    /// `title` is the first stdout line. A table with no headers and no rows
+    /// (`Table::new(vec![])`) produces a notes-only report (Table II style).
+    pub fn new(id: impl Into<String>, title: impl Into<String>, table: Table) -> Report {
+        Report {
+            id: id.into(),
+            title: title.into(),
+            table,
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends one stdout line after the table. Multi-line strings are
+    /// split so JSON/CSV consumers see one note per line.
+    pub fn note(&mut self, line: impl Into<String>) -> &mut Report {
+        let line = line.into();
+        self.notes.extend(line.split('\n').map(str::to_string));
+        self
+    }
+
+    /// The artifact identifier.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The human-readable text: title, table (when non-empty) followed by a
+    /// blank line, then the notes — exactly what the binaries historically
+    /// printed via `println!(title); println!("{table}"); println!(note)`.
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&self.title);
+        s.push('\n');
+        if !(self.table.headers.is_empty() && self.table.rows.is_empty()) {
+            s.push_str(&self.table.to_string());
+            s.push('\n');
+        }
+        for n in &self.notes {
+            s.push_str(n);
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Prints [`to_text`](Report::to_text) to stdout.
+    pub fn print(&self) {
+        print!("{}", self.to_text());
+    }
+
+    /// The machine-readable JSON document (`helios-report-v1`). Cells are
+    /// emitted as the formatted strings the text table shows, so the JSON is
+    /// exactly as precise as the committed `.txt` and never diverges from it.
+    pub fn to_json(&self) -> String {
+        let esc = crate::json::escape;
+        let mut s = String::new();
+        s.push_str("{\n  \"schema\": \"helios-report-v1\",\n");
+        s.push_str(&format!("  \"id\": \"{}\",\n", esc(&self.id)));
+        s.push_str(&format!("  \"title\": \"{}\",\n", esc(&self.title)));
+        let strings = |items: &[String]| {
+            items
+                .iter()
+                .map(|c| format!("\"{}\"", esc(c)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        s.push_str(&format!("  \"columns\": [{}],\n", strings(&self.table.headers)));
+        s.push_str("  \"rows\": [");
+        for (i, r) in self.table.rows.iter().enumerate() {
+            s.push_str(if i == 0 { "\n" } else { ",\n" });
+            s.push_str(&format!("    [{}]", strings(r)));
+        }
+        s.push_str(if self.table.rows.is_empty() { "],\n" } else { "\n  ],\n" });
+        s.push_str("  \"notes\": [");
+        for (i, n) in self.notes.iter().enumerate() {
+            s.push_str(if i == 0 { "\n" } else { ",\n" });
+            s.push_str(&format!("    \"{}\"", esc(n)));
+        }
+        s.push_str(if self.notes.is_empty() { "]\n}\n" } else { "\n  ]\n}\n" });
+        s
+    }
+
+    /// The CSV rendering: header row then data rows (notes are JSON-only).
+    pub fn to_csv(&self) -> String {
+        let quote = |c: &String| {
+            if c.contains(',') || c.contains('"') || c.contains('\n') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.clone()
+            }
+        };
+        let mut s = String::new();
+        let line = |cells: &[String]| cells.iter().map(quote).collect::<Vec<_>>().join(",");
+        if !self.table.headers.is_empty() {
+            s.push_str(&line(&self.table.headers));
+            s.push('\n');
+        }
+        for r in &self.table.rows {
+            s.push_str(&line(r));
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Writes `<id>.json` and `<id>.csv` into [`results_dir`], creating it
+    /// if needed, and logs the destination on stderr.
+    pub fn emit(&self) -> io::Result<()> {
+        let dir = results_dir();
+        std::fs::create_dir_all(&dir)?;
+        std::fs::write(dir.join(format!("{}.json", self.id)), self.to_json())?;
+        std::fs::write(dir.join(format!("{}.csv", self.id)), self.to_csv())?;
+        eprintln!("wrote {}/{}.{{json,csv}}", dir.display(), self.id);
+        Ok(())
+    }
+
+    /// [`print`](Report::print) + [`emit`](Report::emit), downgrading an
+    /// emission failure (e.g. read-only checkout) to a stderr warning so the
+    /// figure text is never lost to an artifact problem.
+    pub fn print_and_emit(&self) {
+        self.print();
+        if let Err(e) = self.emit() {
+            eprintln!("warning: could not write {} artifacts: {e}", self.id);
+        }
+    }
+}
+
+/// The directory report artifacts land in: `$HELIOS_RESULTS_DIR` when set
+/// (CI points it at a scratch dir so quick runs never clobber the committed
+/// full-run artifacts), else `results/` relative to the working directory.
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("HELIOS_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,6 +274,40 @@ mod tests {
     fn format_row_precision() {
         let r = format_row("x", &[1.23456, 2.0], 2);
         assert_eq!(r, vec!["x", "1.23", "2.00"]);
+    }
+
+    #[test]
+    fn report_text_matches_historical_println_pattern() {
+        // println!(title); println!("{table}"); println!(note) — the table's
+        // Display ends with '\n', so the extra println leaves a blank line.
+        let mut t = Table::new(vec!["b".into(), "v".into()]);
+        t.row(vec!["crc32".into(), "1.000".into()]);
+        let mut r = Report::new("figX", "Figure X: demo", t.clone());
+        r.note("paper: line one\nline two");
+        let expected = format!("Figure X: demo\n{t}\npaper: line one\nline two\n");
+        assert_eq!(r.to_text(), expected);
+    }
+
+    #[test]
+    fn notes_only_report_skips_the_table() {
+        let mut r = Report::new("t2", "Table II: config", Table::new(vec![]));
+        r.note("  width : 8");
+        assert_eq!(r.to_text(), "Table II: config\n  width : 8\n");
+        assert_eq!(r.to_csv(), "");
+    }
+
+    #[test]
+    fn report_json_parses_and_round_trips() {
+        let mut t = Table::new(vec!["bench".into(), "IPC".into()]);
+        t.row(vec!["has,comma".into(), "1.5".into()]);
+        let mut r = Report::new("figY", "Figure \"Y\"", t);
+        r.note("a note");
+        let v = crate::Json::parse(&r.to_json()).expect("emitted JSON parses");
+        assert_eq!(v.get("schema").and_then(crate::Json::as_str), Some("helios-report-v1"));
+        assert_eq!(v.get("title").and_then(crate::Json::as_str), Some("Figure \"Y\""));
+        let rows = v.get("rows").unwrap().as_array().unwrap();
+        assert_eq!(rows[0].as_array().unwrap()[0].as_str(), Some("has,comma"));
+        assert!(r.to_csv().starts_with("bench,IPC\n\"has,comma\",1.5\n"));
     }
 
     #[test]

@@ -100,7 +100,10 @@ fn every_config_commits_the_emulated_stream() {
         for mode in FusionMode::ALL {
             let stream = RetireStream::new(prog.clone(), 5_000_000);
             let mut pipe = Pipeline::new(PipeConfig::with_fusion(mode), stream);
-            let stats = pipe.run(500_000_000).clone();
+            let stats = pipe
+                .try_run(500_000_000)
+                .unwrap_or_else(|e| panic!("case {case} {}: {e}", mode.name()))
+                .clone();
             assert_eq!(
                 stats.instructions,
                 retired,

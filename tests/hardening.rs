@@ -82,15 +82,17 @@ fn build(ops: &[Op], iters: i64) -> helios_isa::Program {
 /// forward progress leans on the repair machinery — pending-NCSF unfusing,
 /// the resource-deadlock breaker, and flush recovery.
 fn starved(fusion: FusionMode) -> PipeConfig {
-    let mut cfg = PipeConfig::with_fusion(fusion);
-    cfg.rob_size = 8;
-    cfg.iq_size = 4;
-    cfg.lq_size = 4;
-    cfg.sq_size = 2;
-    cfg.aq_size = 16;
-    cfg.prf_size = 48;
-    cfg.watchdog_cycles = 20_000; // tight: any commit gap this long is a hang
-    cfg
+    PipeConfig::builder()
+        .fusion(fusion)
+        .rob_size(8)
+        .iq_size(4)
+        .lq_size(4)
+        .sq_size(2)
+        .aq_size(16)
+        .prf_size(48)
+        .watchdog_cycles(20_000) // tight: any commit gap this long is a hang
+        .build()
+        .expect("starvation config is small but valid")
 }
 
 /// Random programs on starvation configs must complete with `Ok` under
@@ -160,11 +162,13 @@ fn cycle_limit_is_reported_not_panicked() {
         }
         other => panic!("expected CycleLimit, got {other:?}"),
     }
-    // The compat wrapper preserves the old partial-stats behaviour.
+    // The deprecated compat wrapper preserves the old partial-stats
+    // behaviour (kept on purpose until the wrapper is removed).
     let mut pipe2 = Pipeline::new(
         PipeConfig::with_fusion(FusionMode::Helios),
         RetireStream::new(prog, 5_000_000),
     );
+    #[allow(deprecated)]
     let stats = pipe2.run(50);
     assert_eq!(stats.cycles, 50);
 }
@@ -187,7 +191,10 @@ fn workloads_pass_the_lockstep_oracle() {
             .unwrap_or_else(|| panic!("workload {name} not registered"));
 
         let mut plain = Pipeline::new(PipeConfig::with_fusion(FusionMode::Helios), w.stream());
-        let base = plain.run(w.fuel * 20).clone();
+        let base = plain
+            .try_run(w.fuel * 20)
+            .unwrap_or_else(|e| panic!("{name}: unchecked run failed: {e}"))
+            .clone();
 
         let mut checked = Pipeline::new(PipeConfig::with_fusion(FusionMode::Helios), w.stream());
         checked.attach_checker(w.stream());

@@ -3,7 +3,11 @@
 //! behaviour, and the fusion configurations must satisfy their mutual
 //! invariants on the real benchmark suite.
 
-use helios::{run_workload, FusionMode};
+use helios::{FusionMode, SimRequest, SimStats, Workload};
+
+fn run_workload(w: &Workload, mode: FusionMode) -> SimStats {
+    SimRequest::mode(w, mode).run().stats
+}
 
 /// A small but diverse subset (kept fast for CI-style runs).
 const SUBSET: [&str; 6] = [

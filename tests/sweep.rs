@@ -1,7 +1,7 @@
 //! Sweep-engine integration tests: recorded-replay equivalence, parallel
 //! determinism, and loud failure on starved recordings.
 
-use helios::{run_recorded, run_sweep_jobs, run_workload, FusionMode};
+use helios::{run_sweep_jobs, FusionMode, SimRequest};
 use helios_emu::EmuError;
 
 /// The pipeline consumes a retired-µ-op sequence; whether it comes from a
@@ -13,8 +13,8 @@ fn recorded_replay_matches_live_stream_for_every_workload() {
     for w in helios::all_workloads() {
         let trace = w.recorded().expect("workload halts within fuel");
         for mode in [FusionMode::NoFusion, FusionMode::Helios] {
-            let live = run_workload(&w, mode);
-            let replay = run_recorded(&w, &trace, mode);
+            let live = SimRequest::mode(&w, mode).run().stats;
+            let replay = SimRequest::mode(&w, mode).replaying(&trace).run().stats;
             assert_eq!(
                 live,
                 replay,
