@@ -1,0 +1,178 @@
+//! fuzz — differential co-simulation fuzzing campaign driver.
+//!
+//! Generates seeded random RV64IM programs (`helios::fuzz`) and drives the
+//! three oracles over each one: decode totality/roundtrip at the word
+//! level, emulator ↔ pipeline commit-trace lockstep, and architectural
+//! invariance across all six fusion modes. Failures are delta-debug
+//! minimized and printed in the committable corpus (`.s`) format.
+//!
+//! ```text
+//! fuzz [--seed N] [--iters N] [--profile mixed|branch-dense|mem-dense]
+//!      [--jobs N] [--quiet] [--replay DIR]
+//! ```
+//!
+//! `--replay DIR` switches to corpus-replay mode: every committed seed
+//! under `DIR` is re-checked and no campaign (or report artifact) runs.
+//! Campaign mode emits `results/fuzz.{json,csv}`. Exits 0 only when every
+//! oracle held.
+
+use helios::fuzz::{replay_corpus, run_campaign, FuzzConfig, Profile};
+use helios::{Report, Table};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fuzz [--seed N] [--iters N] [--profile mixed|branch-dense|mem-dense] \
+         [--jobs N] [--quiet] [--replay DIR]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_u64(what: &str, s: &str) -> u64 {
+    let parsed = if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    };
+    parsed.unwrap_or_else(|_| {
+        eprintln!("error: bad {what} `{s}`");
+        usage()
+    })
+}
+
+fn main() {
+    let mut cfg = FuzzConfig::new(1, 1000);
+    let mut replay: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = || {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: `{a}` needs a value");
+                usage()
+            })
+        };
+        match a.as_str() {
+            "--seed" => cfg.seed = parse_u64("seed", &val()),
+            "--iters" => cfg.iters = parse_u64("iteration count", &val()),
+            "--jobs" => cfg.jobs = parse_u64("job count", &val()).max(1) as usize,
+            "--profile" => {
+                let v = val();
+                cfg.profile = Some(Profile::parse(&v).unwrap_or_else(|| {
+                    eprintln!("error: unknown profile `{v}`");
+                    usage()
+                }));
+            }
+            "--quiet" => cfg.quiet = true,
+            "--replay" => replay = Some(val()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown option `{other}`");
+                usage()
+            }
+        }
+    }
+
+    if let Some(dir) = replay {
+        replay_main(&dir);
+    }
+
+    println!(
+        "fuzz: seed {:#x}, {} programs, profile {}, {} jobs",
+        cfg.seed,
+        cfg.iters,
+        cfg.profile.map_or("rotating", Profile::name),
+        cfg.jobs
+    );
+    let start = std::time::Instant::now();
+    let summary = run_campaign(cfg);
+    let elapsed = start.elapsed().as_secs_f64();
+
+    for f in &summary.failures {
+        println!(
+            "FAIL iter {} (seed {:#x}, {}): {}",
+            f.index,
+            f.seed,
+            f.profile.name(),
+            f.message
+        );
+        if f.minimized.is_empty() {
+            println!("  (word-level failure: add the word to tests/corpus/words.txt)");
+        } else {
+            println!("  minimized reproducer (commit under tests/corpus/):");
+            for line in f.minimized.lines() {
+                println!("  | {line}");
+            }
+        }
+    }
+
+    let mut table = Table::new(vec!["metric".into(), "value".into()]);
+    table.row(vec!["programs".into(), summary.programs.to_string()]);
+    table.row(vec!["words_screened".into(), summary.words.to_string()]);
+    table.row(vec!["static_insts".into(), summary.static_insts.to_string()]);
+    table.row(vec!["emulated_uops".into(), summary.uops.to_string()]);
+    for (p, n) in Profile::ALL.iter().zip(summary.per_profile) {
+        table.row(vec![format!("programs[{}]", p.name()), n.to_string()]);
+    }
+    table.row(vec!["failures".into(), summary.failures.len().to_string()]);
+    let mut report = Report::new(
+        "fuzz",
+        format!(
+            "fuzz: differential co-simulation campaign (seed {:#x}, {} programs)",
+            cfg.seed, cfg.iters
+        ),
+        table,
+    );
+    report.note(format!(
+        "oracles: decode totality/roundtrip, emulator<->pipeline lockstep, {}-mode invariance",
+        helios::FusionMode::ALL.len()
+    ));
+    report.note(format!("wall-clock: {elapsed:.1}s at {} jobs", cfg.jobs));
+    if let Err(e) = report.emit() {
+        eprintln!("warning: could not write fuzz artifacts: {e}");
+    }
+
+    if summary.failures.is_empty() {
+        println!(
+            "fuzz: {} programs ({} static insts, {} uops x 6 modes) + {} words, zero oracle violations in {elapsed:.1}s",
+            summary.programs, summary.static_insts, summary.uops, summary.words
+        );
+    } else {
+        println!(
+            "fuzz: {} FAILURES over {} programs",
+            summary.failures.len(),
+            summary.programs
+        );
+        std::process::exit(1);
+    }
+}
+
+/// Corpus-replay mode: re-check every committed seed, no artifacts.
+fn replay_main(dir: &str) -> ! {
+    let results = match replay_corpus(dir) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: cannot read corpus `{dir}`: {e}");
+            std::process::exit(2);
+        }
+    };
+    if results.is_empty() {
+        // A corpus replaying nothing must not report success.
+        eprintln!("error: no corpus seeds found under `{dir}`");
+        std::process::exit(2);
+    }
+    let mut failed = 0usize;
+    for (name, failure) in &results {
+        match failure {
+            None => println!("  ok   {name}"),
+            Some(m) => {
+                failed += 1;
+                println!("  FAIL {name}: {m}");
+            }
+        }
+    }
+    if failed == 0 {
+        println!("fuzz: corpus replay clean ({} seeds)", results.len());
+        std::process::exit(0);
+    }
+    println!("fuzz: {failed}/{} corpus seeds FAILED", results.len());
+    std::process::exit(1)
+}

@@ -359,6 +359,116 @@ mod tests {
     }
 
     #[test]
+    fn load_sign_and_zero_extension() {
+        // The sign-extension shift (64 - 8*size) must replicate bit
+        // (8*size - 1) of the loaded value for every sub-dword width.
+        let cpu = run(r#"
+            li t0, 0x3000
+            li t1, -2             # 0xfffffffffffffffe
+            sd t1, 0(t0)
+            lb a0, 0(t0)          # 0xfe  -> -2
+            lbu a1, 0(t0)         # 0xfe  -> 254
+            lh a2, 0(t0)          # 0xfffe -> -2
+            lhu a3, 0(t0)         # 0xfffe -> 65534
+            lw a4, 0(t0)          # -2
+            lwu a5, 0(t0)         # 0xfffffffe
+            ld t2, 0(t0)          # -2
+            ebreak
+        "#);
+        assert_eq!(cpu.reg(Reg::A0) as i64, -2);
+        assert_eq!(cpu.reg(Reg::A1), 0xfe);
+        assert_eq!(cpu.reg(Reg::A2) as i64, -2);
+        assert_eq!(cpu.reg(Reg::A3), 0xfffe);
+        assert_eq!(cpu.reg(Reg::A4) as i64, -2);
+        assert_eq!(cpu.reg(Reg::A5), 0xffff_fffe);
+        assert_eq!(cpu.reg(Reg::T2) as i64, -2);
+        // A positive value with the width's top bit clear is unchanged.
+        let cpu = run("li t0, 0x3000\nli t1, 0x7f\nsd t1, 0(t0)\nlb a0, 0(t0)\nebreak");
+        assert_eq!(cpu.reg(Reg::A0), 0x7f);
+    }
+
+    #[test]
+    fn misaligned_and_page_crossing_access() {
+        // Sparse memory supports misaligned and page-crossing accesses;
+        // the fuzzer generates both.
+        let cpu = run(r#"
+            li t0, 0x3ffd          # 3 bytes below a 4 KiB page boundary
+            li t1, 0x1122334455667788
+            sd t1, 0(t0)           # crosses into the next page
+            ld a0, 0(t0)
+            lw a1, 1(t0)           # misaligned within the dword
+            ebreak
+        "#);
+        assert_eq!(cpu.reg(Reg::A0), 0x1122334455667788);
+        assert_eq!(cpu.reg(Reg::A1), 0x44556677, "bytes 1..5, little-endian");
+    }
+
+    #[test]
+    fn jalr_reads_rs1_before_writing_rd() {
+        // jalr t0, 12(t0): the target must use the OLD t0, even though rd
+        // and rs1 alias.
+        let mut a = Asm::new();
+        a.auipc(Reg::T0, 0); // t0 = base
+        a.inst(helios_isa::Inst::Jalr {
+            rd: Reg::T0,
+            rs1: Reg::T0,
+            offset: 12,
+        }); // jumps to base+12, t0 = base+8
+        a.li(Reg::A0, 111); // skipped
+        a.halt(); // base + 12
+        let prog = a.assemble().unwrap();
+        let base = prog.entry;
+        let mut cpu = Cpu::new(prog);
+        cpu.run(100).unwrap();
+        assert_eq!(cpu.reg(Reg::A0), 0, "li was jumped over");
+        assert_eq!(cpu.reg(Reg::T0), base + 8, "rd gets pc+4 of the jalr");
+    }
+
+    #[test]
+    fn jalr_clears_target_bit_zero() {
+        // t1 = auipc_pc + 13 (odd); jalr masks bit 0, landing on the
+        // ebreak at auipc_pc + 12 instead of fetch-faulting.
+        let cpu = run(r#"
+            li t0, 13
+            auipc t1, 0
+            add t1, t1, t0
+            jalr t1
+            ebreak
+        "#);
+        assert!(cpu.halted());
+        assert_eq!(cpu.retired(), 5);
+    }
+
+    #[test]
+    fn division_edge_cases_through_programs() {
+        let cpu = run(r#"
+            li a0, 7
+            li a1, 0
+            div a2, a0, a1         # -> -1
+            rem a3, a0, a1         # -> 7
+            li a4, -9223372036854775808
+            li a5, -1
+            div t0, a4, a5         # overflow -> i64::MIN
+            rem t1, a4, a5         # -> 0
+            divw t2, a0, a1        # -> -1 (sign-extended)
+            ebreak
+        "#);
+        assert_eq!(cpu.reg(Reg::A2), u64::MAX);
+        assert_eq!(cpu.reg(Reg::A3), 7);
+        assert_eq!(cpu.reg(Reg::T0), i64::MIN as u64);
+        assert_eq!(cpu.reg(Reg::T1), 0);
+        assert_eq!(cpu.reg(Reg::T2), u64::MAX);
+    }
+
+    #[test]
+    fn unknown_ecall_numbers_are_no_ops() {
+        let cpu = run("li a7, 1234\necall\nli a0, 5\nebreak");
+        assert!(cpu.halted());
+        assert_eq!(cpu.reg(Reg::A0), 5);
+        assert!(cpu.output().is_empty());
+    }
+
+    #[test]
     fn call_and_return() {
         let cpu = run(r#"
             li a0, 5

@@ -517,9 +517,11 @@ impl Asm {
     fn addi_chunk(&mut self, rd: Reg, chunk: i32) {
         debug_assert!((0..4096).contains(&chunk));
         if chunk >= 2048 {
-            // Split into two adds to stay within the signed 12-bit range.
+            // Split into several adds to stay within the signed 12-bit
+            // range. The remainder can still be 2048 (chunk 4095), so
+            // recurse rather than assume one split suffices.
             self.addi(rd, rd, 2047);
-            self.addi(rd, rd, chunk - 2047);
+            self.addi_chunk(rd, chunk - 2047);
         } else if chunk != 0 {
             self.addi(rd, rd, chunk);
         }
@@ -659,6 +661,56 @@ mod tests {
             a.assemble(),
             Err(AsmError::BranchOutOfRange { .. })
         ));
+    }
+
+    #[test]
+    fn li_immediates_stay_encodable() {
+        // Regression (found by the fuzzer's roundtrip oracle): a middle
+        // chunk of 4095 used to expand to `addi rd, rd, 2048`, which the
+        // I-type field wraps to -2048. Every instruction an `li` emits
+        // must roundtrip through encode/decode, and the expansion must
+        // still compute the requested value.
+        for v in [
+            i64::MAX,
+            i64::MIN,
+            i64::MIN + 1,
+            -1,
+            0xffff_ffff,
+            0x0fff_7fff_0fff_7fff,
+            0xfff0_00ff_u32 as i64,
+            -2048,
+            2048,
+            0x7ff8_0000_0000_07ff,
+        ] {
+            let mut a = Asm::new();
+            a.li(Reg::A0, v);
+            let p = a.assemble().unwrap();
+            let mut x: i64 = 0;
+            for inst in &p.insts {
+                let w = crate::encode(inst);
+                assert_eq!(crate::decode(w).unwrap(), *inst, "li {v:#x}: {inst:?}");
+                x = match inst {
+                    Inst::Lui { imm20, .. } => (*imm20 as i64) << 12,
+                    Inst::OpImm {
+                        op: AluImmOp::Addi,
+                        imm,
+                        ..
+                    } => x.wrapping_add(*imm as i64),
+                    Inst::OpImm {
+                        op: AluImmOp::Addiw,
+                        imm,
+                        ..
+                    } => x.wrapping_add(*imm as i64) as i32 as i64,
+                    Inst::OpImm {
+                        op: AluImmOp::Slli,
+                        imm,
+                        ..
+                    } => x << imm,
+                    other => panic!("unexpected inst in li expansion: {other:?}"),
+                };
+            }
+            assert_eq!(x, v, "li {v:#x} computes the wrong value");
+        }
     }
 
     #[test]

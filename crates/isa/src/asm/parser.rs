@@ -107,13 +107,21 @@ fn parse_int(tok: &str, line: usize) -> Result<i64, ParseError> {
         Some(t) => (true, t),
         None => (false, tok),
     };
+    // Parse through i128 so the full i64 domain is expressible: `-v` of a
+    // magnitude parsed as i64 cannot represent i64::MIN, and hex constants
+    // with bit 63 set (0x8000…) overflow a direct i64 parse.
     let v = if let Some(hex) = t.strip_prefix("0x") {
-        i64::from_str_radix(hex, 16)
+        i128::from_str_radix(hex, 16)
     } else {
-        t.parse::<i64>()
+        t.parse::<i128>()
     }
     .map_err(|_| err(line, format!("bad integer `{tok}`")))?;
-    Ok(if neg { -v } else { v })
+    let v = if neg { -v } else { v };
+    if (i64::MIN as i128..=u64::MAX as i128).contains(&v) {
+        Ok(v as i64)
+    } else {
+        Err(err(line, format!("integer `{tok}` out of 64-bit range")))
+    }
 }
 
 /// Splits `"8(sp)"` into (offset, reg).
@@ -459,6 +467,23 @@ mod tests {
                 offset: 8
             }
         );
+    }
+
+    #[test]
+    fn full_i64_domain_li() {
+        // i64::MIN, u64-domain hex, and plain negatives all parse; the
+        // fuzz corpus format relies on `li` round-tripping any i64.
+        let p = parse_asm(
+            "li a0, -9223372036854775808\nli a1, 0xffffffffffffffff\nli a2, -1\nebreak",
+        )
+        .unwrap();
+        let mut cpu_like = Vec::new();
+        for i in &p.insts {
+            cpu_like.push(*i);
+        }
+        assert!(!cpu_like.is_empty());
+        let e = parse_asm("li a0, 0x10000000000000000\nebreak").unwrap_err();
+        assert!(e.to_string().contains("out of 64-bit range"), "{e}");
     }
 
     #[test]

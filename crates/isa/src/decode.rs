@@ -177,7 +177,10 @@ pub fn decode(word: u32) -> Result<Inst, DecodeError> {
                         imm: ((word >> 20) & 0x3f) as i32,
                     });
                 }
-                _ => unreachable!(),
+                // All eight funct3 values are handled above; keep the
+                // wildcard as an error (not a panic) so decode stays total
+                // even if an arm is edited away.
+                _ => return Err(err()),
             };
             Inst::OpImm {
                 op,
@@ -253,10 +256,22 @@ pub fn decode(word: u32) -> Result<Inst, DecodeError> {
             };
             Inst::Op { op, rd, rs1, rs2 }
         }
-        0b0001111 => Inst::Fence,
-        0b1110011 => match word >> 20 {
-            0 => Inst::Ecall,
-            1 => Inst::Ebreak,
+        // Only the canonical full-barrier `fence` word (pred = succ = iorw,
+        // rd/rs1/funct3 zero) is modelled; accepting arbitrary pred/succ/rd
+        // bits here would decode words that `encode` cannot reproduce,
+        // breaking `encode(decode(w)) == w`.
+        0b0001111 => {
+            if word != 0x0ff0_000f {
+                return Err(err());
+            }
+            Inst::Fence
+        }
+        // `ecall`/`ebreak` are fully-specified words; every other SYSTEM
+        // encoding (CSR ops, wfi, mret, non-zero rd/rs1/funct3 bits) is
+        // unsupported and must not alias onto them.
+        0b1110011 => match word {
+            0x0000_0073 => Inst::Ecall,
+            0x0010_0073 => Inst::Ebreak,
             _ => return Err(err()),
         },
         _ => return Err(err()),
@@ -319,5 +334,76 @@ mod tests {
             offset: -1048576,
         };
         assert_eq!(decode(encode(&j)).unwrap(), j);
+    }
+
+    #[test]
+    fn fence_and_system_require_canonical_words() {
+        // The canonical words decode...
+        assert_eq!(decode(0x0ff0_000f).unwrap(), Inst::Fence);
+        assert_eq!(decode(0x0000_0073).unwrap(), Inst::Ecall);
+        assert_eq!(decode(0x0010_0073).unwrap(), Inst::Ebreak);
+        // ...and roundtrip exactly.
+        assert_eq!(encode(&Inst::Fence), 0x0ff0_000f);
+        // Found by the fuzzer's word oracle: these used to decode to
+        // Fence/Ecall/Ebreak but re-encode to different words.
+        assert!(decode(0x0100_000f).is_err(), "fence with pred=w only");
+        assert!(decode(0x0000_000f).is_err(), "fence with empty pred/succ");
+        assert!(decode(0x0ff0_008f).is_err(), "fence with rd != 0");
+        assert!(decode(0x0000_02f3).is_err(), "ecall with rd != 0");
+        assert!(decode(0x0010_0173).is_err(), "ebreak with rd != 0");
+        assert!(decode(0x0000_9073).is_err(), "csrrw (SYSTEM, f3 != 0)");
+        assert!(decode(0x0020_0073).is_err(), "uret/reserved imm");
+    }
+
+    #[test]
+    fn reserved_op_imm_funct_bits_are_errors() {
+        // srli/srai with garbage in funct7[6:1], slli with funct7[6:1] != 0.
+        assert!(decode(0x4a05_1513).is_err(), "slli with stray high bits");
+        assert!(decode(0x0a05_5513).is_err(), "sr?i with reserved funct7");
+        // slliw/srliw/sraiw with funct7 not in {0, 0b0100000}.
+        assert!(decode(0x0205_151b).is_err());
+        assert!(decode(0x0a05_551b).is_err());
+    }
+
+    /// Oracle 1 of the differential fuzzer, in-crate and bounded: `decode`
+    /// is total (never panics) over structured and random words, and every
+    /// accepted word re-encodes to itself bit-for-bit.
+    #[test]
+    fn decode_is_total_and_accepted_words_roundtrip() {
+        use helios_prng::{Rng, SeedableRng, StdRng};
+
+        let mut accepted = 0u64;
+        let mut check = |word: u32| {
+            if let Ok(inst) = decode(word) {
+                accepted += 1;
+                assert_eq!(
+                    encode(&inst),
+                    word,
+                    "decode/encode mismatch: {word:#010x} -> {inst:?} -> {:#010x}",
+                    encode(&inst)
+                );
+                assert_eq!(decode(encode(&inst)).unwrap(), inst);
+            }
+        };
+
+        // Structured sweep: every (opcode, funct3, funct7) triple with a few
+        // register/immediate fills, hitting every match arm's boundary.
+        for opcode in 0..128u32 {
+            for f3 in 0..8u32 {
+                for f7 in 0..128u32 {
+                    let mixed = (0b01011 << 7) | (0b00101 << 15) | (0b01010 << 20);
+                    for fill in [0u32, mixed, 0x1f << 7, 0x1f << 15] {
+                        check(opcode | (f3 << 12) | (f7 << 25) | fill);
+                    }
+                }
+            }
+        }
+
+        // Random sweep, seeded for reproducibility.
+        let mut rng = StdRng::seed_from_u64(0xf022_0001);
+        for _ in 0..2_000_000 {
+            check(rng.gen::<u32>());
+        }
+        assert!(accepted > 0, "sweep never hit a valid encoding");
     }
 }

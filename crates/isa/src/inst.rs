@@ -644,6 +644,59 @@ mod tests {
     }
 
     #[test]
+    fn shift_shamt_masking() {
+        // RV64 register shifts use rs2[5:0]; the *w variants use rs2[4:0].
+        let x = 0x0123_4567_89ab_cdefu64;
+        assert_eq!(AluOp::Sll.eval(x, 64), x, "sll masks shamt to 6 bits");
+        assert_eq!(AluOp::Srl.eval(x, 64), x);
+        assert_eq!(AluOp::Sra.eval(x, 64), x);
+        assert_eq!(AluOp::Sll.eval(1, 127), 1 << 63);
+        assert_eq!(AluOp::Sllw.eval(x, 32), (x as i32) as i64 as u64, "sllw masks shamt to 5 bits");
+        assert_eq!(AluOp::Srlw.eval(x, 32), (x as u32) as i32 as i64 as u64);
+        assert_eq!(AluOp::Sraw.eval(x, 32), (x as i32) as i64 as u64);
+        assert_eq!(AluOp::Sraw.eval(0x8000_0000, 35), 0xffff_ffff_f000_0000u64, "shamt 35 & 31 = 3");
+        // Immediate shifts likewise; Srliw operates on the low 32 bits only.
+        assert_eq!(AluImmOp::Srli.eval(0x8000_0000_0000_0000, 63), 1);
+        assert_eq!(AluImmOp::Srai.eval(0x8000_0000_0000_0000, 63), u64::MAX);
+        assert_eq!(AluImmOp::Slliw.eval(1, 31), 0xffff_ffff_8000_0000u64, "slliw result sign-extends");
+        assert_eq!(AluImmOp::Srliw.eval(0xffff_ffff_8000_0000u64, 0), 0xffff_ffff_8000_0000u64, "srliw 0 still sign-extends the low word");
+    }
+
+    #[test]
+    fn slt_variants_signedness() {
+        assert_eq!(AluOp::Slt.eval(u64::MAX, 0), 1, "-1 < 0 signed");
+        assert_eq!(AluOp::Sltu.eval(u64::MAX, 0), 0);
+        assert_eq!(AluOp::Sltu.eval(0, 1), 1);
+        assert_eq!(AluOp::Sltu.eval(1, 1), 0);
+        // sltiu compares against the sign-extended immediate as unsigned:
+        // sltiu rd, rs, -1 is "not equal to 2^64-1", i.e. true for anything
+        // but u64::MAX.
+        assert_eq!(AluImmOp::Sltiu.eval(5, -1), 1);
+        assert_eq!(AluImmOp::Sltiu.eval(u64::MAX, -1), 0);
+        assert_eq!(AluImmOp::Slti.eval(u64::MAX, 0), 1);
+    }
+
+    #[test]
+    fn word_division_edge_cases() {
+        // Division by zero: quotient all-ones (sign-extended for *w),
+        // remainder the dividend (sign-extended low word for *w).
+        assert_eq!(AluOp::Divw.eval(42, 0), u64::MAX);
+        assert_eq!(AluOp::Divuw.eval(42, 0), u64::MAX);
+        assert_eq!(AluOp::Remw.eval(0x8000_0001u64, 0), 0xffff_ffff_8000_0001u64);
+        assert_eq!(AluOp::Remuw.eval(0x8000_0001u64, 0), 0xffff_ffff_8000_0001u64);
+        // Signed overflow: i32::MIN / -1 = i32::MIN, remainder 0.
+        let min_w = i32::MIN as u32 as u64;
+        let neg1 = u64::MAX;
+        assert_eq!(AluOp::Divw.eval(min_w, neg1), i32::MIN as i64 as u64);
+        assert_eq!(AluOp::Remw.eval(min_w, neg1), 0);
+        // The *w ops only read the low 32 bits of their operands, and
+        // divuw/remuw still sign-extend their 32-bit unsigned results.
+        assert_eq!(AluOp::Divw.eval(0xdead_beef_0000_000au64, 5), 2);
+        assert_eq!(AluOp::Divuw.eval(0xffff_fffeu64, 1), 0xffff_ffff_ffff_fffeu64);
+        assert_eq!(AluOp::Remuw.eval(0xffff_ffffu64, 0x1_0000_0000u64), u64::MAX, "divisor low word is 0");
+    }
+
+    #[test]
     fn mulh_variants() {
         assert_eq!(AluOp::Mulhu.eval(u64::MAX, 2), 1);
         assert_eq!(AluOp::Mulh.eval(-1i64 as u64, 2), u64::MAX); // -1*2 >> 64 = -1

@@ -340,9 +340,25 @@ impl<I: UopSource> Pipeline<I> {
         for d in head.dests() {
             tainted[d.index()] = true;
         }
+        // Memory-carried taint. The memory-dependence predictor can
+        // serialize a catalyst load behind the head store (or behind a
+        // catalyst store whose operands depend on the head): that load's
+        // STA-resolution wait is then gated on the fused pair issuing,
+        // exactly like a register dependence. A tail source fed by such a
+        // load closes a head→tail wait cycle the register-only scan cannot
+        // see, deadlocking the pair at Issue (fuzzer-found). Treat loads
+        // issued under tainted memory as tainted.
+        let mut mem_tainted = head.inst.is_store();
         for e in self.aq.iter().skip(head_idx + 1) {
             let AqEntry::Uop(u) = e else { continue };
-            if u.inst.is_store() || u.fused.as_ref().is_some_and(|f| f.tail_inst.is_store()) {
+            let writes_mem =
+                u.inst.is_store() || u.fused.as_ref().is_some_and(|f| f.tail_inst.is_store());
+            let reads_mem = (u.inst.is_mem() && !u.inst.is_store())
+                || u
+                    .fused
+                    .as_ref()
+                    .is_some_and(|f| f.tail_inst.is_mem() && !f.tail_inst.is_store());
+            if writes_mem {
                 hz.store_in_catalyst = true;
             }
             if u.inst.is_serializing() {
@@ -356,14 +372,14 @@ impl<I: UopSource> Pipeline<I> {
                 hz.call = true;
             }
             let reads_taint = u.sources().any(|s| tainted[s.index()]);
+            if writes_mem && reads_taint {
+                mem_tainted = true;
+            }
+            let loads_taint = reads_mem && mem_tainted;
             for d in u.dests() {
                 written[d.index()] = true;
-                if reads_taint {
-                    tainted[d.index()] = true;
-                } else {
-                    // Overwritten with an untainted value.
-                    tainted[d.index()] = false;
-                }
+                // Overwritten with an untainted value clears the taint.
+                tainted[d.index()] = reads_taint || loads_taint;
             }
         }
         for s in tail_inst.sources() {

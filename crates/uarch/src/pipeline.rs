@@ -435,25 +435,6 @@ impl<I: UopSource> Pipeline<I> {
         Ok(&self.stats)
     }
 
-    /// Runs until the trace drains or `max_cycles` elapse. Returns the final
-    /// statistics (partial if the budget ran out). Compatibility wrapper
-    /// over [`Pipeline::try_run`].
-    ///
-    /// # Panics
-    ///
-    /// Panics on [`SimError::Deadlock`] and
-    /// [`SimError::InvariantViolation`] — both are simulator bugs, not
-    /// workload properties. Use `try_run` to handle them gracefully.
-    #[deprecated(note = "use `try_run`, which reports abnormal outcomes as structured `SimError`s")]
-    pub fn run(&mut self, max_cycles: u64) -> &SimStats {
-        if let Err(e) = self.try_run(max_cycles) {
-            if !matches!(e, SimError::CycleLimit { .. }) {
-                panic!("{e}");
-            }
-        }
-        &self.stats
-    }
-
     /// Snapshot of the stuck pipeline for the watchdog report.
     fn deadlock_report(&self, last_commit_cycle: u64) -> DeadlockReport {
         let rob_front = self.rob.front().map(|e| {

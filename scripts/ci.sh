@@ -32,6 +32,10 @@ mkdir -p results
 mv BENCH_sweep.json results/BENCH_sweep_quick.json
 cat results/BENCH_sweep_quick.json
 
+echo "==> fuzz smoke: fixed-seed differential campaign + corpus replay"
+cargo run --release -q -p helios-bench --bin fuzz -- --seed 1 --iters 500 --quiet
+cargo run --release -q -p helios-bench --bin fuzz -- --replay tests/corpus
+
 echo "==> figure smoke: every report binary on the --quick subset"
 for bin in fig02 fig03 fig04 fig05 fig08 fig09 table1 table2 table3 ablation; do
     echo "  -> $bin"
@@ -39,7 +43,7 @@ for bin in fig02 fig03 fig04 fig05 fig08 fig09 table1 table2 table3 ablation; do
 done
 
 echo "==> validating per-figure JSON artifacts"
-for id in fig02 fig03 fig04 fig05 fig08 fig09 fig10 table1 table2 table3 ablation; do
+for id in fig02 fig03 fig04 fig05 fig08 fig09 fig10 table1 table2 table3 ablation fuzz; do
     json="$scratch/$id.json"
     if [ ! -f "$json" ]; then
         echo "ci: FAIL — missing figure artifact $json" >&2

@@ -153,25 +153,6 @@ impl SimRun {
     }
 }
 
-/// Simulates `w` under fusion mode `mode` with the default Table II core.
-#[deprecated(note = "use `SimRequest::mode(w, mode).run().stats`")]
-pub fn run_workload(w: &Workload, mode: FusionMode) -> SimStats {
-    SimRequest::mode(w, mode).run().stats
-}
-
-/// Simulates `w` under an explicit pipeline configuration, re-emulating the
-/// program live.
-#[deprecated(note = "use `SimRequest::new(w, cfg).run().stats`")]
-pub fn run_workload_with(w: &Workload, cfg: PipeConfig) -> SimStats {
-    SimRequest::new(w, cfg).run().stats
-}
-
-/// Simulates `w`'s recorded trace under `mode`.
-#[deprecated(note = "use `SimRequest::mode(w, mode).replaying(trace).run().stats`")]
-pub fn run_recorded(w: &Workload, trace: &RecordedTrace, mode: FusionMode) -> SimStats {
-    SimRequest::mode(w, mode).replaying(trace).run().stats
-}
-
 /// Results of a full (workloads × modes) sweep, indexable by both axes.
 #[derive(Clone, Debug, Default)]
 pub struct Sweep {
@@ -492,15 +473,14 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_sim_request() {
-        // The thin wrappers survive one PR for downstream callers; they must
-        // produce exactly what the SimRequest path produces.
+    fn sim_request_is_deterministic() {
+        // Two independent runs of the same request agree exactly, and
+        // observability defaults to off.
         let w = helios_workloads::workload("crc32").unwrap();
-        let old = run_workload(&w, FusionMode::CsfSbr);
-        let new = SimRequest::mode(&w, FusionMode::CsfSbr).run();
-        assert_eq!((old.cycles, old.uops), (new.stats.cycles, new.stats.uops));
-        assert!(new.observer.is_none(), "observability defaults to off");
+        let a = SimRequest::mode(&w, FusionMode::CsfSbr).run();
+        let b = SimRequest::mode(&w, FusionMode::CsfSbr).run();
+        assert_eq!((a.stats.cycles, a.stats.uops), (b.stats.cycles, b.stats.uops));
+        assert!(a.observer.is_none(), "observability defaults to off");
     }
 
     #[test]

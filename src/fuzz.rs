@@ -1,0 +1,1072 @@
+//! helios-fuzz: differential co-simulation fuzzing of the whole stack.
+//!
+//! The paper's methodology rests on two independent models — the functional
+//! emulator (`helios-emu`, the Spike substitute) and the cycle-level
+//! out-of-order pipeline (`helios-uarch`) — agreeing on architectural
+//! behaviour under every fusion configuration: macro-op fusion must be a
+//! timing-only transformation. This module generates seeded random RV64IM
+//! programs and drives three oracles over each one:
+//!
+//! 1. **ISA layer** — `decode` is total over arbitrary `u32` words, and
+//!    `encode(decode(w)) == w` for every accepted word ([`check_word`]).
+//! 2. **Emulator ↔ pipeline** — the pipeline's committed µ-op stream must
+//!    match the emulator's retired trace instruction-for-instruction,
+//!    enforced by the lockstep [`OracleChecker`](helios_uarch) attached to
+//!    every run.
+//! 3. **Mode invariance** — all six [`FusionMode`] configurations must
+//!    retire exactly the emulator's instruction count with zero invariant
+//!    violations ([`check_program`]).
+//!
+//! Programs are generated as plain assembly text (the corpus format), so a
+//! failing case can be committed verbatim under `tests/corpus/` and replayed
+//! forever after ([`replay_corpus`]). Failures are minimized first by a
+//! delta-debugging [`shrink`] pass over the generator's block structure.
+//!
+//! Everything is seeded through `helios-prng`: the same
+//! (`seed`, `iters`, `profile`) triple reproduces the same campaign,
+//! bit-for-bit, regardless of the worker count.
+
+use crate::{default_jobs, Progress};
+use helios_core::FusionMode;
+use helios_emu::RecordedTrace;
+use helios_isa::{decode, encode, parse_asm, Program};
+use helios_prng::{Rng, SeedableRng, SliceRandom, StdRng};
+use helios_uarch::{PipeConfig, Pipeline};
+use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Fuel budget (retired µ-ops) for one generated program's functional
+/// execution. The generator bounds dynamic length to a few tens of
+/// thousands of µ-ops, so hitting this means the generator produced a
+/// non-terminating program — a fuzzer bug the oracles report as a failure.
+pub const FUZZ_FUEL: u64 = 1 << 20;
+
+/// Base address of the load/store arena. Every generated memory access is
+/// sandboxed into `[ARENA_BASE, ARENA_BASE + 4 KiB)`; the sparse memory
+/// model zero-fills reads of never-written locations.
+const ARENA_BASE: i64 = 0x0020_0000;
+
+/// Second arena base register (`s2 = s0 + 264`): pairs addressed through
+/// different base registers land in nearby cache lines, provoking the
+/// different-base-register (DBR) fusion idiom.
+const ALT_BASE_DELTA: i64 = 264;
+
+/// Largest direct load/store offset (keeps `off + 8` within the S/I-type
+/// immediate range and inside the arena).
+const MAX_OFF: i32 = 2024;
+
+/// `andi` mask for computed ("gather") addresses: 8-aligned, `0..=2040`.
+const GATHER_MASK: i64 = 0x7f8;
+
+/// Registers the generator treats as data: sources and destinations of
+/// generated operations. The structural registers (`s0`/`s2` arena bases,
+/// `s1` outer counter, `s3` inner counter, `t2` scratch, `ra` link) are
+/// never picked, so control flow stays bounded by construction.
+const WORK: [&str; 8] = ["a0", "a1", "a2", "a3", "a4", "a5", "t0", "t1"];
+
+/// Random words screened by the ISA oracle per generated program.
+const WORDS_PER_PROGRAM: u64 = 64;
+
+// ---------------------------------------------------------------------------
+// Profiles
+// ---------------------------------------------------------------------------
+
+/// Generation profile: tunes the block mix toward the behaviours that
+/// provoke the paper's fusion categories.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Profile {
+    /// Balanced mix of every block kind.
+    Mixed,
+    /// Branch-dense: heavy on forward skips (hoisted test + branch → NCTF
+    /// shapes) and short inner loops.
+    BranchDense,
+    /// Memory-dense: heavy on loads/stores, same-base and different-base
+    /// pairs (CSF/NCSF/DBR shapes), computed addresses.
+    MemDense,
+}
+
+impl Profile {
+    /// Every profile, in rotation order.
+    pub const ALL: [Profile; 3] = [Profile::Mixed, Profile::BranchDense, Profile::MemDense];
+
+    /// CLI / report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Profile::Mixed => "mixed",
+            Profile::BranchDense => "branch-dense",
+            Profile::MemDense => "mem-dense",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn parse(s: &str) -> Option<Profile> {
+        Profile::ALL.into_iter().find(|p| p.name() == s)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Program representation
+// ---------------------------------------------------------------------------
+
+/// One generator block: between one and a handful of instructions with a
+/// self-contained (always-terminating) control structure. The shrinker
+/// removes and flattens blocks, never individual raw instructions, so every
+/// shrink candidate is well-formed by construction.
+#[derive(Clone, Debug)]
+enum Block {
+    /// `op rd, rs1, rs2` between work registers.
+    Alu {
+        op: &'static str,
+        rd: &'static str,
+        rs1: &'static str,
+        rs2: &'static str,
+    },
+    /// `op rd, rs1, imm` with an in-range immediate.
+    AluImm {
+        op: &'static str,
+        rd: &'static str,
+        rs1: &'static str,
+        imm: i64,
+    },
+    /// Direct arena load.
+    Load {
+        mn: &'static str,
+        rd: &'static str,
+        base: &'static str,
+        off: i32,
+    },
+    /// Direct arena store.
+    Store {
+        mn: &'static str,
+        src: &'static str,
+        base: &'static str,
+        off: i32,
+    },
+    /// Two loads at `off` / `off + 8`; same base (CSF/NCSF fodder) or
+    /// different bases into overlapping lines (DBR fodder).
+    LoadPair {
+        rd1: &'static str,
+        rd2: &'static str,
+        base1: &'static str,
+        base2: &'static str,
+        off: i32,
+    },
+    /// Computed address: `andi t2, src, 0x7f8; add t2, t2, base;` then a
+    /// load into `reg` or a store of `reg` (pointer-chase / NCSF fodder).
+    Gather {
+        mn: &'static str,
+        reg: &'static str,
+        src: &'static str,
+        base: &'static str,
+    },
+    /// `lui`/`auipc` into a work register.
+    Wide {
+        mn: &'static str,
+        rd: &'static str,
+        imm20: i32,
+    },
+    /// Serializing memory fence.
+    Fence,
+    /// Checksum ecall: `li a7, 64; mv a0, src; ecall` (serializing, and
+    /// folds `src` into the architectural output log).
+    Output { src: &'static str },
+    /// Forward skip over `body`. `hoisted` separates the test from the
+    /// branch by the first body block (the NCTF shape).
+    SkipIf {
+        hoisted: bool,
+        kind: &'static str,
+        rs1: &'static str,
+        rs2: &'static str,
+        body: Vec<Block>,
+    },
+    /// Bounded inner loop (`s3` counter, body of simple blocks).
+    Loop { count: u8, body: Vec<Block> },
+    /// Call to a generated leaf function (exercises `jal ra` / `jalr`).
+    Call { body: Vec<Block> },
+}
+
+impl Block {
+    /// The nested body of a control block, if any (used by the shrinker to
+    /// flatten control structure away).
+    fn body(&self) -> Option<&[Block]> {
+        match self {
+            Block::SkipIf { body, .. } | Block::Loop { body, .. } | Block::Call { body } => {
+                Some(body)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// A generated fuzz program: initial register values plus a block list,
+/// wrapped in a bounded outer loop and a checksum epilogue. The assembly
+/// text ([`FuzzProgram::asm_text`]) is the single source of truth — the
+/// simulated [`Program`] is parsed back from it, so a committed corpus seed
+/// replays exactly what the campaign executed.
+#[derive(Clone, Debug)]
+pub struct FuzzProgram {
+    /// Seed that generated this program.
+    pub seed: u64,
+    /// Profile that generated this program.
+    pub profile: Profile,
+    iters: u32,
+    init: Vec<(&'static str, i64)>,
+    blocks: Vec<Block>,
+}
+
+/// Values worth seeding registers with: signedness/width boundaries the
+/// W-suffix and divide semantics pivot on.
+const INTERESTING: [i64; 14] = [
+    0,
+    1,
+    -1,
+    2,
+    -2,
+    0x7f,
+    0xff,
+    0x7fff_ffff,
+    -0x8000_0000,
+    0x8000_0000,
+    0xffff_ffff,
+    i64::MAX,
+    i64::MIN,
+    i64::MIN + 1,
+];
+
+const ALU_OPS: [&str; 28] = [
+    "add", "sub", "sll", "slt", "sltu", "xor", "srl", "sra", "or", "and", "addw", "subw", "sllw",
+    "srlw", "sraw", "mul", "mulh", "mulhsu", "mulhu", "div", "divu", "rem", "remu", "mulw", "divw",
+    "divuw", "remw", "remuw",
+];
+
+const ALU_IMM_OPS: [&str; 13] = [
+    "addi", "slti", "sltiu", "xori", "ori", "andi", "slli", "srli", "srai", "addiw", "slliw",
+    "srliw", "sraiw",
+];
+
+const LOAD_MNEMONICS: [&str; 7] = ["lb", "lh", "lw", "ld", "lbu", "lhu", "lwu"];
+const STORE_MNEMONICS: [&str; 4] = ["sb", "sh", "sw", "sd"];
+const BRANCH_MNEMONICS: [&str; 6] = ["beq", "bne", "blt", "bge", "bltu", "bgeu"];
+
+struct Gen {
+    rng: StdRng,
+    profile: Profile,
+    /// Most recently written work register: reused as a source with high
+    /// probability so dependency chains (register pressure) build up
+    /// instead of every op reading cold registers.
+    hot: &'static str,
+}
+
+impl Gen {
+    fn work(&mut self) -> &'static str {
+        WORK.choose(&mut self.rng).unwrap()
+    }
+
+    /// A source register: the hot register half the time.
+    fn src(&mut self) -> &'static str {
+        if self.rng.gen_bool(0.5) {
+            self.hot
+        } else {
+            self.work()
+        }
+    }
+
+    fn dst(&mut self) -> &'static str {
+        let rd = self.work();
+        self.hot = rd;
+        rd
+    }
+
+    fn mem_off(&mut self, align: i32) -> i32 {
+        let off = self.rng.gen_range(0..=MAX_OFF);
+        // Mostly aligned; occasionally deliberately misaligned (the memory
+        // model and LSQ must handle line- and page-crossing accesses).
+        if self.rng.gen_bool(0.85) {
+            off & !(align - 1)
+        } else {
+            off
+        }
+    }
+
+    fn simple_block(&mut self) -> Block {
+        // Weights differ per profile but the candidate set is the same.
+        let roll = self.rng.gen_range(0..100u32);
+        let cuts: [u32; 6] = match self.profile {
+            // alu, alu-imm, load, store, wide, fence (output = remainder)
+            Profile::Mixed => [35, 60, 72, 84, 92, 96],
+            Profile::BranchDense => [40, 75, 83, 91, 95, 97],
+            Profile::MemDense => [20, 35, 65, 90, 94, 96],
+        };
+        if roll < cuts[0] {
+            Block::Alu {
+                op: ALU_OPS.choose(&mut self.rng).unwrap(),
+                rd: self.dst(),
+                rs1: self.src(),
+                rs2: self.work(),
+            }
+        } else if roll < cuts[1] {
+            let op = *ALU_IMM_OPS.choose(&mut self.rng).unwrap();
+            let imm = match op {
+                "slli" | "srli" | "srai" => self.rng.gen_range(0..64i64),
+                "slliw" | "srliw" | "sraiw" => self.rng.gen_range(0..32i64),
+                _ => self.rng.gen_range(-2048..2048i64),
+            };
+            Block::AluImm {
+                op,
+                rd: self.dst(),
+                rs1: self.src(),
+                imm,
+            }
+        } else if roll < cuts[2] {
+            let mn = *LOAD_MNEMONICS.choose(&mut self.rng).unwrap();
+            let align = load_store_align(mn);
+            Block::Load {
+                mn,
+                rd: self.dst(),
+                base: self.base(),
+                off: self.mem_off(align),
+            }
+        } else if roll < cuts[3] {
+            let mn = *STORE_MNEMONICS.choose(&mut self.rng).unwrap();
+            let align = load_store_align(mn);
+            Block::Store {
+                mn,
+                src: self.src(),
+                base: self.base(),
+                off: self.mem_off(align),
+            }
+        } else if roll < cuts[4] {
+            Block::Wide {
+                mn: if self.rng.gen_bool(0.5) { "lui" } else { "auipc" },
+                rd: self.dst(),
+                imm20: self.rng.gen_range(-(1 << 19)..(1 << 19)),
+            }
+        } else if roll < cuts[5] {
+            Block::Fence
+        } else {
+            Block::Output { src: self.src() }
+        }
+    }
+
+    fn base(&mut self) -> &'static str {
+        if self.rng.gen_bool(0.7) {
+            "s0"
+        } else {
+            "s2"
+        }
+    }
+
+    fn body(&mut self, max: usize) -> Vec<Block> {
+        let n = self.rng.gen_range(1..=max);
+        (0..n).map(|_| self.simple_block()).collect()
+    }
+
+    fn block(&mut self) -> Block {
+        let roll = self.rng.gen_range(0..100u32);
+        // simple, pair, gather, skip, loop (call = remainder)
+        let cuts: [u32; 5] = match self.profile {
+            Profile::Mixed => [55, 63, 71, 85, 94],
+            Profile::BranchDense => [45, 50, 55, 85, 96],
+            Profile::MemDense => [40, 62, 84, 92, 97],
+        };
+        if roll < cuts[0] {
+            self.simple_block()
+        } else if roll < cuts[1] {
+            let same_base = self.rng.gen_bool(0.6);
+            let base1 = self.base();
+            Block::LoadPair {
+                rd1: self.dst(),
+                rd2: self.dst(),
+                base1,
+                base2: if same_base {
+                    base1
+                } else if base1 == "s0" {
+                    "s2"
+                } else {
+                    "s0"
+                },
+                off: self.mem_off(8).min(MAX_OFF - 8),
+            }
+        } else if roll < cuts[2] {
+            let is_store = self.rng.gen_bool(0.4);
+            Block::Gather {
+                mn: if is_store {
+                    STORE_MNEMONICS.choose(&mut self.rng).unwrap()
+                } else {
+                    LOAD_MNEMONICS.choose(&mut self.rng).unwrap()
+                },
+                reg: if is_store { self.src() } else { self.dst() },
+                src: self.src(),
+                base: self.base(),
+            }
+        } else if roll < cuts[3] {
+            Block::SkipIf {
+                hoisted: self.rng.gen_bool(0.5),
+                kind: BRANCH_MNEMONICS.choose(&mut self.rng).unwrap(),
+                rs1: self.src(),
+                rs2: self.work(),
+                body: self.body(3),
+            }
+        } else if roll < cuts[4] {
+            Block::Loop {
+                count: self.rng.gen_range(1..=5u8),
+                body: self.body(4),
+            }
+        } else {
+            Block::Call {
+                body: self.body(3),
+            }
+        }
+    }
+}
+
+fn load_store_align(mn: &str) -> i32 {
+    match mn {
+        "lb" | "lbu" | "sb" => 1,
+        "lh" | "lhu" | "sh" => 2,
+        "lw" | "lwu" | "sw" => 4,
+        _ => 8,
+    }
+}
+
+impl FuzzProgram {
+    /// Deterministically generates a program from a seed and profile.
+    pub fn generate(seed: u64, profile: Profile) -> FuzzProgram {
+        let mut g = Gen {
+            rng: StdRng::seed_from_u64(seed),
+            profile,
+            hot: WORK[0],
+        };
+        let iters = g.rng.gen_range(2..=10u32);
+        let init = WORK
+            .iter()
+            .map(|&r| {
+                let v = if g.rng.gen_bool(0.5) {
+                    *INTERESTING.choose(&mut g.rng).unwrap()
+                } else {
+                    g.rng.gen::<i64>()
+                };
+                (r, v)
+            })
+            .collect();
+        let n_blocks = g.rng.gen_range(6..=28usize);
+        let blocks = (0..n_blocks).map(|_| g.block()).collect();
+        FuzzProgram {
+            seed,
+            profile,
+            iters,
+            init,
+            blocks,
+        }
+    }
+
+    /// Outer-loop trip count.
+    pub fn iters(&self) -> u32 {
+        self.iters
+    }
+
+    /// Number of generator blocks (the unit the shrinker works in).
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Renders the program as parser-compatible assembly text — the corpus
+    /// seed format. `parse_asm(asm_text())` is exactly the simulated
+    /// program.
+    pub fn asm_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# helios-fuzz seed={:#x} profile={} iters={}",
+            self.seed,
+            self.profile.name(),
+            self.iters
+        );
+        let _ = writeln!(out, "    li s0, {ARENA_BASE}");
+        let _ = writeln!(out, "    li s2, {}", ARENA_BASE + ALT_BASE_DELTA);
+        let _ = writeln!(out, "    li s1, {}", self.iters);
+        for (r, v) in &self.init {
+            let _ = writeln!(out, "    li {r}, {v}");
+        }
+        out.push_str("outer:\n");
+        let mut label = 0usize;
+        let mut funcs: Vec<Vec<String>> = Vec::new();
+        for b in &self.blocks {
+            emit_block(b, &mut out, &mut label, &mut funcs);
+        }
+        out.push_str("    addi s1, s1, -1\n    bnez s1, outer\n");
+        // Checksum epilogue: report every work register and two arena words
+        // through the write ecall, then halt.
+        out.push_str("    li a7, 64\n    ecall\n");
+        for r in &WORK[1..] {
+            let _ = writeln!(out, "    mv a0, {r}\n    ecall");
+        }
+        out.push_str("    ld a0, 0(s0)\n    ecall\n    ld a0, 1024(s0)\n    ecall\n    ebreak\n");
+        for (k, lines) in funcs.iter().enumerate() {
+            let _ = writeln!(out, "fn{k}:");
+            for l in lines {
+                out.push_str(l);
+                out.push('\n');
+            }
+            out.push_str("    ret\n");
+        }
+        out
+    }
+
+    /// Assembles the program (via [`parse_asm`] on [`FuzzProgram::asm_text`]).
+    ///
+    /// # Panics
+    ///
+    /// If the generated text does not parse — a generator bug, reported as
+    /// an oracle failure by the campaign's panic containment.
+    pub fn program(&self) -> Program {
+        parse_asm(&self.asm_text()).expect("generated program parses")
+    }
+
+    /// Runs oracles 1–3 on this program.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first oracle violation.
+    pub fn check(&self) -> Result<ProgramCheck, String> {
+        check_program(&self.program())
+    }
+
+    fn with_blocks(&self, blocks: Vec<Block>) -> FuzzProgram {
+        FuzzProgram {
+            blocks,
+            init: self.init.clone(),
+            ..*self
+        }
+    }
+}
+
+/// Emits one block as assembly lines. `label` numbers skip/loop labels;
+/// `funcs` accumulates generated leaf-function bodies (emitted after the
+/// halt).
+fn emit_block(b: &Block, out: &mut String, label: &mut usize, funcs: &mut Vec<Vec<String>>) {
+    match b {
+        Block::Alu { op, rd, rs1, rs2 } => {
+            let _ = writeln!(out, "    {op} {rd}, {rs1}, {rs2}");
+        }
+        Block::AluImm { op, rd, rs1, imm } => {
+            let _ = writeln!(out, "    {op} {rd}, {rs1}, {imm}");
+        }
+        Block::Load { mn, rd, base, off } => {
+            let _ = writeln!(out, "    {mn} {rd}, {off}({base})");
+        }
+        Block::Store { mn, src, base, off } => {
+            let _ = writeln!(out, "    {mn} {src}, {off}({base})");
+        }
+        Block::LoadPair {
+            rd1,
+            rd2,
+            base1,
+            base2,
+            off,
+        } => {
+            let _ = writeln!(out, "    ld {rd1}, {off}({base1})");
+            let _ = writeln!(out, "    ld {rd2}, {}({base2})", off + 8);
+        }
+        Block::Gather { mn, reg, src, base } => {
+            let _ = writeln!(out, "    andi t2, {src}, {GATHER_MASK}");
+            let _ = writeln!(out, "    add t2, t2, {base}");
+            let _ = writeln!(out, "    {mn} {reg}, 0(t2)");
+        }
+        Block::Wide { mn, rd, imm20 } => {
+            let _ = writeln!(out, "    {mn} {rd}, {imm20}");
+        }
+        Block::Fence => out.push_str("    fence\n"),
+        Block::Output { src } => {
+            let _ = writeln!(out, "    li a7, 64\n    mv a0, {src}\n    ecall");
+        }
+        Block::SkipIf {
+            hoisted,
+            kind,
+            rs1,
+            rs2,
+            body,
+        } => {
+            let l = *label;
+            *label += 1;
+            if *hoisted && !body.is_empty() {
+                // Test hoisted above the first body block: the branch and
+                // its producer are non-adjacent (the NCTF shape).
+                let _ = writeln!(out, "    sltu t2, {rs1}, {rs2}");
+                emit_block(&body[0], out, label, funcs);
+                let _ = writeln!(out, "    bnez t2, L{l}");
+                for blk in &body[1..] {
+                    emit_block(blk, out, label, funcs);
+                }
+            } else {
+                let _ = writeln!(out, "    {kind} {rs1}, {rs2}, L{l}");
+                for blk in body {
+                    emit_block(blk, out, label, funcs);
+                }
+            }
+            let _ = writeln!(out, "L{l}:");
+        }
+        Block::Loop { count, body } => {
+            let l = *label;
+            *label += 1;
+            let _ = writeln!(out, "    li s3, {count}\nL{l}:");
+            for blk in body {
+                emit_block(blk, out, label, funcs);
+            }
+            let _ = writeln!(out, "    addi s3, s3, -1\n    bnez s3, L{l}");
+        }
+        Block::Call { body } => {
+            let k = funcs.len();
+            let _ = writeln!(out, "    call fn{k}");
+            let mut lines = String::new();
+            let mut sub_label = usize::MAX; // bodies contain no control blocks
+            let mut sub_funcs = Vec::new();
+            for blk in body {
+                emit_block(blk, &mut lines, &mut sub_label, &mut sub_funcs);
+            }
+            debug_assert!(sub_funcs.is_empty(), "call bodies are leaf-only");
+            funcs.push(lines.lines().map(str::to_string).collect());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Oracles
+// ---------------------------------------------------------------------------
+
+/// Per-program statistics from a passing oracle run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ProgramCheck {
+    /// Static instruction count.
+    pub static_insts: u64,
+    /// Dynamic µ-ops retired by the emulator (and committed by every mode).
+    pub uops: u64,
+}
+
+/// Oracle 1, word level: `decode` must accept-and-roundtrip or reject.
+/// (Panic totality is enforced by the campaign's panic containment and by
+/// the bounded exhaustive test in `helios-isa`.)
+///
+/// # Errors
+///
+/// Describes the word that decoded to something `encode` cannot reproduce.
+pub fn check_word(word: u32) -> Result<(), String> {
+    match decode(word) {
+        Err(_) => Ok(()),
+        Ok(inst) => {
+            let back = encode(&inst);
+            if back == word {
+                Ok(())
+            } else {
+                Err(format!(
+                    "word oracle: {word:#010x} decodes to {inst:?} but re-encodes to {back:#010x}"
+                ))
+            }
+        }
+    }
+}
+
+/// Oracles 1–3 for one assembled program:
+///
+/// 1. every instruction's encoding roundtrips through `decode`;
+/// 2. + 3. for each of the six fusion modes, the pipeline (with the
+///         lockstep checker attached) commits exactly the emulator's retired
+///         trace with zero invariant violations.
+///
+/// # Errors
+///
+/// A human-readable description of the first violation, naming the failing
+/// mode where applicable.
+pub fn check_program(prog: &Program) -> Result<ProgramCheck, String> {
+    for (i, inst) in prog.insts.iter().enumerate() {
+        let w = encode(inst);
+        match decode(w) {
+            Ok(d) if d == *inst => {}
+            Ok(d) => {
+                return Err(format!(
+                    "roundtrip oracle: inst {i} {inst:?} encodes to {w:#010x} which decodes to {d:?}"
+                ))
+            }
+            Err(e) => {
+                return Err(format!(
+                    "roundtrip oracle: inst {i} {inst:?} encodes to {w:#010x} which rejects: {e}"
+                ))
+            }
+        }
+    }
+
+    let trace = RecordedTrace::record(prog.clone(), FUZZ_FUEL)
+        .map_err(|e| format!("functional execution: {e}"))?;
+    let budget = (trace.len() as u64).saturating_mul(64).max(100_000);
+    for mode in FusionMode::ALL {
+        let mut pipe = Pipeline::new(PipeConfig::with_fusion(mode), trace.replay());
+        pipe.attach_checker(trace.replay());
+        let stats = pipe
+            .try_run(budget)
+            .map_err(|e| format!("{} pipeline: {e}", mode.name()))?;
+        if stats.instructions != trace.len() as u64 {
+            return Err(format!(
+                "{}: committed {} µ-ops but the emulator retired {}",
+                mode.name(),
+                stats.instructions,
+                trace.len()
+            ));
+        }
+    }
+    Ok(ProgramCheck {
+        static_insts: prog.insts.len() as u64,
+        uops: trace.len() as u64,
+    })
+}
+
+/// [`FuzzProgram::check`] with panic containment: a panic anywhere in the
+/// stack (assembler, emulator, pipeline) is an oracle failure, not a crash.
+pub fn check_contained(p: &FuzzProgram) -> Result<ProgramCheck, String> {
+    catch_unwind(AssertUnwindSafe(|| p.check()))
+        .unwrap_or_else(|e| Err(format!("panic: {}", panic_text(&*e))))
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shrinker
+// ---------------------------------------------------------------------------
+
+/// Upper bound on predicate evaluations per shrink (each evaluation re-runs
+/// the oracles, so the bound caps minimization wall-clock).
+const SHRINK_BUDGET: usize = 2000;
+
+/// Delta-debug minimization: returns the smallest variant of `orig` (fewest
+/// blocks, then fewest outer iterations) for which `fails` still returns
+/// `true`. `fails(orig)` must hold on entry.
+///
+/// The pass alternates three reductions to a fixpoint (or budget):
+/// iteration-count reduction, classic ddmin chunk removal over the block
+/// list, and flattening of control blocks into their bodies.
+pub fn shrink<F: FnMut(&FuzzProgram) -> bool>(orig: &FuzzProgram, mut fails: F) -> FuzzProgram {
+    let mut cur = orig.clone();
+    let mut budget = SHRINK_BUDGET;
+    let mut try_candidate = |cand: &FuzzProgram, budget: &mut usize| -> bool {
+        if *budget == 0 {
+            return false;
+        }
+        *budget -= 1;
+        fails(cand)
+    };
+
+    // Fewer outer iterations first: cheaper oracle runs for everything below.
+    for it in [1u32, 2, 4] {
+        if it < cur.iters {
+            let mut cand = cur.clone();
+            cand.iters = it;
+            if try_candidate(&cand, &mut budget) {
+                cur = cand;
+                break;
+            }
+        }
+    }
+
+    loop {
+        let mut progressed = false;
+
+        // ddmin over the block list.
+        let mut chunk = (cur.blocks.len() / 2).max(1);
+        'dd: loop {
+            let mut start = 0;
+            while start < cur.blocks.len() {
+                let end = (start + chunk).min(cur.blocks.len());
+                if end - start < cur.blocks.len() {
+                    let mut blocks = cur.blocks.clone();
+                    blocks.drain(start..end);
+                    let cand = cur.with_blocks(blocks);
+                    if try_candidate(&cand, &mut budget) {
+                        cur = cand;
+                        progressed = true;
+                        continue 'dd;
+                    }
+                }
+                start += chunk;
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk = (chunk / 2).max(1);
+        }
+
+        // Flatten control blocks into their bodies.
+        let mut i = 0;
+        while i < cur.blocks.len() {
+            if let Some(body) = cur.blocks[i].body() {
+                let mut blocks = cur.blocks.clone();
+                let body: Vec<Block> = body.to_vec();
+                blocks.splice(i..=i, body);
+                let cand = cur.with_blocks(blocks);
+                if try_candidate(&cand, &mut budget) {
+                    cur = cand;
+                    progressed = true;
+                    continue; // same index now holds the first body block
+                }
+            }
+            i += 1;
+        }
+
+        if !progressed || budget == 0 {
+            break;
+        }
+    }
+    cur
+}
+
+// ---------------------------------------------------------------------------
+// Campaign
+// ---------------------------------------------------------------------------
+
+/// Configuration of one fuzz campaign.
+#[derive(Clone, Copy, Debug)]
+pub struct FuzzConfig {
+    /// Master seed; per-program seeds are derived by index.
+    pub seed: u64,
+    /// Number of programs to generate and check.
+    pub iters: u64,
+    /// Fixed profile, or `None` to rotate through [`Profile::ALL`].
+    pub profile: Option<Profile>,
+    /// Worker threads (clamped to at least 1).
+    pub jobs: usize,
+    /// Suppress the progress line on stderr.
+    pub quiet: bool,
+}
+
+impl FuzzConfig {
+    /// A campaign with default jobs (every core), rotating profiles.
+    pub fn new(seed: u64, iters: u64) -> FuzzConfig {
+        FuzzConfig {
+            seed,
+            iters,
+            profile: None,
+            jobs: default_jobs(),
+            quiet: false,
+        }
+    }
+}
+
+/// One minimized oracle failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FuzzFailure {
+    /// Campaign iteration index.
+    pub index: u64,
+    /// Derived per-program seed (regenerates the unminimized program).
+    pub seed: u64,
+    /// Generation profile.
+    pub profile: Profile,
+    /// Description of the oracle violation.
+    pub message: String,
+    /// Minimized reproducer in corpus (`.s`) format; empty for word-level
+    /// failures (the offending word is in `message` — add it to the corpus
+    /// `words.txt` instead).
+    pub minimized: String,
+}
+
+/// Deterministic summary of a campaign. Independent of `jobs`, so equality
+/// across runs is the reproducibility check.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct CampaignSummary {
+    /// Programs generated and checked.
+    pub programs: u64,
+    /// Total static instructions across all programs.
+    pub static_insts: u64,
+    /// Total dynamic µ-ops retired by the emulator (each replayed through
+    /// all six pipeline configurations).
+    pub uops: u64,
+    /// Random words screened by the word-level ISA oracle.
+    pub words: u64,
+    /// Programs per profile, in [`Profile::ALL`] order.
+    pub per_profile: [u64; 3],
+    /// Every failure, minimized, in iteration order. Empty means the
+    /// campaign is clean.
+    pub failures: Vec<FuzzFailure>,
+}
+
+/// splitmix64-style per-iteration seed derivation: decorrelates programs
+/// while keeping every iteration reproducible in isolation.
+fn derive_seed(seed: u64, i: u64) -> u64 {
+    let mut z = seed ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Runs a fuzz campaign: `iters` programs through all three oracles on a
+/// worker pool, shrinking every failure. The summary (including the failure
+/// list) is byte-identical for a given (`seed`, `iters`, `profile`)
+/// regardless of `jobs`.
+pub fn run_campaign(cfg: FuzzConfig) -> CampaignSummary {
+    let jobs = cfg.jobs.clamp(1, cfg.iters.max(1) as usize);
+    let next = AtomicUsize::new(0);
+    let programs = AtomicU64::new(0);
+    let static_insts = AtomicU64::new(0);
+    let uops = AtomicU64::new(0);
+    let words = AtomicU64::new(0);
+    let per_profile: [AtomicU64; 3] = [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)];
+    let failures: Mutex<Vec<FuzzFailure>> = Mutex::new(Vec::new());
+    let reporter = Progress::new(cfg.iters as usize);
+
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed) as u64;
+                if i >= cfg.iters {
+                    break;
+                }
+                let pseed = derive_seed(cfg.seed, i);
+                let profile = cfg
+                    .profile
+                    .unwrap_or(Profile::ALL[(i % Profile::ALL.len() as u64) as usize]);
+                let pi = Profile::ALL.iter().position(|&p| p == profile).unwrap();
+
+                // Oracle 1: a batch of random words per iteration.
+                let mut wrng = StdRng::seed_from_u64(pseed ^ 0x5eed_0001);
+                let mut failure: Option<FuzzFailure> = None;
+                for _ in 0..WORDS_PER_PROGRAM {
+                    let w: u32 = wrng.gen();
+                    let res = catch_unwind(AssertUnwindSafe(|| check_word(w)))
+                        .unwrap_or_else(|e| Err(format!("decode panic on {w:#010x}: {}", panic_text(&*e))));
+                    if let Err(message) = res {
+                        failure = Some(FuzzFailure {
+                            index: i,
+                            seed: pseed,
+                            profile,
+                            message,
+                            minimized: String::new(),
+                        });
+                        break;
+                    }
+                }
+                words.fetch_add(WORDS_PER_PROGRAM, Ordering::Relaxed);
+
+                // Oracles 2 + 3 on a generated program.
+                if failure.is_none() {
+                    let prog = FuzzProgram::generate(pseed, profile);
+                    match check_contained(&prog) {
+                        Ok(c) => {
+                            static_insts.fetch_add(c.static_insts, Ordering::Relaxed);
+                            uops.fetch_add(c.uops, Ordering::Relaxed);
+                        }
+                        Err(message) => {
+                            let min = shrink(&prog, |p| check_contained(p).is_err());
+                            failure = Some(FuzzFailure {
+                                index: i,
+                                seed: pseed,
+                                profile,
+                                message,
+                                minimized: min.asm_text(),
+                            });
+                        }
+                    }
+                }
+
+                programs.fetch_add(1, Ordering::Relaxed);
+                per_profile[pi].fetch_add(1, Ordering::Relaxed);
+                if let Some(f) = failure {
+                    failures.lock().unwrap().push(f);
+                }
+                if !cfg.quiet {
+                    reporter.item_done(profile.name(), &format!("seed {pseed:#x}"));
+                }
+            });
+        }
+    });
+    if !cfg.quiet {
+        reporter.finish("fuzz campaign");
+    }
+
+    let mut failures = failures.into_inner().unwrap();
+    failures.sort_by_key(|f| f.index);
+    CampaignSummary {
+        programs: programs.into_inner(),
+        static_insts: static_insts.into_inner(),
+        uops: uops.into_inner(),
+        words: words.into_inner(),
+        per_profile: [
+            per_profile[0].load(Ordering::Relaxed),
+            per_profile[1].load(Ordering::Relaxed),
+            per_profile[2].load(Ordering::Relaxed),
+        ],
+        failures,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Corpus
+// ---------------------------------------------------------------------------
+
+/// Replays every committed corpus seed under `dir`:
+///
+/// * `*.s` — assembled with [`parse_asm`] and run through
+///   [`check_program`] (oracles 1–3, panic-contained);
+/// * `words.txt` — one hex word per line (`#` comments), each through
+///   [`check_word`].
+///
+/// Returns `(name, failure)` per seed — `None` failure means it passed.
+///
+/// # Errors
+///
+/// I/O problems reading the corpus directory (a missing directory is an
+/// error: a corpus silently replaying nothing would defeat its purpose).
+pub fn replay_corpus(dir: impl AsRef<Path>) -> std::io::Result<Vec<(String, Option<String>)>> {
+    let mut paths: Vec<_> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    paths.sort();
+    let mut out = Vec::new();
+    for path in paths {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        match path.extension().and_then(|e| e.to_str()) {
+            Some("s") => {
+                let text = std::fs::read_to_string(&path)?;
+                let res = catch_unwind(AssertUnwindSafe(|| match parse_asm(&text) {
+                    Ok(p) => check_program(&p).map(|_| ()),
+                    Err(e) => Err(format!("parse: {e}")),
+                }))
+                .unwrap_or_else(|e| Err(format!("panic: {}", panic_text(&*e))));
+                out.push((name, res.err()));
+            }
+            Some("txt") => {
+                let text = std::fs::read_to_string(&path)?;
+                let mut failure = None;
+                for (ln, line) in text.lines().enumerate() {
+                    let line = line.split('#').next().unwrap_or("").trim();
+                    if line.is_empty() {
+                        continue;
+                    }
+                    let word = u32::from_str_radix(line.trim_start_matches("0x"), 16);
+                    let res = match word {
+                        Ok(w) => catch_unwind(AssertUnwindSafe(|| check_word(w)))
+                            .unwrap_or_else(|e| Err(format!("panic: {}", panic_text(&*e)))),
+                        Err(_) => Err(format!("line {}: bad word `{line}`", ln + 1)),
+                    };
+                    if let Err(m) = res {
+                        failure = Some(m);
+                        break;
+                    }
+                }
+                out.push((name, failure));
+            }
+            _ => {} // README etc.
+        }
+    }
+    Ok(out)
+}

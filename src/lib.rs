@@ -19,12 +19,11 @@
 //! ```
 
 mod experiment;
+pub mod fuzz;
 mod json;
 mod metrics;
 mod report;
 
-#[allow(deprecated)]
-pub use experiment::{run_recorded, run_workload, run_workload_with};
 pub use experiment::{
     default_jobs, run_sweep, run_sweep_jobs, Progress, RunResult, SimRequest, SimRun, Sweep,
 };

@@ -1,0 +1,63 @@
+# helios-fuzz seed=0xc0ffee profile=branch-dense iters=6
+    li s0, 2097152
+    li s2, 2097416
+    li s1, 6
+    li a0, -1107165659382598021
+    li a1, -9223372036854775807
+    li a2, -2
+    li a3, 1699251194911989061
+    li a4, -2
+    li a5, 6933574927371491229
+    li t0, -2763918107230889293
+    li t1, 6022567139404528866
+outer:
+    srl a1, a1, t0
+    div a5, a5, a5
+    divu t1, t1, a4
+    sltiu a1, a1, -1829
+    lbu a1, 726(s0)
+    xori a5, t0, 545
+    ld t1, 1936(s2)
+    ld t1, 1944(s2)
+    sltu t2, t1, t1
+    srl t0, a2, a4
+    bnez t2, L0
+    mul a5, a5, a3
+L0:
+    sb a5, 619(s0)
+    div a5, a5, a4
+    andi a1, a1, 501
+    mulhsu t1, a4, a0
+    srli a4, a4, 57
+    call fn0
+    sd a2, 656(s2)
+    andi t2, t1, 2040
+    add t2, t2, s0
+    sw a5, 0(t2)
+    addi s1, s1, -1
+    bnez s1, outer
+    li a7, 64
+    ecall
+    mv a0, a1
+    ecall
+    mv a0, a2
+    ecall
+    mv a0, a3
+    ecall
+    mv a0, a4
+    ecall
+    mv a0, a5
+    ecall
+    mv a0, t0
+    ecall
+    mv a0, t1
+    ecall
+    ld a0, 0(s0)
+    ecall
+    ld a0, 1024(s0)
+    ecall
+    ebreak
+fn0:
+    slliw a3, a4, 18
+    and a5, a5, a0
+    ret

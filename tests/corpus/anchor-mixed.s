@@ -1,0 +1,80 @@
+# helios-fuzz seed=0xc0ffee profile=mixed iters=6
+    li s0, 2097152
+    li s2, 2097416
+    li s1, 6
+    li a0, -1107165659382598021
+    li a1, -9223372036854775807
+    li a2, -2
+    li a3, 1699251194911989061
+    li a4, -2
+    li a5, 6933574927371491229
+    li t0, -2763918107230889293
+    li t1, 6022567139404528866
+outer:
+    srl a1, a1, t0
+    div a5, a5, a5
+    slliw a3, a4, 31
+    lb a3, 1234(s0)
+    bgeu a3, t1, L0
+    sll a2, a2, a5
+L0:
+    li s3, 3
+L1:
+    auipc t1, 180287
+    lui t1, 411275
+    addi s3, s3, -1
+    bnez s3, L1
+    sltu t2, t1, t1
+    slt a2, t1, a3
+    bnez t2, L2
+    slli a3, a5, 29
+L2:
+    ld a3, 24(s0)
+    ld a1, 32(s0)
+    sw t0, 984(s0)
+    andi t2, a5, 2040
+    add t2, t2, s0
+    sh a5, 0(t2)
+    mulh t1, a4, a5
+    call fn0
+    auipc a0, 311634
+    call fn1
+    xor t0, a1, a4
+    call fn2
+    addi s1, s1, -1
+    bnez s1, outer
+    li a7, 64
+    ecall
+    mv a0, a1
+    ecall
+    mv a0, a2
+    ecall
+    mv a0, a3
+    ecall
+    mv a0, a4
+    ecall
+    mv a0, a5
+    ecall
+    mv a0, t0
+    ecall
+    mv a0, t1
+    ecall
+    ld a0, 0(s0)
+    ecall
+    ld a0, 1024(s0)
+    ecall
+    ebreak
+fn0:
+    lwu a2, 488(s0)
+    and a5, a5, a0
+    ret
+fn1:
+    and a4, a4, a5
+    slliw a5, a5, 3
+    addiw a2, a0, 1958
+    ret
+fn2:
+    mulhu a5, a5, t1
+    sh a5, 1236(s0)
+    slliw t0, t0, 12
+    ret

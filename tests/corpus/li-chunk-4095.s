@@ -1,0 +1,15 @@
+# Regression: `li` of a constant whose middle 12-bit chunk is 4095 used to
+# expand to `addi rd, rd, 2048`, which the I-type immediate field wraps to
+# -2048 (found by the fuzzer's encode/decode roundtrip oracle). The program
+# loads such constants and reports them through the output ecall so the
+# emulator <-> pipeline oracles also cover the corrected expansion.
+    li a0, 9223372036854775807
+    li a1, 4294967295
+    li a2, 1152640029630136191
+    li a7, 64
+    ecall
+    mv a0, a1
+    ecall
+    mv a0, a2
+    ecall
+    ebreak

@@ -1,0 +1,13 @@
+# Regression: the assembly parser rejected `li` of i64::MIN ("bad integer")
+# because it parsed the magnitude as i64 before negating. The corpus format
+# depends on `li` round-tripping the full 64-bit domain.
+    li a0, -9223372036854775808
+    li a1, -9223372036854775807
+    srai a2, a0, 63
+    li a7, 64
+    ecall
+    mv a0, a1
+    ecall
+    mv a0, a2
+    ecall
+    ebreak

@@ -1,0 +1,56 @@
+# helios-fuzz seed=0x973bb0b228f8624 profile=mem-dense iters=10
+    li s0, 2097152
+    li s2, 2097416
+    li s1, 10
+    li a0, 5039886001636308275
+    li a1, -2591428530253648004
+    li a2, 0
+    li a3, -449649902388842335
+    li a4, 1
+    li a5, -2548134887988728206
+    li t0, -2
+    li t1, 9223372036854775807
+outer:
+    andi t2, a0, 2040
+    add t2, t2, s0
+    lw a0, 0(t2)
+    li s3, 3
+L0:
+    ld a1, 1176(s2)
+    lb a5, 1405(s0)
+    addi s3, s3, -1
+    bnez s3, L0
+    andi t2, a0, 2040
+    add t2, t2, s0
+    lwu a1, 0(t2)
+    andi t2, a2, 2040
+    add t2, t2, s0
+    lbu a2, 0(t2)
+    andi t2, a2, 2040
+    add t2, t2, s0
+    sb a2, 0(t2)
+    div a1, a4, a0
+    lb a2, 1909(s0)
+    addi s1, s1, -1
+    bnez s1, outer
+    li a7, 64
+    ecall
+    mv a0, a1
+    ecall
+    mv a0, a2
+    ecall
+    mv a0, a3
+    ecall
+    mv a0, a4
+    ecall
+    mv a0, a5
+    ecall
+    mv a0, t0
+    ecall
+    mv a0, t1
+    ecall
+    ld a0, 0(s0)
+    ecall
+    ld a0, 1024(s0)
+    ecall
+    ebreak

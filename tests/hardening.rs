@@ -153,7 +153,7 @@ fn cycle_limit_is_reported_not_panicked() {
         (0..16).map(|_| op(&mut rng)).collect()
     };
     let prog = build(&ops, 1000);
-    let stream = RetireStream::new(prog.clone(), 5_000_000);
+    let stream = RetireStream::new(prog, 5_000_000);
     let mut pipe = Pipeline::new(PipeConfig::with_fusion(FusionMode::Helios), stream);
     match pipe.try_run(50) {
         Err(SimError::CycleLimit { max_cycles, .. }) => {
@@ -162,15 +162,6 @@ fn cycle_limit_is_reported_not_panicked() {
         }
         other => panic!("expected CycleLimit, got {other:?}"),
     }
-    // The deprecated compat wrapper preserves the old partial-stats
-    // behaviour (kept on purpose until the wrapper is removed).
-    let mut pipe2 = Pipeline::new(
-        PipeConfig::with_fusion(FusionMode::Helios),
-        RetireStream::new(prog, 5_000_000),
-    );
-    #[allow(deprecated)]
-    let stats = pipe2.run(50);
-    assert_eq!(stats.cycles, 50);
 }
 
 /// Oracle-checked workload runs pass with zero violations, and attaching
