@@ -10,17 +10,18 @@
 //!
 //! Also writes `BENCH_sweep.json` (wall-clock, cells/sec, simulated
 //! Mcycles/sec, jobs used) to the working directory so the simulator's own
-//! performance trajectory is tracked alongside its outputs.
+//! performance trajectory is tracked alongside its outputs. Set
+//! `HELIOS_BENCH_STABLE=1` to zero the wall-clock-derived fields so the
+//! file can be diffed across runs (resume-equivalence CI).
 
-use helios::{format_row, run_sweep_jobs, FusionMode, Report, Table};
+use helios::{format_row, FusionMode, Report, Table};
 use std::time::Instant;
 
 fn main() {
     let opts = helios_bench::parse_opts();
-    let workloads = opts.workloads;
     let modes = FusionMode::ALL;
     let start = Instant::now();
-    let sweep = run_sweep_jobs(&workloads, &modes, opts.jobs);
+    let sweep = helios_bench::run_standard_sweep("fig10", &opts, &modes);
     let wall = start.elapsed().as_secs_f64();
     write_bench_json(&sweep, wall, opts.jobs);
 
@@ -34,12 +35,19 @@ fn main() {
     let mut table = Table::new(headers);
 
     for w in sweep.workloads() {
-        let base = sweep.get(w, FusionMode::NoFusion).unwrap().ipc();
+        let Some(base) = sweep.get(w, FusionMode::NoFusion).map(|s| s.ipc()) else {
+            continue; // quarantined baseline: row omitted, named in the notes
+        };
         let mut vals = vec![base];
-        for &m in modes.iter().skip(1) {
-            vals.push(sweep.get(w, m).unwrap().ipc() / base);
+        let complete = modes.iter().skip(1).all(|&m| {
+            sweep
+                .get(w, m)
+                .map(|s| vals.push(s.ipc() / base))
+                .is_some()
+        });
+        if complete {
+            table.row(format_row(w, &vals, 3));
         }
-        table.row(format_row(w, &vals, 3));
     }
     // Geomean row.
     let mut geo = vec![f64::NAN];
@@ -53,7 +61,7 @@ fn main() {
         let vals: Vec<f64> = sweep
             .workloads()
             .iter()
-            .map(|w| sweep.get(w, m).unwrap().ipc() / sweep.get(w, b).unwrap().ipc())
+            .filter_map(|w| Some(sweep.get(w, m)?.ipc() / sweep.get(w, b)?.ipc()))
             .collect();
         (helios::geomean(&vals) - 1.0) * 100.0
     };
@@ -83,13 +91,25 @@ fn main() {
         "  OracleFusion  vs NoFusion : {:+.1}%   (paper: +16.3%)",
         pct(FusionMode::OracleFusion, FusionMode::NoFusion)
     ));
-    report.print_and_emit();
+    helios_bench::finalize_sweep_report(report, &sweep);
 }
 
-/// Records the sweep's own throughput in `BENCH_sweep.json`.
+/// Records the sweep's own throughput in `BENCH_sweep.json`. With
+/// `HELIOS_BENCH_STABLE=1` the wall-clock-derived fields are zeroed so the
+/// file is a pure function of the simulated cells and can be diffed across
+/// runs (e.g. interrupted-then-resumed vs uninterrupted).
 fn write_bench_json(sweep: &helios::Sweep, wall_seconds: f64, jobs: usize) {
+    let stable = std::env::var("HELIOS_BENCH_STABLE").is_ok_and(|v| v == "1");
+    let wall_seconds = if stable { 0.0 } else { wall_seconds };
     let cells = sweep.results().len();
     let sim_cycles: u64 = sweep.results().iter().map(|r| r.stats.cycles).sum();
+    let per_sec = |x: f64| {
+        if stable {
+            0.0
+        } else {
+            x / wall_seconds
+        }
+    };
     let json = format!(
         "{{\n  \"benchmark\": \"fig10_sweep\",\n  \"workloads\": {},\n  \"modes\": {},\n  \"cells\": {},\n  \"jobs\": {},\n  \"wall_seconds\": {:.3},\n  \"cells_per_sec\": {:.3},\n  \"simulated_cycles\": {},\n  \"simulated_mcycles_per_sec\": {:.3}\n}}\n",
         sweep.workloads().len(),
@@ -97,9 +117,9 @@ fn write_bench_json(sweep: &helios::Sweep, wall_seconds: f64, jobs: usize) {
         cells,
         jobs,
         wall_seconds,
-        cells as f64 / wall_seconds,
+        per_sec(cells as f64),
         sim_cycles,
-        sim_cycles as f64 / wall_seconds / 1e6,
+        per_sec(sim_cycles as f64 / 1e6),
     );
     match std::fs::write("BENCH_sweep.json", &json) {
         Ok(()) => eprintln!("wrote BENCH_sweep.json ({cells} cells, {wall_seconds:.1}s, {jobs} jobs)"),

@@ -18,8 +18,16 @@
 //! machine down, but a "fault" that speeds it up or grinds it to a halt
 //! means the model leaked architectural state. Exits non-zero on any
 //! failure, printing a reproducible (seeded) description.
+//!
+//! `--sweep-chaos` instead soaks the *sweep executor*: a seeded
+//! [`CellChaos`] spec injects panics and timeouts into a deterministic
+//! subset of cells, and the harness asserts that exactly those cells are
+//! quarantined with the matching outcome while every healthy cell still
+//! completes — the resilience contract of `run_sweep_opts`.
 
-use helios::{Report, Table, Workload};
+use helios::{
+    CellChaos, CellFault, CellOutcome, Report, Sweep, SweepOptions, SweepPolicy, Table, Workload,
+};
 use helios_core::FusionMode;
 use helios_uarch::{FaultConfig, PipeConfig, Pipeline};
 
@@ -60,13 +68,102 @@ fn soak_run(w: &Workload, cfg: PipeConfig, fault: Option<FaultConfig>) -> Result
     }
 }
 
+/// Chaos soak for the resilient sweep executor itself: inject seeded
+/// panics/timeouts into ~20% of cells, then assert the quarantine is
+/// *exact* — every injected cell reported with the matching outcome, every
+/// healthy cell completed.
+fn sweep_chaos_soak(opts: &helios_bench::SweepOpts) -> ! {
+    let chaos = CellChaos::parse(&format!("seed={SEED},panic=0.12,timeout=0.08"))
+        .expect("built-in chaos spec is valid");
+    let modes = FusionMode::ALL;
+    let sweep_opts = SweepOptions {
+        jobs: opts.jobs,
+        // Chaos re-fires every attempt, so keep retries cheap: two attempts
+        // exercise the retry machinery, 1 ms backoff keeps the soak fast.
+        policy: SweepPolicy {
+            max_attempts: 2,
+            backoff_ms: 1,
+            backoff_cap_ms: 1,
+            ..SweepPolicy::default()
+        },
+        chaos: Some(chaos.clone()),
+        ..SweepOptions::default()
+    };
+    let sweep: Sweep = helios::run_sweep_opts(&opts.workloads, &modes, &sweep_opts)
+        .expect("no checkpoint journal: sweep setup cannot fail on I/O");
+
+    let mut violations: Vec<String> = Vec::new();
+    let (mut panics, mut timeouts, mut healthy) = (0u64, 0u64, 0u64);
+    for w in &opts.workloads {
+        for &m in &modes {
+            let injected = chaos.fault_for(w.name, m.name());
+            let quarantined = sweep
+                .failures()
+                .iter()
+                .find(|f| f.workload == w.name && f.mode == m);
+            match (injected, sweep.get(w.name, m), quarantined) {
+                (None, Some(_), None) => healthy += 1,
+                (Some(CellFault::Panic), None, Some(f)) => match &f.outcome {
+                    CellOutcome::Failed { attempts: 2, .. } => panics += 1,
+                    other => violations.push(format!(
+                        "{}/{}: injected panic, expected Failed after 2 attempts, got: {}",
+                        w.name,
+                        m.name(),
+                        other.describe()
+                    )),
+                },
+                (Some(CellFault::Timeout), None, Some(f)) => match &f.outcome {
+                    CellOutcome::TimedOut { attempts: 2, .. } => timeouts += 1,
+                    other => violations.push(format!(
+                        "{}/{}: injected timeout, expected TimedOut after 2 attempts, got: {}",
+                        w.name,
+                        m.name(),
+                        other.describe()
+                    )),
+                },
+                (fault, stats, f) => violations.push(format!(
+                    "{}/{}: injected={fault:?} but stats={} quarantined={}",
+                    w.name,
+                    m.name(),
+                    stats.is_some(),
+                    f.map_or("no".into(), |f| f.outcome.describe()),
+                )),
+            }
+        }
+    }
+    if sweep.interrupted() {
+        violations.push("sweep reported interrupted without a SIGINT or stop-after cap".into());
+    }
+    let total = opts.workloads.len() * modes.len();
+    println!(
+        "sweep-chaos: {total} cells, {healthy} healthy, {panics} panics + {timeouts} timeouts quarantined, seed {SEED:#x}"
+    );
+    if (panics + timeouts) == 0 {
+        // A chaos soak that injected nothing proves nothing.
+        violations.push("chaos spec injected zero faults; widen the workload set".into());
+    }
+    if violations.is_empty() {
+        println!("sweep-chaos: quarantine exact, all healthy cells completed");
+        std::process::exit(0);
+    }
+    println!("sweep-chaos: {} VIOLATIONS:", violations.len());
+    for v in &violations {
+        println!("  FAIL {v}");
+    }
+    std::process::exit(1);
+}
+
 fn main() {
-    let workloads = helios_bench::select_workloads();
-    if workloads.is_empty() {
+    let opts = helios_bench::parse_opts_with(&[helios_bench::ExtraFlag::Bool("--sweep-chaos")]);
+    if opts.workloads.is_empty() {
         // A soak that runs nothing must not report success.
         eprintln!("error: no workloads selected (check --only names)");
         std::process::exit(2);
     }
+    if opts.extra[0].is_some() {
+        sweep_chaos_soak(&opts);
+    }
+    let workloads = opts.workloads;
     let modes = FaultConfig::modes(SEED);
     let cfg = PipeConfig::with_fusion(FusionMode::Helios);
     let mut failures: Vec<String> = Vec::new();

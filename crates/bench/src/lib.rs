@@ -3,11 +3,24 @@
 //! Every binary accepts:
 //! * `--quick` — run a representative 8-workload subset instead of all 32;
 //! * `--only <name>[,<name>...]` — run specific workloads;
-//! * `--jobs <N>` — sweep worker threads (default: all cores).
+//! * `--jobs <N>` — sweep worker threads (default: all cores);
+//! * `--resume` — restore finished cells from the checkpoint journal;
+//! * `--cell-timeout <secs>` — wall-clock budget per sweep cell;
+//! * `--retries <N>` — attempts per cell before quarantining (default 2).
+//!
+//! Environment knobs (testing/CI):
+//! * `HELIOS_SWEEP_CHAOS` — deterministic cell fault injection spec
+//!   (see `helios::CellChaos::parse`);
+//! * `HELIOS_SWEEP_STOP_AFTER` — stop claiming cells after N simulations
+//!   (a deterministic stand-in for `kill -9` in resume tests);
+//! * `HELIOS_TRACE_DIR` — integrity-checked on-disk trace cache directory;
+//! * `HELIOS_BENCH_STABLE` — zero wall-clock-derived fields in
+//!   `BENCH_sweep.json` so CI can diff it across runs.
 
 pub mod census;
 
-use helios::Workload;
+use helios::{CellChaos, Report, Sweep, SweepOptions, SweepPolicy, Workload};
+use std::time::Duration;
 
 /// The representative subset used by `--quick` (chosen to cover the paper's
 /// behavioural extremes: SQ-bound xz_1, ALU-idiom-heavy bitcount/susan/xz_2,
@@ -29,6 +42,12 @@ pub struct SweepOpts {
     pub workloads: Vec<Workload>,
     /// Sweep worker threads (`--jobs`, default: all cores).
     pub jobs: usize,
+    /// Restore finished cells from the checkpoint journal (`--resume`).
+    pub resume: bool,
+    /// Wall-clock budget per sweep cell (`--cell-timeout <secs>`).
+    pub cell_timeout: Option<Duration>,
+    /// Attempts per cell before quarantining (`--retries <N>`).
+    pub retries: Option<u32>,
     /// Binary-specific flags requested via [`parse_opts_with`], in
     /// declaration order: `None` when absent, `Some("")` for a present
     /// boolean flag, `Some(value)` for a present valued flag.
@@ -60,11 +79,35 @@ pub fn parse_opts_with(known: &[ExtraFlag]) -> SweepOpts {
     let mut only: Option<Vec<String>> = None;
     let mut quick = false;
     let mut jobs = helios::default_jobs();
+    let mut resume = false;
+    let mut cell_timeout = None;
+    let mut retries = None;
     let mut extra: Vec<Option<String>> = known.iter().map(|_| None).collect();
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => quick = true,
+            "--resume" => resume = true,
+            "--cell-timeout" => {
+                i += 1;
+                cell_timeout = match args.get(i).map(|s| s.parse::<u64>()) {
+                    Some(Ok(secs)) if secs >= 1 => Some(Duration::from_secs(secs)),
+                    _ => {
+                        eprintln!("error: --cell-timeout requires a positive integer (seconds)");
+                        std::process::exit(helios::exit::USAGE);
+                    }
+                };
+            }
+            "--retries" => {
+                i += 1;
+                retries = match args.get(i).map(|s| s.parse::<u32>()) {
+                    Some(Ok(n)) if n >= 1 => Some(n),
+                    _ => {
+                        eprintln!("error: --retries requires a positive integer");
+                        std::process::exit(helios::exit::USAGE);
+                    }
+                };
+            }
             "--only" => {
                 i += 1;
                 let Some(list) = args.get(i) else {
@@ -137,8 +180,90 @@ pub fn parse_opts_with(known: &[ExtraFlag]) -> SweepOpts {
     SweepOpts {
         workloads,
         jobs,
+        resume,
+        cell_timeout,
+        retries,
         extra,
     }
+}
+
+/// Builds the resilient-executor options for a figure binary: the CLI
+/// policy knobs, a checkpoint journal at `results/<id>.ckpt.jsonl`, the
+/// SIGINT handler, and the CI/test environment knobs (`HELIOS_SWEEP_CHAOS`,
+/// `HELIOS_SWEEP_STOP_AFTER`, `HELIOS_TRACE_DIR`).
+///
+/// Exits with [`helios::exit::USAGE`] on a malformed environment spec —
+/// silently ignoring a typo'd chaos spec would make a CI resilience gate
+/// pass vacuously.
+pub fn sweep_options(id: &str, opts: &SweepOpts) -> SweepOptions {
+    let chaos = std::env::var("HELIOS_SWEEP_CHAOS").ok().map(|spec| {
+        CellChaos::parse(&spec).unwrap_or_else(|e| {
+            eprintln!("error: HELIOS_SWEEP_CHAOS: {e}");
+            std::process::exit(helios::exit::USAGE);
+        })
+    });
+    let stop_after = std::env::var("HELIOS_SWEEP_STOP_AFTER").ok().map(|v| {
+        v.parse::<usize>().unwrap_or_else(|_| {
+            eprintln!("error: HELIOS_SWEEP_STOP_AFTER must be a non-negative integer");
+            std::process::exit(helios::exit::USAGE);
+        })
+    });
+    SweepOptions {
+        jobs: opts.jobs,
+        policy: SweepPolicy {
+            max_attempts: opts.retries.unwrap_or(SweepPolicy::default().max_attempts),
+            cell_timeout: opts.cell_timeout,
+            ..SweepPolicy::default()
+        },
+        checkpoint: Some(helios::Checkpoint {
+            path: helios::results_dir().join(format!("{id}.ckpt.jsonl")),
+            resume: opts.resume,
+        }),
+        chaos,
+        stop_after,
+        trace_dir: std::env::var_os("HELIOS_TRACE_DIR").map(std::path::PathBuf::from),
+        handle_interrupt: true,
+    }
+}
+
+/// Runs the figure's sweep through the resilient executor with the standard
+/// wiring from [`sweep_options`]. On interruption (SIGINT or
+/// `HELIOS_SWEEP_STOP_AFTER`) the process exits with
+/// [`helios::exit::INTERRUPTED`] — finished cells are durable in the
+/// journal, so the user reruns with `--resume` rather than reading a
+/// report with silently missing rows.
+pub fn run_standard_sweep(id: &str, opts: &SweepOpts, modes: &[helios::FusionMode]) -> Sweep {
+    let sweep_opts = sweep_options(id, opts);
+    let sweep = helios::run_sweep_opts(&opts.workloads, modes, &sweep_opts).unwrap_or_else(|e| {
+        eprintln!("error: sweep setup failed: {e}");
+        std::process::exit(helios::exit::FAILED);
+    });
+    if sweep.interrupted() {
+        std::process::exit(helios::exit::INTERRUPTED);
+    }
+    sweep
+}
+
+/// Annotates a report with every quarantined cell: a stdout warning note
+/// plus a machine-readable `cell_status` entry in the JSON artifact. A
+/// clean sweep adds nothing, keeping the report byte-identical to the
+/// pre-resilience output.
+pub fn annotate_failures(report: &mut Report, sweep: &Sweep) {
+    for f in sweep.failures() {
+        let cell = format!("{}/{}", f.workload, f.mode.name());
+        report.note(format!("warning: cell {cell} {}", f.outcome.describe()));
+        report.cell_status(cell, f.outcome.describe());
+    }
+}
+
+/// The standard ending of a figure binary: annotate quarantined cells,
+/// print + emit the report, and exit with the sweep's status code
+/// ([`helios::exit::COMPLETE`] / [`PARTIAL`](helios::exit::PARTIAL) /
+/// [`FAILED`](helios::exit::FAILED)).
+pub fn finalize_sweep_report(mut report: Report, sweep: &Sweep) -> ! {
+    annotate_failures(&mut report, sweep);
+    report.print_and_emit();
+    std::process::exit(sweep.exit_code());
 }
 
 /// Parses the common CLI arguments and returns the selected workloads.

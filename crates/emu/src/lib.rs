@@ -26,5 +26,5 @@ mod trace;
 
 pub use cpu::{Cpu, EmuError, RetireStream};
 pub use mem::Memory;
-pub use record::{RecordedTrace, TraceReplay};
+pub use record::{RecordedTrace, TraceIoError, TraceReplay, TraceStamp};
 pub use trace::{MemAccess, Retired, UopSource};

@@ -12,8 +12,11 @@
 //! (A live `RetireStream` simply stops at the budget; a recording that did
 //! the same would make every downstream figure quietly wrong.)
 
-use crate::{Cpu, EmuError, Retired};
-use helios_isa::Program;
+use crate::{Cpu, EmuError, MemAccess, Retired};
+use helios_isa::{Program, ISA_VERSION};
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::path::Path;
 use std::sync::Arc;
 
 /// An immutable, shareable recording of a program's retired-µ-op trace.
@@ -87,6 +90,333 @@ impl RecordedTrace {
             pos: 0,
         }
     }
+
+    /// The integrity stamp a serialized copy of this recording would carry:
+    /// the current [`ISA_VERSION`] plus an FNV-1a checksum over the full
+    /// semantic content (every µ-op field and every output word).
+    pub fn stamp(&self) -> TraceStamp {
+        let mut h = Fnv::new();
+        h.u64(self.uops.len() as u64);
+        for r in self.uops.iter() {
+            h.u64(r.seq);
+            h.u64(r.pc);
+            h.u32(helios_isa::encode(&r.inst));
+            h.u64(r.next_pc);
+            match r.mem {
+                None => h.u8(0),
+                Some(m) => {
+                    h.u8(if m.is_store { 2 } else { 1 });
+                    h.u64(m.addr);
+                    h.u8(m.size);
+                }
+            }
+            match r.rd_value {
+                None => h.u8(0),
+                Some(v) => {
+                    h.u8(1);
+                    h.u64(v);
+                }
+            }
+        }
+        h.u64(self.output.len() as u64);
+        for &o in self.output.iter() {
+            h.u64(o);
+        }
+        TraceStamp {
+            isa_version: ISA_VERSION,
+            checksum: h.finish(),
+        }
+    }
+
+    /// Serializes the recording to `w` in the `HTRC` binary format: a header
+    /// carrying a magic, the format version, the [`TraceStamp`] (ISA version
+    /// and content checksum) and element counts, followed by the µ-ops and
+    /// the output words. [`RecordedTrace::load`] refuses anything whose
+    /// stamp does not verify, so a cached trace can never silently go stale.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn save<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let stamp = self.stamp();
+        w.write_all(TRACE_MAGIC)?;
+        w.write_all(&TRACE_FORMAT_VERSION.to_le_bytes())?;
+        w.write_all(&stamp.isa_version.to_le_bytes())?;
+        w.write_all(&stamp.checksum.to_le_bytes())?;
+        w.write_all(&(self.uops.len() as u64).to_le_bytes())?;
+        w.write_all(&(self.output.len() as u64).to_le_bytes())?;
+        for r in self.uops.iter() {
+            w.write_all(&r.seq.to_le_bytes())?;
+            w.write_all(&r.pc.to_le_bytes())?;
+            w.write_all(&helios_isa::encode(&r.inst).to_le_bytes())?;
+            w.write_all(&r.next_pc.to_le_bytes())?;
+            match r.mem {
+                None => w.write_all(&[0, 0, 0, 0, 0, 0, 0, 0, 0, 0])?,
+                Some(m) => {
+                    w.write_all(&[if m.is_store { 2 } else { 1 }])?;
+                    w.write_all(&m.addr.to_le_bytes())?;
+                    w.write_all(&[m.size])?;
+                }
+            }
+            match r.rd_value {
+                None => w.write_all(&[0, 0, 0, 0, 0, 0, 0, 0, 0])?,
+                Some(v) => {
+                    w.write_all(&[1])?;
+                    w.write_all(&v.to_le_bytes())?;
+                }
+            }
+        }
+        for &o in self.output.iter() {
+            w.write_all(&o.to_le_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// [`RecordedTrace::save`] to a file at `path` (created or truncated).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save_file(&self, path: &Path) -> io::Result<()> {
+        let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+        self.save(&mut f)?;
+        f.flush()
+    }
+
+    /// Deserializes a recording previously written by [`RecordedTrace::save`],
+    /// verifying the header and the integrity stamp.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceIoError`] distinguishes every way a cached trace can be unfit
+    /// for use: wrong file type ([`TraceIoError::BadMagic`]), written by a
+    /// different serializer revision ([`TraceIoError::FormatVersion`]),
+    /// recorded under older ISA semantics ([`TraceIoError::StaleIsa`]),
+    /// bit rot or torn writes ([`TraceIoError::ChecksumMismatch`],
+    /// [`TraceIoError::Truncated`]), an undecodable instruction word
+    /// ([`TraceIoError::Decode`]), or a plain I/O failure. Callers treat all
+    /// of them the same way: discard the cache and re-record.
+    pub fn load<R: Read>(r: &mut R) -> Result<RecordedTrace, TraceIoError> {
+        let mut magic = [0u8; 4];
+        read_exact(r, &mut magic)?;
+        if &magic != TRACE_MAGIC {
+            return Err(TraceIoError::BadMagic(magic));
+        }
+        let format = u16::from_le_bytes(read_array(r)?);
+        if format != TRACE_FORMAT_VERSION {
+            return Err(TraceIoError::FormatVersion {
+                found: format,
+                want: TRACE_FORMAT_VERSION,
+            });
+        }
+        let isa_version = u32::from_le_bytes(read_array(r)?);
+        if isa_version != ISA_VERSION {
+            return Err(TraceIoError::StaleIsa {
+                found: isa_version,
+                want: ISA_VERSION,
+            });
+        }
+        let checksum = u64::from_le_bytes(read_array(r)?);
+        let uop_count = u64::from_le_bytes(read_array(r)?);
+        let output_count = u64::from_le_bytes(read_array(r)?);
+        // An absurd count means a corrupt header; fail before allocating.
+        const MAX_ELEMS: u64 = 1 << 32;
+        if uop_count > MAX_ELEMS || output_count > MAX_ELEMS {
+            return Err(TraceIoError::Truncated);
+        }
+        let mut uops = Vec::with_capacity(uop_count as usize);
+        for _ in 0..uop_count {
+            let seq = u64::from_le_bytes(read_array(r)?);
+            let pc = u64::from_le_bytes(read_array(r)?);
+            let word = u32::from_le_bytes(read_array(r)?);
+            let inst = helios_isa::decode(word).map_err(|e| TraceIoError::Decode {
+                seq,
+                detail: e.to_string(),
+            })?;
+            let next_pc = u64::from_le_bytes(read_array(r)?);
+            let mem = {
+                let kind = read_array::<1>(r)?[0];
+                let addr = u64::from_le_bytes(read_array(r)?);
+                let size = read_array::<1>(r)?[0];
+                match kind {
+                    // Padding must be zero, so every corrupted byte is
+                    // detectable (checksums only cover semantic content).
+                    0 if addr == 0 && size == 0 => None,
+                    1 | 2 => Some(MemAccess {
+                        addr,
+                        size,
+                        is_store: kind == 2,
+                    }),
+                    _ => return Err(TraceIoError::Truncated),
+                }
+            };
+            let rd_value = {
+                let kind = read_array::<1>(r)?[0];
+                let v = u64::from_le_bytes(read_array(r)?);
+                match kind {
+                    0 if v == 0 => None,
+                    1 => Some(v),
+                    _ => return Err(TraceIoError::Truncated),
+                }
+            };
+            uops.push(Retired {
+                seq,
+                pc,
+                inst,
+                next_pc,
+                mem,
+                rd_value,
+            });
+        }
+        let mut output = Vec::with_capacity(output_count as usize);
+        for _ in 0..output_count {
+            output.push(u64::from_le_bytes(read_array(r)?));
+        }
+        let trace = RecordedTrace {
+            uops: uops.into(),
+            output: output.into(),
+        };
+        let actual = trace.stamp().checksum;
+        if actual != checksum {
+            return Err(TraceIoError::ChecksumMismatch {
+                stored: checksum,
+                actual,
+            });
+        }
+        Ok(trace)
+    }
+
+    /// [`RecordedTrace::load`] from the file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// See [`RecordedTrace::load`]; a missing or unreadable file surfaces as
+    /// [`TraceIoError::Io`].
+    pub fn load_file(path: &Path) -> Result<RecordedTrace, TraceIoError> {
+        let mut f = io::BufReader::new(std::fs::File::open(path)?);
+        let trace = RecordedTrace::load(&mut f)?;
+        // Trailing garbage means the file is not what `save` wrote.
+        let mut probe = [0u8; 1];
+        match f.read(&mut probe) {
+            Ok(0) => Ok(trace),
+            Ok(_) => Err(TraceIoError::Truncated),
+            Err(e) => Err(TraceIoError::Io(e.to_string())),
+        }
+    }
+}
+
+/// Magic bytes opening every serialized trace ("Helios TRaCe").
+const TRACE_MAGIC: &[u8; 4] = b"HTRC";
+
+/// Bumped whenever the byte layout below changes; older files are rejected
+/// (and re-recorded) rather than misread.
+const TRACE_FORMAT_VERSION: u16 = 1;
+
+/// Integrity stamp carried by a serialized [`RecordedTrace`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TraceStamp {
+    /// [`ISA_VERSION`] at recording time: a cached trace is only as good as
+    /// the emulator semantics that produced it.
+    pub isa_version: u32,
+    /// FNV-1a over the full semantic content.
+    pub checksum: u64,
+}
+
+/// Why a serialized trace could not be loaded. Every variant means the same
+/// thing to a sweep driver — discard the cached file and re-record — but the
+/// distinction is logged so cache problems are diagnosable.
+#[derive(Clone, Debug)]
+pub enum TraceIoError {
+    /// The file does not start with the `HTRC` magic.
+    BadMagic([u8; 4]),
+    /// Written by a different serializer format revision.
+    FormatVersion { found: u16, want: u16 },
+    /// Recorded under different ISA semantics ([`ISA_VERSION`] mismatch).
+    StaleIsa { found: u32, want: u32 },
+    /// Content does not match the stored checksum (bit rot, torn write).
+    ChecksumMismatch { stored: u64, actual: u64 },
+    /// The file ended early or contains an impossible field value.
+    Truncated,
+    /// An instruction word failed to decode.
+    Decode { seq: u64, detail: String },
+    /// An underlying I/O failure.
+    Io(String),
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::BadMagic(m) => write!(f, "not a trace file (magic {m:02x?})"),
+            TraceIoError::FormatVersion { found, want } => {
+                write!(f, "trace format v{found}, this build reads v{want}")
+            }
+            TraceIoError::StaleIsa { found, want } => write!(
+                f,
+                "trace recorded under ISA version {found}, current is {want}"
+            ),
+            TraceIoError::ChecksumMismatch { stored, actual } => write!(
+                f,
+                "trace checksum mismatch: stored {stored:#018x}, content hashes to {actual:#018x}"
+            ),
+            TraceIoError::Truncated => write!(f, "trace file truncated or corrupt"),
+            TraceIoError::Decode { seq, detail } => {
+                write!(f, "undecodable instruction at seq {seq}: {detail}")
+            }
+            TraceIoError::Io(e) => write!(f, "trace i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {}
+
+impl From<io::Error> for TraceIoError {
+    fn from(e: io::Error) -> TraceIoError {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            TraceIoError::Truncated
+        } else {
+            TraceIoError::Io(e.to_string())
+        }
+    }
+}
+
+/// FNV-1a, field-delimited by construction (every variable-length run is
+/// preceded by its length).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    #[inline]
+    fn u8(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    #[inline]
+    fn u32(&mut self, v: u32) {
+        for b in v.to_le_bytes() {
+            self.u8(b);
+        }
+    }
+    #[inline]
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.u8(b);
+        }
+    }
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+fn read_exact<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<(), TraceIoError> {
+    r.read_exact(buf).map_err(TraceIoError::from)
+}
+
+fn read_array<const N: usize>(r: &mut impl Read) -> Result<[u8; N], TraceIoError> {
+    let mut buf = [0u8; N];
+    read_exact(r, &mut buf)?;
+    Ok(buf)
 }
 
 /// An independent cursor over a [`RecordedTrace`]'s shared buffer.
@@ -154,5 +484,114 @@ mod tests {
         let prog = parse_asm("li a0, 42\nli a7, 64\necall\nebreak").unwrap();
         let rec = RecordedTrace::record(prog, 100).unwrap();
         assert_eq!(rec.output(), &[42]);
+    }
+
+    /// A kernel exercising every serialized field shape: loads, stores,
+    /// taken/not-taken branches, rd-writing and rd-less µ-ops, and outputs.
+    const RICH: &str = "li a1, 0x1000\n\
+                        li a0, 5\n\
+                        top: sd a0, 0(a1)\n\
+                        ld a2, 0(a1)\n\
+                        addi a0, a0, -1\n\
+                        bnez a0, top\n\
+                        li a7, 64\n\
+                        ecall\n\
+                        ebreak";
+
+    #[test]
+    fn save_load_round_trips() {
+        let prog = parse_asm(RICH).unwrap();
+        let rec = RecordedTrace::record(prog, 1000).unwrap();
+        let mut buf = Vec::new();
+        rec.save(&mut buf).unwrap();
+        let back = RecordedTrace::load(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.uops(), rec.uops());
+        assert_eq!(back.output(), rec.output());
+        assert_eq!(back.stamp(), rec.stamp());
+    }
+
+    #[test]
+    fn any_flipped_byte_is_detected() {
+        let prog = parse_asm(RICH).unwrap();
+        let rec = RecordedTrace::record(prog, 1000).unwrap();
+        let mut clean = Vec::new();
+        rec.save(&mut clean).unwrap();
+        // Flip one byte at a spread of offsets covering header, µ-ops, and
+        // outputs; every corruption must be rejected, never silently loaded.
+        for off in (0..clean.len()).step_by(7) {
+            let mut bad = clean.clone();
+            bad[off] ^= 0x40;
+            assert!(
+                RecordedTrace::load(&mut bad.as_slice()).is_err(),
+                "flip at byte {off} loaded successfully"
+            );
+        }
+    }
+
+    #[test]
+    fn header_mismatches_are_distinguished() {
+        let prog = parse_asm(LOOP).unwrap();
+        let rec = RecordedTrace::record(prog, 1000).unwrap();
+        let mut clean = Vec::new();
+        rec.save(&mut clean).unwrap();
+
+        let mut bad = clean.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            RecordedTrace::load(&mut bad.as_slice()),
+            Err(TraceIoError::BadMagic(_))
+        ));
+
+        let mut bad = clean.clone();
+        bad[4] = 0xEE; // format version (u16 LE at offset 4)
+        assert!(matches!(
+            RecordedTrace::load(&mut bad.as_slice()),
+            Err(TraceIoError::FormatVersion { .. })
+        ));
+
+        let mut bad = clean.clone();
+        bad[6] ^= 0x01; // ISA version (u32 LE at offset 6)
+        assert!(matches!(
+            RecordedTrace::load(&mut bad.as_slice()),
+            Err(TraceIoError::StaleIsa { .. })
+        ));
+
+        let mut bad = clean.clone();
+        bad[10] ^= 0x01; // checksum (u64 LE at offset 10)
+        assert!(matches!(
+            RecordedTrace::load(&mut bad.as_slice()),
+            Err(TraceIoError::ChecksumMismatch { .. })
+        ));
+
+        let short = &clean[..clean.len() - 3];
+        assert!(matches!(
+            RecordedTrace::load(&mut &short[..]),
+            Err(TraceIoError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn file_round_trip_rejects_trailing_garbage() {
+        let dir = std::env::temp_dir().join(format!("helios-rec-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.htrc");
+        let prog = parse_asm(LOOP).unwrap();
+        let rec = RecordedTrace::record(prog, 1000).unwrap();
+        rec.save_file(&path).unwrap();
+        let back = RecordedTrace::load_file(&path).unwrap();
+        assert_eq!(back.uops(), rec.uops());
+        // Appended bytes mean the file is not what `save` wrote.
+        let mut raw = std::fs::read(&path).unwrap();
+        raw.push(0);
+        std::fs::write(&path, &raw).unwrap();
+        assert!(matches!(
+            RecordedTrace::load_file(&path),
+            Err(TraceIoError::Truncated)
+        ));
+        assert!(matches!(
+            RecordedTrace::load_file(&dir.join("missing.htrc")),
+            Err(TraceIoError::Io(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -37,6 +37,14 @@ mod encode;
 mod inst;
 mod reg;
 
+/// Version stamp of the ISA model's *semantics*: bump whenever a change to
+/// decoding, encoding, or instruction behaviour could make a previously
+/// recorded µ-op trace disagree with a fresh emulation of the same program.
+/// On-disk trace artifacts (`helios-emu`'s `RecordedTrace::save`) embed this
+/// stamp so a stale trace is detected and re-recorded instead of silently
+/// feeding outdated behaviour into a sweep.
+pub const ISA_VERSION: u32 = 1;
+
 pub use asm::{
     parse_asm, Asm, AsmError, Label, ParseError, Program, DEFAULT_CODE_BASE, DEFAULT_DATA_BASE,
     DEFAULT_STACK_TOP,

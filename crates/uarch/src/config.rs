@@ -316,6 +316,25 @@ impl PipeConfig {
     pub fn free_phys_regs(&self) -> usize {
         self.prf_size.saturating_sub(32)
     }
+
+    /// A stable 64-bit digest of the *complete* configuration, used to key
+    /// sweep checkpoint-journal entries and result caches by
+    /// `(workload, config)` so a resumed or cached cell is only reused for
+    /// an identical configuration.
+    ///
+    /// Implemented as FNV-1a over the derived `Debug` rendering, which
+    /// recursively covers every field (including the `helios` and cache
+    /// sub-structures) and therefore automatically incorporates fields added
+    /// later — a new knob can never silently alias two different configs. A
+    /// digest mismatch is always safe: the cell is simply re-simulated.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in format!("{self:?}").bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -379,6 +398,20 @@ mod tests {
             PipeConfig::builder().watchdog_cycles(4).build(),
             Err(ConfigError::WatchdogTooSmall { .. })
         ));
+    }
+
+    #[test]
+    fn digest_separates_configs_and_is_stable() {
+        let a = PipeConfig::default();
+        let b = PipeConfig::default();
+        assert_eq!(a.digest(), b.digest(), "identical configs share a digest");
+        assert_ne!(
+            PipeConfig::with_fusion(FusionMode::Helios).digest(),
+            PipeConfig::with_fusion(FusionMode::NoFusion).digest(),
+            "fusion mode is part of the digest"
+        );
+        let tweaked = PipeConfig::builder().rob_size(64).build().unwrap();
+        assert_ne!(a.digest(), tweaked.digest(), "structure sizes are covered");
     }
 
     #[test]

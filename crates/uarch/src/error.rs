@@ -25,6 +25,19 @@ pub enum SimError {
         /// Instructions committed before giving up.
         committed: u64,
     },
+    /// The run's wall-clock deadline (`Pipeline::try_run_deadline`) passed
+    /// before the trace drained. Unlike [`SimError::Deadlock`] this is not
+    /// necessarily a simulator bug — a loaded host or an oversized cell can
+    /// blow a per-cell budget — so sweep executors treat it as a retryable,
+    /// quarantinable outcome rather than a fatal one.
+    WallClockTimeout {
+        /// The wall-clock budget that elapsed, in milliseconds.
+        limit_ms: u64,
+        /// Simulated cycles reached before giving up.
+        cycles: u64,
+        /// Instructions committed before giving up.
+        committed: u64,
+    },
     /// An internal invariant failed (lockstep oracle mismatch, resource
     /// accounting drift, occupancy overflow, …).
     InvariantViolation(Box<InvariantReport>),
@@ -119,6 +132,15 @@ impl fmt::Display for SimError {
                 "cycle limit exhausted: {committed} instructions committed \
                  within {max_cycles} cycles"
             ),
+            SimError::WallClockTimeout {
+                limit_ms,
+                cycles,
+                committed,
+            } => write!(
+                f,
+                "wall-clock timeout: {limit_ms} ms elapsed after {cycles} \
+                 simulated cycles ({committed} instructions committed)"
+            ),
             SimError::InvariantViolation(r) => r.fmt(f),
         }
     }
@@ -154,6 +176,14 @@ mod tests {
             committed: 3,
         };
         assert!(c.to_string().contains("3 instructions"));
+
+        let t = SimError::WallClockTimeout {
+            limit_ms: 5000,
+            cycles: 123,
+            committed: 45,
+        };
+        let s = t.to_string();
+        assert!(s.contains("5000 ms") && s.contains("123") && s.contains("45"));
 
         let i = SimError::InvariantViolation(Box::new(InvariantReport {
             cycle: 7,

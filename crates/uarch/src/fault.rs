@@ -121,6 +121,151 @@ impl FaultConfig {
     }
 }
 
+/// A fault injected into one *sweep cell* (a whole `(workload, config)`
+/// simulation) by [`CellChaos`] — the sweep-level analogue of the
+/// µ-architectural faults above, used to verify that the resilient sweep
+/// executor isolates a bad cell instead of aborting the campaign.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CellFault {
+    /// The cell panics before simulating (models an unhandled model bug).
+    Panic,
+    /// The cell's wall-clock deadline is forced to be already expired
+    /// (models a hung or pathologically slow cell), so the real
+    /// `try_run_deadline` timeout path fires.
+    Timeout,
+}
+
+impl CellFault {
+    fn parse(s: &str) -> Result<CellFault, String> {
+        match s {
+            "panic" => Ok(CellFault::Panic),
+            "timeout" => Ok(CellFault::Timeout),
+            other => Err(format!("unknown cell fault `{other}` (want panic|timeout)")),
+        }
+    }
+}
+
+/// Deterministic sweep-cell fault selection: either an explicit list of
+/// `(workload, mode)` cells, or a seeded random subset. The decision for a
+/// cell depends only on `(seed, workload, mode)` — never on execution order
+/// or worker count — so a chaos sweep is reproducible and a checker can
+/// recompute exactly which cells were sabotaged.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct CellChaos {
+    /// Explicit `(workload, mode-name, fault)` triples.
+    explicit: Vec<(String, String, CellFault)>,
+    /// Seed for the rate-based subset (used when `explicit` is empty).
+    seed: u64,
+    /// Probability a cell panics.
+    panic_rate: f64,
+    /// Probability a cell times out (evaluated after the panic roll).
+    timeout_rate: f64,
+}
+
+impl CellChaos {
+    /// Explicit sabotage of the named cells.
+    pub fn cells(cells: Vec<(String, String, CellFault)>) -> CellChaos {
+        CellChaos {
+            explicit: cells,
+            ..CellChaos::default()
+        }
+    }
+
+    /// Seeded random sabotage: each cell independently panics with
+    /// probability `panic_rate`, else times out with `timeout_rate`.
+    pub fn seeded(seed: u64, panic_rate: f64, timeout_rate: f64) -> CellChaos {
+        CellChaos {
+            explicit: Vec::new(),
+            seed,
+            panic_rate,
+            timeout_rate,
+        }
+    }
+
+    /// Parses a chaos spec (the `HELIOS_SWEEP_CHAOS` format):
+    ///
+    /// * explicit — `workload/mode=panic` triples, comma-separated, e.g.
+    ///   `bitcount/Helios=panic,fft/NoFusion=timeout`;
+    /// * seeded — `seed=7,panic=0.1,timeout=0.05` (omitted rates are 0).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the malformed item.
+    pub fn parse(spec: &str) -> Result<CellChaos, String> {
+        let items: Vec<&str> = spec.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+        if items.is_empty() {
+            return Err("empty chaos spec".into());
+        }
+        let seeded = items
+            .iter()
+            .all(|i| ["seed=", "panic=", "timeout="].iter().any(|p| i.starts_with(p)));
+        if seeded {
+            let mut c = CellChaos::seeded(0, 0.0, 0.0);
+            for item in items {
+                let (k, v) = item.split_once('=').expect("checked above");
+                match k {
+                    "seed" => c.seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?,
+                    "panic" => c.panic_rate = parse_rate(v)?,
+                    "timeout" => c.timeout_rate = parse_rate(v)?,
+                    _ => unreachable!(),
+                }
+            }
+            return Ok(c);
+        }
+        let mut cells = Vec::new();
+        for item in items {
+            let (cell, fault) = item
+                .split_once('=')
+                .ok_or_else(|| format!("expected `workload/mode=fault`, got `{item}`"))?;
+            let (workload, mode) = cell
+                .split_once('/')
+                .ok_or_else(|| format!("expected `workload/mode`, got `{cell}`"))?;
+            cells.push((workload.to_string(), mode.to_string(), CellFault::parse(fault)?));
+        }
+        Ok(CellChaos::cells(cells))
+    }
+
+    /// The fault (if any) this chaos configuration injects into the
+    /// `(workload, mode)` cell. Pure function of the configuration and the
+    /// cell identity.
+    pub fn fault_for(&self, workload: &str, mode: &str) -> Option<CellFault> {
+        if !self.explicit.is_empty() {
+            return self
+                .explicit
+                .iter()
+                .find(|(w, m, _)| w == workload && m == mode)
+                .map(|&(_, _, f)| f);
+        }
+        if self.panic_rate <= 0.0 && self.timeout_rate <= 0.0 {
+            return None;
+        }
+        // Cell-identity hash (FNV-1a) → per-cell PRNG, so the decision is
+        // independent of sweep order and worker count.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ self.seed;
+        for b in workload.bytes().chain([0u8]).chain(mode.bytes()) {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut rng = StdRng::seed_from_u64(h);
+        if self.panic_rate > 0.0 && rng.gen_bool(self.panic_rate) {
+            return Some(CellFault::Panic);
+        }
+        if self.timeout_rate > 0.0 && rng.gen_bool(self.timeout_rate) {
+            return Some(CellFault::Timeout);
+        }
+        None
+    }
+}
+
+fn parse_rate(v: &str) -> Result<f64, String> {
+    let r: f64 = v.parse().map_err(|_| format!("bad rate `{v}`"))?;
+    if (0.0..=1.0).contains(&r) {
+        Ok(r)
+    } else {
+        Err(format!("rate `{v}` outside [0, 1]"))
+    }
+}
+
 /// Seeded injector attached to a [`Pipeline`] via
 /// [`Pipeline::attach_faults`].
 pub struct FaultInjector {
@@ -211,6 +356,43 @@ impl<I: UopSource> Pipeline<I> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cell_chaos_parses_explicit_and_seeded_specs() {
+        let c = CellChaos::parse("bitcount/Helios=panic, fft/NoFusion=timeout").unwrap();
+        assert_eq!(c.fault_for("bitcount", "Helios"), Some(CellFault::Panic));
+        assert_eq!(c.fault_for("fft", "NoFusion"), Some(CellFault::Timeout));
+        assert_eq!(c.fault_for("bitcount", "NoFusion"), None);
+        assert_eq!(c.fault_for("susan", "Helios"), None);
+
+        let s = CellChaos::parse("seed=7,panic=0.5,timeout=0.25").unwrap();
+        let cells: Vec<(String, String)> = (0..64)
+            .map(|i| (format!("w{i}"), format!("m{}", i % 3)))
+            .collect();
+        let hit = |chaos: &CellChaos| -> Vec<Option<CellFault>> {
+            cells.iter().map(|(w, m)| chaos.fault_for(w, m)).collect()
+        };
+        let first = hit(&s);
+        // Order-independent and repeatable: re-querying in reverse agrees.
+        let mut rev: Vec<Option<CellFault>> =
+            cells.iter().rev().map(|(w, m)| s.fault_for(w, m)).collect();
+        rev.reverse();
+        assert_eq!(first, rev);
+        let panics = first.iter().filter(|f| **f == Some(CellFault::Panic)).count();
+        let timeouts = first.iter().filter(|f| **f == Some(CellFault::Timeout)).count();
+        assert!(panics > 10, "p=0.5 over 64 cells panicked only {panics}");
+        assert!(timeouts > 1, "p=0.25 of the remainder timed out only {timeouts}");
+        // A different seed picks a different subset.
+        let other = CellChaos::parse("seed=8,panic=0.5,timeout=0.25").unwrap();
+        assert_ne!(first, hit(&other));
+
+        // Malformed specs are rejected with a reason, not a panic.
+        assert!(CellChaos::parse("").is_err());
+        assert!(CellChaos::parse("bitcount=panic").is_err());
+        assert!(CellChaos::parse("a/b=explode").is_err());
+        assert!(CellChaos::parse("seed=x").is_err());
+        assert!(CellChaos::parse("panic=1.5").is_err());
+    }
 
     #[test]
     fn injector_is_deterministic() {

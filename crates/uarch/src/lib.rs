@@ -60,7 +60,7 @@ pub use cache::{Cache, Hierarchy, MemResult};
 pub use check::OracleChecker;
 pub use config::{CacheParams, ConfigError, PipeConfig, PipeConfigBuilder};
 pub use error::{DeadlockReport, InvariantReport, SimError};
-pub use fault::{FaultConfig, FaultInjector};
+pub use fault::{CellChaos, CellFault, FaultConfig, FaultInjector};
 pub use memdep::StoreSets;
 pub use obs::{Histogram, ObsOpts, Observer, StatEntry, StatValue, StatsRegistry, Unit, UopRec};
 pub use pipeline::Pipeline;

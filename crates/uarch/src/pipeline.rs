@@ -406,8 +406,44 @@ impl<I: UopSource> Pipeline<I> {
     /// Statistics are finalized on every exit path, so partial results
     /// remain readable from [`Pipeline::stats`] after an error.
     pub fn try_run(&mut self, max_cycles: u64) -> Result<&SimStats, SimError> {
+        self.try_run_deadline(max_cycles, None)
+    }
+
+    /// How many cycles elapse between wall-clock deadline checks in
+    /// [`Pipeline::try_run_deadline`]. A power of two so the check is a
+    /// mask; large enough that `Instant::now` never shows up in a profile,
+    /// small enough that an expired deadline is noticed within microseconds.
+    const DEADLINE_CHECK_PERIOD: u64 = 4096;
+
+    /// [`Pipeline::try_run`] with an optional wall-clock deadline on top of
+    /// the cycle budget. The deadline is polled every
+    /// [`Self::DEADLINE_CHECK_PERIOD`] cycles (and once before the first
+    /// cycle, so an already-expired deadline returns immediately); when it
+    /// passes, the run stops with [`SimError::WallClockTimeout`]. Statistics
+    /// are finalized on every exit path, exactly as for `try_run`.
+    pub fn try_run_deadline(
+        &mut self,
+        max_cycles: u64,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<&SimStats, SimError> {
+        let started = deadline.map(|_| std::time::Instant::now());
         let mut last_commit = (self.now, self.stats.instructions);
+        let mut next_check = self.now;
         while !self.finished() && self.now < max_cycles {
+            if let (Some(dl), Some(t0)) = (deadline, started) {
+                if self.now >= next_check {
+                    next_check = self.now + Self::DEADLINE_CHECK_PERIOD;
+                    let now = std::time::Instant::now();
+                    if now >= dl {
+                        self.finalize_stats();
+                        return Err(SimError::WallClockTimeout {
+                            limit_ms: dl.saturating_duration_since(t0).as_millis() as u64,
+                            cycles: self.now,
+                            committed: self.stats.instructions,
+                        });
+                    }
+                }
+            }
             self.cycle();
             if let Some(err) = self.verify_cycle() {
                 self.finalize_stats();

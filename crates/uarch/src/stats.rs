@@ -338,6 +338,202 @@ impl SimStats {
         self.export(&mut reg);
         reg
     }
+
+    /// Lossless flat `name → value` projection of *every* raw counter, in a
+    /// stable order — the sweep checkpoint-journal serialization.
+    /// [`SimStats::from_kv`] inverts it exactly, so a cell restored from a
+    /// journal reproduces byte-identical report output. Derived metrics
+    /// (IPC, MPKI, …) are recomputed, never stored.
+    ///
+    /// The exhaustive destructuring below is deliberate: adding a field to
+    /// `SimStats` or `FusionStats` without extending this projection is a
+    /// compile error, so the journal format can never silently drop data.
+    pub fn to_kv(&self) -> Vec<(String, u64)> {
+        let SimStats {
+            cycles,
+            instructions,
+            uops,
+            mem_instructions,
+            loads,
+            stores,
+            rename_stall_cycles,
+            dispatch_stall_rob,
+            dispatch_stall_iq,
+            dispatch_stall_lq,
+            dispatch_stall_sq,
+            fetch_stall_redirect,
+            branches,
+            branch_mispredicts,
+            indirects,
+            indirect_mispredicts,
+            memdep_flushes,
+            ncsf_nest_aborts,
+            fusion_flushes,
+            l1d_accesses,
+            l1d_misses,
+            l2_misses,
+            l3_misses,
+            stlf_forwards,
+            uch_queue_dropped,
+            uch_queue_drained,
+            deadlock_breaks,
+            injected_faults,
+            oracle_checked,
+            fusion,
+        } = self;
+        let FusionStats {
+            csf_pairs,
+            ncsf_pairs,
+            by_idiom,
+            contiguous,
+            overlapping,
+            same_line,
+            next_line,
+            dbr_pairs,
+            asymmetric_pairs,
+            ncsf_distance_sum,
+            predictions,
+            predictions_correct,
+            mispredictions,
+            repairs,
+        } = fusion;
+        let mut kv: Vec<(String, u64)> = [
+            ("cycles", *cycles),
+            ("instructions", *instructions),
+            ("uops", *uops),
+            ("mem_instructions", *mem_instructions),
+            ("loads", *loads),
+            ("stores", *stores),
+            ("rename_stall_cycles", *rename_stall_cycles),
+            ("dispatch_stall_rob", *dispatch_stall_rob),
+            ("dispatch_stall_iq", *dispatch_stall_iq),
+            ("dispatch_stall_lq", *dispatch_stall_lq),
+            ("dispatch_stall_sq", *dispatch_stall_sq),
+            ("fetch_stall_redirect", *fetch_stall_redirect),
+            ("branches", *branches),
+            ("branch_mispredicts", *branch_mispredicts),
+            ("indirects", *indirects),
+            ("indirect_mispredicts", *indirect_mispredicts),
+            ("memdep_flushes", *memdep_flushes),
+            ("ncsf_nest_aborts", *ncsf_nest_aborts),
+            ("fusion_flushes", *fusion_flushes),
+            ("l1d_accesses", *l1d_accesses),
+            ("l1d_misses", *l1d_misses),
+            ("l2_misses", *l2_misses),
+            ("l3_misses", *l3_misses),
+            ("stlf_forwards", *stlf_forwards),
+            ("uch_queue_dropped", *uch_queue_dropped),
+            ("uch_queue_drained", *uch_queue_drained),
+            ("deadlock_breaks", *deadlock_breaks),
+            ("injected_faults", *injected_faults),
+            ("oracle_checked", *oracle_checked),
+            ("fusion.csf_pairs", *csf_pairs),
+            ("fusion.ncsf_pairs", *ncsf_pairs),
+            ("fusion.contiguous", *contiguous),
+            ("fusion.overlapping", *overlapping),
+            ("fusion.same_line", *same_line),
+            ("fusion.next_line", *next_line),
+            ("fusion.dbr_pairs", *dbr_pairs),
+            ("fusion.asymmetric_pairs", *asymmetric_pairs),
+            ("fusion.ncsf_distance_sum", *ncsf_distance_sum),
+            ("fusion.predictions", *predictions),
+            ("fusion.predictions_correct", *predictions_correct),
+            ("fusion.mispredictions", *mispredictions),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+        for (i, v) in by_idiom.iter().enumerate() {
+            kv.push((format!("fusion.by_idiom.{i}"), *v));
+        }
+        for (i, v) in repairs.iter().enumerate() {
+            kv.push((format!("fusion.repairs.{i}"), *v));
+        }
+        kv
+    }
+
+    /// Rebuilds a `SimStats` from a [`SimStats::to_kv`] projection.
+    ///
+    /// # Errors
+    ///
+    /// Unknown keys, out-of-range array indices, and incomplete projections
+    /// are all errors — a checkpoint journal written by a different stats
+    /// schema must be rejected (and its cell re-simulated), never partially
+    /// applied.
+    pub fn from_kv<'a, I>(kv: I) -> Result<SimStats, String>
+    where
+        I: IntoIterator<Item = (&'a str, u64)>,
+    {
+        let mut out = SimStats::default();
+        let mut seen = 0usize;
+        for (k, v) in kv {
+            let slot: &mut u64 = if let Some(i) = k.strip_prefix("fusion.by_idiom.") {
+                let i: usize = i.parse().map_err(|_| format!("bad idiom index `{k}`"))?;
+                out.fusion
+                    .by_idiom
+                    .get_mut(i)
+                    .ok_or_else(|| format!("idiom index out of range `{k}`"))?
+            } else if let Some(i) = k.strip_prefix("fusion.repairs.") {
+                let i: usize = i.parse().map_err(|_| format!("bad repair index `{k}`"))?;
+                out.fusion
+                    .repairs
+                    .get_mut(i)
+                    .ok_or_else(|| format!("repair index out of range `{k}`"))?
+            } else {
+                match k {
+                    "cycles" => &mut out.cycles,
+                    "instructions" => &mut out.instructions,
+                    "uops" => &mut out.uops,
+                    "mem_instructions" => &mut out.mem_instructions,
+                    "loads" => &mut out.loads,
+                    "stores" => &mut out.stores,
+                    "rename_stall_cycles" => &mut out.rename_stall_cycles,
+                    "dispatch_stall_rob" => &mut out.dispatch_stall_rob,
+                    "dispatch_stall_iq" => &mut out.dispatch_stall_iq,
+                    "dispatch_stall_lq" => &mut out.dispatch_stall_lq,
+                    "dispatch_stall_sq" => &mut out.dispatch_stall_sq,
+                    "fetch_stall_redirect" => &mut out.fetch_stall_redirect,
+                    "branches" => &mut out.branches,
+                    "branch_mispredicts" => &mut out.branch_mispredicts,
+                    "indirects" => &mut out.indirects,
+                    "indirect_mispredicts" => &mut out.indirect_mispredicts,
+                    "memdep_flushes" => &mut out.memdep_flushes,
+                    "ncsf_nest_aborts" => &mut out.ncsf_nest_aborts,
+                    "fusion_flushes" => &mut out.fusion_flushes,
+                    "l1d_accesses" => &mut out.l1d_accesses,
+                    "l1d_misses" => &mut out.l1d_misses,
+                    "l2_misses" => &mut out.l2_misses,
+                    "l3_misses" => &mut out.l3_misses,
+                    "stlf_forwards" => &mut out.stlf_forwards,
+                    "uch_queue_dropped" => &mut out.uch_queue_dropped,
+                    "uch_queue_drained" => &mut out.uch_queue_drained,
+                    "deadlock_breaks" => &mut out.deadlock_breaks,
+                    "injected_faults" => &mut out.injected_faults,
+                    "oracle_checked" => &mut out.oracle_checked,
+                    "fusion.csf_pairs" => &mut out.fusion.csf_pairs,
+                    "fusion.ncsf_pairs" => &mut out.fusion.ncsf_pairs,
+                    "fusion.contiguous" => &mut out.fusion.contiguous,
+                    "fusion.overlapping" => &mut out.fusion.overlapping,
+                    "fusion.same_line" => &mut out.fusion.same_line,
+                    "fusion.next_line" => &mut out.fusion.next_line,
+                    "fusion.dbr_pairs" => &mut out.fusion.dbr_pairs,
+                    "fusion.asymmetric_pairs" => &mut out.fusion.asymmetric_pairs,
+                    "fusion.ncsf_distance_sum" => &mut out.fusion.ncsf_distance_sum,
+                    "fusion.predictions" => &mut out.fusion.predictions,
+                    "fusion.predictions_correct" => &mut out.fusion.predictions_correct,
+                    "fusion.mispredictions" => &mut out.fusion.mispredictions,
+                    _ => return Err(format!("unknown stats key `{k}`")),
+                }
+            };
+            *slot = v;
+            seen += 1;
+        }
+        let expect = SimStats::default().to_kv().len();
+        if seen != expect {
+            return Err(format!("incomplete stats projection: {seen} of {expect} keys"));
+        }
+        Ok(out)
+    }
 }
 
 /// Stable registry name for an idiom's pair counter.
@@ -430,5 +626,43 @@ mod tests {
         assert_eq!(s.ipc(), 0.0);
         assert_eq!(s.stall_pct(), 0.0);
         assert_eq!(s.branch_mpki(), 0.0);
+    }
+
+    #[test]
+    fn kv_round_trips_losslessly() {
+        // Assign a distinct value per key, rebuild, and require the
+        // projection of the rebuilt struct to reproduce the exact
+        // assignment — this catches dropped, duplicated, *and* swapped
+        // field↔key mappings (to_kv's exhaustive destructure already makes
+        // a missing field a compile error).
+        let assigned: Vec<(String, u64)> = SimStats::default()
+            .to_kv()
+            .into_iter()
+            .enumerate()
+            .map(|(i, (k, _))| (k, 1000 + i as u64))
+            .collect();
+        assert_eq!(assigned.len(), 29 + 12 + 8 + 7, "expected flat key count");
+        let s = SimStats::from_kv(
+            assigned.iter().map(|(k, v)| (k.as_str(), *v)).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        assert_eq!(s.to_kv(), assigned);
+        assert_eq!(s.cycles, 1000, "first key is cycles");
+        assert_eq!(s.fusion.repairs[6], 1000 + 55, "last key is the last repair case");
+    }
+
+    #[test]
+    fn kv_rejects_drifted_schemas() {
+        let s = SimStats::default();
+        let mut kv: Vec<(String, u64)> = s.to_kv();
+        kv.push(("no_such_counter".into(), 1));
+        assert!(SimStats::from_kv(kv.iter().map(|(k, v)| (k.as_str(), *v)).collect::<Vec<_>>())
+            .unwrap_err()
+            .contains("unknown"));
+        let kv = &s.to_kv()[1..];
+        assert!(SimStats::from_kv(kv.iter().map(|(k, v)| (k.as_str(), *v)).collect::<Vec<_>>())
+            .unwrap_err()
+            .contains("incomplete"));
+        assert!(SimStats::from_kv([("fusion.by_idiom.99", 1u64)]).is_err());
     }
 }

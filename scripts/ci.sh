@@ -56,6 +56,65 @@ for id in fig02 fig03 fig04 fig05 fig08 fig09 fig10 table1 table2 table3 ablatio
 done
 echo "all figure JSON artifacts parse"
 
+echo "==> resilience smoke: injected chaos must yield a partial, annotated report"
+# One panicking cell and one timing-out cell (both in the --quick set): the
+# sweep must finish every other cell, name both casualties in the JSON
+# artifact, and exit with the PARTIAL code (3).
+fig10=(cargo run --release -q -p helios-bench --bin fig10 -- --quick --jobs 2)
+set +e
+HELIOS_SWEEP_CHAOS="bitcount/Helios=panic,fft/NoFusion=timeout" \
+HELIOS_BENCH_STABLE=1 "${fig10[@]}" > /dev/null 2> /dev/null
+chaos_rc=$?
+set -e
+if [ "$chaos_rc" -ne 3 ]; then
+    echo "ci: FAIL — chaos sweep exited $chaos_rc, expected 3 (partial)" >&2
+    exit 1
+fi
+grep -q '"bitcount/Helios": "failed' "$scratch/fig10.json" || {
+    echo "ci: FAIL — chaos report missing quarantined panic cell" >&2
+    exit 1
+}
+grep -q '"fft/NoFusion": "timed out' "$scratch/fig10.json" || {
+    echo "ci: FAIL — chaos report missing timed-out cell" >&2
+    exit 1
+}
+echo "chaos sweep: partial exit + both casualties annotated"
+
+echo "==> resilience smoke: interrupted sweep resumes byte-identically"
+# Reference uninterrupted run, then a run stopped after 17 cells (the
+# deterministic stand-in for kill -9), then a --resume run; stdout and
+# BENCH_sweep.json must match the reference byte for byte.
+export HELIOS_BENCH_STABLE=1
+rm -f "$scratch/fig10.ckpt.jsonl"
+"${fig10[@]}" > "$scratch/ref.out" 2> /dev/null
+cp BENCH_sweep.json "$scratch/ref_bench.json"
+rm -f "$scratch/fig10.ckpt.jsonl"
+set +e
+HELIOS_SWEEP_STOP_AFTER=17 "${fig10[@]}" > /dev/null 2> /dev/null
+int_rc=$?
+set -e
+if [ "$int_rc" -ne 130 ]; then
+    echo "ci: FAIL — interrupted sweep exited $int_rc, expected 130" >&2
+    exit 1
+fi
+"${fig10[@]}" --resume > "$scratch/resumed.out" 2> /dev/null
+cmp "$scratch/ref.out" "$scratch/resumed.out" || {
+    echo "ci: FAIL — resumed sweep stdout differs from uninterrupted run" >&2
+    exit 1
+}
+cmp "$scratch/ref_bench.json" BENCH_sweep.json || {
+    echo "ci: FAIL — resumed BENCH_sweep.json differs from uninterrupted run" >&2
+    exit 1
+}
+unset HELIOS_BENCH_STABLE
+# The stabilized (zeroed wall-clock) record is only for the diff above; the
+# timed record archived earlier remains the throughput trajectory.
+rm -f BENCH_sweep.json
+echo "resume smoke: interrupted at 17/48, resumed byte-identically"
+
+echo "==> resilience smoke: sweep-executor chaos soak"
+cargo run --release -q -p helios-bench --bin soak -- --sweep-chaos --quick --jobs 2
+
 echo "==> Konata trace smoke"
 cargo run --release -q -p helios-bench --bin trace -- crc32 --konata "$scratch/crc32.kanata" --limit 20000
 head -c 7 "$scratch/crc32.kanata" | grep -q "Kanata" || {

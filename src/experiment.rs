@@ -1,8 +1,9 @@
 //! Running (workload × configuration) simulations: the parallel,
-//! trace-reusing sweep engine.
+//! trace-reusing, fault-isolating sweep engine.
 //!
-//! Every figure and table is driven by [`run_sweep`]. Two properties keep it
-//! fast without changing any result:
+//! Every figure and table is driven by [`run_sweep_opts`] (or its thin
+//! wrappers [`run_sweep`] / [`run_sweep_jobs`]). Two properties keep it fast
+//! without changing any result:
 //!
 //! * **Record once, replay many** — each workload's functional execution is
 //!   recorded once into a shared [`RecordedTrace`]; all fusion modes replay
@@ -11,16 +12,36 @@
 //!   simulations, executed by a `std::thread::scope` worker pool. Results
 //!   are stored by cell index, so the sweep order is workload-major and
 //!   byte-identical regardless of `jobs` or completion order.
+//!
+//! And two more keep a long campaign *alive* (DESIGN.md §14):
+//!
+//! * **Per-cell fault isolation** — a panicking, deadlocking, or hung cell
+//!   becomes a [`CellOutcome`] for that cell (after bounded retry with
+//!   capped backoff), never an abort of the whole sweep. Healthy cells
+//!   always complete; the [`Sweep`] carries the quarantined failures so
+//!   reports can annotate them and exit codes can distinguish a partial
+//!   sweep from a complete one.
+//! * **Crash-safe checkpointing** — with a [`Checkpoint`] attached, every
+//!   finished cell is appended to a JSONL journal and fsynced before the
+//!   sweep moves on, keyed by `(workload, PipeConfig::digest)`. A killed
+//!   sweep resumed with [`Checkpoint::resume`] replays finished cells from
+//!   the journal and only simulates the rest; the merged result is
+//!   byte-identical to an uninterrupted run.
 
 use helios_core::FusionMode;
 use helios_emu::{RecordedTrace, UopSource};
-use helios_uarch::{ObsOpts, Observer, PipeConfig, Pipeline, SimStats, StatsRegistry};
+use helios_uarch::{
+    CellChaos, CellFault, ObsOpts, Observer, PipeConfig, Pipeline, SimError, SimStats,
+    StatsRegistry,
+};
 use helios_workloads::Workload;
 use std::collections::{BTreeMap, HashMap};
+use std::io::{self, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One simulation outcome.
 #[derive(Clone, Debug)]
@@ -34,8 +55,9 @@ pub struct RunResult {
 }
 
 /// A fully-described single simulation: workload, pipeline configuration,
-/// optional pre-recorded trace to replay, and observability options — the
-/// one entrypoint behind every figure/table cell.
+/// optional pre-recorded trace to replay, optional wall-clock deadline, and
+/// observability options — the one entrypoint behind every figure/table
+/// cell.
 ///
 /// # Examples
 ///
@@ -62,6 +84,16 @@ pub struct SimRequest<'a> {
     /// Observability: [`ObsOpts::off`] (default, zero-cost),
     /// [`ObsOpts::metrics`], or [`ObsOpts::timeline`].
     pub obs: ObsOpts,
+    /// Abort with [`SimError::WallClockTimeout`] if simulation passes this
+    /// wall-clock instant (`None` = no deadline). Wall-clock state never
+    /// feeds the timing model, so a deadline that does not fire changes
+    /// nothing about the result.
+    pub deadline: Option<Instant>,
+    /// Cycle budget multiplier: the run may take up to
+    /// `workload.fuel * fuel_factor` cycles before
+    /// [`SimError::CycleLimit`]. The default (20) means "an IPC below 0.05
+    /// is a model bug, not a slow workload".
+    pub fuel_factor: u64,
 }
 
 impl<'a> SimRequest<'a> {
@@ -72,6 +104,8 @@ impl<'a> SimRequest<'a> {
             cfg,
             trace: None,
             obs: ObsOpts::off(),
+            deadline: None,
+            fuel_factor: 20,
         }
     }
 
@@ -93,42 +127,74 @@ impl<'a> SimRequest<'a> {
         self
     }
 
+    /// Sets the wall-clock deadline (see [`SimRequest::deadline`]).
+    pub fn with_deadline(mut self, deadline: Option<Instant>) -> SimRequest<'a> {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Sets the cycle-budget multiplier (see [`SimRequest::fuel_factor`]).
+    pub fn budget(mut self, fuel_factor: u64) -> SimRequest<'a> {
+        self.fuel_factor = fuel_factor;
+        self
+    }
+
+    /// Runs the simulation to completion, reporting abnormal outcomes —
+    /// deadlock, blown cycle budget, expired deadline, violated invariant —
+    /// as a structured [`SimError`] instead of panicking. This is what the
+    /// resilient sweep executor calls; an error here becomes a quarantined
+    /// [`CellOutcome`], not a dead campaign.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`]; statistics are finalized but discarded, because a
+    /// partial result would silently corrupt the figure it feeds.
+    pub fn try_run(self) -> Result<SimRun, SimError> {
+        let fuel = self.workload.fuel * self.fuel_factor;
+        match self.trace {
+            Some(t) => try_drive(
+                Pipeline::new(self.cfg, t.replay()),
+                fuel,
+                self.obs,
+                self.deadline,
+            ),
+            None => try_drive(
+                Pipeline::new(self.cfg, self.workload.stream()),
+                fuel,
+                self.obs,
+                self.deadline,
+            ),
+        }
+    }
+
     /// Runs the simulation to completion.
     ///
     /// # Panics
     ///
     /// On any abnormal outcome — deadlock, blown cycle budget, violated
-    /// invariant — naming the (workload, mode) cell. An abnormal run would
-    /// silently corrupt the figure it feeds, so there is no partial result.
+    /// invariant — naming the (workload, mode) cell. Callers that need a
+    /// recoverable error use [`SimRequest::try_run`].
     pub fn run(self) -> SimRun {
-        let fuel = self.workload.fuel * 20;
-        match self.trace {
-            Some(t) => drive(
-                Pipeline::new(self.cfg, t.replay()),
-                fuel,
-                self.workload.name,
-                self.obs,
-            ),
-            None => drive(
-                Pipeline::new(self.cfg, self.workload.stream()),
-                fuel,
-                self.workload.name,
-                self.obs,
-            ),
-        }
+        let name = self.workload.name;
+        let mode = self.cfg.fusion.name();
+        self.try_run()
+            .unwrap_or_else(|e| panic!("{name}/{mode}: {e}"))
     }
 }
 
-/// Drives one configured pipeline to completion (see [`SimRequest::run`]).
-fn drive<I: UopSource>(mut pipe: Pipeline<I>, fuel: u64, name: &str, obs: ObsOpts) -> SimRun {
+/// Drives one configured pipeline to completion (see [`SimRequest::try_run`]).
+fn try_drive<I: UopSource>(
+    mut pipe: Pipeline<I>,
+    fuel: u64,
+    obs: ObsOpts,
+    deadline: Option<Instant>,
+) -> Result<SimRun, SimError> {
     pipe.attach_observer(obs);
-    if let Err(e) = pipe.try_run(fuel) {
-        panic!("{name}/{}: {e}", pipe.config().fusion.name());
-    }
-    SimRun {
+    pipe.try_run_deadline(fuel, deadline)?;
+    Ok(SimRun {
         stats: pipe.stats().clone(),
         observer: pipe.take_observer(),
-    }
+    })
 }
 
 /// What a [`SimRequest`] produces: the statistics, plus the observer when
@@ -153,7 +219,125 @@ impl SimRun {
     }
 }
 
+/// How one sweep cell ended. Successful statistics live in
+/// [`Sweep::results`]; everything else is quarantined in
+/// [`Sweep::failures`] with enough detail for a report annotation.
+#[derive(Clone, Debug)]
+pub enum CellOutcome {
+    /// The cell simulated normally. Boxed: [`SimStats`] is large and this
+    /// variant is moved around by value.
+    Ok(Box<SimStats>),
+    /// The cell failed on every attempt (panic, deadlock, blown cycle
+    /// budget, invariant violation, or a recording error).
+    Failed {
+        /// Human-readable description of the final attempt's failure.
+        error: String,
+        /// Attempts made before quarantining.
+        attempts: u32,
+    },
+    /// The cell exceeded its wall-clock budget on every attempt.
+    TimedOut {
+        /// The per-attempt wall-clock budget that elapsed, in milliseconds.
+        limit_ms: u64,
+        /// Attempts made before quarantining.
+        attempts: u32,
+    },
+    /// The cell was never attempted (the sweep was interrupted first).
+    Skipped,
+}
+
+impl CellOutcome {
+    /// One-line status for report annotations and logs.
+    pub fn describe(&self) -> String {
+        match self {
+            CellOutcome::Ok(_) => "ok".to_string(),
+            CellOutcome::Failed { error, attempts } => {
+                format!("failed after {attempts} attempt(s): {error}")
+            }
+            CellOutcome::TimedOut { limit_ms, attempts } => {
+                format!("timed out after {attempts} attempt(s) ({limit_ms} ms budget)")
+            }
+            CellOutcome::Skipped => "skipped (sweep interrupted)".to_string(),
+        }
+    }
+}
+
+/// A non-successful cell, as carried by [`Sweep::failures`].
+#[derive(Clone, Debug)]
+pub struct CellReport {
+    /// Benchmark name.
+    pub workload: &'static str,
+    /// Fusion configuration of the cell.
+    pub mode: FusionMode,
+    /// How the cell ended (never [`CellOutcome::Ok`]).
+    pub outcome: CellOutcome,
+}
+
+/// Retry/quarantine policy for one sweep (DESIGN.md §14).
+#[derive(Clone, Copy, Debug)]
+pub struct SweepPolicy {
+    /// Attempts per cell before quarantining (≥ 1; clamped).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in milliseconds; doubles per retry.
+    pub backoff_ms: u64,
+    /// Backoff ceiling, in milliseconds.
+    pub backoff_cap_ms: u64,
+    /// Per-attempt wall-clock budget (`None` = unbounded). The watchdog and
+    /// cycle budget still bound runaway cells in simulated time.
+    pub cell_timeout: Option<Duration>,
+    /// Cycle budget multiplier (see [`SimRequest::fuel_factor`]).
+    pub fuel_factor: u64,
+}
+
+impl Default for SweepPolicy {
+    fn default() -> SweepPolicy {
+        SweepPolicy {
+            max_attempts: 2,
+            backoff_ms: 100,
+            backoff_cap_ms: 2_000,
+            cell_timeout: None,
+            fuel_factor: 20,
+        }
+    }
+}
+
+/// Checkpoint journal configuration for [`run_sweep_opts`].
+#[derive(Clone, Debug)]
+pub struct Checkpoint {
+    /// Journal file (conventionally `results/<id>.ckpt.jsonl`).
+    pub path: PathBuf,
+    /// `true`: restore finished cells from an existing journal and append
+    /// to it. `false`: start fresh, truncating any prior journal.
+    pub resume: bool,
+}
+
+/// Everything [`run_sweep_opts`] can be asked to do beyond the cell grid.
+#[derive(Clone, Debug, Default)]
+pub struct SweepOptions {
+    /// Worker threads (0 = [`default_jobs`]).
+    pub jobs: usize,
+    /// Retry/timeout/quarantine policy.
+    pub policy: SweepPolicy,
+    /// Crash-safe journal; `None` disables checkpointing.
+    pub checkpoint: Option<Checkpoint>,
+    /// Deterministic per-cell fault injection (soak/CI only).
+    pub chaos: Option<CellChaos>,
+    /// Stop claiming new cells after this many have been simulated — a
+    /// deterministic stand-in for `kill -9` in checkpoint/resume tests.
+    /// The sweep reports itself interrupted, exactly as for SIGINT.
+    pub stop_after: Option<usize>,
+    /// Directory for integrity-checked on-disk trace caching (`None`
+    /// disables; corrupt or stale cached traces are re-recorded).
+    pub trace_dir: Option<PathBuf>,
+    /// Install the SIGINT handler so ^C stops cell claiming (the journal is
+    /// already durable) instead of killing the process mid-write.
+    pub handle_interrupt: bool,
+}
+
 /// Results of a full (workloads × modes) sweep, indexable by both axes.
+/// Failed, timed-out, and skipped cells are quarantined in
+/// [`Sweep::failures`] rather than aborting the sweep; [`Sweep::get`]
+/// returns `None` for them.
 #[derive(Clone, Debug, Default)]
 pub struct Sweep {
     results: Vec<RunResult>,
@@ -163,6 +347,12 @@ pub struct Sweep {
     index: HashMap<(&'static str, FusionMode), usize>,
     /// Workload names in sweep (workload-major execution) order.
     order: Vec<&'static str>,
+    /// Non-successful cells, in workload-major order.
+    failures: Vec<CellReport>,
+    /// Whether the sweep stopped early (SIGINT or `stop_after`).
+    interrupted: bool,
+    /// Cells restored from a checkpoint journal instead of simulated.
+    restored: usize,
 }
 
 impl Sweep {
@@ -179,6 +369,9 @@ impl Sweep {
             results,
             index,
             order,
+            failures: Vec::new(),
+            interrupted: false,
+            restored: 0,
         }
     }
 
@@ -187,20 +380,60 @@ impl Sweep {
         &self.results
     }
 
-    /// The result for one (workload, mode) cell.
+    /// The result for one (workload, mode) cell; `None` when the cell
+    /// failed, timed out, was skipped, or was never part of the sweep.
     pub fn get(&self, workload: &str, mode: FusionMode) -> Option<&SimStats> {
         self.index
             .get(&(workload, mode))
             .map(|&i| &self.results[i].stats)
     }
 
-    /// Workload names, in sweep order.
+    /// Workload names, in sweep order. Includes workloads whose cells all
+    /// failed — consumers skip per-cell via [`Sweep::get`].
     pub fn workloads(&self) -> Vec<&'static str> {
         self.order.clone()
     }
 
+    /// Non-successful cells, in workload-major order.
+    pub fn failures(&self) -> &[CellReport] {
+        &self.failures
+    }
+
+    /// Whether the sweep stopped early (SIGINT or a `stop_after` cap).
+    pub fn interrupted(&self) -> bool {
+        self.interrupted
+    }
+
+    /// Cells restored from the checkpoint journal instead of simulated.
+    pub fn restored(&self) -> usize {
+        self.restored
+    }
+
+    /// Whether every cell produced statistics.
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty() && !self.interrupted
+    }
+
+    /// The process exit code this sweep merits: [`crate::exit::COMPLETE`]
+    /// when every cell succeeded, [`crate::exit::INTERRUPTED`] when the
+    /// sweep stopped early, [`crate::exit::FAILED`] when *nothing*
+    /// succeeded, and [`crate::exit::PARTIAL`] when some cells were
+    /// quarantined but the rest completed.
+    pub fn exit_code(&self) -> i32 {
+        if self.interrupted {
+            crate::exit::INTERRUPTED
+        } else if self.failures.is_empty() {
+            crate::exit::COMPLETE
+        } else if self.results.is_empty() {
+            crate::exit::FAILED
+        } else {
+            crate::exit::PARTIAL
+        }
+    }
+
     /// Per-workload IPC of `mode` normalized to `baseline`, plus the
-    /// geometric mean, in sweep order.
+    /// geometric mean, in sweep order. Workloads missing either cell
+    /// (quarantined or skipped) are omitted.
     pub fn normalized_ipc(&self, mode: FusionMode, baseline: FusionMode) -> (BTreeMap<&'static str, f64>, f64) {
         let mut out = BTreeMap::new();
         let mut vals = Vec::new();
@@ -260,10 +493,16 @@ impl Progress {
             ""
         );
     }
+
+    /// Items completed so far.
+    pub fn done(&self) -> usize {
+        self.state.lock().unwrap().0
+    }
 }
 
-/// Extracts a readable message from a caught panic payload.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+/// Extracts a readable message from a caught panic payload. Shared by the
+/// sweep executor, the fuzz harness, and tests that assert on panics.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -273,48 +512,148 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// First-failure slot shared by a worker pool: records one error message and
-/// tells the other workers to stop picking up new work.
-struct FailFast {
-    stop: AtomicBool,
-    message: Mutex<Option<String>>,
+// --- SIGINT: stop claiming cells, let the durable journal do the rest ----
+
+/// Set by the SIGINT handler; sweep workers stop claiming new cells when it
+/// goes high. Reset at the start of every sweep.
+static SWEEP_INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+const SIGINT: i32 = 2;
+const SIG_DFL: usize = 0;
+
+extern "C" {
+    // From libc, which std already links on every supported target; keeps
+    // the workspace dependency-free. ISO C signal(), not sigaction: the
+    // handler only stores to an atomic, which is async-signal-safe.
+    fn signal(signum: i32, handler: usize) -> usize;
 }
 
-impl FailFast {
-    fn new() -> FailFast {
-        FailFast {
-            stop: AtomicBool::new(false),
-            message: Mutex::new(None),
+extern "C" fn sigint_flag_setter(_sig: i32) {
+    SWEEP_INTERRUPTED.store(true, Ordering::SeqCst);
+    // Restore the default disposition so a second ^C kills the process
+    // instead of being swallowed.
+    unsafe { signal(SIGINT, SIG_DFL) };
+}
+
+/// Installs the cooperative SIGINT handler: the first ^C asks running
+/// sweeps to stop claiming new cells (every finished cell is already
+/// fsynced to the journal), the second kills the process. Idempotent.
+pub fn install_interrupt_handler() {
+    unsafe { signal(SIGINT, sigint_flag_setter as extern "C" fn(i32) as usize) };
+}
+
+/// Whether an interrupt (SIGINT or `stop_after`) has been requested for the
+/// sweep currently in flight.
+pub fn sweep_interrupted() -> bool {
+    SWEEP_INTERRUPTED.load(Ordering::SeqCst)
+}
+
+// --- Checkpoint journal --------------------------------------------------
+
+/// Schema tag on every journal line.
+const CKPT_SCHEMA: &str = "helios-ckpt-v1";
+
+/// One finished cell as a journal line:
+/// `{"schema":"helios-ckpt-v1","workload":…,"mode":…,"cfg":"<16 hex>","stats":{…}}`.
+fn journal_line(workload: &str, mode: &str, cfg_digest: u64, stats: &SimStats) -> String {
+    let stats_body: Vec<String> = stats
+        .to_kv()
+        .iter()
+        .map(|(k, v)| format!("\"{k}\":{v}"))
+        .collect();
+    format!(
+        "{{\"schema\":\"{CKPT_SCHEMA}\",\"workload\":\"{}\",\"mode\":\"{}\",\"cfg\":\"{cfg_digest:016x}\",\"stats\":{{{}}}}}",
+        crate::json::escape(workload),
+        crate::json::escape(mode),
+        stats_body.join(",")
+    )
+}
+
+/// Parses one journal line back into `(workload, mode, cfg digest, stats)`.
+fn parse_journal_line(line: &str) -> Result<(String, String, u64, SimStats), String> {
+    let v = crate::Json::parse(line).map_err(|e| e.to_string())?;
+    if v.get("schema").and_then(crate::Json::as_str) != Some(CKPT_SCHEMA) {
+        return Err(format!("not a {CKPT_SCHEMA} record"));
+    }
+    let workload = v
+        .get("workload")
+        .and_then(crate::Json::as_str)
+        .ok_or("missing workload")?;
+    let mode = v.get("mode").and_then(crate::Json::as_str).ok_or("missing mode")?;
+    let cfg = v
+        .get("cfg")
+        .and_then(crate::Json::as_str)
+        .and_then(|h| u64::from_str_radix(h, 16).ok())
+        .ok_or("missing or malformed cfg digest")?;
+    let kv: Vec<(&str, u64)> = v
+        .get("stats")
+        .and_then(crate::Json::as_object)
+        .ok_or("missing stats")?
+        .iter()
+        .map(|(k, n)| {
+            n.as_u64()
+                .map(|n| (k.as_str(), n))
+                .ok_or_else(|| format!("non-integer stat {k}"))
+        })
+        .collect::<Result<_, _>>()?;
+    let stats = SimStats::from_kv(kv)?;
+    Ok((workload.to_string(), mode.to_string(), cfg, stats))
+}
+
+/// Reads a journal, skipping (with a warning) lines that fail to parse —
+/// a torn final write from a crash must not poison the resume.
+fn load_journal(path: &Path) -> io::Result<HashMap<(String, u64), SimStats>> {
+    let mut map = HashMap::new();
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(map),
+        Err(e) => return Err(e),
+    };
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_journal_line(line) {
+            Ok((w, _mode, cfg, stats)) => {
+                map.insert((w, cfg), stats);
+            }
+            Err(e) => eprintln!(
+                "warning: {}:{}: unreadable checkpoint line ({e}); cell will be re-simulated",
+                path.display(),
+                lineno + 1
+            ),
         }
     }
+    Ok(map)
+}
 
-    fn record(&self, msg: String) {
-        let mut m = self.message.lock().unwrap();
-        if m.is_none() {
-            *m = Some(msg);
-        }
-        self.stop.store(true, Ordering::Relaxed);
-    }
+/// Append-only, fsync-per-line journal writer: a line is only ever observed
+/// complete or absent, never torn across a crash *and* trusted.
+struct Journal {
+    file: std::fs::File,
+}
 
-    fn stopping(&self) -> bool {
-        self.stop.load(Ordering::Relaxed)
-    }
-
-    /// Propagates the recorded failure, if any.
-    fn check(self) {
-        if let Some(msg) = self.message.into_inner().unwrap() {
-            panic!("{msg}");
-        }
+impl Journal {
+    fn append(&mut self, line: &str) -> io::Result<()> {
+        self.file.write_all(line.as_bytes())?;
+        self.file.write_all(b"\n")?;
+        self.file.sync_data()
     }
 }
+
+// --- Trace cache ---------------------------------------------------------
 
 /// Per-workload trace cache for one sweep. A workload's trace is recorded by
 /// the first worker that needs it, shared (`Arc` internals) by every
 /// concurrent cell of that workload, and dropped as soon as its last cell
 /// completes — so peak memory is O(jobs) traces, not O(workloads), while
-/// each workload is still emulated exactly once.
+/// each workload is still emulated exactly once. Recording *errors* are
+/// cached too, so a starved workload fails each of its cells fast instead of
+/// re-recording per cell. With a cache directory, traces round-trip through
+/// integrity-checked files (`<name>.htrc`); a corrupt or stale file is
+/// re-recorded, never trusted.
 struct TraceCache {
-    slots: Vec<Mutex<Option<RecordedTrace>>>,
+    slots: Vec<Mutex<Option<Result<RecordedTrace, String>>>>,
     /// Cells still outstanding per workload; reaching zero frees the slot.
     remaining: Vec<AtomicUsize>,
 }
@@ -327,16 +666,40 @@ impl TraceCache {
         }
     }
 
-    /// The trace for workload `wi`, recording it on first demand. Concurrent
-    /// requests for the same workload wait on its slot rather than
-    /// double-recording.
-    fn get(&self, wi: usize, w: &Workload) -> Result<RecordedTrace, helios_emu::EmuError> {
+    /// The trace for workload `wi`, recording (or loading from `dir`) on
+    /// first demand. Concurrent requests for the same workload wait on its
+    /// slot rather than double-recording.
+    fn get(&self, wi: usize, w: &Workload, dir: Option<&Path>) -> Result<RecordedTrace, String> {
         let mut slot = self.slots[wi].lock().unwrap();
-        if let Some(t) = &*slot {
-            return Ok(t.clone());
+        if let Some(r) = &*slot {
+            return r.clone();
         }
-        let t = w.recorded()?;
-        *slot = Some(t.clone());
+        let r = Self::obtain(w, dir);
+        *slot = Some(r.clone());
+        r
+    }
+
+    fn obtain(w: &Workload, dir: Option<&Path>) -> Result<RecordedTrace, String> {
+        let cached = dir.map(|d| d.join(format!("{}.htrc", w.name)));
+        if let Some(p) = &cached {
+            if p.exists() {
+                match RecordedTrace::load_file(p) {
+                    Ok(t) => return Ok(t),
+                    Err(e) => eprintln!(
+                        "\rwarning: cached trace {}: {e}; re-recording",
+                        p.display()
+                    ),
+                }
+            }
+        }
+        let t = w
+            .recorded()
+            .map_err(|e| format!("recording {}: {e}", w.name))?;
+        if let Some(p) = &cached {
+            if let Err(e) = t.save_file(p) {
+                eprintln!("\rwarning: could not cache trace {}: {e}", p.display());
+            }
+        }
         Ok(t)
     }
 
@@ -348,6 +711,8 @@ impl TraceCache {
         }
     }
 }
+
+// --- The resilient executor ----------------------------------------------
 
 /// Runs every (workload × mode) combination on [`default_jobs`] worker
 /// threads, reporting progress on stderr. Results are deterministic and
@@ -362,73 +727,252 @@ pub fn run_sweep(workloads: &[Workload], modes: &[FusionMode]) -> Sweep {
 /// # Panics
 ///
 /// If any cell's simulation fails, the panic names the failing
-/// (workload, mode) cell.
+/// (workload, mode) cell. Callers that need partial results use
+/// [`run_sweep_opts`].
 pub fn run_sweep_jobs(workloads: &[Workload], modes: &[FusionMode], jobs: usize) -> Sweep {
-    let total = workloads.len() * modes.len();
-    let jobs = jobs.clamp(1, total.max(1));
-    let reporter = Progress::new(total);
+    let opts = SweepOptions {
+        jobs,
+        policy: SweepPolicy {
+            max_attempts: 1,
+            ..SweepPolicy::default()
+        },
+        ..SweepOptions::default()
+    };
+    let sweep = run_sweep_opts(workloads, modes, &opts).expect("sweep without checkpoint cannot fail on i/o");
+    if let Some(f) = sweep.failures.first() {
+        match &f.outcome {
+            // Recording errors keep their historical message shape.
+            CellOutcome::Failed { error, .. } if error.starts_with("recording ") => {
+                panic!("{error}")
+            }
+            other => panic!(
+                "sweep cell {}/{} failed: {}",
+                f.workload,
+                f.mode.name(),
+                other.describe()
+            ),
+        }
+    }
+    sweep
+}
 
-    // Workers pull the next cell index from a shared counter and store the
-    // result by index, so the output order is workload-major no matter which
-    // worker finishes when. Each workload's trace is recorded by the first
-    // worker to reach it and freed after its last cell (see [`TraceCache`]).
+/// The resilient sweep executor behind every figure binary (DESIGN.md §14):
+/// per-cell fault isolation with bounded retry and quarantine, optional
+/// wall-clock timeouts, an optional crash-safe checkpoint journal with
+/// resume, optional deterministic chaos injection, and cooperative
+/// interrupt handling. Healthy cells always complete; every abnormal cell
+/// is reported in [`Sweep::failures`].
+///
+/// # Errors
+///
+/// Only on checkpoint/trace-cache I/O setup (unreadable journal directory,
+/// uncreatable cache directory). Cell-level problems never surface here —
+/// they are quarantined per cell.
+pub fn run_sweep_opts(
+    workloads: &[Workload],
+    modes: &[FusionMode],
+    opts: &SweepOptions,
+) -> io::Result<Sweep> {
+    let total = workloads.len() * modes.len();
+    let jobs = if opts.jobs == 0 { default_jobs() } else { opts.jobs }.clamp(1, total.max(1));
+    SWEEP_INTERRUPTED.store(false, Ordering::SeqCst);
+    if opts.handle_interrupt {
+        install_interrupt_handler();
+    }
+
+    let cfgs: Vec<PipeConfig> = modes.iter().map(|&m| PipeConfig::with_fusion(m)).collect();
+
+    // Restore finished cells from the journal before spawning workers.
+    let outcomes: Vec<Mutex<Option<CellOutcome>>> = (0..total).map(|_| Mutex::new(None)).collect();
+    let mut restored = 0usize;
+    let journal: Option<Mutex<Journal>> = match &opts.checkpoint {
+        Some(ck) => {
+            if let Some(parent) = ck.path.parent() {
+                if !parent.as_os_str().is_empty() {
+                    std::fs::create_dir_all(parent)?;
+                }
+            }
+            if ck.resume {
+                let prior = load_journal(&ck.path)?;
+                for (i, slot) in outcomes.iter().enumerate() {
+                    let (w, mi) = (&workloads[i / modes.len()], i % modes.len());
+                    if let Some(stats) = prior.get(&(w.name.to_string(), cfgs[mi].digest())) {
+                        *slot.lock().unwrap() = Some(CellOutcome::Ok(Box::new(stats.clone())));
+                        restored += 1;
+                    }
+                }
+                if restored > 0 {
+                    eprintln!(
+                        "resume: restored {restored}/{total} cells from {}",
+                        ck.path.display()
+                    );
+                }
+            }
+            let file = if ck.resume {
+                std::fs::OpenOptions::new().create(true).append(true).open(&ck.path)?
+            } else {
+                std::fs::File::create(&ck.path)?
+            };
+            Some(Mutex::new(Journal { file }))
+        }
+        None => None,
+    };
+    if let Some(dir) = &opts.trace_dir {
+        std::fs::create_dir_all(dir)?;
+    }
+
+    let reporter = Progress::new(total);
     let traces = TraceCache::new(workloads.len(), modes.len());
-    let cells: Vec<Mutex<Option<SimStats>>> = (0..total).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
-    let fail = FailFast::new();
+    let simulated = AtomicUsize::new(0); // for `stop_after`
     std::thread::scope(|s| {
         for _ in 0..jobs {
             s.spawn(|| loop {
-                if fail.stopping() {
+                if SWEEP_INTERRUPTED.load(Ordering::SeqCst) {
                     break;
                 }
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= total {
                     break;
                 }
-                let (wi, w, mode) = (i / modes.len(), &workloads[i / modes.len()], modes[i % modes.len()]);
-                let trace = match traces.get(wi, w) {
-                    Ok(t) => t,
-                    Err(e) => {
-                        fail.record(format!("recording {}: {e}", w.name));
-                        break;
-                    }
-                };
-                match catch_unwind(AssertUnwindSafe(|| {
-                    SimRequest::mode(w, mode).replaying(&trace).run().stats
-                })) {
-                    Ok(stats) => {
-                        *cells[i].lock().unwrap() = Some(stats);
-                        drop(trace);
-                        traces.cell_finished(wi);
-                        reporter.item_done(w.name, mode.name());
-                    }
-                    Err(p) => {
-                        fail.record(format!(
-                            "sweep cell {}/{} failed: {}",
-                            w.name,
-                            mode.name(),
-                            panic_message(&*p)
-                        ));
+                let (wi, mi) = (i / modes.len(), i % modes.len());
+                let (w, mode) = (&workloads[wi], modes[mi]);
+                if outcomes[i].lock().unwrap().is_some() {
+                    // Restored from the journal: nothing to simulate.
+                    traces.cell_finished(wi);
+                    reporter.item_done(w.name, mode.name());
+                    continue;
+                }
+                if let Some(cap) = opts.stop_after {
+                    if simulated.fetch_add(1, Ordering::Relaxed) >= cap {
+                        SWEEP_INTERRUPTED.store(true, Ordering::SeqCst);
                         break;
                     }
                 }
+                let outcome = run_cell(w, mode, cfgs[mi], wi, &traces, opts);
+                if let (CellOutcome::Ok(stats), Some(j)) = (&outcome, &journal) {
+                    let line = journal_line(w.name, mode.name(), cfgs[mi].digest(), stats);
+                    if let Err(e) = j.lock().unwrap().append(&line) {
+                        eprintln!("\rwarning: checkpoint append failed: {e}");
+                    }
+                }
+                *outcomes[i].lock().unwrap() = Some(outcome);
+                traces.cell_finished(wi);
+                reporter.item_done(w.name, mode.name());
             });
         }
     });
-    fail.check();
-    reporter.finish("sweep");
 
-    let results = cells
-        .into_iter()
-        .enumerate()
-        .map(|(i, c)| RunResult {
-            workload: workloads[i / modes.len()].name,
-            mode: modes[i % modes.len()],
-            stats: c.into_inner().unwrap().expect("all cells filled"),
-        })
-        .collect();
-    Sweep::from_results(results)
+    let interrupted = SWEEP_INTERRUPTED.load(Ordering::SeqCst);
+    if interrupted {
+        eprintln!(
+            "\rsweep interrupted: {}/{} cells finished (journal is durable; rerun with --resume)",
+            reporter.done(),
+            total
+        );
+    } else {
+        reporter.finish("sweep");
+    }
+
+    let mut results = Vec::new();
+    let mut failures = Vec::new();
+    for (i, slot) in outcomes.into_iter().enumerate() {
+        let (w, mode) = (workloads[i / modes.len()].name, modes[i % modes.len()]);
+        match slot.into_inner().unwrap() {
+            Some(CellOutcome::Ok(stats)) => results.push(RunResult {
+                workload: w,
+                mode,
+                stats: *stats,
+            }),
+            Some(outcome) => failures.push(CellReport {
+                workload: w,
+                mode,
+                outcome,
+            }),
+            None => failures.push(CellReport {
+                workload: w,
+                mode,
+                outcome: CellOutcome::Skipped,
+            }),
+        }
+    }
+    for f in &failures {
+        if !matches!(f.outcome, CellOutcome::Skipped) {
+            eprintln!("  quarantined {}/{}: {}", f.workload, f.mode.name(), f.outcome.describe());
+        }
+    }
+
+    let mut sweep = Sweep::from_results(results);
+    sweep.order = workloads.iter().map(|w| w.name).collect();
+    sweep.failures = failures;
+    sweep.interrupted = interrupted;
+    sweep.restored = restored;
+    Ok(sweep)
+}
+
+/// Simulates one cell under the sweep policy: bounded retry with capped
+/// exponential backoff, wall-clock deadline, panic isolation, and
+/// deterministic chaos injection. Returns the final outcome; never panics.
+fn run_cell(
+    w: &Workload,
+    mode: FusionMode,
+    cfg: PipeConfig,
+    wi: usize,
+    traces: &TraceCache,
+    opts: &SweepOptions,
+) -> CellOutcome {
+    let policy = &opts.policy;
+    let chaos = opts.chaos.as_ref().and_then(|c| c.fault_for(w.name, mode.name()));
+    let trace = match traces.get(wi, w, opts.trace_dir.as_deref()) {
+        Ok(t) => t,
+        Err(error) => return CellOutcome::Failed { error, attempts: 1 },
+    };
+    let max_attempts = policy.max_attempts.max(1);
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        // An injected timeout is an already-expired deadline, so the real
+        // timeout machinery (deadline poll in the pipeline run loop, the
+        // retry/quarantine path here) is what gets exercised.
+        let deadline = match chaos {
+            Some(CellFault::Timeout) => Some(Instant::now()),
+            _ => policy.cell_timeout.map(|d| Instant::now() + d),
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if chaos == Some(CellFault::Panic) {
+                panic!("injected chaos panic");
+            }
+            SimRequest::new(w, cfg)
+                .replaying(&trace)
+                .budget(policy.fuel_factor)
+                .with_deadline(deadline)
+                .try_run()
+        }));
+        let outcome = match result {
+            Ok(Ok(run)) => return CellOutcome::Ok(Box::new(run.stats)),
+            Ok(Err(SimError::WallClockTimeout { limit_ms, .. })) => {
+                CellOutcome::TimedOut { limit_ms, attempts }
+            }
+            Ok(Err(e)) => CellOutcome::Failed {
+                error: e.to_string(),
+                attempts,
+            },
+            Err(p) => CellOutcome::Failed {
+                error: panic_message(&*p),
+                attempts,
+            },
+        };
+        if attempts >= max_attempts || sweep_interrupted() {
+            return outcome;
+        }
+        let backoff = policy
+            .backoff_ms
+            .saturating_mul(1u64 << (attempts - 1).min(16))
+            .min(policy.backoff_cap_ms);
+        if backoff > 0 {
+            std::thread::sleep(Duration::from_millis(backoff));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -446,6 +990,8 @@ mod tests {
         let (per, geo) = s.normalized_ipc(FusionMode::CsfSbr, FusionMode::NoFusion);
         assert_eq!(per.len(), 1);
         assert!(geo > 0.5 && geo < 2.0);
+        assert!(s.is_complete());
+        assert_eq!(s.exit_code(), crate::exit::COMPLETE);
     }
 
     #[test]
@@ -509,5 +1055,30 @@ mod tests {
         .unwrap_err();
         let msg = panic_message(&*err);
         assert!(msg.contains("crc32"), "panic names the workload: {msg}");
+    }
+
+    #[test]
+    fn expired_deadline_is_a_sim_error_not_a_panic() {
+        let w = helios_workloads::workload("crc32").unwrap();
+        let err = SimRequest::mode(&w, FusionMode::NoFusion)
+            .with_deadline(Some(Instant::now()))
+            .try_run()
+            .unwrap_err();
+        assert!(matches!(err, SimError::WallClockTimeout { .. }), "{err}");
+    }
+
+    #[test]
+    fn journal_line_round_trips() {
+        let w = helios_workloads::workload("crc32").unwrap();
+        let stats = SimRequest::mode(&w, FusionMode::NoFusion).run().stats;
+        let cfg = PipeConfig::with_fusion(FusionMode::NoFusion).digest();
+        let line = journal_line("crc32", "NoFusion", cfg, &stats);
+        let (pw, pm, pcfg, pstats) = parse_journal_line(&line).unwrap();
+        assert_eq!((pw.as_str(), pm.as_str(), pcfg), ("crc32", "NoFusion", cfg));
+        assert_eq!(pstats.to_kv(), stats.to_kv());
+        // Corruption in any part fails parsing, not the process.
+        assert!(parse_journal_line(&line[..line.len() / 2]).is_err());
+        assert!(parse_journal_line(&line.replace("cycles", "cycels")).is_err());
+        assert!(parse_journal_line("{\"schema\":\"other\"}").is_err());
     }
 }

@@ -26,7 +26,7 @@
 //! (`seed`, `iters`, `profile`) triple reproduces the same campaign,
 //! bit-for-bit, regardless of the worker count.
 
-use crate::{default_jobs, Progress};
+use crate::{default_jobs, panic_message, Progress};
 use helios_core::FusionMode;
 use helios_emu::RecordedTrace;
 use helios_isa::{decode, encode, parse_asm, Program};
@@ -37,6 +37,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Fuel budget (retired µ-ops) for one generated program's functional
 /// execution. The generator bounds dynamic length to a few tens of
@@ -681,6 +682,23 @@ pub fn check_word(word: u32) -> Result<(), String> {
 /// A human-readable description of the first violation, naming the failing
 /// mode where applicable.
 pub fn check_program(prog: &Program) -> Result<ProgramCheck, String> {
+    check_program_deadline(prog, None)
+}
+
+/// [`check_program`] with a wall-clock deadline on each pipeline run. The
+/// campaign derives the deadline from [`FuzzConfig::iter_timeout_ms`], so a
+/// hung iteration (an accidentally pathological generated program, or a
+/// model bug the cycle watchdog cannot see) becomes a reported failure
+/// instead of a wedged campaign.
+///
+/// # Errors
+///
+/// As [`check_program`]; an expired deadline reports as a
+/// `wall-clock timeout` failure naming the mode that overran.
+pub fn check_program_deadline(
+    prog: &Program,
+    deadline: Option<Instant>,
+) -> Result<ProgramCheck, String> {
     for (i, inst) in prog.insts.iter().enumerate() {
         let w = encode(inst);
         match decode(w) {
@@ -705,7 +723,7 @@ pub fn check_program(prog: &Program) -> Result<ProgramCheck, String> {
         let mut pipe = Pipeline::new(PipeConfig::with_fusion(mode), trace.replay());
         pipe.attach_checker(trace.replay());
         let stats = pipe
-            .try_run(budget)
+            .try_run_deadline(budget, deadline)
             .map_err(|e| format!("{} pipeline: {e}", mode.name()))?;
         if stats.instructions != trace.len() as u64 {
             return Err(format!(
@@ -725,18 +743,23 @@ pub fn check_program(prog: &Program) -> Result<ProgramCheck, String> {
 /// [`FuzzProgram::check`] with panic containment: a panic anywhere in the
 /// stack (assembler, emulator, pipeline) is an oracle failure, not a crash.
 pub fn check_contained(p: &FuzzProgram) -> Result<ProgramCheck, String> {
-    catch_unwind(AssertUnwindSafe(|| p.check()))
-        .unwrap_or_else(|e| Err(format!("panic: {}", panic_text(&*e))))
+    check_contained_deadline(p, None)
 }
 
-fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
-    }
+/// [`check_contained`] with a wall-clock deadline (see
+/// [`check_program_deadline`]).
+///
+/// # Errors
+///
+/// As [`check_contained`].
+pub fn check_contained_deadline(
+    p: &FuzzProgram,
+    deadline: Option<Instant>,
+) -> Result<ProgramCheck, String> {
+    catch_unwind(AssertUnwindSafe(|| {
+        check_program_deadline(&p.program(), deadline)
+    }))
+    .unwrap_or_else(|e| Err(format!("panic: {}", panic_message(&*e))))
 }
 
 // ---------------------------------------------------------------------------
@@ -845,6 +868,12 @@ pub struct FuzzConfig {
     pub jobs: usize,
     /// Suppress the progress line on stderr.
     pub quiet: bool,
+    /// Wall-clock budget per iteration's oracle runs, in milliseconds
+    /// (`None` = unbounded). A hung iteration becomes a reported failure
+    /// instead of a wedged campaign. The default (30 000 ms) is ~3 orders
+    /// of magnitude above a normal iteration, so summaries stay
+    /// deterministic on any plausibly-loaded host.
+    pub iter_timeout_ms: Option<u64>,
 }
 
 impl FuzzConfig {
@@ -856,6 +885,7 @@ impl FuzzConfig {
             profile: None,
             jobs: default_jobs(),
             quiet: false,
+            iter_timeout_ms: Some(30_000),
         }
     }
 }
@@ -940,7 +970,7 @@ pub fn run_campaign(cfg: FuzzConfig) -> CampaignSummary {
                 for _ in 0..WORDS_PER_PROGRAM {
                     let w: u32 = wrng.gen();
                     let res = catch_unwind(AssertUnwindSafe(|| check_word(w)))
-                        .unwrap_or_else(|e| Err(format!("decode panic on {w:#010x}: {}", panic_text(&*e))));
+                        .unwrap_or_else(|e| Err(format!("decode panic on {w:#010x}: {}", panic_message(&*e))));
                     if let Err(message) = res {
                         failure = Some(FuzzFailure {
                             index: i,
@@ -954,22 +984,33 @@ pub fn run_campaign(cfg: FuzzConfig) -> CampaignSummary {
                 }
                 words.fetch_add(WORDS_PER_PROGRAM, Ordering::Relaxed);
 
-                // Oracles 2 + 3 on a generated program.
+                // Oracles 2 + 3 on a generated program, under the
+                // per-iteration wall-clock guard.
                 if failure.is_none() {
+                    let deadline = cfg
+                        .iter_timeout_ms
+                        .map(|ms| Instant::now() + Duration::from_millis(ms));
                     let prog = FuzzProgram::generate(pseed, profile);
-                    match check_contained(&prog) {
+                    match check_contained_deadline(&prog, deadline) {
                         Ok(c) => {
                             static_insts.fetch_add(c.static_insts, Ordering::Relaxed);
                             uops.fetch_add(c.uops, Ordering::Relaxed);
                         }
                         Err(message) => {
-                            let min = shrink(&prog, |p| check_contained(p).is_err());
+                            // A wall-clock timeout is not a minimizable
+                            // oracle violation: shrinking would re-run the
+                            // hung program SHRINK_BUDGET times.
+                            let minimized = if message.contains("wall-clock timeout") {
+                                String::new()
+                            } else {
+                                shrink(&prog, |p| check_contained(p).is_err()).asm_text()
+                            };
                             failure = Some(FuzzFailure {
                                 index: i,
                                 seed: pseed,
                                 profile,
                                 message,
-                                minimized: min.asm_text(),
+                                minimized,
                             });
                         }
                     }
@@ -1041,7 +1082,7 @@ pub fn replay_corpus(dir: impl AsRef<Path>) -> std::io::Result<Vec<(String, Opti
                     Ok(p) => check_program(&p).map(|_| ()),
                     Err(e) => Err(format!("parse: {e}")),
                 }))
-                .unwrap_or_else(|e| Err(format!("panic: {}", panic_text(&*e))));
+                .unwrap_or_else(|e| Err(format!("panic: {}", panic_message(&*e))));
                 out.push((name, res.err()));
             }
             Some("txt") => {
@@ -1055,7 +1096,7 @@ pub fn replay_corpus(dir: impl AsRef<Path>) -> std::io::Result<Vec<(String, Opti
                     let word = u32::from_str_radix(line.trim_start_matches("0x"), 16);
                     let res = match word {
                         Ok(w) => catch_unwind(AssertUnwindSafe(|| check_word(w)))
-                            .unwrap_or_else(|e| Err(format!("panic: {}", panic_text(&*e)))),
+                            .unwrap_or_else(|e| Err(format!("panic: {}", panic_message(&*e)))),
                         Err(_) => Err(format!("line {}: bad word `{line}`", ln + 1)),
                     };
                     if let Err(m) = res {

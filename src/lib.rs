@@ -25,16 +25,35 @@ mod metrics;
 mod report;
 
 pub use experiment::{
-    default_jobs, run_sweep, run_sweep_jobs, Progress, RunResult, SimRequest, SimRun, Sweep,
+    default_jobs, install_interrupt_handler, panic_message, run_sweep, run_sweep_jobs,
+    run_sweep_opts, sweep_interrupted, CellOutcome, CellReport, Checkpoint, Progress, RunResult,
+    SimRequest, SimRun, Sweep, SweepOptions, SweepPolicy,
 };
 pub use json::{Json, JsonError};
 pub use metrics::{geomean, normalized_ipc, speedup_pct};
 pub use report::{format_row, results_dir, Report, Table};
 
 pub use helios_core::{FusionMode, HeliosParams};
-pub use helios_emu::{RecordedTrace, UopSource};
+pub use helios_emu::{RecordedTrace, TraceIoError, TraceStamp, UopSource};
 pub use helios_uarch::{
-    ConfigError, Histogram, ObsOpts, Observer, PipeConfig, PipeConfigBuilder, SimStats,
-    StatEntry, StatValue, StatsRegistry, Unit, UopRec,
+    CellChaos, CellFault, ConfigError, Histogram, ObsOpts, Observer, PipeConfig,
+    PipeConfigBuilder, SimError, SimStats, StatEntry, StatValue, StatsRegistry, Unit, UopRec,
 };
+
+/// Process exit codes shared by every figure/table binary, so scripts and CI
+/// can distinguish how a sweep ended without parsing output.
+pub mod exit {
+    /// Every cell simulated successfully.
+    pub const COMPLETE: i32 = 0;
+    /// No cell produced statistics (e.g. every cell quarantined).
+    pub const FAILED: i32 = 1;
+    /// Malformed command line.
+    pub const USAGE: i32 = 2;
+    /// Some cells were quarantined (failed or timed out); the rest completed
+    /// and were reported.
+    pub const PARTIAL: i32 = 3;
+    /// The sweep was interrupted (SIGINT or a stop-after cap) before every
+    /// cell was attempted; finished cells are in the checkpoint journal.
+    pub const INTERRUPTED: i32 = 130;
+}
 pub use helios_workloads::{all_workloads, workload, Workload};

@@ -118,6 +118,10 @@ pub struct Report {
     title: String,
     table: Table,
     notes: Vec<String>,
+    /// Per-cell abnormal statuses (`"workload/mode"` → description) from a
+    /// partial sweep. Empty on a clean run — and then absent from the JSON,
+    /// keeping clean artifacts byte-identical to pre-resilience ones.
+    cell_status: Vec<(String, String)>,
 }
 
 impl Report {
@@ -130,7 +134,20 @@ impl Report {
             title: title.into(),
             table,
             notes: Vec::new(),
+            cell_status: Vec::new(),
         }
+    }
+
+    /// Records one abnormal cell (`"workload/mode"` plus a one-line status)
+    /// from a partial sweep; shows up in the JSON `cell_status` object.
+    pub fn cell_status(&mut self, cell: impl Into<String>, status: impl Into<String>) -> &mut Report {
+        self.cell_status.push((cell.into(), status.into()));
+        self
+    }
+
+    /// The recorded abnormal cells.
+    pub fn cell_statuses(&self) -> &[(String, String)] {
+        &self.cell_status
     }
 
     /// Appends one stdout line after the table. Multi-line strings are
@@ -197,7 +214,18 @@ impl Report {
             s.push_str(if i == 0 { "\n" } else { ",\n" });
             s.push_str(&format!("    \"{}\"", esc(n)));
         }
-        s.push_str(if self.notes.is_empty() { "]\n}\n" } else { "\n  ]\n}\n" });
+        s.push_str(if self.notes.is_empty() { "]" } else { "\n  ]" });
+        // Only partial sweeps carry cell statuses; clean reports stay
+        // byte-identical to the historical schema.
+        if !self.cell_status.is_empty() {
+            s.push_str(",\n  \"cell_status\": {");
+            for (i, (cell, status)) in self.cell_status.iter().enumerate() {
+                s.push_str(if i == 0 { "\n" } else { ",\n" });
+                s.push_str(&format!("    \"{}\": \"{}\"", esc(cell), esc(status)));
+            }
+            s.push_str("\n  }");
+        }
+        s.push_str("\n}\n");
         s
     }
 
@@ -308,6 +336,30 @@ mod tests {
         let rows = v.get("rows").unwrap().as_array().unwrap();
         assert_eq!(rows[0].as_array().unwrap()[0].as_str(), Some("has,comma"));
         assert!(r.to_csv().starts_with("bench,IPC\n\"has,comma\",1.5\n"));
+    }
+
+    #[test]
+    fn cell_status_absent_when_clean_present_when_partial() {
+        let mut t = Table::new(vec!["b".into(), "v".into()]);
+        t.row(vec!["crc32".into(), "1.0".into()]);
+        let clean = Report::new("figZ", "Fig Z", t.clone());
+        assert!(!clean.to_json().contains("cell_status"));
+
+        let mut partial = Report::new("figZ", "Fig Z", t);
+        partial.cell_status("bitcount/Helios", "failed after 2 attempt(s): boom");
+        let v = crate::Json::parse(&partial.to_json()).unwrap();
+        assert_eq!(
+            v.get("cell_status").and_then(|c| c.get("bitcount/Helios")).and_then(crate::Json::as_str),
+            Some("failed after 2 attempt(s): boom")
+        );
+        // Identical except for the added section.
+        assert_eq!(
+            partial.to_json().replace(
+                ",\n  \"cell_status\": {\n    \"bitcount/Helios\": \"failed after 2 attempt(s): boom\"\n  }",
+                ""
+            ),
+            clean.to_json()
+        );
     }
 
     #[test]

@@ -45,6 +45,27 @@ fn campaign_is_deterministic() {
     assert_eq!(run_campaign(cfg), run_campaign(cfg));
 }
 
+/// An expired per-iteration wall-clock budget quarantines iterations as
+/// reported timeout failures — the campaign still completes every
+/// iteration and never wedges.
+#[test]
+fn iteration_timeout_is_reported_not_fatal() {
+    let mut cfg = FuzzConfig::new(7, 6);
+    cfg.quiet = true;
+    cfg.iter_timeout_ms = Some(0); // already expired: every iteration trips
+    let s = run_campaign(cfg);
+    assert_eq!(s.programs, 6, "campaign still visits every iteration");
+    assert_eq!(s.failures.len(), 6);
+    for f in &s.failures {
+        assert!(
+            f.message.contains("wall-clock timeout"),
+            "unexpected failure kind: {}",
+            f.message
+        );
+        assert!(f.minimized.is_empty(), "timeouts are not shrunk");
+    }
+}
+
 /// The delta-debug shrinker produces a strictly smaller reproducer for a
 /// planted "bug" (a syntactic property standing in for an oracle failure)
 /// while preserving the failure.
