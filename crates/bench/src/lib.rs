@@ -6,7 +6,10 @@
 //! * `--jobs <N>` — sweep worker threads (default: all cores);
 //! * `--resume` — restore finished cells from the checkpoint journal;
 //! * `--cell-timeout <secs>` — wall-clock budget per sweep cell;
-//! * `--retries <N>` — attempts per cell before quarantining (default 2).
+//! * `--retries <N>` — attempts per cell before quarantining (default 2);
+//! * `--profile` — per-stage cycle-attribution profiling (sets
+//!   `HELIOS_PROFILE=1`; writes `results/profile.json` and prints a summary
+//!   to stderr, leaving stdout untouched).
 //!
 //! Environment knobs (testing/CI):
 //! * `HELIOS_SWEEP_CHAOS` — deterministic cell fault injection spec
@@ -19,7 +22,7 @@
 
 pub mod census;
 
-use helios::{CellChaos, Report, Sweep, SweepOptions, SweepPolicy, Workload};
+use helios::{CellChaos, Report, Sweep, SweepOptions, SweepPolicy, Table, Workload};
 use std::time::Duration;
 
 /// The representative subset used by `--quick` (chosen to cover the paper's
@@ -88,6 +91,9 @@ pub fn parse_opts_with(known: &[ExtraFlag]) -> SweepOpts {
         match args[i].as_str() {
             "--quick" => quick = true,
             "--resume" => resume = true,
+            // Must be set before any worker thread builds a pipeline; flag
+            // parsing happens first thing in main, so it is.
+            "--profile" => std::env::set_var("HELIOS_PROFILE", "1"),
             "--cell-timeout" => {
                 i += 1;
                 cell_timeout = match args.get(i).map(|s| s.parse::<u64>()) {
@@ -263,7 +269,62 @@ pub fn annotate_failures(report: &mut Report, sweep: &Sweep) {
 pub fn finalize_sweep_report(mut report: Report, sweep: &Sweep) -> ! {
     annotate_failures(&mut report, sweep);
     report.print_and_emit();
+    emit_profile_report();
     std::process::exit(sweep.exit_code());
+}
+
+/// With `--profile` (or `HELIOS_PROFILE=1`): writes the aggregated per-stage
+/// cycle-attribution table to `results/profile.{json,csv}` and prints a
+/// summary to *stderr*. Without it: does nothing, so figure stdout stays
+/// byte-identical.
+pub fn emit_profile_report() {
+    use helios_uarch::profile;
+    if !profile::enabled() {
+        return;
+    }
+    let Some(snap) = profile::take_global() else {
+        eprintln!("warning: --profile set but no profiled cycles were recorded");
+        return;
+    };
+    let total_ns = snap.total_ns().max(1);
+    let mut table = Table::new(
+        ["stage", "pct", "ms", "ns_per_cycle", "runs", "skips"]
+            .map(str::to_string)
+            .to_vec(),
+    );
+    eprintln!(
+        "profile: {} simulated cycles, {:.1} ms attributed",
+        snap.cycles,
+        total_ns as f64 / 1e6
+    );
+    for s in &snap.stages {
+        let pct = 100.0 * s.ns as f64 / total_ns as f64;
+        table.row(vec![
+            s.stage.to_string(),
+            format!("{pct:.1}"),
+            format!("{:.1}", s.ns as f64 / 1e6),
+            format!("{:.1}", s.ns as f64 / snap.cycles.max(1) as f64),
+            s.runs.to_string(),
+            s.skips.to_string(),
+        ]);
+        eprintln!(
+            "  {:>16}  {:5.1}%  {:9.1} ms  runs {:>12}  skips {:>12}",
+            s.stage,
+            pct,
+            s.ns as f64 / 1e6,
+            s.runs,
+            s.skips
+        );
+    }
+    let mut report = Report::new(
+        "profile",
+        "Per-stage cycle-attribution profile (HELIOS_PROFILE)",
+        table,
+    );
+    report.note(format!("cycles profiled: {}", snap.cycles));
+    if let Err(e) = report.emit() {
+        eprintln!("warning: could not write profile report: {e}");
+    }
 }
 
 /// Parses the common CLI arguments and returns the selected workloads.

@@ -227,8 +227,8 @@ impl<I: UopSource> Pipeline<I> {
         if self.rob.len() > s.rob_size {
             return Some(format!("ROB over capacity: {} > {}", self.rob.len(), s.rob_size));
         }
-        if self.iq.len() > s.iq_size {
-            return Some(format!("IQ over capacity: {} > {}", self.iq.len(), s.iq_size));
+        if self.iq_len > s.iq_size {
+            return Some(format!("IQ over capacity: {} > {}", self.iq_len, s.iq_size));
         }
         if self.lq.len() > s.lq_size {
             return Some(format!("LQ over capacity: {} > {}", self.lq.len(), s.lq_size));
@@ -286,7 +286,7 @@ impl<I: UopSource> Pipeline<I> {
                  committed_upto {} atomic_commit_floor {}",
                 self.rob.len(),
                 self.aq.len(),
-                self.iq.len(),
+                self.iq_len,
                 self.lq.len(),
                 self.sq.len(),
                 self.free_phys,

@@ -18,8 +18,7 @@ impl<I: UopSource> Pipeline<I> {
             if flush_fence.is_some_and(|r| front.uop.seq >= r) {
                 break;
             }
-            let Some(done) = front.complete_at else { break };
-            if done > self.now || front.uop.is_pending_ncsf() {
+            if !self.ready_bit(front.uop.seq) || front.uop.is_pending_ncsf() {
                 break;
             }
             // Extended commit group (§IV-B3): an NCSF'd µ-op retires only
@@ -32,7 +31,7 @@ impl<I: UopSource> Pipeline<I> {
                         .iter()
                         .skip(1)
                         .take_while(|e| e.uop.seq < tail_seq)
-                        .all(|e| e.complete_at.is_some_and(|c| c <= self.now));
+                        .all(|e| self.ready_bit(e.uop.seq));
                     if !group_ready {
                         break;
                     }
@@ -41,6 +40,7 @@ impl<I: UopSource> Pipeline<I> {
 
             // `front` above proved the ROB is non-empty.
             let Some(e) = self.rob.pop_front() else { break };
+            self.rob_abs_base += 1;
             budget -= 1;
             let u = e.uop;
             // The absorbed tail retires with its head; no later flush may
@@ -132,9 +132,11 @@ impl<I: UopSource> Pipeline<I> {
             while self.lq.front().is_some_and(|l| l.seq == u.seq) {
                 self.lq.pop_front();
             }
-            for s in self.sq.iter_mut() {
-                if s.seq == u.seq {
-                    s.senior = true;
+            // At most one SQ entry per µ-op (a fused store pair shares one);
+            // only stores have one at all, so gate the search on the class.
+            if u.sq_accesses().0.is_some() {
+                if let Some(si) = self.sq_index(u.seq) {
+                    self.sq[si].senior = true;
                 }
             }
         }

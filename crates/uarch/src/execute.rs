@@ -10,59 +10,78 @@ use helios_emu::{MemAccess, UopSource};
 impl<I: UopSource> Pipeline<I> {
     /// One cycle of Issue/Execute: select ready µ-ops oldest-first within
     /// port constraints and start their execution.
+    ///
+    /// Fully event-driven: the loop walks only `iq_ready` — the sorted list
+    /// of entries whose active phase has zero outstanding producers
+    /// (maintained by `wake_consumers` as completions fire) — so a cycle's
+    /// cost scales with the handful of issuable µ-ops, not the IQ depth.
+    /// Blocked entries are never visited, let alone re-polled.
+    ///
+    /// The cursor re-finds its position by value each step because the list
+    /// mutates mid-loop: issued entries leave it, and a zero-latency
+    /// completion can wake consumers into it. Woken consumers land *after*
+    /// the cursor in the common producer-older case and *before* it for a
+    /// tail-contributed younger producer — exactly matching the old full
+    /// scan, which visited dependents of a zero-latency producer later in
+    /// the same pass but never re-visited earlier positions.
     pub(crate) fn stage_issue(&mut self) {
         let mut alu = self.cfg.alu_ports;
         let mut loads = self.cfg.load_ports;
         let mut stores = self.cfg.store_ports;
         let now = self.now;
-        // Reused across cycles: stage_issue runs every cycle and must not
-        // allocate in steady state.
-        let mut issued = std::mem::take(&mut self.scratch_issued);
-        issued.clear();
+        let mut cursor: Option<(u64, u32)> = None;
 
-        for i in 0..self.iq.len() {
+        loop {
             if alu == 0 && loads == 0 && stores == 0 {
                 break;
             }
-            let e = &self.iq[i];
-            if !e.ncs_ready {
-                continue;
-            }
-            let port_ok = match e.fu {
+            let idx = match cursor {
+                None => 0,
+                Some(c) => match self.iq_ready.binary_search(&c) {
+                    Ok(i) => i + 1, // still listed (port-blocked or STA'd)
+                    Err(i) => i,    // issued and removed; successor slid here
+                },
+            };
+            let Some(&(seq, slot)) = self.iq_ready.get(idx) else {
+                break;
+            };
+            cursor = Some((seq, slot));
+
+            let (fu, sta_pending, memdep) = {
+                let e = self.iq_slots[slot as usize]
+                    .as_ref()
+                    .expect("ready-listed IQ entry is live");
+                debug_assert_eq!(e.seq, seq);
+                debug_assert!(e.wakeup_ready());
+                let sta = e.fu == FuClass::Store && !e.sta_done;
+                let md = (e.fu == FuClass::Load).then_some(e.memdep_wait).flatten();
+                (e.fu, sta, md)
+            };
+            let port_ok = match fu {
                 FuClass::Load => loads > 0,
                 FuClass::Store => stores > 0,
                 FuClass::Div => alu > 0 && self.div_busy_until <= now,
                 _ => alu > 0,
             };
             if !port_ok {
-                continue;
+                continue; // stays listed; retried next cycle
             }
-            // Phase selection: STA waits on address sources, STD on data.
-            let sta_pending = e.fu == FuClass::Store && !e.sta_done;
-            let waiting_on = if e.fu == FuClass::Store && e.sta_done {
-                &e.data_srcs
-            } else {
-                &e.srcs
-            };
-            if !waiting_on.iter().all(|&p| self.producer_ready(p, now)) {
-                continue;
-            }
-            if e.fu == FuClass::Load {
-                if let Some(d) = e.memdep_wait {
-                    if !self.store_addr_known(d, now) {
-                        continue;
-                    }
+            // Store-set dependence: wait until the predicted-conflicting
+            // store's address is known. Polled only for *ready* loads, as
+            // store drain/squash can satisfy it without any wakeup event.
+            if let Some(d) = memdep {
+                if !self.store_addr_known(d, now) {
+                    continue;
                 }
             }
 
-            let seq = e.seq;
-            let fu = e.fu;
             if sta_pending {
-                // STA: compute the address(es), expose them to loads and the
-                // violation scan; the entry stays in the IQ for STD.
+                // STA: compute the address(es), expose them to loads and
+                // the violation scan; the entry stays in the IQ for STD.
                 stores -= 1;
                 let complete = now + self.cfg.alu_latency;
-                if let Some(s) = self.sq.iter_mut().find(|s| s.seq == seq) {
+                if let Some(si) = self.sq_index(seq) {
+                    let s = &mut self.sq[si];
                     s.addr_known_at = Some(complete);
                     let pc = s.pc;
                     self.store_sets.store_executed(pc, seq);
@@ -71,8 +90,14 @@ impl<I: UopSource> Pipeline<I> {
                     at_cycle: complete,
                     store_seq: seq,
                 });
-                if let Some(iqe) = self.iq.iter_mut().find(|x| x.seq == seq) {
-                    iqe.sta_done = true;
+                let e = self.iq_slots[slot as usize]
+                    .as_mut()
+                    .expect("ready-listed IQ entry is live");
+                e.sta_done = true;
+                if e.pending_data > 0 {
+                    // The active phase is now STD and its producers are
+                    // outstanding: leave the ready list until they complete.
+                    self.iq_ready_remove(seq, slot);
                 }
                 continue;
             }
@@ -87,21 +112,19 @@ impl<I: UopSource> Pipeline<I> {
                 }
                 _ => alu -= 1,
             }
-            self.board.set(seq, complete, self.committed_upto);
-            if let Some(ri) = self.rob_index(seq) {
-                self.rob[ri].issued = true;
-                self.rob[ri].complete_at = Some(complete);
-            }
+            self.record_completion(seq, complete);
             if let Some(o) = self.obs.as_deref_mut() {
                 o.issued(seq, now, complete);
             }
-            issued.push(seq);
+            // Issued: release the IQ slot and leave the ready list.
+            self.iq_slots[slot as usize] = None;
+            self.iq_free.push(slot);
+            self.iq_len -= 1;
+            self.iq_ready_remove(seq, slot);
+            if let Some(ri) = self.rob_index(seq) {
+                self.rob[ri].iq_slot = Self::NO_IQ_SLOT;
+            }
         }
-
-        if !issued.is_empty() {
-            self.iq.retain(|e| !issued.contains(&e.seq));
-        }
-        self.scratch_issued = issued;
     }
 
     /// Computes the execution latency of µ-op `seq` and performs its memory
@@ -168,8 +191,8 @@ impl<I: UopSource> Pipeline<I> {
             }
         }
 
-        if let Some(l) = self.lq.iter_mut().find(|l| l.seq == seq) {
-            l.issue_cycle = Some(self.now);
+        if let Some(li) = self.lq_index(seq) {
+            self.lq[li].issue_cycle = Some(self.now);
         }
         latency
     }
@@ -198,7 +221,7 @@ impl<I: UopSource> Pipeline<I> {
             if covers {
                 // Forward only once the store's data exists (STD executed or
                 // the store is already senior).
-                let data_ready = s.senior || self.board.get(s.seq).is_some_and(|c| c <= self.now);
+                let data_ready = s.senior || self.ready_bit(s.seq);
                 self.stats.stlf_forwards += 1;
                 if data_ready {
                     return self.cfg.l1d.latency;

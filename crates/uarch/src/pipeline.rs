@@ -24,7 +24,7 @@ use std::collections::VecDeque;
 
 /// Number of sequence slots tracked by the completion board. Must exceed the
 /// maximum number of µ-ops in flight (ROB + AQ + widths) by a wide margin.
-const BOARD_SLOTS: usize = 8192;
+pub(crate) const BOARD_SLOTS: usize = 8192;
 
 /// Execution-completion scoreboard indexed by trace sequence number.
 #[derive(Clone, Debug)]
@@ -72,39 +72,86 @@ impl CompletionBoard {
 }
 
 /// Reorder-buffer entry (owns the in-flight µ-op).
+///
+/// Per-µ-op *execution* state (issued, completion cycle, readiness) is
+/// deliberately not stored here: the hot-path consumers read it from the
+/// struct-of-arrays side — the dense ready bitset for the boolean and the
+/// [`CompletionBoard`] for the exact cycle — so wakeup and commit never
+/// touch these cache-line-sized entries.
 #[derive(Clone, Debug)]
 pub(crate) struct RobEntry {
     pub uop: DynUop,
-    pub issued: bool,
-    pub complete_at: Option<u64>,
+    /// This µ-op's IQ slot while it waits to issue (`NO_IQ_SLOT` once
+    /// issued); the seq→IQ lookup is `rob_index` + this field, both O(1).
+    pub iq_slot: u32,
     /// Physical registers allocated (freed at commit or flush).
     pub phys_allocated: usize,
-    /// Rename undo log: (dest arch reg, previous RAT mapping).
-    pub undo: Vec<(Reg, Option<u64>)>,
+    /// Rename undo log: (dest arch reg, previous RAT mapping). At most two
+    /// records — head and fused-tail destination — stored inline so
+    /// dispatch performs no heap allocation; `undo_len` is the live count.
+    pub undo: [(Reg, Option<u64>); 2],
+    pub undo_len: u8,
     /// Whether this µ-op was fetched with a branch misprediction.
     pub mispredicted: bool,
     pub conditional: bool,
     pub indirect: bool,
 }
 
-/// Issue-queue entry.
+/// Issue-queue entry, held in a stable slot of `iq_slots`.
 ///
-/// Stores split into address generation (STA) and data (STD) µ-phases:
-/// `srcs` gates STA (and everything for non-stores), `data_srcs` gates STD.
+/// Wakeup is event-driven: instead of source lists that Issue re-polls every
+/// cycle, the entry carries *counts* of outstanding (not-yet-complete)
+/// producers, decremented by [`Pipeline::wake_consumers`] when a producer's
+/// completion fires. Stores split into address generation (STA) and data
+/// (STD) µ-phases: `pending_addr` gates STA (and everything for non-stores),
+/// `pending_data` gates STD.
 #[derive(Clone, Debug)]
 pub(crate) struct IqEntry {
     pub seq: u64,
+    /// Dispatch token (globally unique, never reused): wakeup registrations
+    /// name `(slot, token)` so a registration left by a squashed µ-op cannot
+    /// wake the slot's next occupant.
+    pub token: u64,
     pub fu: crate::FuClass,
-    /// Producer sequence numbers this µ-op waits on (address side).
-    pub srcs: Vec<u64>,
-    /// Store-data producers (STD side; empty for non-stores).
-    pub data_srcs: Vec<u64>,
+    /// Outstanding address-side producers (STA gate; all sources for
+    /// non-stores).
+    pub pending_addr: u32,
+    /// Outstanding store-data producers (STD gate; 0 for non-stores).
+    pub pending_data: u32,
     /// Whether the STA phase has issued.
     pub sta_done: bool,
     /// NCS Ready bit: pending NCSF'd µ-ops may not issue (§IV-B2).
     pub ncs_ready: bool,
     /// Store-set dependence: store sequence to wait for.
     pub memdep_wait: Option<u64>,
+}
+
+impl IqEntry {
+    /// Whether the entry's *active phase* has all producers complete (and is
+    /// NCS Ready): exactly the entries the select loop should look at. A
+    /// store's active phase is STA until `sta_done`, then STD; `pending_data`
+    /// is deliberately ignored for non-stores (only stores have an STD
+    /// phase).
+    #[inline]
+    pub(crate) fn wakeup_ready(&self) -> bool {
+        let pending = if self.fu == crate::FuClass::Store && self.sta_done {
+            self.pending_data
+        } else {
+            self.pending_addr
+        };
+        self.ncs_ready && pending == 0
+    }
+}
+
+/// A wakeup registration: when the producer it is filed under completes,
+/// decrement one pending count of the IQ entry at `slot` — if `token` still
+/// matches (the entry has not been squashed and the slot reoccupied).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Waiter {
+    pub token: u64,
+    pub slot: u32,
+    /// Which count to decrement: STD data side (`true`) or address side.
+    pub is_data: bool,
 }
 
 /// Load-queue entry.
@@ -199,10 +246,43 @@ pub struct Pipeline<I> {
 
     // Backend.
     pub(crate) rob: VecDeque<RobEntry>,
-    pub(crate) iq: Vec<IqEntry>,
+    /// Issue queue as a slot map: entries occupy stable slots so removal is
+    /// O(1) and nothing re-scans the blocked majority. `iq_ready` (sorted by
+    /// `(seq, slot)`) holds exactly the entries whose active phase is
+    /// wakeup-ready — the select loop walks only those, oldest first.
+    pub(crate) iq_slots: Vec<Option<IqEntry>>,
+    /// Free-slot stack for `iq_slots`.
+    pub(crate) iq_free: Vec<u32>,
+    /// Occupied IQ slots (capacity/occupancy accounting).
+    pub(crate) iq_len: usize,
+    /// Wakeup-ready IQ entries, sorted ascending by `(seq, slot)`.
+    pub(crate) iq_ready: Vec<(u64, u32)>,
+    /// Wakeup registrations filed under the producer's board slot
+    /// (`seq % BOARD_SLOTS`), drained when that producer's completion fires.
+    /// Stale registrations (squashed consumers) are rejected by token.
+    pub(crate) iq_waiters: Vec<Vec<Waiter>>,
+    /// Next dispatch token (monotonic, never rewound by flushes).
+    pub(crate) iq_token: u64,
     pub(crate) lq: VecDeque<LqEntry>,
     pub(crate) sq: VecDeque<SqEntry>,
     pub(crate) board: CompletionBoard,
+    /// Dense wakeup bitset over the board's sequence slots: bit set ⇔ the
+    /// slot's µ-op has completed by the current cycle. 1 KiB total, so the
+    /// per-source readiness test in Issue is a cached word load instead of a
+    /// probe into the 128 KiB board ring.
+    pub(crate) ready_bits: Vec<u64>,
+    /// Pending wakeup events: `Reverse((complete_cycle, seq))`, drained at
+    /// the top of each cycle into `ready_bits`. Events are validated against
+    /// the board when they fire, so events for squashed µ-ops are inert.
+    pub(crate) ready_events: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u64)>>,
+    /// seq → absolute ROB position ring (tag = seq + 1), making `rob_index`
+    /// a base-offset computation instead of a binary search.
+    pub(crate) rob_pos: Vec<(u64, u64)>,
+    /// Absolute position of `rob[0]` (advances at commit).
+    pub(crate) rob_abs_base: u64,
+    /// Absolute position one past `rob.back()` (advances at dispatch,
+    /// retreats at flush).
+    pub(crate) rob_abs_head: u64,
     pub(crate) committed_upto: u64,
     /// One past the youngest absorbed tail whose extended commit group has
     /// retired; flush restarts never reach below this (§IV-B3 atomicity).
@@ -225,10 +305,12 @@ pub struct Pipeline<I> {
     /// Per-µ-op event observer (`attach_observer`). `None` costs one branch
     /// per event site — the zero-cost-when-off contract.
     pub(crate) obs: Option<Box<Observer>>,
+    /// Per-stage wall-clock attribution (`HELIOS_PROFILE=1`). `None` costs
+    /// one branch per cycle.
+    pub(crate) prof: Option<Box<crate::profile::StageProfile>>,
 
     // Scratch buffers reused across cycles so the per-cycle and per-flush
     // paths stay allocation-free in steady state.
-    pub(crate) scratch_issued: Vec<u64>,
     pub(crate) scratch_checks: Vec<StoreCheck>,
     pub(crate) scratch_undos: Vec<(u64, Reg, Option<u64>)>,
     pub(crate) scratch_repairs: Vec<(usize, RepairCase, Option<helios_core::PredMeta>)>,
@@ -256,10 +338,20 @@ impl<I: UopSource> Pipeline<I> {
             free_phys: cfg.free_phys_regs(),
             tail_undos: Vec::new(),
             rob: VecDeque::with_capacity(cfg.rob_size),
-            iq: Vec::with_capacity(cfg.iq_size),
+            iq_slots: (0..cfg.iq_size).map(|_| None).collect(),
+            iq_free: (0..cfg.iq_size as u32).rev().collect(),
+            iq_len: 0,
+            iq_ready: Vec::with_capacity(cfg.iq_size),
+            iq_waiters: (0..BOARD_SLOTS).map(|_| Vec::new()).collect(),
+            iq_token: 0,
             lq: VecDeque::with_capacity(cfg.lq_size),
             sq: VecDeque::with_capacity(cfg.sq_size),
             board: CompletionBoard::new(),
+            ready_bits: vec![0; BOARD_SLOTS / 64],
+            ready_events: std::collections::BinaryHeap::with_capacity(cfg.rob_size),
+            rob_pos: vec![(0, 0); BOARD_SLOTS],
+            rob_abs_base: 0,
+            rob_abs_head: 0,
             committed_upto: 0,
             atomic_commit_floor: 0,
             div_busy_until: 0,
@@ -272,7 +364,8 @@ impl<I: UopSource> Pipeline<I> {
             commit_log: Vec::new(),
             fault: None,
             obs: None,
-            scratch_issued: Vec::new(),
+            prof: crate::profile::enabled()
+                .then(|| Box::new(crate::profile::StageProfile::new())),
             scratch_checks: Vec::new(),
             scratch_undos: Vec::new(),
             scratch_repairs: Vec::new(),
@@ -332,32 +425,118 @@ impl<I: UopSource> Pipeline<I> {
 
     /// Simulates one cycle.
     pub fn cycle(&mut self) {
+        if self.prof.is_some() {
+            self.cycle_impl::<true>();
+        } else {
+            self.cycle_impl::<false>();
+        }
+    }
+
+    /// The cycle body, compiled twice: `PROF = false` is the production hot
+    /// path (the profiling plumbing folds away to plain calls); `PROF = true`
+    /// brackets each stage with monotonic-clock reads for the
+    /// `HELIOS_PROFILE=1` attribution table.
+    ///
+    /// Quiescent stages are skipped, not entered (event-driven skipping).
+    /// Each gate below replicates the stage's own first-line early-out —
+    /// including its side effects (`last_dispatch_progress` for
+    /// Rename/Dispatch) — so skipping is timing- and statistics-neutral by
+    /// construction.
+    fn cycle_impl<const PROF: bool>(&mut self) {
+        use crate::profile::Stage;
+        let mut prof = if PROF { self.prof.take() } else { None };
         self.now += 1;
-        self.stage_commit();
+        if let Some(p) = prof.as_deref_mut() {
+            p.cycle();
+        }
+
+        if self
+            .ready_events
+            .peek()
+            .is_some_and(|&std::cmp::Reverse((c, _))| c <= self.now)
+        {
+            run_stage(&mut prof, Stage::Wakeup, || self.drain_ready_events());
+        } else {
+            skip_stage(&mut prof, Stage::Wakeup);
+        }
+        if self
+            .rob
+            .front()
+            .is_some_and(|e| self.ready_bit(e.uop.seq))
+        {
+            run_stage(&mut prof, Stage::Commit, || self.stage_commit());
+        } else {
+            // The ROB front (if any) has not completed: nothing can retire,
+            // `committed_upto` cannot advance, and the trace-window release
+            // below it is already done.
+            skip_stage(&mut prof, Stage::Commit);
+        }
         if self.cfg.fusion.predictive() {
-            // Drain the post-commit decoupling queue into the UCH at its
-            // port rate, training the fusion predictor on discovered pairs.
-            let fp = &mut self.fp;
-            self.uch_queue
-                .drain_cycle(&mut self.uch, &mut self.uch_seq, |pc, ghr, d| {
-                    fp.train(pc, ghr, d)
+            if self.uch_queue.is_empty() {
+                skip_stage(&mut prof, Stage::UchDrain);
+            } else {
+                // Drain the post-commit decoupling queue into the UCH at its
+                // port rate, training the fusion predictor on discovered
+                // pairs.
+                run_stage(&mut prof, Stage::UchDrain, || {
+                    let fp = &mut self.fp;
+                    self.uch_queue.drain_cycle(
+                        &mut self.uch,
+                        &mut self.uch_seq,
+                        |pc, ghr, d| fp.train(pc, ghr, d),
+                    )
                 });
-        }
-        self.stage_drain_stores();
-        self.process_store_checks();
-        self.process_pending_flushes();
-        self.stage_issue();
-        self.stage_rename_dispatch();
-        self.stage_fetch_decode();
-        self.break_resource_deadlock();
-        if self.fault.is_some() {
-            self.apply_cycle_faults();
-        }
-        if self.obs.is_some() {
-            let (rob, iq, lq, sq) = (self.rob.len(), self.iq.len(), self.lq.len(), self.sq.len());
-            if let Some(o) = self.obs.as_deref_mut() {
-                o.sample_occupancy(rob, iq, lq, sq);
             }
+        }
+        if self.sq.front().is_some_and(|s| s.senior) {
+            run_stage(&mut prof, Stage::DrainStores, || self.stage_drain_stores());
+        } else {
+            skip_stage(&mut prof, Stage::DrainStores);
+        }
+        if self.store_checks.is_empty() {
+            skip_stage(&mut prof, Stage::StoreChecks);
+        } else {
+            run_stage(&mut prof, Stage::StoreChecks, || self.process_store_checks());
+        }
+        if self.pending_flushes.is_empty() {
+            skip_stage(&mut prof, Stage::Flushes);
+        } else {
+            run_stage(&mut prof, Stage::Flushes, || self.process_pending_flushes());
+        }
+        if self.iq_ready.is_empty() {
+            // No IQ entry is wakeup-ready: the select loop would walk an
+            // empty list. Blocked entries wake via their producers'
+            // completion events, never by being re-polled here.
+            skip_stage(&mut prof, Stage::Issue);
+        } else {
+            run_stage(&mut prof, Stage::Issue, || self.stage_issue());
+        }
+        if self.aq.is_empty() {
+            // An empty AQ is Rename/Dispatch progress for the dispatch
+            // watchdog, exactly as in `stage_rename_dispatch`.
+            self.last_dispatch_progress = self.now;
+            skip_stage(&mut prof, Stage::RenameDispatch);
+        } else {
+            run_stage(&mut prof, Stage::RenameDispatch, || {
+                self.stage_rename_dispatch()
+            });
+        }
+        run_stage(&mut prof, Stage::FetchDecode, || self.stage_fetch_decode());
+        run_stage(&mut prof, Stage::Misc, || {
+            self.break_resource_deadlock();
+            if self.fault.is_some() {
+                self.apply_cycle_faults();
+            }
+            if self.obs.is_some() {
+                let (rob, iq, lq, sq) =
+                    (self.rob.len(), self.iq_len, self.lq.len(), self.sq.len());
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.sample_occupancy(rob, iq, lq, sq);
+                }
+            }
+        });
+        if PROF {
+            self.prof = prof;
         }
     }
 
@@ -478,23 +657,27 @@ impl<I: UopSource> Pipeline<I> {
                 "seq {} inst {:?} complete_at {:?} fused {:?}",
                 e.uop.seq,
                 e.uop.inst,
-                e.complete_at,
+                self.board.get(e.uop.seq),
                 e.uop.fused.map(|f| (f.tail_seq, f.pending)),
             )
         });
-        let iq_head: Vec<String> = self
-            .iq
+        let mut iq_entries: Vec<&IqEntry> =
+            self.iq_slots.iter().flatten().collect();
+        iq_entries.sort_by_key(|e| e.seq);
+        let iq_head: Vec<String> = iq_entries
             .iter()
             .take(4)
             .map(|e| {
-                let srcs: Vec<(u64, bool)> = e
-                    .srcs
-                    .iter()
-                    .map(|&p| (p, self.producer_ready(p, self.now)))
-                    .collect();
                 format!(
-                    "seq {} fu {:?} ncs_ready {} srcs {:?} memdep {:?}",
-                    e.seq, e.fu, e.ncs_ready, srcs, e.memdep_wait
+                    "seq {} fu {:?} ncs_ready {} pending_addr {} \
+                     pending_data {} sta_done {} memdep {:?}",
+                    e.seq,
+                    e.fu,
+                    e.ncs_ready,
+                    e.pending_addr,
+                    e.pending_data,
+                    e.sta_done,
+                    e.memdep_wait
                 )
             })
             .collect();
@@ -504,7 +687,7 @@ impl<I: UopSource> Pipeline<I> {
             last_commit_cycle,
             rob: self.rob.len(),
             aq: self.aq.len(),
-            iq: self.iq.len(),
+            iq: self.iq_len,
             pending_ncsf: self.active_pending_ncsf,
             rob_front,
             iq_head,
@@ -523,21 +706,183 @@ impl<I: UopSource> Pipeline<I> {
         self.stats.l1d_misses = l1m;
         self.stats.l2_misses = l2m;
         self.stats.l3_misses = l3m;
+        // Fold this run's stage attribution into the process-global profile
+        // (once; `take` keeps repeated finalization idempotent).
+        if let Some(p) = self.prof.take() {
+            crate::profile::global_add(&p);
+        }
     }
 
     // ---- shared helpers -------------------------------------------------
 
-    /// Index of the ROB entry holding `seq`, if present.
+    /// Index of the ROB entry holding `seq`, if present: a base-offset
+    /// computation over the seq→absolute-position ring (O(1), no search).
     pub(crate) fn rob_index(&self, seq: u64) -> Option<usize> {
-        self.rob
-            .binary_search_by_key(&seq, |e| e.uop.seq)
-            .ok()
+        let (tag, pos) = self.rob_pos[(seq as usize) % BOARD_SLOTS];
+        if tag == seq + 1 && pos >= self.rob_abs_base && pos < self.rob_abs_head {
+            let i = (pos - self.rob_abs_base) as usize;
+            debug_assert_eq!(self.rob[i].uop.seq, seq);
+            Some(i)
+        } else {
+            None
+        }
+    }
+
+    /// Tests the dense wakeup bit for `seq` (see `ready_bits`).
+    #[inline]
+    pub(crate) fn ready_bit(&self, seq: u64) -> bool {
+        let i = (seq as usize) % BOARD_SLOTS;
+        self.ready_bits[i / 64] >> (i % 64) & 1 != 0
+    }
+
+    #[inline]
+    pub(crate) fn set_ready_bit(&mut self, seq: u64) {
+        let i = (seq as usize) % BOARD_SLOTS;
+        self.ready_bits[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Clears `seq`'s wakeup bit. Called at Dispatch so a stale bit left by
+    /// a long-retired (or squashed) µ-op sharing the slot cannot leak into
+    /// the new occupant's readiness.
+    #[inline]
+    pub(crate) fn clear_ready_bit(&mut self, seq: u64) {
+        let i = (seq as usize) % BOARD_SLOTS;
+        self.ready_bits[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// Records `seq` completing execution at `complete`: the board keeps the
+    /// exact cycle (redirect resolution, STLF data-readiness), and the
+    /// wakeup bit is scheduled — immediately for a zero-latency completion,
+    /// via the event heap otherwise.
+    #[inline]
+    pub(crate) fn record_completion(&mut self, seq: u64, complete: u64) {
+        self.board.set(seq, complete, self.committed_upto);
+        if complete <= self.now {
+            self.set_ready_bit(seq);
+            self.wake_consumers(seq);
+        } else {
+            self.ready_events
+                .push(std::cmp::Reverse((complete, seq)));
+        }
+    }
+
+    /// Drains due wakeup events into the ready bitset. Each event is
+    /// validated against the board when it fires: an event whose µ-op was
+    /// squashed (board cleared) or re-issued to a different cycle sets
+    /// nothing — only the event matching the live completion does.
+    pub(crate) fn drain_ready_events(&mut self) {
+        while let Some(&std::cmp::Reverse((c, seq))) = self.ready_events.peek() {
+            if c > self.now {
+                break;
+            }
+            self.ready_events.pop();
+            if self.board.get(seq).is_some_and(|cc| cc <= self.now) {
+                self.set_ready_bit(seq);
+                self.wake_consumers(seq);
+            }
+        }
     }
 
     /// Whether the producer `seq` has completed by `cycle`.
+    ///
+    /// The hot path answers from the dense wakeup bitset, which is only
+    /// synchronized to the current cycle — so `cycle` must be `self.now`
+    /// (every caller's actual argument; asserted in debug builds).
     #[inline]
     pub(crate) fn producer_ready(&self, seq: u64, cycle: u64) -> bool {
-        seq < self.committed_upto || self.board.get(seq).is_some_and(|c| c <= cycle)
+        debug_assert_eq!(cycle, self.now);
+        seq < self.committed_upto || self.ready_bit(seq)
+    }
+
+    /// Index of the SQ entry holding `seq`, if present (binary search; the
+    /// SQ is seq-sorted).
+    pub(crate) fn sq_index(&self, seq: u64) -> Option<usize> {
+        let (a, b) = self.sq.as_slices();
+        match a.binary_search_by_key(&seq, |s| s.seq) {
+            Ok(i) => Some(i),
+            Err(_) => b
+                .binary_search_by_key(&seq, |s| s.seq)
+                .ok()
+                .map(|i| a.len() + i),
+        }
+    }
+
+    /// Index of the LQ entry holding `seq`, if present (binary search; the
+    /// LQ is seq-sorted).
+    pub(crate) fn lq_index(&self, seq: u64) -> Option<usize> {
+        let (a, b) = self.lq.as_slices();
+        match a.binary_search_by_key(&seq, |l| l.seq) {
+            Ok(i) => Some(i),
+            Err(_) => b
+                .binary_search_by_key(&seq, |l| l.seq)
+                .ok()
+                .map(|i| a.len() + i),
+        }
+    }
+
+    /// Sentinel for [`RobEntry::iq_slot`]: the µ-op has no IQ entry
+    /// (already issued).
+    pub(crate) const NO_IQ_SLOT: u32 = u32::MAX;
+
+    /// IQ slot of the in-flight µ-op `seq`, if it has not issued yet.
+    pub(crate) fn iq_slot_of(&self, seq: u64) -> Option<u32> {
+        let ri = self.rob_index(seq)?;
+        let slot = self.rob[ri].iq_slot;
+        if slot == Self::NO_IQ_SLOT {
+            return None;
+        }
+        debug_assert_eq!(
+            self.iq_slots[slot as usize].as_ref().map(|e| e.seq),
+            Some(seq)
+        );
+        Some(slot)
+    }
+
+    /// Inserts `(seq, slot)` into the sorted ready list (idempotent).
+    pub(crate) fn iq_ready_insert(&mut self, seq: u64, slot: u32) {
+        if let Err(i) = self.iq_ready.binary_search(&(seq, slot)) {
+            self.iq_ready.insert(i, (seq, slot));
+        }
+    }
+
+    /// Removes `(seq, slot)` from the sorted ready list if present.
+    pub(crate) fn iq_ready_remove(&mut self, seq: u64, slot: u32) {
+        if let Ok(i) = self.iq_ready.binary_search(&(seq, slot)) {
+            self.iq_ready.remove(i);
+        }
+    }
+
+    /// Delivers the completion of `producer` to its registered IQ consumers:
+    /// each live registration (token match) decrements the named pending
+    /// count, and entries whose active phase just became ready enter the
+    /// ready list. Registrations are consumed exactly once — the list is
+    /// drained — and stale ones (squashed consumers) are inert by token.
+    pub(crate) fn wake_consumers(&mut self, producer: u64) {
+        let bucket = (producer as usize) % BOARD_SLOTS;
+        if self.iq_waiters[bucket].is_empty() {
+            return;
+        }
+        // Take the list to release the borrow; put it back to keep its
+        // capacity (steady state stays allocation-free).
+        let mut list = std::mem::take(&mut self.iq_waiters[bucket]);
+        for w in list.drain(..) {
+            let Some(e) = self.iq_slots[w.slot as usize].as_mut() else {
+                continue;
+            };
+            if e.token != w.token {
+                continue;
+            }
+            if w.is_data {
+                e.pending_data -= 1;
+            } else {
+                e.pending_addr -= 1;
+            }
+            if e.wakeup_ready() {
+                let seq = e.seq;
+                self.iq_ready_insert(seq, w.slot);
+            }
+        }
+        self.iq_waiters[bucket] = list;
     }
 
     /// Whether the store `seq`'s address is known by `cycle` (STA done or
@@ -546,8 +891,11 @@ impl<I: UopSource> Pipeline<I> {
         if seq < self.committed_upto {
             return true;
         }
-        match self.sq.iter().find(|s| s.seq == seq) {
-            Some(s) => s.senior || s.addr_known_at.is_some_and(|t| t <= cycle),
+        match self.sq_index(seq) {
+            Some(i) => {
+                let s = &self.sq[i];
+                s.senior || s.addr_known_at.is_some_and(|t| t <= cycle)
+            }
             None => true, // squashed or drained
         }
     }
@@ -611,11 +959,13 @@ impl<I: UopSource> Pipeline<I> {
     /// generation: any younger load that already issued and overlaps must be
     /// squashed and re-executed.
     fn check_violation(&mut self, store_seq: u64) {
-        let Some(store) = self.sq.iter().find(|s| s.seq == store_seq) else {
+        let Some(si) = self.sq_index(store_seq) else {
             return;
         };
+        let store = &self.sq[si];
         let (s_acc, s_acc2) = (store.acc, store.acc2);
         let s_done = store.addr_known_at.unwrap_or(self.now);
+        let store_pc = store.pc;
         let mut victim: Option<(u64, u64)> = None; // (seq, pc)
         for l in &self.lq {
             if l.seq <= store_seq {
@@ -635,12 +985,6 @@ impl<I: UopSource> Pipeline<I> {
             }
         }
         if let Some((load_seq, load_pc)) = victim {
-            let store_pc = self
-                .sq
-                .iter()
-                .find(|s| s.seq == store_seq)
-                .map(|s| s.pc)
-                .unwrap_or(0);
             self.store_sets.train_violation(load_pc, store_pc);
             if self.flush_from(load_seq, FlushKind::MemOrder) {
                 self.stats.memdep_flushes += 1;
@@ -679,12 +1023,15 @@ impl<I: UopSource> Pipeline<I> {
             // Reverse within the entry so that same-register double
             // destinations (e.g. lui+addi pairs) unwind correctly under the
             // stable sort below.
-            for &(reg, prev) in e.undo.iter().rev() {
+            for &(reg, prev) in e.undo[..e.undo_len as usize].iter().rev() {
                 undos.push((e.uop.seq, reg, prev));
             }
             self.free_phys += e.phys_allocated;
             self.board.clear(e.uop.seq);
+            self.clear_ready_bit(e.uop.seq);
         }
+        // Squashed positions are gone; re-dispatched µ-ops re-register.
+        self.rob_abs_head = self.rob_abs_base + self.rob.len() as u64;
         self.tail_undos.retain(|t| {
             if t.tail_seq >= restart {
                 undos.push((t.tail_seq, t.reg, t.prev));
@@ -699,7 +1046,18 @@ impl<I: UopSource> Pipeline<I> {
         }
         self.scratch_undos = undos;
 
-        self.iq.retain(|e| e.seq < restart);
+        // Squash IQ entries at or past the restart: free their slots and cut
+        // the (sorted) ready list's suffix. Wakeup registrations they left
+        // behind stay in `iq_waiters` — they are inert, rejected by token.
+        for slot in 0..self.iq_slots.len() {
+            if self.iq_slots[slot].as_ref().is_some_and(|e| e.seq >= restart) {
+                self.iq_slots[slot] = None;
+                self.iq_free.push(slot as u32);
+                self.iq_len -= 1;
+            }
+        }
+        let cut = self.iq_ready.partition_point(|&(s, _)| s < restart);
+        self.iq_ready.truncate(cut);
         self.lq.retain(|e| e.seq < restart);
         self.sq.retain(|e| e.senior || e.seq < restart);
         self.aq.retain(|e| e.seq() < restart);
@@ -791,17 +1149,51 @@ impl<I: UopSource> Pipeline<I> {
             }
         }
         // The pending pair could not have issued; make the head issuable.
-        if let Some(iqe) = self.iq.iter_mut().find(|e| e.seq == seq) {
-            iqe.ncs_ready = true;
+        if let Some(slot) = self.iq_slot_of(seq) {
+            let e = self.iq_slots[slot as usize].as_mut().expect("live IQ slot");
+            e.ncs_ready = true;
+            if e.wakeup_ready() {
+                self.iq_ready_insert(seq, slot);
+            }
         }
         // Drop the second access from LQ/SQ.
-        if let Some(l) = self.lq.iter_mut().find(|e| e.seq == seq) {
-            l.acc2 = None;
+        if let Some(i) = self.lq_index(seq) {
+            self.lq[i].acc2 = None;
         }
-        if let Some(s) = self.sq.iter_mut().find(|e| e.seq == seq) {
-            s.acc2 = None;
+        if let Some(i) = self.sq_index(seq) {
+            self.sq[i].acc2 = None;
         }
         self.stats.fusion.record_repair(case);
+    }
+}
+
+/// Runs one pipeline stage, attributing its wall-clock to `stage` when a
+/// profiler is attached. A free function so `f` can borrow the whole
+/// `Pipeline` while the (taken-out) profiler is updated alongside it.
+#[inline(always)]
+fn run_stage(
+    prof: &mut Option<Box<crate::profile::StageProfile>>,
+    stage: crate::profile::Stage,
+    f: impl FnOnce(),
+) {
+    match prof.as_deref_mut() {
+        Some(p) => {
+            let t0 = std::time::Instant::now();
+            f();
+            p.add(stage, t0);
+        }
+        None => f(),
+    }
+}
+
+/// Records a stage skipped by its quiescence gate (profiled runs only).
+#[inline(always)]
+fn skip_stage(
+    prof: &mut Option<Box<crate::profile::StageProfile>>,
+    stage: crate::profile::Stage,
+) {
+    if let Some(p) = prof.as_deref_mut() {
+        p.skip(stage);
     }
 }
 

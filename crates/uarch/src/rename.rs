@@ -1,7 +1,7 @@
 //! Rename + Dispatch: RAT updates, physical-register and ROB/IQ/LQ/SQ
 //! allocation, and the Helios tail-nucleus validation/repair path (§IV-B/C).
 
-use crate::pipeline::{IqEntry, LqEntry, Pipeline, RobEntry, SqEntry, TailUndo};
+use crate::pipeline::{IqEntry, LqEntry, Pipeline, RobEntry, SqEntry, TailUndo, Waiter};
 use crate::uop::{AqEntry, DynUop};
 use crate::DispatchStall;
 use helios_core::{Idiom, RepairCase};
@@ -135,7 +135,7 @@ impl<I: UopSource> Pipeline<I> {
         if self.rob.len() >= self.cfg.rob_size {
             return Err(AllocBlock::Rob);
         }
-        if self.iq.len() >= self.cfg.iq_size {
+        if self.iq_len >= self.cfg.iq_size {
             return Err(AllocBlock::Iq);
         }
         if u.lq_accesses().0.is_some() && self.lq.len() >= self.cfg.lq_size {
@@ -165,26 +165,33 @@ impl<I: UopSource> Pipeline<I> {
         // Stores split into STA (address: rs1) and STD (data: rs2) phases,
         // so a store's address can be exposed to waiting loads before its
         // data is produced.
-        let mut srcs: Vec<u64> = Vec::with_capacity(4);
-        let mut data_srcs: Vec<u64> = Vec::new();
-        let head_dests: Vec<_> = u.inst.rd().into_iter().collect();
-        let capture = |rat: &[Option<u64>; 32], srcs: &mut Vec<u64>, reg: helios_isa::Reg| {
-            if let Some(p) = rat[reg.index()] {
-                if p != seq && !srcs.contains(&p) {
-                    srcs.push(p);
+        // At most 2 head + 2 tail sources per side; captured into fixed
+        // buffers so dispatch allocates nothing.
+        let mut srcs = [0u64; 8];
+        let mut nsrc = 0usize;
+        let mut data_srcs = [0u64; 4];
+        let mut ndata = 0usize;
+        let head_rd = u.inst.rd();
+        let capture =
+            |rat: &[Option<u64>; 32], buf: &mut [u64], n: &mut usize, reg: helios_isa::Reg| {
+                if let Some(p) = rat[reg.index()] {
+                    if p != seq && !buf[..*n].contains(&p) {
+                        assert!(*n < buf.len(), "source capture overflow");
+                        buf[*n] = p;
+                        *n += 1;
+                    }
                 }
-            }
-        };
+            };
         if let helios_isa::Inst::Store { rs1, rs2, .. } = u.inst {
             if !rs1.is_zero() {
-                capture(&self.rat, &mut srcs, rs1);
+                capture(&self.rat, &mut srcs, &mut nsrc, rs1);
             }
             if !rs2.is_zero() {
-                capture(&self.rat, &mut data_srcs, rs2);
+                capture(&self.rat, &mut data_srcs, &mut ndata, rs2);
             }
         } else {
             for s in u.inst.sources() {
-                capture(&self.rat, &mut srcs, s);
+                capture(&self.rat, &mut srcs, &mut nsrc, s);
             }
         }
         if let Some(f) = &u.fused {
@@ -194,31 +201,31 @@ impl<I: UopSource> Pipeline<I> {
                     // STD. (Stores have no destinations, so no tail source
                     // can be internal to the fused µ-op.)
                     if !rs1.is_zero() {
-                        capture(&self.rat, &mut srcs, rs1);
+                        capture(&self.rat, &mut srcs, &mut nsrc, rs1);
                     }
                     if !rs2.is_zero() {
-                        capture(&self.rat, &mut data_srcs, rs2);
+                        capture(&self.rat, &mut data_srcs, &mut ndata, rs2);
                     }
                 } else {
                     for s in f.tail_inst.sources() {
                         // Sources fed by the head inside the fused µ-op
                         // (e.g. the address of an indexed load) are internal.
-                        if head_dests.contains(&s) {
+                        if head_rd == Some(s) {
                             continue;
                         }
-                        capture(&self.rat, &mut srcs, s);
+                        capture(&self.rat, &mut srcs, &mut nsrc, s);
                     }
                 }
             }
         }
-        srcs.retain(|&p| !self.producer_ready(p, self.now));
-        data_srcs.retain(|&p| !self.producer_ready(p, self.now));
 
         // --- Rename destinations. ---
-        let mut undo = Vec::with_capacity(2);
+        let mut undo = [(helios_isa::Reg::ZERO, None); 2];
+        let mut undo_len = 0u8;
         let mut phys_allocated = 0;
         if let Some(rd) = u.inst.rd() {
-            undo.push((rd, self.rat[rd.index()]));
+            undo[undo_len as usize] = (rd, self.rat[rd.index()]);
+            undo_len += 1;
             self.rat[rd.index()] = Some(seq);
             phys_allocated += 1;
         }
@@ -229,7 +236,8 @@ impl<I: UopSource> Pipeline<I> {
                     // WaR protection (§IV-B2): the RAT is not updated for the
                     // tail's destination until the tail nucleus renames.
                 } else {
-                    undo.push((trd, self.rat[trd.index()]));
+                    undo[undo_len as usize] = (trd, self.rat[trd.index()]);
+                    undo_len += 1;
                     self.rat[trd.index()] = Some(seq);
                 }
             }
@@ -268,24 +276,59 @@ impl<I: UopSource> Pipeline<I> {
             });
         }
 
-        self.iq.push(IqEntry {
+        // Take an IQ slot (capacity already verified) and register a wakeup
+        // waiter with every producer that has not completed yet; producers
+        // already complete are dropped here, so the pending counts start at
+        // exactly the number of outstanding completions.
+        let slot = self.iq_free.pop().expect("IQ capacity checked");
+        let token = self.iq_token;
+        self.iq_token += 1;
+        let mut pending_addr = 0u32;
+        for &p in &srcs[..nsrc] {
+            if !self.producer_ready(p, self.now) {
+                self.iq_waiters[(p as usize) % crate::pipeline::BOARD_SLOTS]
+                    .push(Waiter { token, slot, is_data: false });
+                pending_addr += 1;
+            }
+        }
+        let mut pending_data = 0u32;
+        for &p in &data_srcs[..ndata] {
+            if !self.producer_ready(p, self.now) {
+                self.iq_waiters[(p as usize) % crate::pipeline::BOARD_SLOTS]
+                    .push(Waiter { token, slot, is_data: true });
+                pending_data += 1;
+            }
+        }
+        self.iq_slots[slot as usize] = Some(IqEntry {
             seq,
+            token,
             fu,
-            srcs,
-            data_srcs,
+            pending_addr,
+            pending_data,
             sta_done: false,
             ncs_ready: !pending,
             memdep_wait,
         });
+        self.iq_len += 1;
+        if !pending && pending_addr == 0 {
+            self.iq_ready_insert(seq, slot);
+        }
+        // Register the ROB slot in the seq→position ring and scrub any stale
+        // wakeup bit left in this µ-op's slot by a long-retired (or
+        // squashed) occupant.
+        self.rob_pos[(seq as usize) % crate::pipeline::BOARD_SLOTS] =
+            (seq + 1, self.rob_abs_head);
+        self.rob_abs_head += 1;
+        self.clear_ready_bit(seq);
         self.rob.push_back(RobEntry {
             mispredicted: u.mispredicted,
             conditional: u.conditional,
             indirect: u.indirect,
             uop: u,
-            issued: false,
-            complete_at: None,
+            iq_slot: slot,
             phys_allocated,
             undo,
+            undo_len,
         });
     }
 
@@ -349,40 +392,67 @@ impl<I: UopSource> Pipeline<I> {
             });
             self.rat[trd.index()] = Some(head_seq);
         }
-        let mut extra_srcs: Vec<u64> = Vec::new();
-        let mut extra_data: Vec<u64> = Vec::new();
-        let capture_tail = |reg: helios_isa::Reg, out: &mut Vec<u64>, rat: &[Option<u64>; 32]| {
-            if reg.is_zero() {
-                return;
-            }
-            if let Some(p) = rat[reg.index()] {
-                if p != head_seq {
-                    out.push(p);
+        let mut extra_srcs = [0u64; 4];
+        let mut nsrc = 0usize;
+        let mut extra_data = [0u64; 4];
+        let mut ndata = 0usize;
+        let capture_tail =
+            |reg: helios_isa::Reg, buf: &mut [u64], n: &mut usize, rat: &[Option<u64>; 32]| {
+                if reg.is_zero() {
+                    return;
                 }
-            }
-        };
+                if let Some(p) = rat[reg.index()] {
+                    if p != head_seq {
+                        buf[*n] = p;
+                        *n += 1;
+                    }
+                }
+            };
         if let helios_isa::Inst::Store { rs1, rs2, .. } = f.tail_inst {
-            capture_tail(rs1, &mut extra_srcs, &self.rat);
-            capture_tail(rs2, &mut extra_data, &self.rat);
+            capture_tail(rs1, &mut extra_srcs, &mut nsrc, &self.rat);
+            capture_tail(rs2, &mut extra_data, &mut ndata, &self.rat);
         } else {
             for s in f.tail_inst.sources() {
-                capture_tail(s, &mut extra_srcs, &self.rat);
+                capture_tail(s, &mut extra_srcs, &mut nsrc, &self.rat);
             }
         }
-        extra_srcs.retain(|&p| !self.producer_ready(p, self.now));
-        extra_data.retain(|&p| !self.producer_ready(p, self.now));
-        if let Some(iqe) = self.iq.iter_mut().find(|e| e.seq == head_seq) {
-            for p in extra_srcs {
-                if !iqe.srcs.contains(&p) {
-                    iqe.srcs.push(p);
+        // The tail's sources join the head's wakeup gates. Note these
+        // producers can be *younger* than the head (catalyst µ-ops between
+        // the nuclei); a flush can squash such a producer while the head
+        // survives, but the registration stays valid — the trace re-fetches
+        // the same sequence number, and its (re-)completion delivers the
+        // wakeup. A duplicate of an already-registered producer just adds a
+        // second registration + count, which the same completion drains.
+        if let Some(slot) = self.iq_slot_of(head_seq) {
+            let token = self
+                .iq_slots[slot as usize]
+                .as_ref()
+                .expect("live IQ slot")
+                .token;
+            let mut add_addr = 0u32;
+            for &p in &extra_srcs[..nsrc] {
+                if !self.producer_ready(p, self.now) {
+                    self.iq_waiters[(p as usize) % crate::pipeline::BOARD_SLOTS]
+                        .push(Waiter { token, slot, is_data: false });
+                    add_addr += 1;
                 }
             }
-            for p in extra_data {
-                if !iqe.data_srcs.contains(&p) {
-                    iqe.data_srcs.push(p);
+            let mut add_data = 0u32;
+            for &p in &extra_data[..ndata] {
+                if !self.producer_ready(p, self.now) {
+                    self.iq_waiters[(p as usize) % crate::pipeline::BOARD_SLOTS]
+                        .push(Waiter { token, slot, is_data: true });
+                    add_data += 1;
                 }
             }
-            iqe.ncs_ready = true;
+            let e = self.iq_slots[slot as usize].as_mut().expect("live IQ slot");
+            e.pending_addr += add_addr;
+            e.pending_data += add_data;
+            e.ncs_ready = true;
+            if e.wakeup_ready() {
+                let seq = e.seq;
+                self.iq_ready_insert(seq, slot);
+            }
         }
         if let Some(ff) = self.rob[hi].uop.fused.as_mut() {
             ff.pending = false;

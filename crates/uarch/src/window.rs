@@ -62,6 +62,12 @@ impl<I: UopSource> TraceWindow<I> {
         self.cursor
     }
 
+    /// Number of records currently buffered (fetched or prefetched but not
+    /// yet released).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
     /// Fetches the next µ-op and advances the cursor.
     pub fn fetch(&mut self) -> Option<Retired> {
         let seq = self.cursor;
@@ -87,12 +93,15 @@ impl<I: UopSource> TraceWindow<I> {
     }
 
     /// Releases all records with sequence number `< seq` (they committed and
-    /// can never be re-fetched).
+    /// can never be re-fetched). A single bulk `drain` of the released
+    /// prefix, so the cost is O(released) rather than a `pop_front` call per
+    /// record.
     pub fn release_below(&mut self, seq: u64) {
         let seq = seq.min(self.cursor);
-        while self.base < seq {
-            self.buf.pop_front();
-            self.base += 1;
+        if seq > self.base {
+            let n = (seq - self.base) as usize;
+            self.buf.drain(..n);
+            self.base = seq;
         }
     }
 
@@ -176,5 +185,30 @@ mod tests {
         }
         w.release_below(8); // clamped to cursor (3)
         assert_eq!(w.fetch().unwrap().seq, 3);
+    }
+
+    /// Regression test for the bulk-release rewrite: a long run followed by
+    /// one big `release_below` drains the whole prefix in a single call
+    /// (base jumps straight to the release point, buffered length drops by
+    /// exactly the released count), repeated/backward releases are no-ops,
+    /// and rewind-to-base still works right after a bulk release.
+    #[test]
+    fn release_bulk_after_long_run() {
+        let n = 10_000u64;
+        let mut w = mk(n);
+        for _ in 0..n {
+            w.fetch();
+        }
+        assert_eq!(w.buffered(), n as usize);
+        w.release_below(9_000);
+        assert_eq!(w.buffered(), 1_000);
+        assert_eq!(w.at(9_000).unwrap().seq, 9_000);
+        // Releasing at or below the current base releases nothing.
+        w.release_below(9_000);
+        w.release_below(10);
+        assert_eq!(w.buffered(), 1_000);
+        // The un-released suffix is still re-fetchable.
+        w.rewind(9_000);
+        assert_eq!(w.fetch().unwrap().seq, 9_000);
     }
 }

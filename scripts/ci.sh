@@ -27,7 +27,27 @@ sweep_end=$(date +%s)
 echo "sweep smoke: $((sweep_end - sweep_start))s wall"
 # Archive the throughput record so simulator-performance regressions show up
 # in the trajectory (results/BENCH_sweep_quick.json is the smoke run;
-# results/BENCH_sweep.json is the committed full-sweep record).
+# results/BENCH_sweep.json is the committed full-sweep record and the
+# benchmark of record).
+#
+# Perf smoke: warn — never fail — when simulated Mcycles/s drops >20% below
+# the committed quick record. Wall-clock on a shared CI host is noisy, so a
+# red build on a throughput number would train people to ignore red builds;
+# the warning plus the archived trajectory is the actionable signal.
+if baseline=$(git show HEAD:results/BENCH_sweep_quick.json 2>/dev/null); then
+    python3 - "$baseline" <<'PY' || true
+import json, sys
+base = json.loads(sys.argv[1])["simulated_mcycles_per_sec"]
+now = json.load(open("BENCH_sweep.json"))["simulated_mcycles_per_sec"]
+if now < 0.8 * base:
+    print(f"ci: WARNING — quick-sweep throughput {now:.3f} Mcycles/s is "
+          f">20% below committed baseline {base:.3f} (non-blocking)")
+else:
+    print(f"perf smoke: {now:.3f} Mcycles/s vs committed {base:.3f} — ok")
+PY
+else
+    echo "perf smoke: no committed results/BENCH_sweep_quick.json baseline; skipping comparison"
+fi
 mkdir -p results
 mv BENCH_sweep.json results/BENCH_sweep_quick.json
 cat results/BENCH_sweep_quick.json

@@ -94,6 +94,11 @@ pub struct SimRequest<'a> {
     /// [`SimError::CycleLimit`]. The default (20) means "an IPC below 0.05
     /// is a model bug, not a slow workload".
     pub fuel_factor: u64,
+    /// Attach the lockstep architectural checker: every committed µ-op is
+    /// compared against a second emulation of the same workload, and any
+    /// divergence becomes [`SimError::InvariantViolation`]. Costs one extra
+    /// functional execution, so it is off by default.
+    pub checked: bool,
 }
 
 impl<'a> SimRequest<'a> {
@@ -106,6 +111,7 @@ impl<'a> SimRequest<'a> {
             obs: ObsOpts::off(),
             deadline: None,
             fuel_factor: 20,
+            checked: false,
         }
     }
 
@@ -139,6 +145,12 @@ impl<'a> SimRequest<'a> {
         self
     }
 
+    /// Attaches the lockstep checker (see [`SimRequest::checked`]).
+    pub fn checked(mut self) -> SimRequest<'a> {
+        self.checked = true;
+        self
+    }
+
     /// Runs the simulation to completion, reporting abnormal outcomes —
     /// deadlock, blown cycle budget, expired deadline, violated invariant —
     /// as a structured [`SimError`] instead of panicking. This is what the
@@ -151,19 +163,22 @@ impl<'a> SimRequest<'a> {
     /// partial result would silently corrupt the figure it feeds.
     pub fn try_run(self) -> Result<SimRun, SimError> {
         let fuel = self.workload.fuel * self.fuel_factor;
+        let oracle = self.checked.then(|| self.workload.stream());
         match self.trace {
-            Some(t) => try_drive(
-                Pipeline::new(self.cfg, t.replay()),
-                fuel,
-                self.obs,
-                self.deadline,
-            ),
-            None => try_drive(
-                Pipeline::new(self.cfg, self.workload.stream()),
-                fuel,
-                self.obs,
-                self.deadline,
-            ),
+            Some(t) => {
+                let mut pipe = Pipeline::new(self.cfg, t.replay());
+                if let Some(o) = oracle {
+                    pipe.attach_checker(o);
+                }
+                try_drive(pipe, fuel, self.obs, self.deadline)
+            }
+            None => {
+                let mut pipe = Pipeline::new(self.cfg, self.workload.stream());
+                if let Some(o) = oracle {
+                    pipe.attach_checker(o);
+                }
+                try_drive(pipe, fuel, self.obs, self.deadline)
+            }
         }
     }
 

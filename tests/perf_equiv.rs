@@ -1,0 +1,142 @@
+//! Performance-rewrite equivalence suite (DESIGN.md §15).
+//!
+//! The event-driven hot path (indexed µ-op state, bitset wakeup, wakeup
+//! lists, stage skipping) is a pure throughput optimisation: it must not
+//! move a single cycle. This suite pins that claim two ways at once, for
+//! every registered workload under both fusion modes:
+//!
+//! * **Golden timing** — `cycles`, `instructions`, and `uops` must equal
+//!   the values snapshotted from the pre-rewrite scan-based implementation
+//!   (commit 1d23058), so any timing drift introduced by a later hot-path
+//!   change fails loudly with the offending cell named.
+//! * **Lockstep architecture** — every run attaches the oracle checker
+//!   (`SimRequest::checked`), so each committed µ-op is also compared
+//!   against an independent second emulation; a wrong value or a skipped
+//!   commit is an invariant violation, not a silent pass.
+
+use helios::{FusionMode, SimRequest};
+
+/// `(workload, mode, cycles, instructions, uops)` from the pre-rewrite
+/// implementation, full fig10 configuration (Table II core).
+#[rustfmt::skip]
+const GOLDEN: &[(&str, &str, u64, u64, u64)] = &[
+    ("600.perlbench_1", "Helios", 1029911, 237741, 215977),
+    ("600.perlbench_1", "NoFusion", 1030151, 237741, 237741),
+    ("600.perlbench_2", "Helios", 1940307, 499399, 438525),
+    ("600.perlbench_2", "NoFusion", 1940470, 499399, 499399),
+    ("600.perlbench_3", "Helios", 632100, 173567, 162723),
+    ("600.perlbench_3", "NoFusion", 632448, 173567, 173567),
+    ("602.gcc_1", "Helios", 189278, 353839, 308848),
+    ("602.gcc_1", "NoFusion", 194807, 353839, 353839),
+    ("602.gcc_2", "Helios", 130959, 354599, 309618),
+    ("602.gcc_2", "NoFusion", 136339, 354599, 354599),
+    ("602.gcc_3", "Helios", 323178, 426197, 372210),
+    ("602.gcc_3", "NoFusion", 333365, 426197, 426197),
+    ("605.mcf", "Helios", 6159309, 600009, 480093),
+    ("605.mcf", "NoFusion", 6159309, 600009, 600009),
+    ("620.omnetpp", "Helios", 1181220, 1821277, 1530643),
+    ("620.omnetpp", "NoFusion", 1209025, 1821277, 1821277),
+    ("623.xalancbmk", "Helios", 344334, 221167, 196855),
+    ("623.xalancbmk", "NoFusion", 346003, 221167, 221167),
+    ("631.deepsjeng", "Helios", 692720, 1859703, 1859703),
+    ("631.deepsjeng", "NoFusion", 692720, 1859703, 1859703),
+    ("641.leela", "Helios", 551342, 2377207, 2290101),
+    ("641.leela", "NoFusion", 553323, 2377207, 2377207),
+    ("648.exchange2", "Helios", 221421, 867618, 822914),
+    ("648.exchange2", "NoFusion", 235467, 867618, 867618),
+    ("657.xz_1", "Helios", 195302, 320135, 279298),
+    ("657.xz_1", "NoFusion", 225934, 320135, 320135),
+    ("657.xz_2", "Helios", 1142281, 1260354, 1260354),
+    ("657.xz_2", "NoFusion", 1141469, 1260354, 1260354),
+    ("adpcm", "Helios", 326436, 255007, 255007),
+    ("adpcm", "NoFusion", 326436, 255007, 255007),
+    ("basicmath", "Helios", 2326936, 676245, 676245),
+    ("basicmath", "NoFusion", 2326936, 676245, 676245),
+    ("bitcount", "Helios", 258025, 280016, 280016),
+    ("bitcount", "NoFusion", 258025, 280016, 280016),
+    ("blowfish", "Helios", 265515, 605025, 605025),
+    ("blowfish", "NoFusion", 265515, 605025, 605025),
+    ("crc32", "Helios", 163329, 176022, 176022),
+    ("crc32", "NoFusion", 163329, 176022, 176022),
+    ("dijkstra", "Helios", 70655, 77409, 72228),
+    ("dijkstra", "NoFusion", 69987, 77409, 77409),
+    ("fft", "Helios", 36704, 161399, 142967),
+    ("fft", "NoFusion", 39113, 161399, 161399),
+    ("gsm_toast", "Helios", 271029, 423849, 423849),
+    ("gsm_toast", "NoFusion", 271029, 423849, 423849),
+    ("gsm_untoast", "Helios", 528186, 336011, 336011),
+    ("gsm_untoast", "NoFusion", 528186, 336011, 336011),
+    ("jpeg", "Helios", 302452, 352808, 308008),
+    ("jpeg", "NoFusion", 308053, 352808, 352808),
+    ("patricia", "Helios", 1123212, 274572, 261584),
+    ("patricia", "NoFusion", 1123293, 274572, 274572),
+    ("qsort", "Helios", 623524, 296939, 283892),
+    ("qsort", "NoFusion", 619479, 296939, 296939),
+    ("rijndael", "Helios", 238549, 949518, 946824),
+    ("rijndael", "NoFusion", 238549, 949518, 949518),
+    ("rsynth", "Helios", 111351, 402008, 338008),
+    ("rsynth", "NoFusion", 120350, 402008, 402008),
+    ("sha", "Helios", 117922, 373713, 366729),
+    ("sha", "NoFusion", 117606, 373713, 373713),
+    ("stringsearch", "Helios", 156067, 76410, 76410),
+    ("stringsearch", "NoFusion", 156067, 76410, 76410),
+    ("susan", "Helios", 168063, 467874, 463412),
+    ("susan", "NoFusion", 168358, 467874, 467874),
+    ("typeset", "Helios", 300093, 151605, 127624),
+    ("typeset", "NoFusion", 299386, 151605, 151605),
+];
+
+fn mode_of(name: &str) -> FusionMode {
+    match name {
+        "Helios" => FusionMode::Helios,
+        "NoFusion" => FusionMode::NoFusion,
+        other => panic!("unknown mode in golden table: {other}"),
+    }
+}
+
+/// Every workload × {NoFusion, Helios}, lockstep checker attached, timing
+/// bit-equal to the pre-rewrite goldens.
+#[test]
+fn all_workloads_match_pre_rewrite_goldens() {
+    let mut failures = Vec::new();
+    for &(name, mode_name, cycles, instructions, uops) in GOLDEN {
+        let w = helios::workload(name)
+            .unwrap_or_else(|| panic!("workload {name} not registered"));
+        let trace = w.recorded().expect("workload halts within fuel");
+        let run = SimRequest::mode(&w, mode_of(mode_name))
+            .replaying(&trace)
+            .checked()
+            .run();
+        let got = (run.stats.cycles, run.stats.instructions, run.stats.uops);
+        if got != (cycles, instructions, uops) {
+            failures.push(format!(
+                "{name}/{mode_name}: got cycles {} instructions {} uops {}, \
+                 golden cycles {cycles} instructions {instructions} uops {uops}",
+                got.0, got.1, got.2
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "timing diverged from pre-rewrite goldens in {} cell(s):\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+/// The golden table covers the whole registry — a newly added workload must
+/// be snapshotted here too, or this trips.
+#[test]
+fn golden_table_covers_every_workload() {
+    let all = helios::all_workloads();
+    assert_eq!(GOLDEN.len(), all.len() * 2);
+    for w in &all {
+        for mode in ["NoFusion", "Helios"] {
+            assert!(
+                GOLDEN.iter().any(|&(n, m, ..)| n == w.name && m == mode),
+                "no golden row for {}/{mode}",
+                w.name
+            );
+        }
+    }
+}
