@@ -16,7 +16,9 @@
 //!   (see `helios::CellChaos::parse`);
 //! * `HELIOS_SWEEP_STOP_AFTER` — stop claiming cells after N simulations
 //!   (a deterministic stand-in for `kill -9` in resume tests);
-//! * `HELIOS_TRACE_DIR` — integrity-checked on-disk trace cache directory;
+//! * `HELIOS_TRACE_DIR` — content-addressed [`helios::TraceStore`]
+//!   directory: traces are recorded once ever, verified on every open, and
+//!   replayed block-at-a-time by sweep cells;
 //! * `HELIOS_BENCH_STABLE` — zero wall-clock-derived fields in
 //!   `BENCH_sweep.json` so CI can diff it across runs.
 
@@ -227,7 +229,12 @@ pub fn sweep_options(id: &str, opts: &SweepOpts) -> SweepOptions {
         }),
         chaos,
         stop_after,
-        trace_dir: std::env::var_os("HELIOS_TRACE_DIR").map(std::path::PathBuf::from),
+        trace_store: std::env::var_os("HELIOS_TRACE_DIR").map(|dir| {
+            helios::TraceStore::open(&dir).unwrap_or_else(|e| {
+                eprintln!("error: HELIOS_TRACE_DIR {}: {e}", dir.to_string_lossy());
+                std::process::exit(helios::exit::USAGE);
+            })
+        }),
         handle_interrupt: true,
     }
 }

@@ -19,12 +19,19 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod codec;
 mod cpu;
 mod mem;
 mod record;
+mod store;
 mod trace;
 
+pub use codec::{BlockReplay, Htrc2Header, DEFAULT_BLOCK_UOPS};
 pub use cpu::{Cpu, EmuError, RetireStream};
 pub use mem::Memory;
 pub use record::{RecordedTrace, TraceIoError, TraceReplay, TraceStamp};
+pub use store::{
+    DiskTrace, GcReport, Replay, StoreEntry, StoreError, StoreStats, Trace, TraceStore,
+    VerifyReport,
+};
 pub use trace::{MemAccess, Retired, UopSource};

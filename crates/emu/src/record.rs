@@ -23,11 +23,12 @@ use std::sync::Arc;
 ///
 /// Cloning is cheap (two `Arc` bumps); [`RecordedTrace::replay`] hands out
 /// any number of independent iterators over the same buffer, each usable as
-/// a pipeline [`UopSource`](crate::UopSource). The recording owns
-/// `size_of::<Retired>()` (~90) bytes per dynamic µ-op — tens of MiB for a
-/// ~1 M µ-op kernel — so sweep drivers should record on demand and drop each
-/// trace once its last consumer finishes rather than holding a whole suite's
-/// recordings alive at once.
+/// a pipeline [`UopSource`](crate::UopSource). The *in-memory* recording
+/// owns `size_of::<Retired>()` (~90) bytes per dynamic µ-op — tens of MiB
+/// for a ~1 M µ-op kernel — which is why the on-disk HTRC2 format
+/// ([`crate::codec`]) stores ~1–2 bytes per µ-op and sweep cells replay
+/// block-at-a-time via [`crate::BlockReplay`] instead of materializing one
+/// of these per job.
 #[derive(Clone, Debug)]
 pub struct RecordedTrace {
     uops: Arc<[Retired]>,
@@ -37,12 +38,29 @@ pub struct RecordedTrace {
 impl RecordedTrace {
     /// Executes `program` to completion and records every retired µ-op.
     ///
+    /// Deprecated: record through [`TraceStore::get_or_record`] (shared,
+    /// on-disk, content-addressed) or [`Trace::record`] (in-memory) instead;
+    /// this wrapper is kept for exactly one release.
+    ///
+    /// [`TraceStore::get_or_record`]: crate::TraceStore::get_or_record
+    /// [`Trace::record`]: crate::Trace::record
+    ///
+    /// # Errors
+    ///
+    /// See [`Trace::record`](crate::Trace::record).
+    #[deprecated(note = "use TraceStore::get_or_record or Trace::record")]
+    pub fn record(program: Program, fuel: u64) -> Result<RecordedTrace, EmuError> {
+        RecordedTrace::capture(program, fuel)
+    }
+
+    /// Executes `program` to completion and records every retired µ-op.
+    ///
     /// # Errors
     ///
     /// Propagates fetch faults, and returns [`EmuError::OutOfFuel`] if the
     /// program does not halt within `fuel` µ-ops — a starved recording is an
     /// error, never a truncated trace.
-    pub fn record(program: Program, fuel: u64) -> Result<RecordedTrace, EmuError> {
+    pub(crate) fn capture(program: Program, fuel: u64) -> Result<RecordedTrace, EmuError> {
         let mut cpu = Cpu::new(program);
         let mut uops = Vec::new();
         while !cpu.halted() {
@@ -95,49 +113,31 @@ impl RecordedTrace {
     /// the current [`ISA_VERSION`] plus an FNV-1a checksum over the full
     /// semantic content (every µ-op field and every output word).
     pub fn stamp(&self) -> TraceStamp {
-        let mut h = Fnv::new();
-        h.u64(self.uops.len() as u64);
-        for r in self.uops.iter() {
-            h.u64(r.seq);
-            h.u64(r.pc);
-            h.u32(helios_isa::encode(&r.inst));
-            h.u64(r.next_pc);
-            match r.mem {
-                None => h.u8(0),
-                Some(m) => {
-                    h.u8(if m.is_store { 2 } else { 1 });
-                    h.u64(m.addr);
-                    h.u8(m.size);
-                }
-            }
-            match r.rd_value {
-                None => h.u8(0),
-                Some(v) => {
-                    h.u8(1);
-                    h.u64(v);
-                }
-            }
-        }
-        h.u64(self.output.len() as u64);
-        for &o in self.output.iter() {
-            h.u64(o);
-        }
-        TraceStamp {
-            isa_version: ISA_VERSION,
-            checksum: h.finish(),
-        }
+        content_stamp(&self.uops, &self.output)
     }
 
-    /// Serializes the recording to `w` in the `HTRC` binary format: a header
-    /// carrying a magic, the format version, the [`TraceStamp`] (ISA version
-    /// and content checksum) and element counts, followed by the µ-ops and
-    /// the output words. [`RecordedTrace::load`] refuses anything whose
-    /// stamp does not verify, so a cached trace can never silently go stale.
+    /// Serializes the recording in the raw HTRC v1 layout.
+    ///
+    /// Deprecated: new files should be written through
+    /// [`TraceStore`](crate::TraceStore), which uses the ~30× denser HTRC2
+    /// encoding; kept for exactly one release.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors from `w`.
+    #[deprecated(note = "write traces through TraceStore (HTRC2) instead")]
     pub fn save<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        self.save_v1(w)
+    }
+
+    /// Serializes the recording to `w` in the `HTRC` v1 binary format: a
+    /// header carrying a magic, the format version, the [`TraceStamp`] (ISA
+    /// version and content checksum) and element counts, followed by the
+    /// µ-ops and the output words — 47 bytes per µ-op, raw. `load_v1`
+    /// refuses anything whose stamp does not verify, so a cached trace can
+    /// never silently go stale. Kept (internally) so stores can read and
+    /// migrate pre-HTRC2 corpora; all new files are HTRC2.
+    pub(crate) fn save_v1<W: Write>(&self, w: &mut W) -> io::Result<()> {
         let stamp = self.stamp();
         w.write_all(TRACE_MAGIC)?;
         w.write_all(&TRACE_FORMAT_VERSION.to_le_bytes())?;
@@ -172,18 +172,40 @@ impl RecordedTrace {
         Ok(())
     }
 
-    /// [`RecordedTrace::save`] to a file at `path` (created or truncated).
+    /// Writes the raw v1 layout to a file at `path`.
+    ///
+    /// Deprecated: see [`RecordedTrace::save`]; kept for exactly one
+    /// release.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors.
+    #[deprecated(note = "write traces through TraceStore (HTRC2) instead")]
     pub fn save_file(&self, path: &Path) -> io::Result<()> {
+        self.save_v1_file(path)
+    }
+
+    pub(crate) fn save_v1_file(&self, path: &Path) -> io::Result<()> {
         let mut f = io::BufWriter::new(std::fs::File::create(path)?);
-        self.save(&mut f)?;
+        self.save_v1(&mut f)?;
         f.flush()
     }
 
-    /// Deserializes a recording previously written by [`RecordedTrace::save`],
+    /// Deserializes a raw v1 recording.
+    ///
+    /// Deprecated: open files through [`TraceStore`](crate::TraceStore),
+    /// which reads v1 transparently (and migrates it to HTRC2); kept for
+    /// exactly one release.
+    ///
+    /// # Errors
+    ///
+    /// See [`TraceIoError`].
+    #[deprecated(note = "read traces through TraceStore instead")]
+    pub fn load<R: Read>(r: &mut R) -> Result<RecordedTrace, TraceIoError> {
+        RecordedTrace::load_v1(r)
+    }
+
+    /// Deserializes a recording previously written in the v1 layout,
     /// verifying the header and the integrity stamp.
     ///
     /// # Errors
@@ -195,8 +217,8 @@ impl RecordedTrace {
     /// bit rot or torn writes ([`TraceIoError::ChecksumMismatch`],
     /// [`TraceIoError::Truncated`]), an undecodable instruction word
     /// ([`TraceIoError::Decode`]), or a plain I/O failure. Callers treat all
-    /// of them the same way: discard the cache and re-record.
-    pub fn load<R: Read>(r: &mut R) -> Result<RecordedTrace, TraceIoError> {
+    /// of them the same way: discard the cached file and re-record.
+    pub(crate) fn load_v1<R: Read>(r: &mut R) -> Result<RecordedTrace, TraceIoError> {
         let mut magic = [0u8; 4];
         read_exact(r, &mut magic)?;
         if &magic != TRACE_MAGIC {
@@ -286,15 +308,23 @@ impl RecordedTrace {
         Ok(trace)
     }
 
-    /// [`RecordedTrace::load`] from the file at `path`.
+    /// Reads a raw v1 file at `path`.
+    ///
+    /// Deprecated: see [`RecordedTrace::load`]; kept for exactly one
+    /// release.
     ///
     /// # Errors
     ///
-    /// See [`RecordedTrace::load`]; a missing or unreadable file surfaces as
+    /// See [`TraceIoError`]; a missing or unreadable file surfaces as
     /// [`TraceIoError::Io`].
+    #[deprecated(note = "read traces through TraceStore instead")]
     pub fn load_file(path: &Path) -> Result<RecordedTrace, TraceIoError> {
+        RecordedTrace::load_v1_file(path)
+    }
+
+    pub(crate) fn load_v1_file(path: &Path) -> Result<RecordedTrace, TraceIoError> {
         let mut f = io::BufReader::new(std::fs::File::open(path)?);
-        let trace = RecordedTrace::load(&mut f)?;
+        let trace = RecordedTrace::load_v1(&mut f)?;
         // Trailing garbage means the file is not what `save` wrote.
         let mut probe = [0u8; 1];
         match f.read(&mut probe) {
@@ -305,12 +335,49 @@ impl RecordedTrace {
     }
 }
 
-/// Magic bytes opening every serialized trace ("Helios TRaCe").
-const TRACE_MAGIC: &[u8; 4] = b"HTRC";
+/// Magic bytes opening every serialized trace, v1 or v2 ("Helios TRaCe").
+pub(crate) const TRACE_MAGIC: &[u8; 4] = b"HTRC";
 
-/// Bumped whenever the byte layout below changes; older files are rejected
-/// (and re-recorded) rather than misread.
+/// The raw v1 layout this module reads and migrates; new files are written
+/// by [`crate::codec`] at [`crate::codec::V2_FORMAT_VERSION`].
 const TRACE_FORMAT_VERSION: u16 = 1;
+
+/// The semantic content hash carried by every serialized trace, v1 and v2
+/// alike: FNV-1a over every µ-op field and every output word, so a
+/// re-encoded trace keeps its identity across formats.
+pub(crate) fn content_stamp(uops: &[Retired], output: &[u64]) -> TraceStamp {
+    let mut h = Fnv::new();
+    h.u64(uops.len() as u64);
+    for r in uops {
+        h.u64(r.seq);
+        h.u64(r.pc);
+        h.u32(helios_isa::encode(&r.inst));
+        h.u64(r.next_pc);
+        match r.mem {
+            None => h.u8(0),
+            Some(m) => {
+                h.u8(if m.is_store { 2 } else { 1 });
+                h.u64(m.addr);
+                h.u8(m.size);
+            }
+        }
+        match r.rd_value {
+            None => h.u8(0),
+            Some(v) => {
+                h.u8(1);
+                h.u64(v);
+            }
+        }
+    }
+    h.u64(output.len() as u64);
+    for &o in output {
+        h.u64(o);
+    }
+    TraceStamp {
+        isa_version: ISA_VERSION,
+        checksum: h.finish(),
+    }
+}
 
 /// Integrity stamp carried by a serialized [`RecordedTrace`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -339,6 +406,12 @@ pub enum TraceIoError {
     Truncated,
     /// An instruction word failed to decode.
     Decode { seq: u64, detail: String },
+    /// The µ-op sequence violates the derivation invariants the compact
+    /// HTRC2 encoding relies on (dense `seq`, pc chaining, memory shape and
+    /// destination values matching ISA semantics). Every emulator-produced
+    /// trace encodes; a hand-built or tampered one is rejected rather than
+    /// mis-encoded.
+    Unencodable { seq: u64, detail: String },
     /// An underlying I/O failure.
     Io(String),
 }
@@ -362,6 +435,9 @@ impl fmt::Display for TraceIoError {
             TraceIoError::Decode { seq, detail } => {
                 write!(f, "undecodable instruction at seq {seq}: {detail}")
             }
+            TraceIoError::Unencodable { seq, detail } => {
+                write!(f, "trace not encodable at seq {seq}: {detail}")
+            }
             TraceIoError::Io(e) => write!(f, "trace i/o error: {e}"),
         }
     }
@@ -380,31 +456,32 @@ impl From<io::Error> for TraceIoError {
 }
 
 /// FNV-1a, field-delimited by construction (every variable-length run is
-/// preceded by its length).
-struct Fnv(u64);
+/// preceded by its length). Shared by the v1 stamp, the v2 block framing,
+/// and the store's content addressing.
+pub(crate) struct Fnv(u64);
 
 impl Fnv {
-    fn new() -> Fnv {
+    pub(crate) fn new() -> Fnv {
         Fnv(0xcbf2_9ce4_8422_2325)
     }
     #[inline]
-    fn u8(&mut self, b: u8) {
+    pub(crate) fn u8(&mut self, b: u8) {
         self.0 ^= b as u64;
         self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
     }
     #[inline]
-    fn u32(&mut self, v: u32) {
+    pub(crate) fn u32(&mut self, v: u32) {
         for b in v.to_le_bytes() {
             self.u8(b);
         }
     }
     #[inline]
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn u64(&mut self, v: u64) {
         for b in v.to_le_bytes() {
             self.u8(b);
         }
     }
-    fn finish(self) -> u64 {
+    pub(crate) fn finish(self) -> u64 {
         self.0
     }
 }
@@ -455,7 +532,7 @@ mod tests {
     #[test]
     fn recording_matches_live_stream() {
         let prog = parse_asm(LOOP).unwrap();
-        let rec = RecordedTrace::record(prog.clone(), 1000).unwrap();
+        let rec = RecordedTrace::capture(prog.clone(), 1000).unwrap();
         let live: Vec<_> = RetireStream::new(prog, 1000).collect();
         assert_eq!(rec.uops(), live.as_slice());
     }
@@ -463,7 +540,7 @@ mod tests {
     #[test]
     fn replays_are_independent() {
         let prog = parse_asm(LOOP).unwrap();
-        let rec = RecordedTrace::record(prog, 1000).unwrap();
+        let rec = RecordedTrace::capture(prog, 1000).unwrap();
         let mut a = rec.replay();
         let b = rec.replay();
         a.next();
@@ -475,14 +552,14 @@ mod tests {
     #[test]
     fn starved_fuel_fails_loudly() {
         let prog = parse_asm("top: j top").unwrap();
-        let err = RecordedTrace::record(prog, 100).unwrap_err();
+        let err = RecordedTrace::capture(prog, 100).unwrap_err();
         assert!(matches!(err, EmuError::OutOfFuel { .. }));
     }
 
     #[test]
     fn output_is_captured() {
         let prog = parse_asm("li a0, 42\nli a7, 64\necall\nebreak").unwrap();
-        let rec = RecordedTrace::record(prog, 100).unwrap();
+        let rec = RecordedTrace::capture(prog, 100).unwrap();
         assert_eq!(rec.output(), &[42]);
     }
 
@@ -501,10 +578,10 @@ mod tests {
     #[test]
     fn save_load_round_trips() {
         let prog = parse_asm(RICH).unwrap();
-        let rec = RecordedTrace::record(prog, 1000).unwrap();
+        let rec = RecordedTrace::capture(prog, 1000).unwrap();
         let mut buf = Vec::new();
-        rec.save(&mut buf).unwrap();
-        let back = RecordedTrace::load(&mut buf.as_slice()).unwrap();
+        rec.save_v1(&mut buf).unwrap();
+        let back = RecordedTrace::load_v1(&mut buf.as_slice()).unwrap();
         assert_eq!(back.uops(), rec.uops());
         assert_eq!(back.output(), rec.output());
         assert_eq!(back.stamp(), rec.stamp());
@@ -513,16 +590,16 @@ mod tests {
     #[test]
     fn any_flipped_byte_is_detected() {
         let prog = parse_asm(RICH).unwrap();
-        let rec = RecordedTrace::record(prog, 1000).unwrap();
+        let rec = RecordedTrace::capture(prog, 1000).unwrap();
         let mut clean = Vec::new();
-        rec.save(&mut clean).unwrap();
+        rec.save_v1(&mut clean).unwrap();
         // Flip one byte at a spread of offsets covering header, µ-ops, and
         // outputs; every corruption must be rejected, never silently loaded.
         for off in (0..clean.len()).step_by(7) {
             let mut bad = clean.clone();
             bad[off] ^= 0x40;
             assert!(
-                RecordedTrace::load(&mut bad.as_slice()).is_err(),
+                RecordedTrace::load_v1(&mut bad.as_slice()).is_err(),
                 "flip at byte {off} loaded successfully"
             );
         }
@@ -531,41 +608,41 @@ mod tests {
     #[test]
     fn header_mismatches_are_distinguished() {
         let prog = parse_asm(LOOP).unwrap();
-        let rec = RecordedTrace::record(prog, 1000).unwrap();
+        let rec = RecordedTrace::capture(prog, 1000).unwrap();
         let mut clean = Vec::new();
-        rec.save(&mut clean).unwrap();
+        rec.save_v1(&mut clean).unwrap();
 
         let mut bad = clean.clone();
         bad[0] = b'X';
         assert!(matches!(
-            RecordedTrace::load(&mut bad.as_slice()),
+            RecordedTrace::load_v1(&mut bad.as_slice()),
             Err(TraceIoError::BadMagic(_))
         ));
 
         let mut bad = clean.clone();
         bad[4] = 0xEE; // format version (u16 LE at offset 4)
         assert!(matches!(
-            RecordedTrace::load(&mut bad.as_slice()),
+            RecordedTrace::load_v1(&mut bad.as_slice()),
             Err(TraceIoError::FormatVersion { .. })
         ));
 
         let mut bad = clean.clone();
         bad[6] ^= 0x01; // ISA version (u32 LE at offset 6)
         assert!(matches!(
-            RecordedTrace::load(&mut bad.as_slice()),
+            RecordedTrace::load_v1(&mut bad.as_slice()),
             Err(TraceIoError::StaleIsa { .. })
         ));
 
         let mut bad = clean.clone();
         bad[10] ^= 0x01; // checksum (u64 LE at offset 10)
         assert!(matches!(
-            RecordedTrace::load(&mut bad.as_slice()),
+            RecordedTrace::load_v1(&mut bad.as_slice()),
             Err(TraceIoError::ChecksumMismatch { .. })
         ));
 
         let short = &clean[..clean.len() - 3];
         assert!(matches!(
-            RecordedTrace::load(&mut &short[..]),
+            RecordedTrace::load_v1(&mut &short[..]),
             Err(TraceIoError::Truncated)
         ));
     }
@@ -576,20 +653,20 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("t.htrc");
         let prog = parse_asm(LOOP).unwrap();
-        let rec = RecordedTrace::record(prog, 1000).unwrap();
-        rec.save_file(&path).unwrap();
-        let back = RecordedTrace::load_file(&path).unwrap();
+        let rec = RecordedTrace::capture(prog, 1000).unwrap();
+        rec.save_v1_file(&path).unwrap();
+        let back = RecordedTrace::load_v1_file(&path).unwrap();
         assert_eq!(back.uops(), rec.uops());
         // Appended bytes mean the file is not what `save` wrote.
         let mut raw = std::fs::read(&path).unwrap();
         raw.push(0);
         std::fs::write(&path, &raw).unwrap();
         assert!(matches!(
-            RecordedTrace::load_file(&path),
+            RecordedTrace::load_v1_file(&path),
             Err(TraceIoError::Truncated)
         ));
         assert!(matches!(
-            RecordedTrace::load_file(&dir.join("missing.htrc")),
+            RecordedTrace::load_v1_file(&dir.join("missing.htrc")),
             Err(TraceIoError::Io(_))
         ));
         std::fs::remove_dir_all(&dir).ok();

@@ -25,7 +25,7 @@ mod kernels;
 
 pub use kernels::{all_workloads, workload};
 
-use helios_emu::{Cpu, EmuError, RecordedTrace, RetireStream};
+use helios_emu::{Cpu, EmuError, RecordedTrace, RetireStream, StoreError, Trace, TraceStore};
 use helios_isa::{Asm, Program, Reg};
 
 /// Which of the paper's suites a workload mirrors.
@@ -59,14 +59,44 @@ impl Workload {
     }
 
     /// Records the kernel's retired-µ-op trace once, for replay under any
-    /// number of pipeline configurations (`trace.replay()` per run).
+    /// number of pipeline configurations.
+    ///
+    /// Deprecated: use [`Workload::trace`] (in-memory [`Trace`]) or
+    /// [`Workload::stored`] (shared on-disk corpus) instead; kept for
+    /// exactly one release.
+    ///
+    /// # Errors
+    ///
+    /// See [`Workload::trace`].
+    #[deprecated(note = "use Workload::trace or Workload::stored")]
+    pub fn recorded(&self) -> Result<RecordedTrace, EmuError> {
+        #[allow(deprecated)]
+        RecordedTrace::record(self.program.clone(), self.fuel)
+    }
+
+    /// Records the kernel's retired-µ-op trace in memory, for replay under
+    /// any number of pipeline configurations (`trace.replay()` per run).
+    /// Sweeps that run a workload more than once per *process lifetime*
+    /// should prefer [`Workload::stored`], which persists the recording in
+    /// a content-addressed [`TraceStore`].
     ///
     /// # Errors
     ///
     /// Propagates emulation faults; a kernel that fails to halt within its
     /// `fuel` budget is an error, never a silently truncated trace.
-    pub fn recorded(&self) -> Result<RecordedTrace, EmuError> {
-        RecordedTrace::record(self.program.clone(), self.fuel)
+    pub fn trace(&self) -> Result<Trace, EmuError> {
+        Trace::record(self.program.clone(), self.fuel)
+    }
+
+    /// The kernel's trace from `store`, recorded on first demand and a pure
+    /// (verified) disk hit ever after — across threads, processes, and
+    /// sweeps.
+    ///
+    /// # Errors
+    ///
+    /// See [`TraceStore::get_or_record`].
+    pub fn stored(&self, store: &TraceStore) -> Result<Trace, StoreError> {
+        store.get_or_record(self.name, &self.program, self.fuel)
     }
 
     /// Runs the kernel functionally and checks its checksums against the

@@ -135,8 +135,83 @@ echo "resume smoke: interrupted at 17/48, resumed byte-identically"
 echo "==> resilience smoke: sweep-executor chaos soak"
 cargo run --release -q -p helios-bench --bin soak -- --sweep-chaos --quick --jobs 2
 
+echo "==> trace store smoke: cold vs warm vs live fig10 --quick"
+# A sweep through a cold store must record every workload; the same sweep
+# against the warm store must record nothing (pure hits, traces streamed
+# from disk) and produce byte-identical stdout; and both must match the
+# store-less (live in-memory) reference captured above.
+tstore="$scratch/traces"
+rm -rf "$tstore"
+export HELIOS_BENCH_STABLE=1
+HELIOS_TRACE_DIR="$tstore" "${fig10[@]}" > "$scratch/cold.out" 2> "$scratch/cold.err"
+HELIOS_TRACE_DIR="$tstore" "${fig10[@]}" > "$scratch/warm.out" 2> "$scratch/warm.err"
+unset HELIOS_BENCH_STABLE
+rm -f BENCH_sweep.json
+grep -q "trace store: 0 recorded" "$scratch/warm.err" || {
+    echo "ci: FAIL — warm trace store still recorded (want pure hits):" >&2
+    grep "trace store:" "$scratch/warm.err" >&2 || true
+    exit 1
+}
+cmp "$scratch/cold.out" "$scratch/warm.out" || {
+    echo "ci: FAIL — warm-store fig10 stdout differs from cold-store run" >&2
+    exit 1
+}
+cmp "$scratch/ref.out" "$scratch/cold.out" || {
+    echo "ci: FAIL — store-backed fig10 stdout differs from live (store-less) run" >&2
+    exit 1
+}
+echo "trace store: cold/warm/live stdout byte-identical, warm run recorded nothing"
+
+echo "==> trace store smoke: bit-flip detection"
+trace=(cargo run --release -q -p helios-bench --bin trace --)
+entry=$(ls "$tstore"/*.htrc2 | head -1)
+python3 - "$entry" <<'PY'
+import sys
+p = sys.argv[1]
+b = bytearray(open(p, "rb").read())
+b[len(b) // 2] ^= 0x40
+open(p, "wb").write(b)
+PY
+set +e
+"${trace[@]}" verify --store "$tstore" > "$scratch/verify.out"
+verify_rc=$?
+set -e
+if [ "$verify_rc" -eq 0 ]; then
+    echo "ci: FAIL — trace verify missed a deliberately flipped block" >&2
+    exit 1
+fi
+grep -q "BAD" "$scratch/verify.out" || {
+    echo "ci: FAIL — trace verify exited non-zero but named no bad file" >&2
+    exit 1
+}
+echo "trace verify: flipped block detected (exit $verify_rc)"
+
+# Size smoke: warn — never fail — when the quick corpus regresses >10% in
+# bytes/µ-op against the committed full-corpus record (same rationale as
+# the throughput warning above: a red build on a size number trains people
+# to ignore red builds; the committed BENCH_trace.json is the trajectory).
+"${trace[@]}" gc --store "$tstore" > /dev/null
+"${trace[@]}" record --store "$tstore" > /dev/null 2> /dev/null
+if [ -f results/BENCH_trace.json ]; then
+    "${trace[@]}" info --store "$tstore" --json > "$scratch/trace_info.json"
+    python3 - "$scratch/trace_info.json" <<'PY' || true
+import json, sys
+base = json.load(open("results/BENCH_trace.json"))["bytes_per_uop"]
+info = json.load(open(sys.argv[1]))
+row = dict(info["rows"])
+now = float(row["bytes/µ-op"])
+if now > 1.10 * base:
+    print(f"ci: WARNING — trace corpus {now:.3f} B/µ-op is >10% above the "
+          f"committed {base:.3f} (non-blocking)")
+else:
+    print(f"size smoke: {now:.3f} B/µ-op vs committed {base:.3f} — ok")
+PY
+else
+    echo "size smoke: no committed results/BENCH_trace.json baseline; skipping comparison"
+fi
+
 echo "==> Konata trace smoke"
-cargo run --release -q -p helios-bench --bin trace -- crc32 --konata "$scratch/crc32.kanata" --limit 20000
+"${trace[@]}" dump crc32 --konata "$scratch/crc32.kanata" --limit 20000
 head -c 7 "$scratch/crc32.kanata" | grep -q "Kanata" || {
     echo "ci: FAIL — Konata trace missing header" >&2
     exit 1

@@ -6,8 +6,11 @@
 //! without changing any result:
 //!
 //! * **Record once, replay many** — each workload's functional execution is
-//!   recorded once into a shared [`RecordedTrace`]; all fusion modes replay
-//!   the same buffer instead of re-running the emulator per cell.
+//!   recorded once into a shared [`Trace`]; all fusion modes replay the
+//!   same recording instead of re-running the emulator per cell. With a
+//!   [`TraceStore`] attached the recording is *persistent* and
+//!   content-addressed: later sweeps (and concurrent processes) replay it
+//!   block-at-a-time straight off disk without recording anything.
 //! * **Parallel cells** — (workload × mode) cells are independent
 //!   simulations, executed by a `std::thread::scope` worker pool. Results
 //!   are stored by cell index, so the sweep order is workload-major and
@@ -29,7 +32,7 @@
 //!   byte-identical to an uninterrupted run.
 
 use helios_core::FusionMode;
-use helios_emu::{RecordedTrace, UopSource};
+use helios_emu::{StoreStats, Trace, TraceStore, UopSource};
 use helios_uarch::{
     CellChaos, CellFault, ObsOpts, Observer, PipeConfig, Pipeline, SimError, SimStats,
     StatsRegistry,
@@ -77,10 +80,10 @@ pub struct SimRequest<'a> {
     pub workload: &'a Workload,
     /// The pipeline configuration (fusion mode, structure sizes, …).
     pub cfg: PipeConfig,
-    /// Replay this recorded trace instead of re-emulating the program live.
-    /// Statistics are identical either way — the pipeline consumes the same
-    /// retired-µ-op sequence.
-    pub trace: Option<&'a RecordedTrace>,
+    /// Replay this trace (in-memory or streamed from a [`TraceStore`] file)
+    /// instead of re-emulating the program live. Statistics are identical
+    /// either way — the pipeline consumes the same retired-µ-op sequence.
+    pub trace: Option<&'a Trace>,
     /// Observability: [`ObsOpts::off`] (default, zero-cost),
     /// [`ObsOpts::metrics`], or [`ObsOpts::timeline`].
     pub obs: ObsOpts,
@@ -121,8 +124,9 @@ impl<'a> SimRequest<'a> {
     }
 
     /// Replays `trace` instead of re-emulating. For repeated runs of one
-    /// workload prefer [`Workload::recorded`] + this, which share a buffer.
-    pub fn replaying(mut self, trace: &'a RecordedTrace) -> SimRequest<'a> {
+    /// workload prefer [`Workload::trace`] / [`Workload::stored`] + this,
+    /// which share one recording across runs.
+    pub fn replaying(mut self, trace: &'a Trace) -> SimRequest<'a> {
         self.trace = Some(trace);
         self
     }
@@ -341,9 +345,11 @@ pub struct SweepOptions {
     /// deterministic stand-in for `kill -9` in checkpoint/resume tests.
     /// The sweep reports itself interrupted, exactly as for SIGINT.
     pub stop_after: Option<usize>,
-    /// Directory for integrity-checked on-disk trace caching (`None`
-    /// disables; corrupt or stale cached traces are re-recorded).
-    pub trace_dir: Option<PathBuf>,
+    /// Content-addressed persistent trace corpus (`None` keeps recordings
+    /// in memory for this sweep only). Corrupt or stale entries are
+    /// quarantined and re-recorded; cells replay entries block-at-a-time
+    /// off disk, so peak memory stays O(jobs × block).
+    pub trace_store: Option<TraceStore>,
     /// Install the SIGINT handler so ^C stops cell claiming (the journal is
     /// already durable) instead of killing the process mid-write.
     pub handle_interrupt: bool,
@@ -658,17 +664,17 @@ impl Journal {
 
 // --- Trace cache ---------------------------------------------------------
 
-/// Per-workload trace cache for one sweep. A workload's trace is recorded by
-/// the first worker that needs it, shared (`Arc` internals) by every
-/// concurrent cell of that workload, and dropped as soon as its last cell
-/// completes — so peak memory is O(jobs) traces, not O(workloads), while
-/// each workload is still emulated exactly once. Recording *errors* are
-/// cached too, so a starved workload fails each of its cells fast instead of
-/// re-recording per cell. With a cache directory, traces round-trip through
-/// integrity-checked files (`<name>.htrc`); a corrupt or stale file is
-/// re-recorded, never trusted.
+/// Per-workload trace handles for one sweep. A workload's trace is obtained
+/// by the first worker that needs it, shared by every concurrent cell of
+/// that workload, and dropped as soon as its last cell completes. Without a
+/// store the trace is an in-memory recording (peak memory O(jobs) whole
+/// traces); with a [`TraceStore`] the handle is a verified *file* and every
+/// cell streams it block-at-a-time, so peak memory drops to O(jobs × block)
+/// and nothing is ever recorded twice — within this sweep or across sweeps.
+/// Recording *errors* are cached too, so a starved workload fails each of
+/// its cells fast instead of re-recording per cell.
 struct TraceCache {
-    slots: Vec<Mutex<Option<Result<RecordedTrace, String>>>>,
+    slots: Vec<Mutex<Option<Result<Trace, String>>>>,
     /// Cells still outstanding per workload; reaching zero frees the slot.
     remaining: Vec<AtomicUsize>,
 }
@@ -681,41 +687,23 @@ impl TraceCache {
         }
     }
 
-    /// The trace for workload `wi`, recording (or loading from `dir`) on
+    /// The trace for workload `wi`, recording (or fetching from `store`) on
     /// first demand. Concurrent requests for the same workload wait on its
     /// slot rather than double-recording.
-    fn get(&self, wi: usize, w: &Workload, dir: Option<&Path>) -> Result<RecordedTrace, String> {
+    fn get(&self, wi: usize, w: &Workload, store: Option<&TraceStore>) -> Result<Trace, String> {
         let mut slot = self.slots[wi].lock().unwrap();
         if let Some(r) = &*slot {
             return r.clone();
         }
-        let r = Self::obtain(w, dir);
+        // Recording errors keep their historical `recording <name>: …`
+        // message shape; run_sweep_jobs's panic path matches on it.
+        let r = match store {
+            Some(s) => w.stored(s),
+            None => w.trace().map_err(helios_emu::StoreError::Record),
+        }
+        .map_err(|e| format!("recording {}: {e}", w.name));
         *slot = Some(r.clone());
         r
-    }
-
-    fn obtain(w: &Workload, dir: Option<&Path>) -> Result<RecordedTrace, String> {
-        let cached = dir.map(|d| d.join(format!("{}.htrc", w.name)));
-        if let Some(p) = &cached {
-            if p.exists() {
-                match RecordedTrace::load_file(p) {
-                    Ok(t) => return Ok(t),
-                    Err(e) => eprintln!(
-                        "\rwarning: cached trace {}: {e}; re-recording",
-                        p.display()
-                    ),
-                }
-            }
-        }
-        let t = w
-            .recorded()
-            .map_err(|e| format!("recording {}: {e}", w.name))?;
-        if let Some(p) = &cached {
-            if let Err(e) = t.save_file(p) {
-                eprintln!("\rwarning: could not cache trace {}: {e}", p.display());
-            }
-        }
-        Ok(t)
     }
 
     /// Marks one of workload `wi`'s cells finished, freeing the recording
@@ -780,9 +768,9 @@ pub fn run_sweep_jobs(workloads: &[Workload], modes: &[FusionMode], jobs: usize)
 ///
 /// # Errors
 ///
-/// Only on checkpoint/trace-cache I/O setup (unreadable journal directory,
-/// uncreatable cache directory). Cell-level problems never surface here —
-/// they are quarantined per cell.
+/// Only on checkpoint I/O setup (unreadable journal directory). Cell-level
+/// problems — including trace-store corruption, which is quarantined and
+/// re-recorded — never surface here; they are handled per cell.
 pub fn run_sweep_opts(
     workloads: &[Workload],
     modes: &[FusionMode],
@@ -832,9 +820,7 @@ pub fn run_sweep_opts(
         }
         None => None,
     };
-    if let Some(dir) = &opts.trace_dir {
-        std::fs::create_dir_all(dir)?;
-    }
+    let store_before: Option<StoreStats> = opts.trace_store.as_ref().map(TraceStore::stats);
 
     let reporter = Progress::new(total);
     let traces = TraceCache::new(workloads.len(), modes.len());
@@ -888,6 +874,15 @@ pub fn run_sweep_opts(
     } else {
         reporter.finish("sweep");
     }
+    if let (Some(store), Some(before)) = (&opts.trace_store, &store_before) {
+        // One grep-stable line per sweep; CI asserts "0 recorded" on a
+        // warm store.
+        let d = store.stats().since(before);
+        eprintln!(
+            "trace store: {} recorded, {} hits, {} migrated, {} quarantined",
+            d.recorded, d.hits, d.migrated, d.quarantined
+        );
+    }
 
     let mut results = Vec::new();
     let mut failures = Vec::new();
@@ -938,7 +933,7 @@ fn run_cell(
 ) -> CellOutcome {
     let policy = &opts.policy;
     let chaos = opts.chaos.as_ref().and_then(|c| c.fault_for(w.name, mode.name()));
-    let trace = match traces.get(wi, w, opts.trace_dir.as_deref()) {
+    let trace = match traces.get(wi, w, opts.trace_store.as_ref()) {
         Ok(t) => t,
         Err(error) => return CellOutcome::Failed { error, attempts: 1 },
     };

@@ -28,7 +28,7 @@
 
 use crate::{default_jobs, panic_message, Progress};
 use helios_core::FusionMode;
-use helios_emu::RecordedTrace;
+use helios_emu::Trace;
 use helios_isa::{decode, encode, parse_asm, Program};
 use helios_prng::{Rng, SeedableRng, SliceRandom, StdRng};
 use helios_uarch::{PipeConfig, Pipeline};
@@ -716,16 +716,16 @@ pub fn check_program_deadline(
         }
     }
 
-    let trace = RecordedTrace::record(prog.clone(), FUZZ_FUEL)
+    let trace = Trace::record(prog.clone(), FUZZ_FUEL)
         .map_err(|e| format!("functional execution: {e}"))?;
-    let budget = (trace.len() as u64).saturating_mul(64).max(100_000);
+    let budget = trace.len().saturating_mul(64).max(100_000);
     for mode in FusionMode::ALL {
         let mut pipe = Pipeline::new(PipeConfig::with_fusion(mode), trace.replay());
         pipe.attach_checker(trace.replay());
         let stats = pipe
             .try_run_deadline(budget, deadline)
             .map_err(|e| format!("{} pipeline: {e}", mode.name()))?;
-        if stats.instructions != trace.len() as u64 {
+        if stats.instructions != trace.len() {
             return Err(format!(
                 "{}: committed {} µ-ops but the emulator retired {}",
                 mode.name(),
@@ -736,7 +736,7 @@ pub fn check_program_deadline(
     }
     Ok(ProgramCheck {
         static_insts: prog.insts.len() as u64,
-        uops: trace.len() as u64,
+        uops: trace.len(),
     })
 }
 

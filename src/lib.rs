@@ -34,7 +34,10 @@ pub use metrics::{geomean, normalized_ipc, speedup_pct};
 pub use report::{format_row, results_dir, Report, Table};
 
 pub use helios_core::{FusionMode, HeliosParams};
-pub use helios_emu::{RecordedTrace, TraceIoError, TraceStamp, UopSource};
+pub use helios_emu::{
+    BlockReplay, RecordedTrace, Replay, StoreError, StoreStats, Trace, TraceIoError, TraceStamp,
+    TraceStore, UopSource,
+};
 pub use helios_uarch::{
     CellChaos, CellFault, ConfigError, Histogram, ObsOpts, Observer, PipeConfig,
     PipeConfigBuilder, SimError, SimStats, StatEntry, StatValue, StatsRegistry, Unit, UopRec,

@@ -102,7 +102,7 @@ fn all_workloads_match_pre_rewrite_goldens() {
     for &(name, mode_name, cycles, instructions, uops) in GOLDEN {
         let w = helios::workload(name)
             .unwrap_or_else(|| panic!("workload {name} not registered"));
-        let trace = w.recorded().expect("workload halts within fuel");
+        let trace = w.trace().expect("workload halts within fuel");
         let run = SimRequest::mode(&w, mode_of(mode_name))
             .replaying(&trace)
             .checked()

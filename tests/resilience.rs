@@ -220,39 +220,62 @@ fn corrupted_journal_line_is_recovered() {
     assert_same_results(&reference, &resumed);
 }
 
-/// The on-disk trace cache detects a corrupted trace (checksum mismatch on
-/// any flipped byte) and re-records it — the sweep's results are identical
-/// to a cache-clean run.
+/// The trace store detects a corrupted entry (block checksum mismatch on
+/// any flipped byte), quarantines it, and re-records — the sweep's results
+/// are identical to a store-clean run.
 #[test]
-fn corrupted_cached_trace_is_rerecorded() {
+fn corrupted_stored_trace_is_quarantined_and_rerecorded() {
     let _g = gate();
     let (ws, modes) = small_grid();
     let dir = scratch("traces");
+    let store = helios::TraceStore::open(&dir).unwrap();
 
     let opts = SweepOptions {
         jobs: 1,
-        trace_dir: Some(dir.clone()),
+        trace_store: Some(store.clone()),
         ..SweepOptions::default()
     };
     let reference = run_sweep_opts(&ws, &modes, &opts).unwrap();
     assert!(reference.is_complete());
-    let cached = dir.join("crc32.htrc");
-    assert!(cached.exists(), "sweep populates the trace cache");
+    assert_eq!(store.stats().recorded, ws.len() as u64, "one entry per workload");
+    let cached = store
+        .entries()
+        .unwrap()
+        .into_iter()
+        .find(|e| e.name == "crc32")
+        .expect("sweep populates the store")
+        .path;
 
-    // Flip one byte in the middle of the recorded trace.
+    // Flip one byte in the middle of the stored trace.
     let mut bytes = fs::read(&cached).unwrap();
     let mid = bytes.len() / 2;
     bytes[mid] ^= 0x40;
     fs::write(&cached, &bytes).unwrap();
 
     let rerun = run_sweep_opts(&ws, &modes, &opts).unwrap();
-    assert!(rerun.is_complete(), "corrupt cache must not fail the sweep");
+    assert!(rerun.is_complete(), "corrupt store must not fail the sweep");
     assert_same_results(&reference, &rerun);
     assert_ne!(
         fs::read(&cached).unwrap(),
         bytes,
         "the corrupted trace was re-recorded"
     );
+    let stats = store.stats();
+    assert_eq!(stats.quarantined, 1, "corrupt entry quarantined: {stats:?}");
+    assert_eq!(
+        stats.recorded,
+        ws.len() as u64 + 1,
+        "only the corrupt entry was re-recorded: {stats:?}"
+    );
+
+    // A third sweep against the now-healthy store records nothing at all.
+    let before = store.stats();
+    let warm = run_sweep_opts(&ws, &modes, &opts).unwrap();
+    assert!(warm.is_complete());
+    assert_same_results(&reference, &warm);
+    let delta = store.stats().since(&before);
+    assert_eq!(delta.recorded, 0, "warm store: pure hits ({delta:?})");
+    assert_eq!(delta.hits, ws.len() as u64);
 }
 
 /// Seeded chaos over the full grid: every uninjected cell completes, every

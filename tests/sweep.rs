@@ -1,17 +1,25 @@
-//! Sweep-engine integration tests: recorded-replay equivalence, parallel
-//! determinism, and loud failure on starved recordings.
+//! Sweep-engine integration tests: recorded-replay equivalence (in-memory
+//! and streamed from a trace store), parallel determinism, and loud failure
+//! on starved recordings.
 
-use helios::{run_sweep_jobs, FusionMode, SimRequest};
+use helios::{run_sweep_jobs, FusionMode, SimRequest, TraceStore};
 use helios_emu::EmuError;
 
 /// The pipeline consumes a retired-µ-op sequence; whether it comes from a
-/// live emulator (`RetireStream`) or a shared recording must be invisible in
-/// every statistic, for every workload, in both the baseline and the most
-/// machinery-heavy configuration.
+/// live emulator (`RetireStream`), a shared in-memory recording, or an
+/// HTRC2 store file streamed block-at-a-time must be invisible in every
+/// statistic, for every workload, in both the baseline and the most
+/// machinery-heavy configuration. The disk replays run with the lockstep
+/// architectural checker attached, so any µ-op the codec reconstructed
+/// wrongly diverges from a second live emulation and fails loudly.
 #[test]
 fn recorded_replay_matches_live_stream_for_every_workload() {
+    let dir = std::env::temp_dir().join(format!("helios-sweep-store-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let store = TraceStore::open(&dir).expect("store opens");
     for w in helios::all_workloads() {
-        let trace = w.recorded().expect("workload halts within fuel");
+        let trace = w.trace().expect("workload halts within fuel");
+        let disk = w.stored(&store).expect("store records the workload");
         for mode in [FusionMode::NoFusion, FusionMode::Helios] {
             let live = SimRequest::mode(&w, mode).run().stats;
             let replay = SimRequest::mode(&w, mode).replaying(&trace).run().stats;
@@ -22,8 +30,33 @@ fn recorded_replay_matches_live_stream_for_every_workload() {
                 w.name,
                 mode.name()
             );
+            let mut streamed = SimRequest::mode(&w, mode)
+                .replaying(&disk)
+                .checked()
+                .run()
+                .stats;
+            assert_eq!(
+                streamed.oracle_checked, streamed.uops,
+                "{} {}: lockstep checker must cover every committed µ-op",
+                w.name,
+                mode.name()
+            );
+            streamed.oracle_checked = live.oracle_checked;
+            assert_eq!(
+                live,
+                streamed,
+                "{} {}: disk-streamed replay stats differ from live-stream stats",
+                w.name,
+                mode.name()
+            );
         }
     }
+    assert_eq!(
+        store.stats().quarantined,
+        0,
+        "no store entry went corrupt during the sweep"
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 /// `--jobs N` must not change a single bit of any result, nor the
@@ -52,7 +85,7 @@ fn starved_recording_fails_loudly() {
     let mut w = helios::workload("crc32").unwrap();
     w.fuel = 100;
     assert!(matches!(
-        w.recorded().unwrap_err(),
+        w.trace().unwrap_err(),
         EmuError::OutOfFuel { .. }
     ));
 }

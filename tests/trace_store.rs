@@ -1,0 +1,203 @@
+//! TraceStore + HTRC2 integration suite: exact codec round-trips over the
+//! whole workload registry and a 200-program fuzz corpus, legacy v1
+//! migration against an independently written file, corruption detection on
+//! store files, and single-writer concurrency.
+
+use helios::fuzz::{FuzzProgram, Profile, FUZZ_FUEL};
+use helios::TraceStore;
+use helios_emu::{codec, Trace};
+use std::fs;
+use std::path::PathBuf;
+
+fn scratch(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("helios-tracestore-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&d);
+    fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Encodes `trace` to HTRC2 bytes with the given block size.
+fn encode(trace: &Trace, name: &str, block_uops: u32) -> Vec<u8> {
+    let uops: Vec<_> = trace.replay().collect();
+    let mut bytes = Vec::new();
+    codec::encode_v2(&uops, trace.output(), name, block_uops, &mut bytes)
+        .expect("emulator traces always encode");
+    bytes
+}
+
+/// Asserts decode(encode(trace)) reproduces every µ-op field exactly.
+fn assert_round_trip(trace: &Trace, name: &str, block_uops: u32) {
+    let bytes = encode(trace, name, block_uops);
+    let (header, uops) = codec::decode_all(&mut bytes.as_slice()).expect("encoded trace decodes");
+    assert_eq!(header.name, name);
+    assert_eq!(header.uops, trace.len());
+    assert_eq!(header.output, trace.output());
+    assert_eq!(header.stamp, trace.stamp());
+    let original: Vec<_> = trace.replay().collect();
+    assert_eq!(uops, original, "{name}: decoded µ-ops differ");
+}
+
+/// Every registered workload round-trips exactly, at the default block size
+/// and at a small one that forces multi-block framing.
+#[test]
+fn every_workload_round_trips_exactly() {
+    for w in helios::all_workloads() {
+        let trace = w.trace().expect("workload halts within fuel");
+        assert_round_trip(&trace, w.name, helios_emu::DEFAULT_BLOCK_UOPS);
+        assert_round_trip(&trace, w.name, 4096);
+    }
+}
+
+/// 200 generated fuzz programs — branch-dense, mem-dense, and mixed — all
+/// round-trip exactly through the v2 codec. Programs that exhaust their
+/// fuel are skipped (recording refuses truncated traces by design), but
+/// the corpus must stay overwhelmingly encodable.
+#[test]
+fn fuzz_corpus_round_trips_exactly() {
+    let mut encoded = 0u32;
+    let mut seed = 0u64;
+    'outer: loop {
+        for profile in Profile::ALL {
+            if encoded == 200 {
+                break 'outer;
+            }
+            let p = FuzzProgram::generate(seed, profile);
+            let Ok(trace) = Trace::record(p.program(), FUZZ_FUEL) else {
+                continue;
+            };
+            let name = format!("fuzz-{seed}-{}", profile.name());
+            // 1Ki-µ-op blocks force real multi-block traces out of the
+            // longer programs.
+            assert_round_trip(&trace, &name, 1024);
+            encoded += 1;
+        }
+        seed += 1;
+        assert!(seed < 500, "could not collect 200 halting fuzz programs");
+    }
+    assert_eq!(encoded, 200);
+}
+
+/// A v1 file written by an independent implementation of the documented
+/// layout (34-byte header, fixed 47-byte records) is read transparently:
+/// the store migrates it to HTRC2 without re-running the emulator, deletes
+/// the original, and the migrated trace replays identically.
+#[test]
+fn independently_written_v1_file_is_migrated() {
+    let dir = scratch("v1-compat");
+    let w = helios::workload("fft").unwrap();
+    let reference = w.trace().unwrap();
+
+    let stamp = reference.stamp();
+    let mut v1 = Vec::new();
+    v1.extend_from_slice(b"HTRC");
+    v1.extend_from_slice(&1u16.to_le_bytes());
+    v1.extend_from_slice(&stamp.isa_version.to_le_bytes());
+    v1.extend_from_slice(&stamp.checksum.to_le_bytes());
+    v1.extend_from_slice(&reference.len().to_le_bytes());
+    v1.extend_from_slice(&(reference.output().len() as u64).to_le_bytes());
+    for r in reference.replay() {
+        v1.extend_from_slice(&r.seq.to_le_bytes());
+        v1.extend_from_slice(&r.pc.to_le_bytes());
+        v1.extend_from_slice(&helios_isa::encode(&r.inst).to_le_bytes());
+        v1.extend_from_slice(&r.next_pc.to_le_bytes());
+        match r.mem {
+            None => v1.extend_from_slice(&[0; 10]),
+            Some(m) => {
+                v1.push(if m.is_store { 2 } else { 1 });
+                v1.extend_from_slice(&m.addr.to_le_bytes());
+                v1.push(m.size);
+            }
+        }
+        match r.rd_value {
+            None => v1.extend_from_slice(&[0; 9]),
+            Some(v) => {
+                v1.push(1);
+                v1.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+    }
+    for &o in reference.output() {
+        v1.extend_from_slice(&o.to_le_bytes());
+    }
+    let v1_path = dir.join("fft.htrc");
+    fs::write(&v1_path, &v1).unwrap();
+
+    let store = TraceStore::open(&dir).unwrap();
+    let migrated = w.stored(&store).unwrap();
+    let stats = store.stats();
+    assert_eq!(stats.migrated, 1, "v1 file feeds the store: {stats:?}");
+    assert_eq!(stats.recorded, 0, "no re-emulation: {stats:?}");
+    assert!(!v1_path.exists(), "migration retires the v1 file");
+    assert_eq!(migrated.stamp(), reference.stamp());
+    let a: Vec<_> = migrated.replay().collect();
+    let b: Vec<_> = reference.replay().collect();
+    assert_eq!(a, b, "migrated trace replays identically");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Store-file corruption never goes unnoticed: a sample of truncation
+/// lengths and single-bit flips across a real store entry all fail deep
+/// verification.
+#[test]
+fn truncation_and_bit_flips_are_detected_on_store_files() {
+    let dir = scratch("corruption");
+    let store = TraceStore::open(&dir).unwrap();
+    let w = helios::workload("dijkstra").unwrap();
+    w.stored(&store).unwrap();
+    let path = store.entries().unwrap().pop().unwrap().path;
+    let good = fs::read(&path).unwrap();
+    codec::verify_file(&path).expect("pristine file verifies");
+
+    // Every 97th truncation length (plus the empty file).
+    for len in (0..good.len()).step_by(97) {
+        fs::write(&path, &good[..len]).unwrap();
+        assert!(
+            codec::verify_file(&path).is_err(),
+            "truncation to {len}/{} bytes went undetected",
+            good.len()
+        );
+    }
+    // A single flipped bit at every 131st byte.
+    for i in (0..good.len()).step_by(131) {
+        let mut bad = good.clone();
+        bad[i] ^= 0x01;
+        fs::write(&path, &bad).unwrap();
+        assert!(
+            codec::verify_file(&path).is_err(),
+            "bit flip at byte {i} went undetected"
+        );
+    }
+    fs::write(&path, &good).unwrap();
+    codec::verify_file(&path).expect("restored file verifies again");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Eight threads race `get_or_record` on one cold entry: exactly one
+/// records, everyone replays the same bytes.
+#[test]
+fn concurrent_get_or_record_records_exactly_once() {
+    let dir = scratch("race");
+    let store = TraceStore::open(&dir).unwrap();
+    let w = helios::workload("crc32").unwrap();
+    let reference = w.trace().unwrap();
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let store = store.clone();
+                let w = &w;
+                s.spawn(move || w.stored(&store).expect("get_or_record succeeds"))
+            })
+            .collect();
+        for h in handles {
+            let t = h.join().unwrap();
+            assert_eq!(t.stamp(), reference.stamp());
+            assert_eq!(t.len(), reference.len());
+        }
+    });
+    let stats = store.stats();
+    assert_eq!(stats.recorded, 1, "exactly one writer: {stats:?}");
+    assert_eq!(stats.hits, 7, "everyone else hits: {stats:?}");
+    assert_eq!(store.entries().unwrap().len(), 1);
+    let _ = fs::remove_dir_all(&dir);
+}
