@@ -23,7 +23,7 @@ use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 /// v1 on-disk cost of a trace: 34-byte header, 47 bytes per µ-op, 8 per
-/// output word (the fixed layout `RecordedTrace::save` wrote).
+/// output word (the fixed layout the retired HTRC v1 serializer wrote).
 fn v1_bytes(uops: u64, outputs: u64) -> u64 {
     34 + 47 * uops + 8 * outputs
 }

@@ -7,6 +7,8 @@
 //! * `--resume` — restore finished cells from the checkpoint journal;
 //! * `--cell-timeout <secs>` — wall-clock budget per sweep cell;
 //! * `--retries <N>` — attempts per cell before quarantining (default 2);
+//! * `--server <url>` — run the sweep on a `sweepd` daemon (see
+//!   [`server`]) instead of simulating locally; output is byte-identical;
 //! * `--profile` — per-stage cycle-attribution profiling (sets
 //!   `HELIOS_PROFILE=1`; writes `results/profile.json` and prints a summary
 //!   to stderr, leaving stdout untouched).
@@ -23,6 +25,7 @@
 //!   `BENCH_sweep.json` so CI can diff it across runs.
 
 pub mod census;
+pub mod server;
 
 use helios::{CellChaos, Report, Sweep, SweepOptions, SweepPolicy, Table, Workload};
 use std::time::Duration;
@@ -53,6 +56,8 @@ pub struct SweepOpts {
     pub cell_timeout: Option<Duration>,
     /// Attempts per cell before quarantining (`--retries <N>`).
     pub retries: Option<u32>,
+    /// Run the sweep on a remote `sweepd` daemon (`--server <url>`).
+    pub server: Option<String>,
     /// Binary-specific flags requested via [`parse_opts_with`], in
     /// declaration order: `None` when absent, `Some("")` for a present
     /// boolean flag, `Some(value)` for a present valued flag.
@@ -87,6 +92,7 @@ pub fn parse_opts_with(known: &[ExtraFlag]) -> SweepOpts {
     let mut resume = false;
     let mut cell_timeout = None;
     let mut retries = None;
+    let mut server = None;
     let mut extra: Vec<Option<String>> = known.iter().map(|_| None).collect();
     let mut i = 1;
     while i < args.len() {
@@ -112,6 +118,16 @@ pub fn parse_opts_with(known: &[ExtraFlag]) -> SweepOpts {
                     Some(Ok(n)) if n >= 1 => Some(n),
                     _ => {
                         eprintln!("error: --retries requires a positive integer");
+                        std::process::exit(helios::exit::USAGE);
+                    }
+                };
+            }
+            "--server" => {
+                i += 1;
+                server = match args.get(i) {
+                    Some(url) => Some(url.clone()),
+                    None => {
+                        eprintln!("error: --server requires a URL (e.g. http://127.0.0.1:7777)");
                         std::process::exit(helios::exit::USAGE);
                     }
                 };
@@ -191,6 +207,7 @@ pub fn parse_opts_with(known: &[ExtraFlag]) -> SweepOpts {
         resume,
         cell_timeout,
         retries,
+        server,
         extra,
     }
 }
@@ -246,6 +263,18 @@ pub fn sweep_options(id: &str, opts: &SweepOpts) -> SweepOptions {
 /// journal, so the user reruns with `--resume` rather than reading a
 /// report with silently missing rows.
 pub fn run_standard_sweep(id: &str, opts: &SweepOpts, modes: &[helios::FusionMode]) -> Sweep {
+    if let Some(url) = &opts.server {
+        // Thin-client mode: the daemon simulates (or answers from its
+        // result cache); the rebuilt sweep feeds the unchanged report
+        // path, so stdout and the JSON artifact stay byte-identical to a
+        // local run. Checkpoints/resume stay local-only — the daemon's
+        // cache subsumes them.
+        let sweep = server::client::remote_sweep(url, &opts.workloads, modes).unwrap_or_else(|e| {
+            eprintln!("error: --server {url}: {e}");
+            std::process::exit(helios::exit::FAILED);
+        });
+        return sweep;
+    }
     let sweep_opts = sweep_options(id, opts);
     let sweep = helios::run_sweep_opts(&opts.workloads, modes, &sweep_opts).unwrap_or_else(|e| {
         eprintln!("error: sweep setup failed: {e}");
@@ -337,7 +366,13 @@ pub fn emit_profile_report() {
 /// Parses the common CLI arguments and returns the selected workloads.
 /// (Use [`parse_opts`] when the binary also needs `--jobs`.)
 pub fn select_workloads() -> Vec<Workload> {
-    parse_opts().workloads
+    let opts = parse_opts();
+    if opts.server.is_some() {
+        // Census binaries (fig02/04/05/table1/ablation) analyse traces
+        // rather than sweeping configs; there is nothing to offload.
+        eprintln!("note: --server ignored: this binary censuses traces locally");
+    }
+    opts.workloads
 }
 
 #[cfg(test)]

@@ -1,0 +1,206 @@
+//! A deliberately small HTTP/1.1 layer for `sweepd` — just enough protocol
+//! for a request/streaming-response RPC between the figure binaries and the
+//! daemon, over `std::net` alone.
+//!
+//! Scope (and non-goals): one request per connection (`Connection: close`),
+//! `Content-Length`-framed request bodies, EOF-delimited response bodies
+//! (so progress can stream as JSONL without chunked encoding), no TLS, no
+//! keep-alive, no percent-decoding. Limits on the request line, header
+//! count, and body size keep a confused or hostile peer from ballooning the
+//! daemon's memory.
+
+use std::io::{self, BufRead, Write};
+
+/// Longest accepted request line or header line, in bytes.
+const MAX_LINE: usize = 8 * 1024;
+/// Most headers accepted per request.
+const MAX_HEADERS: usize = 64;
+/// Largest accepted request body (a full 32-workload × 6-mode grid request
+/// is under 2 KiB; 1 MiB is "someone pointed the wrong tool at this port").
+const MAX_BODY: usize = 1024 * 1024;
+
+/// A parsed request: method, path, lower-cased headers, raw body.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET`, `POST`, …
+    pub method: String,
+    /// The request target, e.g. `/v1/sweep`.
+    pub path: String,
+    /// Headers with lower-cased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The body, exactly `Content-Length` bytes (empty if absent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header with the given lower-case name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Reads one line up to CRLF (or bare LF), without the terminator.
+fn read_line(r: &mut impl BufRead) -> io::Result<String> {
+    let mut buf = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte)? {
+            0 => {
+                if buf.is_empty() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed before a full request line",
+                    ));
+                }
+                break;
+            }
+            _ => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                if byte[0] != b'\r' {
+                    buf.push(byte[0]);
+                }
+                if buf.len() > MAX_LINE {
+                    return Err(bad("request line or header too long"));
+                }
+            }
+        }
+    }
+    String::from_utf8(buf).map_err(|_| bad("request is not UTF-8"))
+}
+
+/// Reads and parses one request from the stream.
+///
+/// # Errors
+///
+/// `InvalidData` on anything that is not a well-formed bounded HTTP/1.1
+/// request; plain I/O errors propagate.
+pub fn read_request(r: &mut impl BufRead) -> io::Result<Request> {
+    let line = read_line(r)?;
+    let mut parts = line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) => (m.to_string(), p.to_string(), v),
+        _ => return Err(bad("malformed request line")),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad("unsupported HTTP version"));
+    }
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(r)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(bad("too many headers"));
+        }
+        let (name, value) = line.split_once(':').ok_or_else(|| bad("malformed header"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let mut req = Request {
+        method,
+        path,
+        headers,
+        body: Vec::new(),
+    };
+    if let Some(len) = req.header("content-length") {
+        let len: usize = len.parse().map_err(|_| bad("bad Content-Length"))?;
+        if len > MAX_BODY {
+            return Err(bad("request body too large"));
+        }
+        let mut body = vec![0u8; len];
+        r.read_exact(&mut body)?;
+        req.body = body;
+    }
+    Ok(req)
+}
+
+/// Writes a response head for an EOF-delimited streaming body (the JSONL
+/// progress stream): no `Content-Length`, `Connection: close` marks the
+/// body's end when the socket closes.
+pub fn write_stream_head(w: &mut impl Write, content_type: &str) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\nCache-Control: no-store\r\nConnection: close\r\n\r\n"
+    )
+}
+
+/// Writes a complete response with a known body.
+pub fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    w.write_all(body)
+}
+
+/// Writes a JSON error response: `{"error": "<msg>"}`.
+pub fn write_error(w: &mut impl Write, status: u16, reason: &str, msg: &str) -> io::Result<()> {
+    let body = helios::Json::Obj(vec![("error".to_string(), helios::Json::Str(msg.to_string()))]);
+    write_response(w, status, reason, "application/json", body.to_string().as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw = b"POST /v1/sweep HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody";
+        let req = read_request(&mut &raw[..]).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/sweep");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for raw in [
+            &b"GARBAGE\r\n\r\n"[..],
+            &b"GET / SPDY/3\r\n\r\n"[..],
+            &b"GET / HTTP/1.1\r\nbroken header\r\n\r\n"[..],
+            &b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"[..],
+            &b"POST / HTTP/1.1\r\nContent-Length: 99999999999\r\n\r\n"[..],
+        ] {
+            assert!(read_request(&mut &raw[..]).is_err(), "{raw:?}");
+        }
+    }
+
+    #[test]
+    fn truncated_body_is_an_error_not_a_hang() {
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort";
+        assert!(read_request(&mut &raw[..]).is_err());
+    }
+
+    #[test]
+    fn response_heads_are_well_formed() {
+        let mut out = Vec::new();
+        write_response(&mut out, 404, "Not Found", "application/json", b"{}").unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.starts_with("HTTP/1.1 404 Not Found\r\n"));
+        assert!(s.contains("Content-Length: 2\r\n"));
+        assert!(s.ends_with("\r\n\r\n{}"));
+
+        let mut out = Vec::new();
+        write_stream_head(&mut out, "application/x-ndjson").unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.contains("Connection: close"));
+        assert!(!s.contains("Content-Length"));
+    }
+}

@@ -1,0 +1,258 @@
+//! End-to-end tests for `sweepd`: an in-process daemon on an ephemeral
+//! port, exercised through the real TCP stack — the thin client, raw
+//! sockets, concurrent clients, and cache persistence across restarts.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use helios::{FusionMode, Json, SimRequest, Workload};
+use helios_bench::server::client::remote_sweep_with_summary;
+use helios_bench::server::{Server, ServerConfig};
+
+/// A fresh scratch directory for one test's daemon state.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("helios-sweepd-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Binds a daemon on an ephemeral port and serves it from a thread until
+/// the returned guard is dropped.
+struct Daemon {
+    server: Arc<Server>,
+    url: String,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Daemon {
+    fn start(cache_dir: &Path) -> Daemon {
+        let server = Arc::new(
+            Server::bind(&ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                jobs: 2,
+                cache_dir: cache_dir.to_path_buf(),
+                cell_timeout: None,
+            })
+            .expect("bind ephemeral port"),
+        );
+        let url = format!("http://{}", server.local_addr());
+        let runner = server.clone();
+        let thread = std::thread::spawn(move || runner.run());
+        Daemon {
+            server,
+            url,
+            thread: Some(thread),
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.server.stop();
+        if let Some(t) = self.thread.take() {
+            t.join().expect("accept loop exits cleanly");
+        }
+    }
+}
+
+fn grid() -> (Vec<Workload>, Vec<FusionMode>) {
+    let workloads = ["crc32", "bitcount"]
+        .iter()
+        .map(|n| helios::workload(n).expect("registered"))
+        .collect();
+    (workloads, vec![FusionMode::NoFusion, FusionMode::Helios])
+}
+
+#[test]
+fn remote_sweep_matches_local_and_resubmission_hits_the_cache() {
+    let dir = scratch("e2e");
+    let daemon = Daemon::start(&dir);
+    let (workloads, modes) = grid();
+
+    let (sweep, summary) =
+        remote_sweep_with_summary(&daemon.url, &workloads, &modes).expect("remote sweep");
+    assert_eq!(summary.simulated, 4, "cold cache simulates every cell");
+    assert_eq!(summary.cache_hits, 0);
+    assert!(sweep.is_complete());
+    assert_eq!(sweep.workloads(), vec!["crc32", "bitcount"]);
+
+    // Remote stats are exactly the local executor's stats, cell by cell.
+    for w in &workloads {
+        for &mode in &modes {
+            let local = SimRequest::mode(w, mode).run().stats;
+            let remote = sweep.get(w.name, mode).expect("cell present");
+            assert_eq!(remote, &local, "{}/{}", w.name, mode.name());
+        }
+    }
+
+    // Resubmitting the identical grid must re-simulate nothing.
+    let (again, summary) =
+        remote_sweep_with_summary(&daemon.url, &workloads, &modes).expect("warm resubmission");
+    assert_eq!(summary.simulated, 0, "warm cache re-simulates zero cells");
+    assert_eq!(summary.cache_hits, 4);
+    for w in &workloads {
+        for &mode in &modes {
+            assert_eq!(again.get(w.name, mode), sweep.get(w.name, mode));
+        }
+    }
+}
+
+#[test]
+fn cache_survives_a_daemon_restart() {
+    let dir = scratch("restart");
+    let (workloads, modes) = grid();
+    {
+        let daemon = Daemon::start(&dir);
+        let (_, summary) =
+            remote_sweep_with_summary(&daemon.url, &workloads, &modes).expect("cold sweep");
+        assert_eq!(summary.simulated, 4);
+    }
+    // A fresh daemon over the same state directory answers from disk.
+    let daemon = Daemon::start(&dir);
+    let (sweep, summary) =
+        remote_sweep_with_summary(&daemon.url, &workloads, &modes).expect("warm sweep");
+    assert_eq!(summary.simulated, 0, "journal reload kept every cell");
+    assert_eq!(summary.cache_hits, 4);
+    assert!(sweep.is_complete());
+}
+
+#[test]
+fn concurrent_clients_both_complete_with_correct_results() {
+    let dir = scratch("fair");
+    let daemon = Daemon::start(&dir);
+    let url = daemon.url.clone();
+
+    let grids: Vec<(Vec<Workload>, Vec<FusionMode>)> = vec![
+        (
+            vec![helios::workload("crc32").unwrap(), helios::workload("fft").unwrap()],
+            vec![FusionMode::NoFusion, FusionMode::Helios],
+        ),
+        (
+            vec![helios::workload("bitcount").unwrap()],
+            vec![FusionMode::RiscvFusion, FusionMode::OracleFusion],
+        ),
+    ];
+    std::thread::scope(|s| {
+        let handles: Vec<_> = grids
+            .iter()
+            .map(|(w, m)| {
+                let url = url.clone();
+                s.spawn(move || remote_sweep_with_summary(&url, w, m).expect("client sweep"))
+            })
+            .collect();
+        for (h, (w, m)) in handles.into_iter().zip(&grids) {
+            let (sweep, _) = h.join().expect("client thread");
+            assert!(sweep.is_complete());
+            for w in w {
+                for &mode in m.iter() {
+                    let local = SimRequest::mode(w, mode).run().stats;
+                    assert_eq!(sweep.get(w.name, mode), Some(&local));
+                }
+            }
+        }
+    });
+}
+
+/// Speaks raw HTTP to the daemon and checks the stream's shape: every line
+/// is one `helios-sweepd-v1` JSON object, `done` counts are monotonically
+/// increasing, and the final line is the `done` event.
+#[test]
+fn streamed_progress_is_well_formed_jsonl() {
+    let dir = scratch("jsonl");
+    let daemon = Daemon::start(&dir);
+    let authority = daemon.url.strip_prefix("http://").unwrap().to_string();
+
+    let body = r#"{"schema":"helios-sweep-req-v1","workloads":["crc32"],"modes":["NoFusion","Helios"]}"#;
+    let mut stream = TcpStream::connect(&authority).expect("connect");
+    write!(
+        stream,
+        "POST /v1/sweep HTTP/1.1\r\nHost: {authority}\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("HTTP/1.1 200"), "{line}");
+    loop {
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        if line == "\r\n" || line == "\n" {
+            break;
+        }
+        assert!(!line.is_empty(), "headers ended at EOF");
+    }
+
+    let lines: Vec<String> = reader.lines().map(|l| l.unwrap()).collect();
+    assert_eq!(lines.len(), 3, "2 progress lines + 1 done line: {lines:?}");
+    let mut last_done = 0;
+    for (i, l) in lines.iter().enumerate() {
+        let doc = Json::parse(l).expect("every line is standalone JSON");
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("helios-sweepd-v1")
+        );
+        let event = doc.get("event").and_then(Json::as_str).unwrap();
+        if i < lines.len() - 1 {
+            assert_eq!(event, "progress");
+            let done = doc.get("done").and_then(Json::as_u64).unwrap();
+            assert!(done > last_done, "progress counts increase");
+            last_done = done;
+            assert_eq!(doc.get("total").and_then(Json::as_u64), Some(2));
+        } else {
+            assert_eq!(event, "done", "stream ends with the done event");
+            assert_eq!(doc.get("total").and_then(Json::as_u64), Some(2));
+            let cells = doc.get("cells").and_then(Json::as_array).unwrap();
+            assert_eq!(cells.len(), 2);
+            assert_eq!(
+                doc.get("failures").and_then(Json::as_array).map(<[Json]>::len),
+                Some(0)
+            );
+        }
+    }
+}
+
+#[test]
+fn health_endpoint_and_error_paths() {
+    let dir = scratch("health");
+    let daemon = Daemon::start(&dir);
+    let authority = daemon.url.strip_prefix("http://").unwrap().to_string();
+
+    let fetch = |request: String| -> (String, String) {
+        let mut stream = TcpStream::connect(&authority).expect("connect");
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut status = String::new();
+        reader.read_line(&mut status).unwrap();
+        let mut line = String::new();
+        loop {
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            if line == "\r\n" || line == "\n" || line.is_empty() {
+                break;
+            }
+        }
+        let mut body = String::new();
+        std::io::Read::read_to_string(&mut reader, &mut body).unwrap();
+        (status, body)
+    };
+
+    let (status, body) = fetch(format!("GET /v1/health HTTP/1.1\r\nHost: {authority}\r\n\r\n"));
+    assert!(status.starts_with("HTTP/1.1 200"), "{status}");
+    let doc = Json::parse(&body).expect("health is JSON");
+    assert_eq!(doc.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(doc.get("cached_cells").and_then(Json::as_u64), Some(0));
+
+    let (status, _) = fetch(format!("GET /nope HTTP/1.1\r\nHost: {authority}\r\n\r\n"));
+    assert!(status.starts_with("HTTP/1.1 404"), "{status}");
+
+    let bad = r#"{"schema":"helios-sweep-req-v1","workloads":["not-a-workload"],"modes":["Helios"]}"#;
+    let (status, body) = fetch(format!(
+        "POST /v1/sweep HTTP/1.1\r\nHost: {authority}\r\nContent-Length: {}\r\n\r\n{bad}",
+        bad.len()
+    ));
+    assert!(status.starts_with("HTTP/1.1 400"), "{status}");
+    assert!(body.contains("unknown workload"), "{body}");
+}

@@ -47,6 +47,13 @@ impl FusionMode {
         }
     }
 
+    /// The inverse of [`FusionMode::name`]: resolves a paper name (as used
+    /// in reports, checkpoint journals, and the sweep server's wire format)
+    /// back to the mode. Returns `None` for unknown names.
+    pub fn parse(name: &str) -> Option<FusionMode> {
+        FusionMode::ALL.into_iter().find(|m| m.name() == name)
+    }
+
     /// Whether Decode fuses consecutive same-base contiguous memory pairs.
     pub fn csf_mem_pairs(self) -> bool {
         matches!(
@@ -134,6 +141,15 @@ mod tests {
         assert!(Helios.predictive() && Helios.csf_mem_pairs() && !Helios.other_idioms());
         assert!(OracleFusion.oracle_mem() && OracleFusion.other_idioms());
         assert_eq!(FusionMode::ALL.len(), 6);
+    }
+
+    #[test]
+    fn parse_inverts_name() {
+        for m in FusionMode::ALL {
+            assert_eq!(FusionMode::parse(m.name()), Some(m));
+        }
+        assert_eq!(FusionMode::parse("NotAMode"), None);
+        assert_eq!(FusionMode::parse("nofusion"), None, "names are exact");
     }
 
     #[test]

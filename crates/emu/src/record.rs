@@ -38,23 +38,6 @@ pub struct RecordedTrace {
 impl RecordedTrace {
     /// Executes `program` to completion and records every retired µ-op.
     ///
-    /// Deprecated: record through [`TraceStore::get_or_record`] (shared,
-    /// on-disk, content-addressed) or [`Trace::record`] (in-memory) instead;
-    /// this wrapper is kept for exactly one release.
-    ///
-    /// [`TraceStore::get_or_record`]: crate::TraceStore::get_or_record
-    /// [`Trace::record`]: crate::Trace::record
-    ///
-    /// # Errors
-    ///
-    /// See [`Trace::record`](crate::Trace::record).
-    #[deprecated(note = "use TraceStore::get_or_record or Trace::record")]
-    pub fn record(program: Program, fuel: u64) -> Result<RecordedTrace, EmuError> {
-        RecordedTrace::capture(program, fuel)
-    }
-
-    /// Executes `program` to completion and records every retired µ-op.
-    ///
     /// # Errors
     ///
     /// Propagates fetch faults, and returns [`EmuError::OutOfFuel`] if the
@@ -116,27 +99,15 @@ impl RecordedTrace {
         content_stamp(&self.uops, &self.output)
     }
 
-    /// Serializes the recording in the raw HTRC v1 layout.
-    ///
-    /// Deprecated: new files should be written through
-    /// [`TraceStore`](crate::TraceStore), which uses the ~30× denser HTRC2
-    /// encoding; kept for exactly one release.
-    ///
-    /// # Errors
-    ///
-    /// Propagates I/O errors from `w`.
-    #[deprecated(note = "write traces through TraceStore (HTRC2) instead")]
-    pub fn save<W: Write>(&self, w: &mut W) -> io::Result<()> {
-        self.save_v1(w)
-    }
-
     /// Serializes the recording to `w` in the `HTRC` v1 binary format: a
     /// header carrying a magic, the format version, the [`TraceStamp`] (ISA
     /// version and content checksum) and element counts, followed by the
     /// µ-ops and the output words — 47 bytes per µ-op, raw. `load_v1`
     /// refuses anything whose stamp does not verify, so a cached trace can
-    /// never silently go stale. Kept (internally) so stores can read and
-    /// migrate pre-HTRC2 corpora; all new files are HTRC2.
+    /// never silently go stale. Nothing writes v1 in production anymore —
+    /// the writer survives only for tests that fabricate legacy corpora to
+    /// exercise the store's read-and-migrate path.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn save_v1<W: Write>(&self, w: &mut W) -> io::Result<()> {
         let stamp = self.stamp();
         w.write_all(TRACE_MAGIC)?;
@@ -172,37 +143,11 @@ impl RecordedTrace {
         Ok(())
     }
 
-    /// Writes the raw v1 layout to a file at `path`.
-    ///
-    /// Deprecated: see [`RecordedTrace::save`]; kept for exactly one
-    /// release.
-    ///
-    /// # Errors
-    ///
-    /// Propagates I/O errors.
-    #[deprecated(note = "write traces through TraceStore (HTRC2) instead")]
-    pub fn save_file(&self, path: &Path) -> io::Result<()> {
-        self.save_v1_file(path)
-    }
-
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn save_v1_file(&self, path: &Path) -> io::Result<()> {
         let mut f = io::BufWriter::new(std::fs::File::create(path)?);
         self.save_v1(&mut f)?;
         f.flush()
-    }
-
-    /// Deserializes a raw v1 recording.
-    ///
-    /// Deprecated: open files through [`TraceStore`](crate::TraceStore),
-    /// which reads v1 transparently (and migrates it to HTRC2); kept for
-    /// exactly one release.
-    ///
-    /// # Errors
-    ///
-    /// See [`TraceIoError`].
-    #[deprecated(note = "read traces through TraceStore instead")]
-    pub fn load<R: Read>(r: &mut R) -> Result<RecordedTrace, TraceIoError> {
-        RecordedTrace::load_v1(r)
     }
 
     /// Deserializes a recording previously written in the v1 layout,
@@ -306,20 +251,6 @@ impl RecordedTrace {
             });
         }
         Ok(trace)
-    }
-
-    /// Reads a raw v1 file at `path`.
-    ///
-    /// Deprecated: see [`RecordedTrace::load`]; kept for exactly one
-    /// release.
-    ///
-    /// # Errors
-    ///
-    /// See [`TraceIoError`]; a missing or unreadable file surfaces as
-    /// [`TraceIoError::Io`].
-    #[deprecated(note = "read traces through TraceStore instead")]
-    pub fn load_file(path: &Path) -> Result<RecordedTrace, TraceIoError> {
-        RecordedTrace::load_v1_file(path)
     }
 
     pub(crate) fn load_v1_file(path: &Path) -> Result<RecordedTrace, TraceIoError> {

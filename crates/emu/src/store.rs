@@ -580,11 +580,20 @@ impl TraceStore {
                         // released; retry the create.
                         .unwrap_or(true);
                     if stale {
-                        eprintln!(
-                            "\rwarning: trace store: stealing stale recording lock {}",
-                            path.display()
-                        );
-                        std::fs::remove_file(&path).ok();
+                        // Steal atomically: rename-to-tombstone first, so
+                        // exactly one of the waiters that observed the stale
+                        // mtime claims it. Losers fall through and re-check —
+                        // they find either the winner's *fresh* lock (live,
+                        // so they wait) or no lock (and `create_new` above
+                        // still picks a single writer). A remove-based steal
+                        // would let the loser delete a lock the winner had
+                        // already re-created, double-recording the key.
+                        if self.steal_lock(&path) {
+                            eprintln!(
+                                "\rwarning: trace store: stealing stale recording lock {}",
+                                path.display()
+                            );
+                        }
                         continue;
                     }
                     if Instant::now() >= deadline {
@@ -595,6 +604,25 @@ impl TraceStore {
                 Err(e) => return Err(e.into()),
             }
         }
+    }
+
+    /// Atomically claims a stale lock: renames it to a unique tombstone
+    /// (the commit point — at most one racing waiter's rename succeeds),
+    /// then deletes the tombstone. Returns whether this caller won. A
+    /// crash between the rename and the delete leaves only tombstone
+    /// litter for [`TraceStore::gc`]; the key itself is already unlocked.
+    fn steal_lock(&self, path: &Path) -> bool {
+        static STEAL_SEQ: AtomicU64 = AtomicU64::new(0);
+        let seq = STEAL_SEQ.fetch_add(1, Ordering::Relaxed);
+        let mut tomb = path.as_os_str().to_os_string();
+        tomb.push(format!(".steal.{}.{seq}", std::process::id()));
+        if std::fs::rename(path, &tomb).is_err() {
+            // Lost the race: another waiter renamed it first, or the owner
+            // released the lock between our mtime check and the rename.
+            return false;
+        }
+        std::fs::remove_file(&tomb).ok();
+        true
     }
 
     /// Headers of every HTRC2 entry in the store (no block verification —
@@ -666,7 +694,8 @@ impl TraceStore {
     }
 
     /// Reclaims everything that is not a verifiable trace: quarantined
-    /// `*.corrupt` files, abandoned `*.tmp` litter, stale lock files, and
+    /// `*.corrupt` files, abandoned `*.tmp` litter, stale lock files,
+    /// steal tombstones left by a waiter that crashed mid-steal, and
     /// any trace file (v1 or v2) that no longer verifies. Healthy entries
     /// are untouched.
     ///
@@ -690,6 +719,11 @@ impl TraceStore {
             }
             let name = entry.file_name().to_string_lossy().into_owned();
             if name.ends_with(".corrupt") || name.contains(".tmp") {
+                remove(&path, meta.len(), &mut report);
+            } else if name.contains(".lock.steal.") {
+                // A tombstone is dead by construction: the steal winner
+                // deletes it immediately, so one on disk means a crash
+                // between the rename and the delete.
                 remove(&path, meta.len(), &mut report);
             } else if name.ends_with(".lock") {
                 let stale = meta.modified().map_or(true, |mtime| {
@@ -874,6 +908,55 @@ mod tests {
         let s = store.stats();
         assert_eq!(s.recorded, 1, "single-writer: {s:?}");
         assert_eq!(s.hits, 7, "everyone else hits: {s:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_stale_lock_steal_records_exactly_once() {
+        // Two waiters that both observe a dead owner's stale lock must not
+        // both claim it: with a remove-based steal the slower waiter could
+        // delete the winner's *fresh* lock and the key would be recorded
+        // twice. Plant a dead-owner lock, age it past the store timeout,
+        // then race 8 threads at the key.
+        let dir = scratch("steal-race");
+        let timeout = Duration::from_millis(500);
+        let store = TraceStore::open_tuned(&dir, DEFAULT_BLOCK_UOPS, timeout).unwrap();
+        let prog = parse_asm(RICH).unwrap();
+        std::fs::write(
+            dir.join(format!("{:016x}.lock", TraceStore::digest(&prog))),
+            b"",
+        )
+        .unwrap();
+        std::thread::sleep(timeout + Duration::from_millis(100));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let store = store.clone();
+                let prog = prog.clone();
+                s.spawn(move || {
+                    let t = store.get_or_record("rich", &prog, 1000).unwrap();
+                    assert!(!t.is_empty());
+                });
+            }
+        });
+        let s = store.stats();
+        assert_eq!(s.recorded, 1, "exactly one steal winner records: {s:?}");
+        assert_eq!(s.hits, 7, "every other waiter hits: {s:?}");
+        let litter: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".steal.") || n.ends_with(".lock"))
+            .collect();
+        assert!(litter.is_empty(), "no lock or tombstone litter: {litter:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gc_reclaims_steal_tombstones() {
+        let dir = scratch("tombstone");
+        let store = TraceStore::open(&dir).unwrap();
+        std::fs::write(dir.join("00000000deadbeef.lock.steal.1.0"), b"").unwrap();
+        let gc = store.gc().unwrap();
+        assert_eq!(gc.removed, 1, "crash-abandoned tombstone reclaimed");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -40,7 +40,7 @@ mod reg;
 /// Version stamp of the ISA model's *semantics*: bump whenever a change to
 /// decoding, encoding, or instruction behaviour could make a previously
 /// recorded µ-op trace disagree with a fresh emulation of the same program.
-/// On-disk trace artifacts (`helios-emu`'s `RecordedTrace::save`) embed this
+/// On-disk trace artifacts (`helios-emu`'s `TraceStore` files) embed this
 /// stamp so a stale trace is detected and re-recorded instead of silently
 /// feeding outdated behaviour into a sweep.
 pub const ISA_VERSION: u32 = 1;

@@ -1,7 +1,7 @@
 //! Pipeline configuration (paper Table II: Icelake-like out-of-order core
 //! with an 8-wide frontend so the Allocation Queue actually fills, §V-A).
 
-use helios_core::{FusionMode, HeliosParams, PipelineSizes};
+use helios_core::{FpConfig, FusionMode, HeliosParams, PipelineSizes, UchConfig, UchQueueConfig};
 
 /// Cache level parameters.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -322,18 +322,150 @@ impl PipeConfig {
     /// `(workload, config)` so a resumed or cached cell is only reused for
     /// an identical configuration.
     ///
-    /// Implemented as FNV-1a over the derived `Debug` rendering, which
-    /// recursively covers every field (including the `helios` and cache
-    /// sub-structures) and therefore automatically incorporates fields added
-    /// later — a new knob can never silently alias two different configs. A
-    /// digest mismatch is always safe: the cell is simply re-simulated.
+    /// FNV-1a over every field, enumerated through exhaustive destructuring
+    /// (the same compile-enforced idiom as `SimStats::to_kv`): adding a
+    /// field to [`PipeConfig`], [`HeliosParams`], or any nested
+    /// sub-structure without extending this function refuses to compile, so
+    /// a new knob can never silently alias two distinct configs. The
+    /// previous implementation hashed the derived `Debug` rendering, which
+    /// covered fields transitively but would have gone quietly stale the
+    /// day a sub-structure gained a hand-written `Debug`. A digest change
+    /// across builds is always safe — the affected cell is simply
+    /// re-simulated.
     pub fn digest(&self) -> u64 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in format!("{self:?}").bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        struct Fnv(u64);
+        impl Fnv {
+            fn u64(&mut self, v: u64) {
+                for b in v.to_le_bytes() {
+                    self.0 ^= b as u64;
+                    self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+            }
+            fn usize(&mut self, v: usize) {
+                self.u64(v as u64);
+            }
+            fn opt(&mut self, v: Option<usize>) {
+                // Tagged so `None` and `Some(0)` hash differently.
+                match v {
+                    None => self.u64(0),
+                    Some(n) => {
+                        self.u64(1);
+                        self.usize(n);
+                    }
+                }
+            }
+            fn str(&mut self, s: &str) {
+                self.u64(s.len() as u64);
+                for b in s.bytes() {
+                    self.0 ^= b as u64;
+                    self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+            }
+            fn cache(&mut self, c: CacheParams) {
+                let CacheParams {
+                    size,
+                    ways,
+                    line,
+                    latency,
+                } = c;
+                self.usize(size);
+                self.usize(ways);
+                self.usize(line);
+                self.u64(latency);
+            }
         }
-        h
+        let PipeConfig {
+            fusion,
+            helios,
+            fetch_width,
+            rename_width,
+            dispatch_width,
+            commit_width,
+            aq_size,
+            rob_size,
+            iq_size,
+            lq_size,
+            sq_size,
+            prf_size,
+            alu_ports,
+            load_ports,
+            store_ports,
+            store_drain_per_cycle,
+            alu_latency,
+            mul_latency,
+            div_latency,
+            branch_redirect_penalty,
+            line_cross_penalty,
+            l1d,
+            l2,
+            l3,
+            mem_latency,
+            watchdog_cycles,
+        } = *self;
+        let HeliosParams {
+            uch,
+            uch_queue,
+            fp,
+            max_nest,
+            line_bytes,
+            dbr_store_pairs,
+        } = helios;
+        let UchConfig {
+            load_entries,
+            max_distance,
+        } = uch;
+        let UchQueueConfig {
+            entries: uch_queue_entries,
+            drain_per_cycle: uch_queue_drain,
+        } = uch_queue;
+        let FpConfig {
+            sets: fp_sets,
+            ways: fp_ways,
+            selector_entries: fp_selector_entries,
+            tag_bits: fp_tag_bits,
+            distance_bits: fp_distance_bits,
+            probabilistic_confidence: fp_probabilistic,
+        } = fp;
+        let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+        h.str(fusion.name());
+        h.usize(load_entries);
+        h.u64(max_distance as u64);
+        h.opt(uch_queue_entries);
+        h.usize(uch_queue_drain);
+        h.usize(fp_sets);
+        h.usize(fp_ways);
+        h.usize(fp_selector_entries);
+        h.u64(fp_tag_bits as u64);
+        h.u64(fp_distance_bits as u64);
+        h.u64(fp_probabilistic as u64);
+        h.usize(max_nest);
+        h.u64(line_bytes);
+        h.u64(dbr_store_pairs as u64);
+        h.usize(fetch_width);
+        h.usize(rename_width);
+        h.usize(dispatch_width);
+        h.usize(commit_width);
+        h.usize(aq_size);
+        h.usize(rob_size);
+        h.usize(iq_size);
+        h.usize(lq_size);
+        h.usize(sq_size);
+        h.usize(prf_size);
+        h.usize(alu_ports);
+        h.usize(load_ports);
+        h.usize(store_ports);
+        h.usize(store_drain_per_cycle);
+        h.u64(alu_latency);
+        h.u64(mul_latency);
+        h.u64(div_latency);
+        h.u64(branch_redirect_penalty);
+        h.u64(line_cross_penalty);
+        h.cache(l1d);
+        h.cache(l2);
+        h.cache(l3);
+        h.u64(mem_latency);
+        h.u64(watchdog_cycles);
+        h.0
     }
 }
 
@@ -412,6 +544,39 @@ mod tests {
         );
         let tweaked = PipeConfig::builder().rob_size(64).build().unwrap();
         assert_ne!(a.digest(), tweaked.digest(), "structure sizes are covered");
+    }
+
+    #[test]
+    fn digest_covers_nested_sub_structures() {
+        // The exhaustive destructuring must reach every leaf, not just the
+        // top-level fields: a knob buried three levels down (e.g. the fusion
+        // predictor's set count) still has to separate two configs.
+        let base = PipeConfig::default();
+        let cases: &[fn(&mut PipeConfig)] = &[
+            |c| c.helios.uch.load_entries += 1,
+            |c| c.helios.uch.max_distance += 1,
+            |c| c.helios.uch_queue.entries = None,
+            |c| c.helios.uch_queue.drain_per_cycle += 1,
+            |c| c.helios.fp.sets *= 2,
+            |c| c.helios.fp.probabilistic_confidence = true,
+            |c| c.helios.max_nest += 1,
+            |c| c.helios.dbr_store_pairs = true,
+            |c| c.l2.latency += 1,
+            |c| c.l3.ways /= 2,
+            |c| c.line_cross_penalty += 1,
+            |c| c.watchdog_cycles += 1,
+        ];
+        for (i, tweak) in cases.iter().enumerate() {
+            let mut t = base;
+            tweak(&mut t);
+            assert_ne!(base.digest(), t.digest(), "tweak #{i} not covered");
+        }
+        // `None` and `Some(0)` are different ideal/degenerate queues.
+        let mut unbounded = base;
+        unbounded.helios.uch_queue.entries = None;
+        let mut zero = base;
+        zero.helios.uch_queue.entries = Some(0);
+        assert_ne!(unbounded.digest(), zero.digest());
     }
 
     #[test]

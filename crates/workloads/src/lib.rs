@@ -25,7 +25,7 @@ mod kernels;
 
 pub use kernels::{all_workloads, workload};
 
-use helios_emu::{Cpu, EmuError, RecordedTrace, RetireStream, StoreError, Trace, TraceStore};
+use helios_emu::{Cpu, EmuError, RetireStream, StoreError, Trace, TraceStore};
 use helios_isa::{Asm, Program, Reg};
 
 /// Which of the paper's suites a workload mirrors.
@@ -56,22 +56,6 @@ impl Workload {
     /// A retired-µ-op stream for feeding the pipeline model.
     pub fn stream(&self) -> RetireStream {
         RetireStream::new(self.program.clone(), self.fuel)
-    }
-
-    /// Records the kernel's retired-µ-op trace once, for replay under any
-    /// number of pipeline configurations.
-    ///
-    /// Deprecated: use [`Workload::trace`] (in-memory [`Trace`]) or
-    /// [`Workload::stored`] (shared on-disk corpus) instead; kept for
-    /// exactly one release.
-    ///
-    /// # Errors
-    ///
-    /// See [`Workload::trace`].
-    #[deprecated(note = "use Workload::trace or Workload::stored")]
-    pub fn recorded(&self) -> Result<RecordedTrace, EmuError> {
-        #[allow(deprecated)]
-        RecordedTrace::record(self.program.clone(), self.fuel)
     }
 
     /// Records the kernel's retired-µ-op trace in memory, for replay under

@@ -217,4 +217,68 @@ head -c 7 "$scratch/crc32.kanata" | grep -q "Kanata" || {
     exit 1
 }
 
+echo "==> server smoke: sweepd + fig10 --quick --server"
+# Start the daemon on an ephemeral port, run fig10 through it twice (cold
+# cache simulates all 48 cells, warm cache must re-simulate zero), check
+# stdout and the fig10.json artifact stay byte-identical to the local
+# stable reference, then shut the daemon down with SIGINT (must exit 0).
+cargo build --release -q -p helios-bench --bin serve
+serve_log="$scratch/serve.log"
+rm -rf "$scratch/sweepd"
+target/release/serve --addr 127.0.0.1:0 --cache-dir "$scratch/sweepd" --jobs 2 \
+    2> "$serve_log" &
+serve_pid=$!
+url=""
+for _ in $(seq 1 100); do
+    url=$(sed -n 's/^sweepd: listening on //p' "$serve_log")
+    [ -n "$url" ] && break
+    sleep 0.1
+done
+[ -n "$url" ] || {
+    echo "ci: FAIL — sweepd never announced its listening address" >&2
+    exit 1
+}
+cp "$scratch/fig10.json" "$scratch/ref_fig10.json"
+export HELIOS_BENCH_STABLE=1
+"${fig10[@]}" --server "$url" > "$scratch/server_cold.out" 2> "$scratch/server_cold.err"
+"${fig10[@]}" --server "$url" > "$scratch/server_warm.out" 2> "$scratch/server_warm.err"
+unset HELIOS_BENCH_STABLE
+rm -f BENCH_sweep.json
+cmp "$scratch/ref.out" "$scratch/server_cold.out" || {
+    echo "ci: FAIL — fig10 --server stdout differs from the local run" >&2
+    exit 1
+}
+cmp "$scratch/ref.out" "$scratch/server_warm.out" || {
+    echo "ci: FAIL — warm-cache fig10 --server stdout differs from the local run" >&2
+    exit 1
+}
+cmp "$scratch/ref_fig10.json" "$scratch/fig10.json" || {
+    echo "ci: FAIL — fig10 --server JSON artifact differs from the local run" >&2
+    exit 1
+}
+grep -q "server cache: 0 hits, 48 simulated" "$scratch/server_cold.err" || {
+    echo "ci: FAIL — cold server run did not report 48 simulated cells:" >&2
+    grep "server cache:" "$scratch/server_cold.err" >&2 || true
+    exit 1
+}
+grep -q "server cache: 48 hits, 0 simulated" "$scratch/server_warm.err" || {
+    echo "ci: FAIL — warm server run re-simulated cells (want pure cache hits):" >&2
+    grep "server cache:" "$scratch/server_warm.err" >&2 || true
+    exit 1
+}
+kill -INT "$serve_pid"
+set +e
+wait "$serve_pid"
+serve_rc=$?
+set -e
+if [ "$serve_rc" -ne 0 ]; then
+    echo "ci: FAIL — sweepd exited $serve_rc on SIGINT, expected clean 0" >&2
+    exit 1
+fi
+grep -q "shut down cleanly" "$serve_log" || {
+    echo "ci: FAIL — sweepd exited 0 but never logged a clean shutdown" >&2
+    exit 1
+}
+echo "server smoke: cold 48 simulated, warm 48 cached, stdout+artifact byte-identical, clean shutdown"
+
 echo "ci: all green"

@@ -396,6 +396,24 @@ impl Sweep {
         }
     }
 
+    /// Reassembles a sweep from externally produced cells — the thin client
+    /// of a sweep server rebuilds the exact structure a local
+    /// [`run_sweep_opts`] over the same grid would have produced, so every
+    /// downstream report renders identically. `order` is the requested
+    /// workload order (which, as in a local sweep, lists every requested
+    /// workload even if all of its cells failed); `failures` are the
+    /// non-successful cells in workload-major order.
+    pub fn assemble(
+        results: Vec<RunResult>,
+        order: Vec<&'static str>,
+        failures: Vec<CellReport>,
+    ) -> Sweep {
+        let mut sweep = Sweep::from_results(results);
+        sweep.order = order;
+        sweep.failures = failures;
+        sweep
+    }
+
     /// All results, in execution order (workload-major).
     pub fn results(&self) -> &[RunResult] {
         &self.results

@@ -120,6 +120,47 @@ impl Json {
     }
 }
 
+impl fmt::Display for Json {
+    /// Serializes the value as compact JSON (no added whitespace), the
+    /// inverse of [`Json::parse`]: `Json::parse(&v.to_string()) == Ok(v)`
+    /// for every finite value. Numbers that are exact integers within the
+    /// `f64`-exact window (±2^53) render without a decimal point, so `u64`
+    /// counters survive the round-trip byte-identically; non-finite numbers
+    /// (which JSON cannot represent) render as `null`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => f.write_str(if *b { "true" } else { "false" }),
+            Json::Num(n) if !n.is_finite() => f.write_str("null"),
+            Json::Num(n) if n.fract() == 0.0 && n.abs() <= 2f64.powi(53) => {
+                write!(f, "{}", *n as i64)
+            }
+            Json::Num(n) => write!(f, "{n:?}"),
+            Json::Str(s) => write!(f, "\"{}\"", escape(s)),
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(fields) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "\"{}\":{v}", escape(k))?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
 struct Parser<'a> {
     b: &'a [u8],
     pos: usize,
@@ -336,6 +377,20 @@ mod tests {
         let original = "quote\" slash\\ nl\n tab\t ctl\u{1}";
         let doc = format!("\"{}\"", escape(original));
         assert_eq!(Json::parse(&doc).unwrap().as_str(), Some(original));
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        let doc = r#"{"a":[1,-2.5,true,false,null],"b":{"c":"x\ny"},"big":9007199254740992}"#;
+        let v = Json::parse(doc).unwrap();
+        assert_eq!(v.to_string(), doc, "compact form is canonical");
+        assert_eq!(Json::parse(&v.to_string()).unwrap(), v);
+        // Integers stay integers; NaN (unrepresentable) degrades to null.
+        assert_eq!(Json::Num(3.0).to_string(), "3");
+        assert_eq!(Json::Num(f64::NAN).to_string(), "null");
+        assert_eq!(Json::Num(1.5e300).to_string(), "1.5e300");
+        let tricky = Json::Str("quote\" nl\n ctl\u{1}".into());
+        assert_eq!(Json::parse(&tricky.to_string()).unwrap(), tricky);
     }
 
     #[test]

@@ -229,6 +229,63 @@ impl Report {
         s
     }
 
+    /// Rebuilds a [`Report`] from a `helios-report-v1` JSON document — the
+    /// inverse of [`Report::to_json`]: `from_json(&r.to_json())` reproduces
+    /// `r` exactly, so a report can cross a process or network boundary (the
+    /// sweep server serves this wire format) and re-emit byte-identical
+    /// artifacts on the other side.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first structural problem: a parse
+    /// failure, a missing or unsupported schema tag, or a malformed section.
+    pub fn from_json(text: &str) -> Result<Report, String> {
+        let v = crate::Json::parse(text).map_err(|e| e.to_string())?;
+        let str_field = |key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(crate::Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing or non-string \"{key}\""))
+        };
+        let schema = str_field("schema")?;
+        if schema != "helios-report-v1" {
+            return Err(format!("unsupported report schema {schema:?}"));
+        }
+        let strings = |val: &crate::Json, what: &str| -> Result<Vec<String>, String> {
+            val.as_array()
+                .ok_or_else(|| format!("\"{what}\" is not an array"))?
+                .iter()
+                .map(|c| {
+                    c.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("non-string entry in \"{what}\""))
+                })
+                .collect()
+        };
+        let section =
+            |key: &'static str| v.get(key).ok_or_else(|| format!("missing \"{key}\""));
+        let mut table = Table::new(strings(section("columns")?, "columns")?);
+        for row in section("rows")?
+            .as_array()
+            .ok_or("\"rows\" is not an array")?
+        {
+            table.row(strings(row, "rows")?);
+        }
+        let mut report = Report::new(str_field("id")?, str_field("title")?, table);
+        // Notes were already split at newlines when emitted; push them back
+        // verbatim rather than through `note()` so identity is exact.
+        report.notes = strings(section("notes")?, "notes")?;
+        if let Some(cs) = v.get("cell_status") {
+            for (cell, status) in cs.as_object().ok_or("\"cell_status\" is not an object")? {
+                let status = status
+                    .as_str()
+                    .ok_or("non-string entry in \"cell_status\"")?;
+                report.cell_status(cell.clone(), status);
+            }
+        }
+        Ok(report)
+    }
+
     /// The CSV rendering: header row then data rows (notes are JSON-only).
     pub fn to_csv(&self) -> String {
         let quote = |c: &String| {
@@ -336,6 +393,44 @@ mod tests {
         let rows = v.get("rows").unwrap().as_array().unwrap();
         assert_eq!(rows[0].as_array().unwrap()[0].as_str(), Some("has,comma"));
         assert!(r.to_csv().starts_with("bench,IPC\n\"has,comma\",1.5\n"));
+    }
+
+    #[test]
+    fn from_json_reproduces_the_document_byte_identically() {
+        let mut t = Table::new(vec!["bench".into(), "IPC".into()]);
+        t.row(vec!["crc32".into(), "1.500".into()]);
+        t.row(vec!["has,comma\"quote".into(), "2.000".into()]);
+        let mut r = Report::new("figR", "Figure R: round trip", t);
+        r.note("first\nsecond");
+        r.cell_status("fft/NoFusion", "timed out after 1000 ms");
+        let doc = r.to_json();
+        let back = Report::from_json(&doc).expect("round trip parses");
+        assert_eq!(back.to_json(), doc, "lossless across the wire format");
+        assert_eq!(back.to_text(), r.to_text());
+        assert_eq!(back.to_csv(), r.to_csv());
+        assert_eq!(back.id(), "figR");
+
+        // Notes-only reports (empty table) round-trip too.
+        let empty = Report::new("t2", "Table II", Table::new(vec![]));
+        assert_eq!(Report::from_json(&empty.to_json()).unwrap().to_json(), empty.to_json());
+    }
+
+    #[test]
+    fn from_json_rejects_foreign_documents() {
+        assert!(Report::from_json("not json").is_err());
+        assert!(Report::from_json("{}").is_err(), "missing schema");
+        assert!(
+            Report::from_json(r#"{"schema":"helios-stats-v1"}"#)
+                .unwrap_err()
+                .contains("unsupported report schema"),
+        );
+        assert!(
+            Report::from_json(
+                r#"{"schema":"helios-report-v1","id":"x","title":"t","columns":[1],"rows":[],"notes":[]}"#
+            )
+            .unwrap_err()
+            .contains("non-string"),
+        );
     }
 
     #[test]
